@@ -1,0 +1,177 @@
+// Command zkrownn-bench regenerates the paper's evaluation artifacts:
+//
+//	Table I  — per-circuit zkSNARK metrics (#constraints, setup/prove/
+//	           verify runtimes, key and proof sizes) for every individual
+//	           circuit and both end-to-end extraction circuits.
+//	Table II — the DNN benchmark architectures.
+//
+// Absolute runtimes depend on the host (the paper used a 64-core
+// AMD 3990X); the shapes — constant 128 B proofs, millisecond verification,
+// VK growing with the public inputs, prover/setup dominating — reproduce
+// at any scale. Three scales are provided:
+//
+//	-scale tiny    seconds-fast smoke sizes (CI)
+//	-scale default paper shapes at reduced dimensions (minutes)
+//	-scale paper   the paper's exact dimensions (hours on small hosts,
+//	               heavy memory: the MLP circuit exceeds 2M constraints)
+//
+// Use -row to run a single row and -table2 to print the architectures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+
+	"zkrownn/internal/core"
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/gadgets"
+)
+
+type rowSpec struct {
+	name  string
+	build func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error)
+}
+
+type sizes struct {
+	matN     int // MatMult: N×N
+	convIn   int // Conv3D: convIn×convIn×3
+	convOut  int
+	vecN     int // 1-D ops
+	avgN     int // Average2D: N×N
+	sigN     int
+	mlpIn    int
+	mlpHid   int
+	bits     int
+	triggers int
+	cnnIn    int
+	cnnOut   int
+}
+
+func scaleSizes(scale string) (sizes, error) {
+	switch scale {
+	case "tiny":
+		return sizes{
+			matN: 8, convIn: 8, convOut: 4, vecN: 16, avgN: 8, sigN: 8,
+			mlpIn: 32, mlpHid: 16, bits: 8, triggers: 2, cnnIn: 8, cnnOut: 4,
+		}, nil
+	case "default":
+		return sizes{
+			matN: 32, convIn: 16, convOut: 8, vecN: 128, avgN: 32, sigN: 32,
+			mlpIn: 196, mlpHid: 64, bits: 32, triggers: 2, cnnIn: 16, cnnOut: 8,
+		}, nil
+	case "paper":
+		// Table I: 128×128 2-D ops, length-128 1-D ops, 32×32×3 conv with
+		// 32 channels / 3×3 / stride 2; MLP 784-512; CNN per Table II.
+		return sizes{
+			matN: 128, convIn: 32, convOut: 32, vecN: 128, avgN: 128, sigN: 128,
+			mlpIn: 784, mlpHid: 512, bits: 32, triggers: 4, cnnIn: 32, cnnOut: 32,
+		}, nil
+	}
+	return sizes{}, fmt.Errorf("unknown scale %q (tiny|default|paper)", scale)
+}
+
+func main() {
+	var (
+		scale    = flag.String("scale", "default", "benchmark scale: tiny, default, or paper")
+		row      = flag.String("row", "", "run a single Table I row (matmult, conv3d, relu, average2d, sigmoid, threshold, ber, mnist-mlp, cifar10-cnn)")
+		table2   = flag.Bool("table2", false, "print Table II (benchmark architectures) and exit")
+		seed     = flag.Int64("seed", 1, "deterministic workload seed")
+		fracBits = flag.Int("frac-bits", 16, "fixed-point fraction bits")
+		magBits  = flag.Int("mag-bits", 44, "fixed-point magnitude bound bits (range-check width)")
+		triggers = flag.Int("triggers", 0, "override the trigger-set size of the end-to-end rows")
+	)
+	flag.Parse()
+
+	if *table2 {
+		printTableII()
+		return
+	}
+
+	sz, err := scaleSizes(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *triggers > 0 {
+		sz.triggers = *triggers
+	}
+	p := fixpoint.Params{FracBits: *fracBits, MagBits: *magBits}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rows := []rowSpec{
+		{"matmult", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.MatMultCircuit(p, sz.matN, rng)
+		}},
+		{"conv3d", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.Conv3DCircuit(p, gadgets.Conv3DShape{
+				InC: 3, InH: sz.convIn, InW: sz.convIn, OutC: sz.convOut, K: 3, S: 2,
+			}, rng)
+		}},
+		{"relu", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.ReLUCircuit(p, sz.vecN, rng)
+		}},
+		{"average2d", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.Average2DCircuit(p, sz.avgN, rng)
+		}},
+		{"sigmoid", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.SigmoidCircuit(p, sz.sigN, rng)
+		}},
+		{"threshold", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.HardThresholdingCircuit(p, sz.vecN, rng)
+		}},
+		{"ber", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.BERCircuit(p, sz.vecN, 2, rng)
+		}},
+		{"mnist-mlp", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.BenchMLPExtractionCircuit(p, sz.mlpIn, sz.mlpHid, sz.bits, sz.triggers, rng)
+		}},
+		{"cifar10-cnn", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			return core.BenchCNNExtractionCircuit(p, gadgets.Conv3DShape{
+				InC: 3, InH: sz.cnnIn, InW: sz.cnnIn, OutC: sz.cnnOut, K: 3, S: 2,
+			}, sz.bits, sz.triggers, rng)
+		}},
+	}
+
+	fmt.Printf("ZKROWNN Table I reproduction — scale=%s, fixed-point f=%d, GOMAXPROCS=%d\n",
+		*scale, *fracBits, runtime.GOMAXPROCS(0))
+	fmt.Println(core.Header())
+	fmt.Println(strings.Repeat("-", 112))
+
+	for _, spec := range rows {
+		if *row != "" && !strings.EqualFold(*row, spec.name) {
+			continue
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		art, err := spec.build(p, rng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: build: %v\n", spec.name, err)
+			os.Exit(1)
+		}
+		pl, err := core.RunPipeline(art, rng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(pl.Metrics.String())
+	}
+}
+
+func printTableII() {
+	fmt.Println("Table II — DNN benchmark architectures (paper notation)")
+	fmt.Println()
+	fmt.Println("Dataset   Architecture")
+	fmt.Println("MNIST     784 - FC(512) - FC(512) - FC(10)")
+	fmt.Println("CIFAR10   3x32x32 - C(32,3,2) - C(32,3,1) - MP(2,1)")
+	fmt.Println("          C(64,3,1) - C(64,3,1) - MP(2,1) - FC(512) - FC(10)")
+	fmt.Println()
+	fmt.Println("Both models are constructed by internal/nn (NewMNISTMLP /")
+	fmt.Println("NewCIFAR10CNN); the watermark is embedded after the first")
+	fmt.Println("hidden layer, so the extraction circuits evaluate that prefix.")
+}

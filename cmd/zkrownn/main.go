@@ -1,0 +1,485 @@
+// Command zkrownn is the end-to-end ZKROWNN workflow driver:
+//
+//	zkrownn train    — train a model on the synthetic dataset
+//	zkrownn keygen   — generate a secret watermark key for a model
+//	zkrownn embed    — embed the watermark (DeepSigns fine-tuning)
+//	zkrownn extract  — plain extraction (float and fixed-point paths)
+//	zkrownn prove    — build the zk circuit, run setup, emit vk + proof
+//	zkrownn verify   — third-party verification of an ownership proof
+//
+// Artifacts are files: models and keys are JSON; verifying keys and
+// proofs use the compact binary encoding of internal/groth16; public
+// inputs are hex JSON. Datasets are deterministic given (-data-seed,
+// -data-samples, shape), so every command regenerates them on demand —
+// see DESIGN.md for the synthetic-data substitution rationale.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/core"
+	"zkrownn/internal/dataset"
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/nn"
+	"zkrownn/internal/watermark"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "keygen":
+		err = cmdKeygen(os.Args[2:])
+	case "embed":
+		err = cmdEmbed(os.Args[2:])
+	case "extract":
+		err = cmdExtract(os.Args[2:])
+	case "prove":
+		err = cmdProve(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "zkrownn: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zkrownn:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: zkrownn <command> [flags]
+
+commands:
+  train    train a model on the synthetic dataset
+  keygen   generate a watermark key
+  embed    embed the watermark into a trained model
+  extract  extract the watermark outside the circuit
+  prove    produce a zero-knowledge ownership proof
+  verify   verify an ownership proof
+
+run "zkrownn <command> -h" for per-command flags`)
+}
+
+// dataFlags are the deterministic-dataset parameters shared by commands.
+type dataFlags struct {
+	samples *int
+	seed    *int64
+	dim     *int
+	classes *int
+}
+
+func addDataFlags(fs *flag.FlagSet) dataFlags {
+	return dataFlags{
+		samples: fs.Int("data-samples", 600, "synthetic dataset size"),
+		seed:    fs.Int64("data-seed", 7, "synthetic dataset seed"),
+		dim:     fs.Int("data-dim", 64, "synthetic input dimension"),
+		classes: fs.Int("data-classes", 10, "synthetic class count"),
+	}
+}
+
+func (d dataFlags) generate() (*dataset.Dataset, error) {
+	return dataset.Generate(dataset.Config{
+		Samples: *d.samples, Dim: *d.dim, Classes: *d.classes,
+		ClusterStd: 0.3, Seed: *d.seed,
+	})
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	hidden := fs.Int("hidden", 64, "hidden layer width (MLP)")
+	epochs := fs.Int("epochs", 15, "training epochs")
+	lr := fs.Float64("lr", 0.1, "learning rate")
+	seed := fs.Int64("seed", 1, "weight-init seed")
+	out := fs.String("out", "model.json", "output model path")
+	df := addDataFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, err := df.generate()
+	if err != nil {
+		return err
+	}
+	train, test := ds.Split(0.2)
+	rng := rand.New(rand.NewSource(*seed))
+	net := nn.NewMLP(nn.MLPConfig{In: ds.Dim, Hidden: []int{*hidden}, Classes: ds.Classes}, rng)
+	fmt.Printf("training %s on %d samples...\n", net.String(), len(train.X))
+	net.Train(train.X, train.Y, nn.TrainConfig{
+		Epochs: *epochs, BatchSize: 16, LearningRate: *lr,
+		Silent: false, Logf: func(f string, a ...any) { fmt.Printf(f, a...) },
+	}, rng)
+	fmt.Printf("test accuracy: %.3f\n", net.Accuracy(test.X, test.Y))
+	return writeFileWith(*out, net.Save)
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model path")
+	bits := fs.Int("bits", 32, "watermark bits")
+	triggers := fs.Int("triggers", 4, "trigger-set size")
+	layer := fs.Int("layer", 1, "embedded layer index l_wm")
+	class := fs.Int("class", 0, "target Gaussian class")
+	seed := fs.Int64("seed", 2, "key randomness seed")
+	out := fs.String("out", "wmkey.json", "output key path")
+	df := addDataFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	ds, err := df.generate()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	actDim := net.Layers[*layer].OutputSize()
+	key, err := watermark.GenerateKey(rng, *layer, *class, actDim, *bits, *triggers, ds.OfClass(*class))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d-bit watermark key (layer %d, class %d, %d triggers)\n",
+		*bits, *layer, *class, *triggers)
+	return writeJSON(*out, key)
+}
+
+func cmdEmbed(args []string) error {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model path")
+	keyPath := fs.String("key", "wmkey.json", "watermark key path")
+	epochs := fs.Int("epochs", 50, "fine-tuning epochs")
+	seed := fs.Int64("seed", 3, "embedding seed")
+	out := fs.String("out", "model-wm.json", "output watermarked model path")
+	df := addDataFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	ds, err := df.generate()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := watermark.DefaultEmbedConfig()
+	cfg.Epochs = *epochs
+	cfg.Silent = false
+	cfg.Logf = func(f string, a ...any) { fmt.Printf(f, a...) }
+	if err := watermark.Embed(net, key, ds.X, ds.Y, cfg, rng); err != nil {
+		return err
+	}
+	_, ber := watermark.Extract(net, key)
+	fmt.Printf("embedding done, float BER = %.3f\n", ber)
+	return writeFileWith(*out, net.Save)
+}
+
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	modelPath := fs.String("model", "model-wm.json", "model path")
+	keyPath := fs.String("key", "wmkey.json", "watermark key path")
+	fracBits := fs.Int("frac-bits", 16, "fixed-point fraction bits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	bits, ber := watermark.Extract(net, key)
+	fmt.Printf("float extraction:      bits=%v BER=%.3f\n", bits, ber)
+
+	p := fixpoint.Params{FracBits: *fracBits, MagBits: 44}
+	q, err := nn.Quantize(net, p)
+	if err != nil {
+		return err
+	}
+	qbits, nbErr, err := watermark.ExtractQuantized(q, key)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fixed-point (circuit): bits=%v errors=%d\n", qbits, nbErr)
+	return nil
+}
+
+func cmdProve(args []string) error {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	modelPath := fs.String("model", "model-wm.json", "suspect model path (public)")
+	keyPath := fs.String("key", "wmkey.json", "watermark key path (private)")
+	outDir := fs.String("out", "ownership", "output directory for vk/proof/public artifacts")
+	savePK := fs.Bool("save-pk", false, "also write the (large) proving key")
+	maxErrors := fs.Int("max-errors", 0, "BER tolerance θ·N")
+	fracBits := fs.Int("frac-bits", 16, "fixed-point fraction bits")
+	committed := fs.Bool("committed", false, "use the committed-model circuit (constant-size VK; weights bound by digest instead of public inputs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	p := fixpoint.Params{FracBits: *fracBits, MagBits: 44}
+	q, err := nn.Quantize(net, p)
+	if err != nil {
+		return err
+	}
+	ck := core.QuantizeKey(key, p)
+	fmt.Println("building extraction circuit...")
+	var art *core.Artifact
+	if *committed {
+		art, err = core.CommittedExtractionCircuit(q, ck, *maxErrors)
+	} else {
+		art, err = core.ExtractionCircuit(q, ck, *maxErrors)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit: %d constraints, %d public inputs\n",
+		art.System.NbConstraints(), art.System.NbPublic-1)
+
+	start := time.Now()
+	pk, vk, err := groth16.Setup(art.System, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("setup:  %.2fs (PK %.1f MB, VK %.1f KB)\n",
+		time.Since(start).Seconds(), float64(pk.SizeBytes())/1e6, float64(vk.SizeBytes())/1e3)
+
+	start = time.Now()
+	proof, err := groth16.Prove(art.System, pk, art.Witness, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prove:  %.2fs (proof %d B)\n", time.Since(start).Seconds(), proof.PayloadSize())
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFileWith(filepath.Join(*outDir, "vk.bin"), func(w io.Writer) error {
+		_, err := vk.WriteTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeFileWith(filepath.Join(*outDir, "proof.bin"), func(w io.Writer) error {
+		_, err := proof.WriteTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(*outDir, "public.json"), encodePublic(art.PublicInputs())); err != nil {
+		return err
+	}
+	meta := proveMeta{Committed: *committed, LayerIndex: key.LayerIndex, FracBits: *fracBits}
+	if err := writeJSON(filepath.Join(*outDir, "meta.json"), meta); err != nil {
+		return err
+	}
+	if *savePK {
+		if err := writeFileWith(filepath.Join(*outDir, "pk.bin"), func(w io.Writer) error {
+			_, err := pk.WriteTo(w)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("artifacts written to %s/ (vk.bin, proof.bin, public.json)\n", *outDir)
+	return nil
+}
+
+// proveMeta records which circuit variant produced the artifacts.
+type proveMeta struct {
+	Committed  bool `json:"committed"`
+	LayerIndex int  `json:"layer_index"`
+	FracBits   int  `json:"frac_bits"`
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "ownership", "artifact directory (vk.bin, proof.bin, public.json)")
+	modelPath := fs.String("model", "model-wm.json", "public suspect model (needed for committed-mode digest checks)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var vk groth16.VerifyingKey
+	if err := readFileWith(filepath.Join(*dir, "vk.bin"), func(f io.Reader) error {
+		_, err := vk.ReadFrom(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	var proof groth16.Proof
+	if err := readFileWith(filepath.Join(*dir, "proof.bin"), func(f io.Reader) error {
+		_, err := proof.ReadFrom(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	var hexPub []string
+	if err := readJSON(filepath.Join(*dir, "public.json"), &hexPub); err != nil {
+		return err
+	}
+	public, err := decodePublic(hexPub)
+	if err != nil {
+		return err
+	}
+
+	var meta proveMeta
+	_ = readJSON(filepath.Join(*dir, "meta.json"), &meta) // absent for old artifacts
+
+	start := time.Now()
+	var ok bool
+	if meta.Committed {
+		net, lerr := loadModel(*modelPath)
+		if lerr != nil {
+			return fmt.Errorf("committed proof needs the public model: %w", lerr)
+		}
+		p := fixpoint.Params{FracBits: meta.FracBits, MagBits: 44}
+		q, qerr := nn.Quantize(net, p)
+		if qerr != nil {
+			return qerr
+		}
+		if verr := groth16.Verify(&vk, &proof, public); verr != nil {
+			err = verr
+		} else if derr := core.VerifyCommittedPublicInputs(q, meta.LayerIndex, public); derr != nil {
+			err = derr
+		} else {
+			ok = true
+		}
+	} else {
+		ok, err = core.VerifyClaim(&vk, &proof, public)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("verification FAILED in %.1fms: %v\n", float64(elapsed.Microseconds())/1e3, err)
+		return err
+	}
+	if !ok {
+		fmt.Printf("proof valid but ownership claim is 0 (watermark did not extract)\n")
+		os.Exit(1)
+	}
+	fmt.Printf("ownership VERIFIED in %.1fms\n", float64(elapsed.Microseconds())/1e3)
+	return nil
+}
+
+// --- file helpers ---
+
+func loadModel(path string) (*nn.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return nn.Load(f)
+}
+
+func loadKey(path string) (*watermark.Key, error) {
+	var k watermark.Key
+	if err := readJSON(path, &k); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return &k, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(v)
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readFileWith(path string, fn func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func encodePublic(pub []fr.Element) []string {
+	out := make([]string, len(pub))
+	for i := range pub {
+		b := pub[i].Bytes()
+		out[i] = fmt.Sprintf("%x", b[:])
+	}
+	return out
+}
+
+func decodePublic(hex []string) ([]fr.Element, error) {
+	out := make([]fr.Element, len(hex))
+	for i, h := range hex {
+		var raw []byte
+		if _, err := fmt.Sscanf(h, "%x", &raw); err != nil {
+			return nil, fmt.Errorf("public input %d: %w", i, err)
+		}
+		if err := out[i].SetBytesCanonical(raw); err != nil {
+			return nil, fmt.Errorf("public input %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

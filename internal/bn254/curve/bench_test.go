@@ -1,0 +1,89 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+func BenchmarkG1Double(b *testing.B) {
+	p := G1Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.DoubleAssign()
+	}
+}
+
+func BenchmarkG1Add(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randG1(rng)
+	q := randG1(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AddAssign(&q)
+	}
+}
+
+func BenchmarkG1AddMixed(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := randG1(rng)
+	q := randG1(rng)
+	var qa G1Affine
+	qa.FromJacobian(&q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AddMixed(&qa)
+	}
+}
+
+func BenchmarkG1ScalarMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := G1Generator()
+	k := randFr(rng)
+	var out G1Jac
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.ScalarMul(&p, &k)
+	}
+}
+
+func benchmarkMSM(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	points := make([]G1Affine, n)
+	scalars := make([]fr.Element, n)
+	for i := 0; i < n; i++ {
+		j := randG1(rng)
+		points[i].FromJacobian(&j)
+		scalars[i] = randFr(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MultiExpG1(points, scalars)
+	}
+}
+
+func BenchmarkMSMG1_256(b *testing.B)  { benchmarkMSM(b, 256) }
+func BenchmarkMSMG1_4096(b *testing.B) { benchmarkMSM(b, 4096) }
+
+func BenchmarkFixedBaseMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := G1Generator()
+	table := NewG1FixedBaseTable(&g)
+	k := randFr(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = table.Mul(&k)
+	}
+}
+
+func BenchmarkG1ScalarMulWNAF(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	p := G1Generator()
+	k := randFr(rng)
+	var out G1Jac
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.ScalarMulWNAF(&p, &k)
+	}
+}

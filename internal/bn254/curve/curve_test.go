@@ -1,0 +1,482 @@
+package curve
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+func randFr(rng *rand.Rand) fr.Element {
+	var e fr.Element
+	b := make([]byte, 40)
+	rng.Read(b)
+	e.SetBigInt(new(big.Int).SetBytes(b))
+	return e
+}
+
+func randG1(rng *rand.Rand) G1Jac {
+	k := randFr(rng)
+	g := G1Generator()
+	var p G1Jac
+	p.ScalarMul(&g, &k)
+	return p
+}
+
+func randG2(rng *rand.Rand) G2Jac {
+	k := randFr(rng)
+	g := G2Generator()
+	var p G2Jac
+	p.ScalarMul(&g, &k)
+	return p
+}
+
+func TestG1GeneratorOrder(t *testing.T) {
+	g := G1Generator()
+	var p G1Jac
+	p.ScalarMulBig(&g, GroupOrder())
+	if !p.IsInfinity() {
+		t.Fatal("r·G1 != infinity")
+	}
+	var aff G1Affine
+	aff.FromJacobian(&g)
+	if !aff.IsOnCurve() || !aff.IsInSubgroup() {
+		t.Fatal("G1 generator invalid")
+	}
+}
+
+func TestG2GeneratorOrder(t *testing.T) {
+	g := G2Generator()
+	var p G2Jac
+	p.ScalarMulBig(&g, GroupOrder())
+	if !p.IsInfinity() {
+		t.Fatal("r·G2 != infinity")
+	}
+	var aff G2Affine
+	aff.FromJacobian(&g)
+	if !aff.IsOnCurve() || !aff.IsInSubgroup() {
+		t.Fatal("G2 generator invalid")
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < 20; i++ {
+		p := randG1(rng)
+		q := randG1(rng)
+		r := randG1(rng)
+
+		// Commutativity.
+		var pq, qp G1Jac
+		pq.Set(&p)
+		pq.AddAssign(&q)
+		qp.Set(&q)
+		qp.AddAssign(&p)
+		if !pq.Equal(&qp) {
+			t.Fatal("G1 addition not commutative")
+		}
+
+		// Associativity.
+		var l, rr G1Jac
+		l.Set(&p)
+		l.AddAssign(&q)
+		l.AddAssign(&r)
+		rr.Set(&q)
+		rr.AddAssign(&r)
+		rr.AddAssign(&p)
+		if !l.Equal(&rr) {
+			t.Fatal("G1 addition not associative")
+		}
+
+		// Inverse.
+		var neg, sum G1Jac
+		neg.Neg(&p)
+		sum.Set(&p)
+		sum.AddAssign(&neg)
+		if !sum.IsInfinity() {
+			t.Fatal("p + (-p) != infinity")
+		}
+
+		// Double == add self.
+		var dbl, addSelf G1Jac
+		dbl.Double(&p)
+		addSelf.Set(&p)
+		addSelf.AddAssign(&p)
+		if !dbl.Equal(&addSelf) {
+			t.Fatal("2p != p+p")
+		}
+
+		// Identity.
+		var inf G1Jac
+		inf.SetInfinity()
+		var pi G1Jac
+		pi.Set(&p)
+		pi.AddAssign(&inf)
+		if !pi.Equal(&p) {
+			t.Fatal("p + 0 != p")
+		}
+	}
+}
+
+func TestG1MixedAddMatchesJacobian(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		p := randG1(rng)
+		q := randG1(rng)
+		var qAff G1Affine
+		qAff.FromJacobian(&q)
+
+		var viaMixed, viaJac G1Jac
+		viaMixed.Set(&p)
+		viaMixed.AddMixed(&qAff)
+		viaJac.Set(&p)
+		viaJac.AddAssign(&q)
+		if !viaMixed.Equal(&viaJac) {
+			t.Fatal("mixed add mismatch")
+		}
+	}
+	// Edge: mixed add of the same point must double.
+	p := randG1(rng)
+	var pAff G1Affine
+	pAff.FromJacobian(&p)
+	var viaMixed, viaDbl G1Jac
+	viaMixed.Set(&p)
+	viaMixed.AddMixed(&pAff)
+	viaDbl.Double(&p)
+	if !viaMixed.Equal(&viaDbl) {
+		t.Fatal("mixed add doubling fallback broken")
+	}
+}
+
+func TestG1ScalarMulDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := G1Generator()
+	a := randFr(rng)
+	b := randFr(rng)
+	var ab fr.Element
+	ab.Add(&a, &b)
+
+	var pa, pb, pab, sum G1Jac
+	pa.ScalarMul(&g, &a)
+	pb.ScalarMul(&g, &b)
+	pab.ScalarMul(&g, &ab)
+	sum.Set(&pa)
+	sum.AddAssign(&pb)
+	if !pab.Equal(&sum) {
+		t.Fatal("(a+b)G != aG + bG")
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 10; i++ {
+		p := randG2(rng)
+		q := randG2(rng)
+
+		var pq, qp G2Jac
+		pq.Set(&p)
+		pq.AddAssign(&q)
+		qp.Set(&q)
+		qp.AddAssign(&p)
+		if !pq.Equal(&qp) {
+			t.Fatal("G2 addition not commutative")
+		}
+
+		var neg, sum G2Jac
+		neg.Neg(&p)
+		sum.Set(&p)
+		sum.AddAssign(&neg)
+		if !sum.IsInfinity() {
+			t.Fatal("G2: p + (-p) != infinity")
+		}
+
+		var dbl, addSelf G2Jac
+		dbl.Double(&p)
+		addSelf.Set(&p)
+		addSelf.AddAssign(&p)
+		if !dbl.Equal(&addSelf) {
+			t.Fatal("G2: 2p != p+p")
+		}
+	}
+}
+
+func TestG2ScalarMulDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := G2Generator()
+	a := randFr(rng)
+	b := randFr(rng)
+	var ab fr.Element
+	ab.Add(&a, &b)
+
+	var pa, pb, pab, sum G2Jac
+	pa.ScalarMul(&g, &a)
+	pb.ScalarMul(&g, &b)
+	pab.ScalarMul(&g, &ab)
+	sum.Set(&pa)
+	sum.AddAssign(&pb)
+	if !pab.Equal(&sum) {
+		t.Fatal("G2: (a+b)G != aG + bG")
+	}
+}
+
+func TestMultiExpG1MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for _, n := range []int{0, 1, 2, 5, 33, 200} {
+		points := make([]G1Affine, n)
+		scalars := make([]fr.Element, n)
+		var want G1Jac
+		want.SetInfinity()
+		for i := 0; i < n; i++ {
+			p := randG1(rng)
+			points[i].FromJacobian(&p)
+			scalars[i] = randFr(rng)
+			var term G1Jac
+			term.ScalarMul(&p, &scalars[i])
+			want.AddAssign(&term)
+		}
+		got := MultiExpG1(points, scalars)
+		if !got.Equal(&want) {
+			t.Fatalf("MSM G1 mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestMultiExpG1ZeroScalarsAndInfinities(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	points := make([]G1Affine, 10)
+	scalars := make([]fr.Element, 10)
+	for i := range points {
+		p := randG1(rng)
+		points[i].FromJacobian(&p)
+		if i%2 == 0 {
+			scalars[i].SetZero()
+		} else {
+			scalars[i] = randFr(rng)
+		}
+	}
+	points[3] = G1Affine{} // infinity
+	var want G1Jac
+	want.SetInfinity()
+	for i := range points {
+		var pj, term G1Jac
+		pj.FromAffine(&points[i])
+		term.ScalarMul(&pj, &scalars[i])
+		want.AddAssign(&term)
+	}
+	got := MultiExpG1(points, scalars)
+	if !got.Equal(&want) {
+		t.Fatal("MSM with zeros mismatch")
+	}
+}
+
+func TestMultiExpG2MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := 20
+	points := make([]G2Affine, n)
+	scalars := make([]fr.Element, n)
+	var want G2Jac
+	want.SetInfinity()
+	for i := 0; i < n; i++ {
+		p := randG2(rng)
+		points[i].FromJacobian(&p)
+		scalars[i] = randFr(rng)
+		var term G2Jac
+		term.ScalarMul(&p, &scalars[i])
+		want.AddAssign(&term)
+	}
+	got := MultiExpG2(points, scalars)
+	if !got.Equal(&want) {
+		t.Fatal("MSM G2 mismatch")
+	}
+}
+
+func TestFixedBaseTableG1(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	g := G1Generator()
+	table := NewG1FixedBaseTable(&g)
+	for i := 0; i < 20; i++ {
+		k := randFr(rng)
+		got := table.Mul(&k)
+		var want G1Jac
+		want.ScalarMul(&g, &k)
+		if !got.Equal(&want) {
+			t.Fatal("fixed-base G1 mismatch")
+		}
+	}
+	// Batch path.
+	ks := make([]fr.Element, 17)
+	for i := range ks {
+		ks[i] = randFr(rng)
+	}
+	batch := table.MulBatch(ks)
+	for i := range ks {
+		var want G1Jac
+		want.ScalarMul(&g, &ks[i])
+		var wantAff G1Affine
+		wantAff.FromJacobian(&want)
+		if !batch[i].Equal(&wantAff) {
+			t.Fatal("fixed-base G1 batch mismatch")
+		}
+	}
+}
+
+func TestFixedBaseTableG2(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	g := G2Generator()
+	table := NewG2FixedBaseTable(&g)
+	for i := 0; i < 5; i++ {
+		k := randFr(rng)
+		got := table.Mul(&k)
+		var want G2Jac
+		want.ScalarMul(&g, &k)
+		if !got.Equal(&want) {
+			t.Fatal("fixed-base G2 mismatch")
+		}
+	}
+}
+
+func TestG1CompressionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for i := 0; i < 50; i++ {
+		p := randG1(rng)
+		var aff G1Affine
+		aff.FromJacobian(&p)
+		enc := aff.Bytes()
+		var dec G1Affine
+		if err := dec.SetBytes(enc[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Equal(&aff) {
+			t.Fatal("G1 compression round trip failed")
+		}
+	}
+	// Infinity.
+	var inf G1Affine
+	enc := inf.Bytes()
+	var dec G1Affine
+	if err := dec.SetBytes(enc[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.IsInfinity() {
+		t.Fatal("infinity round trip failed")
+	}
+	// Garbage.
+	var bad G1Affine
+	if err := bad.SetBytes(make([]byte, 5)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestG2CompressionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 10; i++ {
+		p := randG2(rng)
+		var aff G2Affine
+		aff.FromJacobian(&p)
+		enc := aff.Bytes()
+		var dec G2Affine
+		if err := dec.SetBytes(enc[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Equal(&aff) {
+			t.Fatal("G2 compression round trip failed")
+		}
+	}
+}
+
+func TestBatchJacToAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]G1Jac, 9)
+	for i := range pts {
+		if i == 4 {
+			pts[i].SetInfinity()
+			continue
+		}
+		pts[i] = randG1(rng)
+	}
+	affs := BatchJacToAffineG1(pts)
+	for i := range pts {
+		var want G1Affine
+		want.FromJacobian(&pts[i])
+		if !affs[i].Equal(&want) {
+			t.Fatalf("batch affine conversion wrong at %d", i)
+		}
+	}
+}
+
+func TestScalarMulWNAFMatchesBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := G1Generator()
+	for i := 0; i < 30; i++ {
+		k := randFr(rng)
+		var want, got G1Jac
+		want.scalarMulBinary(&g, &k)
+		got.ScalarMulWNAF(&g, &k)
+		if !want.Equal(&got) {
+			t.Fatalf("wNAF G1 mismatch at %d", i)
+		}
+	}
+	// Edge cases: zero scalar, small scalars, infinity base.
+	var zero fr.Element
+	var p G1Jac
+	p.ScalarMulWNAF(&g, &zero)
+	if !p.IsInfinity() {
+		t.Fatal("0·G != infinity")
+	}
+	for _, small := range []uint64{1, 2, 3, 15, 16, 17} {
+		var k fr.Element
+		k.SetUint64(small)
+		var want, got G1Jac
+		want.scalarMulBinary(&g, &k)
+		got.ScalarMulWNAF(&g, &k)
+		if !want.Equal(&got) {
+			t.Fatalf("wNAF G1 mismatch for scalar %d", small)
+		}
+	}
+	var inf G1Jac
+	inf.SetInfinity()
+	k := randFr(rng)
+	p.ScalarMulWNAF(&inf, &k)
+	if !p.IsInfinity() {
+		t.Fatal("k·infinity != infinity")
+	}
+}
+
+func TestScalarMulWNAFG2MatchesBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	g := G2Generator()
+	for i := 0; i < 10; i++ {
+		k := randFr(rng)
+		var want, got G2Jac
+		want.scalarMulBinary(&g, &k)
+		got.ScalarMulWNAF(&g, &k)
+		if !want.Equal(&got) {
+			t.Fatalf("wNAF G2 mismatch at %d", i)
+		}
+	}
+}
+
+func TestWNAFDigitsReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 50; i++ {
+		k := new(big.Int).Rand(rng, GroupOrder())
+		digits := wnafDigits(k, 4)
+		got := big.NewInt(0)
+		for j := len(digits) - 1; j >= 0; j-- {
+			got.Lsh(got, 1)
+			got.Add(got, big.NewInt(int64(digits[j])))
+		}
+		if got.Cmp(k) != 0 {
+			t.Fatal("wNAF digits do not reconstruct the scalar")
+		}
+		for _, d := range digits {
+			if d != 0 && d%2 == 0 {
+				t.Fatal("non-zero wNAF digit is even")
+			}
+			if d > 15 || d < -15 {
+				t.Fatal("wNAF digit out of range")
+			}
+		}
+	}
+}

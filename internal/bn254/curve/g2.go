@@ -1,0 +1,490 @@
+package curve
+
+import (
+	"errors"
+	"math/big"
+
+	"zkrownn/internal/bn254/ext"
+	"zkrownn/internal/bn254/fp"
+	"zkrownn/internal/bn254/fr"
+)
+
+// G2Affine is a point on the sextic twist E'(F_p²): y² = x³ + 3/ξ.
+// The point at infinity is encoded as (0, 0).
+type G2Affine struct {
+	X, Y ext.E2
+}
+
+// G2Jac is a twist point in Jacobian coordinates; infinity has Z = 0.
+type G2Jac struct {
+	X, Y, Z ext.E2
+}
+
+var (
+	twistB     ext.E2 // 3/ξ
+	g2Gen      G2Jac
+	g2GenAff   G2Affine
+	g2Cofactor big.Int // 2p - r
+)
+
+func init() {
+	// b' = 3/ξ.
+	xi := ext.Xi()
+	var xiInv ext.E2
+	xiInv.Inverse(&xi)
+	var three ext.E2
+	three.SetUint64(3)
+	twistB.Mul(&three, &xiInv)
+
+	// Cofactor h₂ = 2p - r; #E'(F_p²) = h₂·r for BN curves.
+	g2Cofactor.Lsh(fp.Modulus(), 1)
+	g2Cofactor.Sub(&g2Cofactor, GroupOrder())
+
+	// Derive a generator deterministically: walk x = 1, 2, ... until
+	// x³ + b' is a square, then clear the cofactor and verify the order.
+	found := false
+	for xTry := uint64(1); xTry < 64 && !found; xTry++ {
+		var x, rhs, y ext.E2
+		x.SetUint64(xTry)
+		rhs.Square(&x)
+		rhs.Mul(&rhs, &x)
+		rhs.Add(&rhs, &twistB)
+		if y.Sqrt(&rhs) == nil {
+			continue
+		}
+		var cand G2Jac
+		cand.X.Set(&x)
+		cand.Y.Set(&y)
+		cand.Z.SetOne()
+		cand.ScalarMulBig(&cand, &g2Cofactor)
+		if cand.IsInfinity() {
+			continue
+		}
+		var chk G2Jac
+		chk.ScalarMulBig(&cand, GroupOrder())
+		if !chk.IsInfinity() {
+			panic("curve: cofactor-cleared G2 point does not have order r")
+		}
+		g2Gen = cand
+		g2GenAff.FromJacobian(&g2Gen)
+		found = true
+	}
+	if !found {
+		panic("curve: failed to derive G2 generator")
+	}
+}
+
+// G2Generator returns the derived generator of G2 in Jacobian form.
+func G2Generator() G2Jac { return g2Gen }
+
+// G2GeneratorAffine returns the derived generator in affine form.
+func G2GeneratorAffine() G2Affine { return g2GenAff }
+
+// TwistB returns the twist curve constant b' = 3/ξ.
+func TwistB() ext.E2 { return twistB }
+
+// G2Cofactor returns h₂ = 2p - r.
+func G2Cofactor() *big.Int { return new(big.Int).Set(&g2Cofactor) }
+
+// IsInfinity reports whether p is the point at infinity.
+func (p *G2Affine) IsInfinity() bool { return p.X.IsZero() && p.Y.IsZero() }
+
+// Set copies q into p and returns p.
+func (p *G2Affine) Set(q *G2Affine) *G2Affine { *p = *q; return p }
+
+// Equal reports whether p == q.
+func (p *G2Affine) Equal(q *G2Affine) bool {
+	return p.X.Equal(&q.X) && p.Y.Equal(&q.Y)
+}
+
+// Neg sets p = -q and returns p.
+func (p *G2Affine) Neg(q *G2Affine) *G2Affine {
+	p.X.Set(&q.X)
+	p.Y.Neg(&q.Y)
+	return p
+}
+
+// IsOnCurve reports whether p satisfies the twist equation.
+func (p *G2Affine) IsOnCurve() bool {
+	if p.IsInfinity() {
+		return true
+	}
+	var lhs, rhs ext.E2
+	lhs.Square(&p.Y)
+	rhs.Square(&p.X)
+	rhs.Mul(&rhs, &p.X)
+	rhs.Add(&rhs, &twistB)
+	return lhs.Equal(&rhs)
+}
+
+// IsInSubgroup reports whether p lies in the order-r subgroup of the
+// twist (required for pairing inputs; the twist has cofactor h₂ > 1).
+func (p *G2Affine) IsInSubgroup() bool {
+	if !p.IsOnCurve() {
+		return false
+	}
+	if p.IsInfinity() {
+		return true
+	}
+	var j G2Jac
+	j.FromAffine(p)
+	j.ScalarMulBig(&j, GroupOrder())
+	return j.IsInfinity()
+}
+
+// FromJacobian sets p to the affine form of q and returns p.
+func (p *G2Affine) FromJacobian(q *G2Jac) *G2Affine {
+	if q.IsInfinity() {
+		p.X.SetZero()
+		p.Y.SetZero()
+		return p
+	}
+	var zInv, zInv2, zInv3 ext.E2
+	zInv.Inverse(&q.Z)
+	zInv2.Square(&zInv)
+	zInv3.Mul(&zInv2, &zInv)
+	p.X.Mul(&q.X, &zInv2)
+	p.Y.Mul(&q.Y, &zInv3)
+	return p
+}
+
+// IsInfinity reports whether p is the point at infinity (Z == 0).
+func (p *G2Jac) IsInfinity() bool { return p.Z.IsZero() }
+
+// SetInfinity sets p to the point at infinity and returns p.
+func (p *G2Jac) SetInfinity() *G2Jac {
+	p.X.SetOne()
+	p.Y.SetOne()
+	p.Z.SetZero()
+	return p
+}
+
+// Set copies q into p and returns p.
+func (p *G2Jac) Set(q *G2Jac) *G2Jac { *p = *q; return p }
+
+// FromAffine sets p to the Jacobian form of q and returns p.
+func (p *G2Jac) FromAffine(q *G2Affine) *G2Jac {
+	if q.IsInfinity() {
+		return p.SetInfinity()
+	}
+	p.X.Set(&q.X)
+	p.Y.Set(&q.Y)
+	p.Z.SetOne()
+	return p
+}
+
+// Equal reports whether p and q represent the same point.
+func (p *G2Jac) Equal(q *G2Jac) bool {
+	if p.IsInfinity() {
+		return q.IsInfinity()
+	}
+	if q.IsInfinity() {
+		return false
+	}
+	var z1z1, z2z2, u1, u2, s1, s2, t ext.E2
+	z1z1.Square(&p.Z)
+	z2z2.Square(&q.Z)
+	u1.Mul(&p.X, &z2z2)
+	u2.Mul(&q.X, &z1z1)
+	t.Mul(&z2z2, &q.Z)
+	s1.Mul(&p.Y, &t)
+	t.Mul(&z1z1, &p.Z)
+	s2.Mul(&q.Y, &t)
+	return u1.Equal(&u2) && s1.Equal(&s2)
+}
+
+// Neg sets p = -q and returns p.
+func (p *G2Jac) Neg(q *G2Jac) *G2Jac {
+	p.X.Set(&q.X)
+	p.Y.Neg(&q.Y)
+	p.Z.Set(&q.Z)
+	return p
+}
+
+// DoubleAssign doubles p in place (a = 0 twist) and returns p.
+func (p *G2Jac) DoubleAssign() *G2Jac {
+	if p.IsInfinity() {
+		return p
+	}
+	var a, b, c, d, e, f, t ext.E2
+	a.Square(&p.X)
+	b.Square(&p.Y)
+	c.Square(&b)
+	d.Add(&p.X, &b)
+	d.Square(&d)
+	d.Sub(&d, &a)
+	d.Sub(&d, &c)
+	d.Double(&d)
+	e.Double(&a)
+	e.Add(&e, &a)
+	f.Square(&e)
+	t.Double(&d)
+	p.Z.Mul(&p.Y, &p.Z)
+	p.Z.Double(&p.Z)
+	p.X.Sub(&f, &t)
+	t.Sub(&d, &p.X)
+	t.Mul(&e, &t)
+	var c8 ext.E2
+	c8.Double(&c)
+	c8.Double(&c8)
+	c8.Double(&c8)
+	p.Y.Sub(&t, &c8)
+	return p
+}
+
+// Double sets p = 2q and returns p.
+func (p *G2Jac) Double(q *G2Jac) *G2Jac {
+	p.Set(q)
+	return p.DoubleAssign()
+}
+
+// AddAssign sets p = p + q and returns p.
+func (p *G2Jac) AddAssign(q *G2Jac) *G2Jac {
+	if q.IsInfinity() {
+		return p
+	}
+	if p.IsInfinity() {
+		return p.Set(q)
+	}
+	var z1z1, z2z2, u1, u2, s1, s2 ext.E2
+	z1z1.Square(&p.Z)
+	z2z2.Square(&q.Z)
+	u1.Mul(&p.X, &z2z2)
+	u2.Mul(&q.X, &z1z1)
+	var t ext.E2
+	t.Mul(&q.Z, &z2z2)
+	s1.Mul(&p.Y, &t)
+	t.Mul(&p.Z, &z1z1)
+	s2.Mul(&q.Y, &t)
+
+	if u1.Equal(&u2) {
+		if s1.Equal(&s2) {
+			return p.DoubleAssign()
+		}
+		return p.SetInfinity()
+	}
+
+	var h, i, j, r, v ext.E2
+	h.Sub(&u2, &u1)
+	i.Double(&h)
+	i.Square(&i)
+	j.Mul(&h, &i)
+	r.Sub(&s2, &s1)
+	r.Double(&r)
+	v.Mul(&u1, &i)
+
+	var x3, y3, z3 ext.E2
+	x3.Square(&r)
+	x3.Sub(&x3, &j)
+	var twoV ext.E2
+	twoV.Double(&v)
+	x3.Sub(&x3, &twoV)
+
+	y3.Sub(&v, &x3)
+	y3.Mul(&r, &y3)
+	var s1j ext.E2
+	s1j.Mul(&s1, &j)
+	s1j.Double(&s1j)
+	y3.Sub(&y3, &s1j)
+
+	z3.Add(&p.Z, &q.Z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &z2z2)
+	z3.Mul(&z3, &h)
+
+	p.X.Set(&x3)
+	p.Y.Set(&y3)
+	p.Z.Set(&z3)
+	return p
+}
+
+// AddMixed sets p = p + q for an affine q and returns p.
+func (p *G2Jac) AddMixed(q *G2Affine) *G2Jac {
+	if q.IsInfinity() {
+		return p
+	}
+	if p.IsInfinity() {
+		return p.FromAffine(q)
+	}
+	var z1z1, u2, s2 ext.E2
+	z1z1.Square(&p.Z)
+	u2.Mul(&q.X, &z1z1)
+	s2.Mul(&z1z1, &p.Z)
+	s2.Mul(&s2, &q.Y)
+
+	if u2.Equal(&p.X) {
+		if s2.Equal(&p.Y) {
+			return p.DoubleAssign()
+		}
+		return p.SetInfinity()
+	}
+
+	var h, hh, i, j, r, v ext.E2
+	h.Sub(&u2, &p.X)
+	hh.Square(&h)
+	i.Double(&hh)
+	i.Double(&i)
+	j.Mul(&h, &i)
+	r.Sub(&s2, &p.Y)
+	r.Double(&r)
+	v.Mul(&p.X, &i)
+
+	var x3, y3, z3 ext.E2
+	x3.Square(&r)
+	x3.Sub(&x3, &j)
+	var twoV ext.E2
+	twoV.Double(&v)
+	x3.Sub(&x3, &twoV)
+
+	y3.Sub(&v, &x3)
+	y3.Mul(&r, &y3)
+	var yj ext.E2
+	yj.Mul(&p.Y, &j)
+	yj.Double(&yj)
+	y3.Sub(&y3, &yj)
+
+	z3.Add(&p.Z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+
+	p.X.Set(&x3)
+	p.Y.Set(&y3)
+	p.Z.Set(&z3)
+	return p
+}
+
+// ScalarMulBig sets p = k·q for a big.Int scalar and returns p.
+func (p *G2Jac) ScalarMulBig(q *G2Jac, k *big.Int) *G2Jac {
+	var kk big.Int
+	kk.Set(k)
+	base := *q
+	if kk.Sign() < 0 {
+		kk.Neg(&kk)
+		base.Neg(&base)
+	}
+	var res G2Jac
+	res.SetInfinity()
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		res.DoubleAssign()
+		if kk.Bit(i) == 1 {
+			res.AddAssign(&base)
+		}
+	}
+	return p.Set(&res)
+}
+
+// ScalarMul sets p = k·q for a scalar-field element k and returns p
+// (width-4 NAF; see wnaf.go).
+func (p *G2Jac) ScalarMul(q *G2Jac, k *fr.Element) *G2Jac {
+	return p.ScalarMulWNAF(q, k)
+}
+
+// scalarMulBinary is the plain double-and-add ladder, kept as the
+// cross-check oracle for the windowed implementation.
+func (p *G2Jac) scalarMulBinary(q *G2Jac, k *fr.Element) *G2Jac {
+	limbs := k.RegularLimbs()
+	var res G2Jac
+	res.SetInfinity()
+	started := false
+	for i := fr.Limbs*64 - 1; i >= 0; i-- {
+		if started {
+			res.DoubleAssign()
+		}
+		if (limbs[i/64]>>(i%64))&1 == 1 {
+			res.AddAssign(q)
+			started = true
+		}
+	}
+	return p.Set(&res)
+}
+
+// BatchJacToAffineG2 converts a slice of Jacobian twist points to affine
+// with a single F_p² inversion.
+func BatchJacToAffineG2(points []G2Jac) []G2Affine {
+	res := make([]G2Affine, len(points))
+	zs := make([]ext.E2, len(points))
+	for i := range points {
+		zs[i] = points[i].Z
+	}
+	zInvs := ext.BatchInvertE2(zs)
+	for i := range points {
+		if points[i].IsInfinity() {
+			res[i].X.SetZero()
+			res[i].Y.SetZero()
+			continue
+		}
+		var zInv2, zInv3 ext.E2
+		zInv2.Square(&zInvs[i])
+		zInv3.Mul(&zInv2, &zInvs[i])
+		res[i].X.Mul(&points[i].X, &zInv2)
+		res[i].Y.Mul(&points[i].Y, &zInv3)
+	}
+	return res
+}
+
+// G2CompressedSize is the byte length of a compressed G2 point
+// (X = (A0, A1) as two 32-byte field encodings, A1 first to carry the
+// flag bits in its spare top bits).
+const G2CompressedSize = 2 * fp.Bytes
+
+// Bytes returns the 64-byte compressed encoding of p.
+func (p *G2Affine) Bytes() [G2CompressedSize]byte {
+	var out [G2CompressedSize]byte
+	if p.IsInfinity() {
+		out[0] = flagInfinity
+		return out
+	}
+	a1 := p.X.A1.Bytes()
+	a0 := p.X.A0.Bytes()
+	copy(out[:fp.Bytes], a1[:])
+	copy(out[fp.Bytes:], a0[:])
+	if p.Y.LexicographicallyLargest() {
+		out[0] |= flagCompressedLarge
+	} else {
+		out[0] |= flagCompressedSmall
+	}
+	return out
+}
+
+// SetBytes decodes a compressed G2 point, verifying twist-curve and
+// subgroup membership.
+func (p *G2Affine) SetBytes(buf []byte) error {
+	if len(buf) != G2CompressedSize {
+		return errors.New("curve: bad G2 encoding length")
+	}
+	flags := buf[0] & maskFlags
+	if flags == flagInfinity {
+		p.X.SetZero()
+		p.Y.SetZero()
+		return nil
+	}
+	if flags != flagCompressedSmall && flags != flagCompressedLarge {
+		return errors.New("curve: invalid G2 encoding flags")
+	}
+	var a1 [fp.Bytes]byte
+	copy(a1[:], buf[:fp.Bytes])
+	a1[0] &^= maskFlags
+	if err := p.X.A1.SetBytesCanonical(a1[:]); err != nil {
+		return err
+	}
+	if err := p.X.A0.SetBytesCanonical(buf[fp.Bytes:]); err != nil {
+		return err
+	}
+	var rhs ext.E2
+	rhs.Square(&p.X)
+	rhs.Mul(&rhs, &p.X)
+	rhs.Add(&rhs, &twistB)
+	if p.Y.Sqrt(&rhs) == nil {
+		return errors.New("curve: G2 x-coordinate not on twist")
+	}
+	wantLargest := flags == flagCompressedLarge
+	if p.Y.LexicographicallyLargest() != wantLargest {
+		p.Y.Neg(&p.Y)
+	}
+	if !p.IsInSubgroup() {
+		return errors.New("curve: G2 point outside order-r subgroup")
+	}
+	return nil
+}

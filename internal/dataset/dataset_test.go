@@ -1,0 +1,151 @@
+package dataset
+
+import "testing"
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(MNISTLike(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(MNISTLike(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels not deterministic")
+		}
+		for d := range a.X[i] {
+			if a.X[i][d] != b.X[i][d] {
+				t.Fatal("features not deterministic")
+			}
+		}
+	}
+	// Different seed → different data.
+	c, err := Generate(MNISTLike(100, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for d := range a.X[0] {
+		if a.X[0][d] != c.X[0][d] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	ds, err := Generate(CIFARLike(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim != 3*32*32 || ds.Classes != 10 || len(ds.X) != 50 {
+		t.Fatalf("CIFAR-like shapes wrong: %+v", ds.Shape)
+	}
+	if ds.Shape != [3]int{3, 32, 32} {
+		t.Fatal("shape metadata wrong")
+	}
+	// Values clamped to [-1, 1].
+	for _, x := range ds.X {
+		for _, v := range x {
+			if v < -1 || v > 1 {
+				t.Fatal("pixel out of range")
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Samples: 0, Dim: 4, Classes: 2}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := Generate(Config{Samples: 10, Dim: 0, Classes: 2}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := Generate(Config{Samples: 10, Dim: 4, Classes: 0}); err == nil {
+		t.Fatal("zero classes accepted")
+	}
+}
+
+func TestSplitClassCoverage(t *testing.T) {
+	// The regression this guards: class assignment cycles with period
+	// `Classes`; a global every-k stride that divides it starves whole
+	// classes from the training set.
+	ds, err := Generate(Config{Samples: 300, Dim: 8, Classes: 10, ClusterStd: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.2)
+	trainCounts := map[int]int{}
+	testCounts := map[int]int{}
+	for _, y := range train.Y {
+		trainCounts[y]++
+	}
+	for _, y := range test.Y {
+		testCounts[y]++
+	}
+	for c := 0; c < 10; c++ {
+		if trainCounts[c] == 0 {
+			t.Fatalf("class %d missing from training split", c)
+		}
+		if testCounts[c] == 0 {
+			t.Fatalf("class %d missing from test split", c)
+		}
+	}
+	if len(train.X)+len(test.X) != len(ds.X) {
+		t.Fatal("split lost samples")
+	}
+}
+
+func TestOfClass(t *testing.T) {
+	ds, err := Generate(Config{Samples: 40, Dim: 4, Classes: 4, ClusterStd: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		got := ds.OfClass(c)
+		if len(got) != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, len(got))
+		}
+	}
+	if ds.OfClass(99) != nil {
+		t.Fatal("nonexistent class should be empty")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Sanity: intra-class distance must be smaller than inter-class
+	// distance on average, or the substrate can't support training.
+	ds, err := Generate(Config{Samples: 200, Dim: 16, Classes: 2, ClusterStd: 0.25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := ds.OfClass(0)
+	c1 := ds.OfClass(1)
+	intra := avgDist(c0[:20], c0[20:40])
+	inter := avgDist(c0[:20], c1[:20])
+	if inter <= intra {
+		t.Fatalf("classes not separable: intra %.3f vs inter %.3f", intra, inter)
+	}
+}
+
+func avgDist(a, b [][]float64) float64 {
+	var sum float64
+	n := 0
+	for i := range a {
+		for j := range b {
+			var d float64
+			for k := range a[i] {
+				diff := a[i][k] - b[j][k]
+				d += diff * diff
+			}
+			sum += d
+			n++
+		}
+	}
+	return sum / float64(n)
+}

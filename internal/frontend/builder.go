@@ -1,0 +1,457 @@
+// Package frontend provides the circuit-construction API that replaces
+// xJsnark in this reproduction: an *eager* builder that simultaneously
+// emits R1CS constraints and solves the witness, in the style of
+// xJsnark's circuit generator.
+//
+// Design contract: circuit code must be data-oblivious — the sequence of
+// builder calls may not depend on input *values* (only on static shapes
+// and parameters). Under that contract, running the same circuit
+// function with dummy inputs (for Setup) and with real inputs (for
+// Prove) yields the identical constraint system, which is what makes the
+// one-time trusted setup of ZKROWNN sound.
+//
+// Variables carry sparse linear combinations over wires, so Add, Sub,
+// and multiplication by constants are free; only Mul between two
+// non-constant variables, assertions, and bit decompositions emit
+// constraints — mirroring the cost model of the paper's circuits.
+package frontend
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/r1cs"
+)
+
+// Variable is a value in the circuit: a linear combination of wires plus
+// its concrete value under the current input assignment.
+type Variable struct {
+	lc  r1cs.LinearCombination
+	val fr.Element
+}
+
+// Value returns the variable's value under the builder's current
+// assignment (useful for debugging and for gadget-internal witnesses).
+func (v *Variable) Value() fr.Element { return v.val }
+
+// wireKind distinguishes the constant wire, public inputs, and private
+// wires (inputs and internal).
+type wireKind uint8
+
+const (
+	kindOne wireKind = iota
+	kindPublic
+	kindPrivate
+)
+
+// Builder accumulates constraints and wire values.
+type Builder struct {
+	constraints []r1cs.Constraint
+	values      []fr.Element
+	kinds       []wireKind
+	names       []string // parallel to values; "" for unnamed
+
+	publicOrder []int // wire ids of public inputs, in declaration order
+	finalized   bool
+}
+
+// NewBuilder returns an empty builder with the constant wire allocated.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	var one fr.Element
+	one.SetOne()
+	b.values = append(b.values, one)
+	b.kinds = append(b.kinds, kindOne)
+	b.names = append(b.names, "one")
+	return b
+}
+
+// newWire allocates a wire with the given value and kind.
+func (b *Builder) newWire(v fr.Element, k wireKind, name string) int {
+	id := len(b.values)
+	b.values = append(b.values, v)
+	b.kinds = append(b.kinds, k)
+	b.names = append(b.names, name)
+	if k == kindPublic {
+		b.publicOrder = append(b.publicOrder, id)
+	}
+	return id
+}
+
+// single returns a variable referencing exactly one wire.
+func (b *Builder) single(wire int) Variable {
+	var one fr.Element
+	one.SetOne()
+	return Variable{
+		lc:  r1cs.LinearCombination{{Wire: wire, Coeff: one}},
+		val: b.values[wire],
+	}
+}
+
+// PublicInput declares a named public input with the given value.
+func (b *Builder) PublicInput(name string, v fr.Element) Variable {
+	return b.single(b.newWire(v, kindPublic, name))
+}
+
+// SecretInput declares a private input with the given value.
+func (b *Builder) SecretInput(name string, v fr.Element) Variable {
+	return b.single(b.newWire(v, kindPrivate, name))
+}
+
+// Constant returns a variable fixed to the field element c (a multiple
+// of the constant wire; no new wire is allocated).
+func (b *Builder) Constant(c fr.Element) Variable {
+	return Variable{
+		lc:  r1cs.LinearCombination{{Wire: 0, Coeff: c}},
+		val: c,
+	}
+}
+
+// ConstUint64 returns a constant variable.
+func (b *Builder) ConstUint64(v uint64) Variable {
+	var c fr.Element
+	c.SetUint64(v)
+	return b.Constant(c)
+}
+
+// ConstInt64 returns a (possibly negative) constant variable.
+func (b *Builder) ConstInt64(v int64) Variable {
+	var c fr.Element
+	c.SetInt64(v)
+	return b.Constant(c)
+}
+
+// One returns the constant 1.
+func (b *Builder) One() Variable { return b.ConstUint64(1) }
+
+// Zero returns the constant 0.
+func (b *Builder) Zero() Variable {
+	var z fr.Element
+	return b.Constant(z)
+}
+
+// isConstant reports whether v is a pure multiple of the constant wire,
+// returning the constant.
+func isConstant(v *Variable) (fr.Element, bool) {
+	if len(v.lc) == 0 {
+		var z fr.Element
+		return z, true
+	}
+	if len(v.lc) == 1 && v.lc[0].Wire == 0 {
+		return v.lc[0].Coeff, true
+	}
+	var z fr.Element
+	return z, false
+}
+
+// mergeLC combines linear combinations, summing coefficients per wire
+// and dropping zeros. Inputs are not modified.
+func mergeLC(lcs ...r1cs.LinearCombination) r1cs.LinearCombination {
+	total := 0
+	for _, lc := range lcs {
+		total += len(lc)
+	}
+	acc := make(map[int]fr.Element, total)
+	for _, lc := range lcs {
+		for _, t := range lc {
+			cur := acc[t.Wire]
+			cur.Add(&cur, &t.Coeff)
+			acc[t.Wire] = cur
+		}
+	}
+	out := make(r1cs.LinearCombination, 0, len(acc))
+	for w, c := range acc {
+		if c.IsZero() {
+			continue
+		}
+		out = append(out, r1cs.Term{Wire: w, Coeff: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Wire < out[j].Wire })
+	return out
+}
+
+// scaleLC returns lc scaled by c.
+func scaleLC(lc r1cs.LinearCombination, c *fr.Element) r1cs.LinearCombination {
+	if c.IsZero() {
+		return nil
+	}
+	out := make(r1cs.LinearCombination, len(lc))
+	for i, t := range lc {
+		out[i].Wire = t.Wire
+		out[i].Coeff.Mul(&t.Coeff, c)
+	}
+	return out
+}
+
+// Add returns a + b (free: no constraint).
+func (b *Builder) Add(x, y Variable) Variable {
+	var out Variable
+	out.lc = mergeLC(x.lc, y.lc)
+	out.val.Add(&x.val, &y.val)
+	return out
+}
+
+// Sum returns the sum of all variables in one LC merge (avoids the
+// quadratic blowup of chained pairwise Adds on wide reductions such as
+// dense layers).
+func (b *Builder) Sum(vs ...Variable) Variable {
+	lcs := make([]r1cs.LinearCombination, len(vs))
+	var val fr.Element
+	for i := range vs {
+		lcs[i] = vs[i].lc
+		val.Add(&val, &vs[i].val)
+	}
+	return Variable{lc: mergeLC(lcs...), val: val}
+}
+
+// Sub returns a - b (free).
+func (b *Builder) Sub(x, y Variable) Variable {
+	var negOne fr.Element
+	negOne.SetOne()
+	negOne.Neg(&negOne)
+	var out Variable
+	out.lc = mergeLC(x.lc, scaleLC(y.lc, &negOne))
+	out.val.Sub(&x.val, &y.val)
+	return out
+}
+
+// Neg returns -a (free).
+func (b *Builder) Neg(x Variable) Variable {
+	return b.Sub(b.Zero(), x)
+}
+
+// MulConst returns c·a (free).
+func (b *Builder) MulConst(x Variable, c fr.Element) Variable {
+	var out Variable
+	out.lc = scaleLC(x.lc, &c)
+	out.val.Mul(&x.val, &c)
+	return out
+}
+
+// Mul returns a·b. When either side is constant this is free; otherwise
+// it allocates one internal wire and one R1CS constraint.
+func (b *Builder) Mul(x, y Variable) Variable {
+	if c, ok := isConstant(&x); ok {
+		return b.MulConst(y, c)
+	}
+	if c, ok := isConstant(&y); ok {
+		return b.MulConst(x, c)
+	}
+	var val fr.Element
+	val.Mul(&x.val, &y.val)
+	w := b.newWire(val, kindPrivate, "")
+	out := b.single(w)
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc.Clone(),
+		B: y.lc.Clone(),
+		C: out.lc.Clone(),
+	})
+	return out
+}
+
+// Square returns a² (one constraint).
+func (b *Builder) Square(x Variable) Variable { return b.Mul(x, x) }
+
+// Reduce collapses a wide linear combination into a single fresh wire
+// with one constraint (lc · 1 = wire). Use after wide sums so downstream
+// constraints stay sparse.
+func (b *Builder) Reduce(x Variable) Variable {
+	if len(x.lc) <= 1 {
+		return x
+	}
+	w := b.newWire(x.val, kindPrivate, "")
+	out := b.single(w)
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc.Clone(),
+		B: b.One().lc,
+		C: out.lc.Clone(),
+	})
+	return out
+}
+
+// AssertEqual enforces a == b (one constraint).
+func (b *Builder) AssertEqual(x, y Variable) {
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc.Clone(),
+		B: b.One().lc,
+		C: y.lc.Clone(),
+	})
+}
+
+// AssertBoolean enforces a ∈ {0, 1} (one constraint: a·(a-1) = 0).
+func (b *Builder) AssertBoolean(x Variable) {
+	am1 := b.Sub(x, b.One())
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc.Clone(),
+		B: am1.lc,
+		C: nil,
+	})
+}
+
+// Inverse returns 1/a, enforcing a·out = 1 (a must be non-zero in a
+// satisfiable witness). One constraint.
+func (b *Builder) Inverse(x Variable) Variable {
+	var inv fr.Element
+	inv.Inverse(&x.val) // 0 for x == 0; constraint then unsatisfiable, as intended
+	w := b.newWire(inv, kindPrivate, "")
+	out := b.single(w)
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc.Clone(),
+		B: out.lc.Clone(),
+		C: b.One().lc,
+	})
+	return out
+}
+
+// Div returns a/b (two constraints via inverse).
+func (b *Builder) Div(x, y Variable) Variable {
+	return b.Mul(x, b.Inverse(y))
+}
+
+// IsZero returns 1 if a == 0 else 0 (two constraints, one auxiliary
+// witness wire).
+func (b *Builder) IsZero(x Variable) Variable {
+	// out = 1 - x·inv ;  x·out = 0
+	var invVal fr.Element
+	invVal.Inverse(&x.val)
+	invW := b.newWire(invVal, kindPrivate, "")
+	inv := b.single(invW)
+
+	var outVal fr.Element
+	if x.val.IsZero() {
+		outVal.SetOne()
+	}
+	outW := b.newWire(outVal, kindPrivate, "")
+	out := b.single(outW)
+
+	// x·inv = 1 - out
+	oneMinusOut := b.Sub(b.One(), out)
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc.Clone(),
+		B: inv.lc.Clone(),
+		C: oneMinusOut.lc,
+	})
+	// x·out = 0
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc.Clone(),
+		B: out.lc.Clone(),
+		C: nil,
+	})
+	return out
+}
+
+// Select returns cond·x + (1-cond)·y; cond must be boolean (callers
+// enforce). One constraint.
+func (b *Builder) Select(cond, x, y Variable) Variable {
+	diff := b.Sub(x, y)
+	prod := b.Mul(cond, diff)
+	return b.Add(y, prod)
+}
+
+// ToBinary decomposes a into nbBits little-endian boolean wires,
+// enforcing booleanity of each bit and the recomposition identity
+// (nbBits+1 constraints). The value must fit in nbBits for a satisfiable
+// witness.
+func (b *Builder) ToBinary(x Variable, nbBits int) []Variable {
+	val := x.val.ToBigInt()
+	bits := make([]Variable, nbBits)
+	for i := 0; i < nbBits; i++ {
+		var bitVal fr.Element
+		if val.Bit(i) == 1 {
+			bitVal.SetOne()
+		}
+		w := b.newWire(bitVal, kindPrivate, "")
+		bits[i] = b.single(w)
+		b.AssertBoolean(bits[i])
+	}
+	recomposed := b.FromBinary(bits)
+	b.AssertEqual(recomposed, x)
+	return bits
+}
+
+// FromBinary recombines little-endian bits into a variable (free).
+func (b *Builder) FromBinary(bits []Variable) Variable {
+	terms := make([]Variable, len(bits))
+	coeff := new(big.Int).SetUint64(1)
+	for i := range bits {
+		var c fr.Element
+		c.SetBigInt(coeff)
+		terms[i] = b.MulConst(bits[i], c)
+		coeff.Lsh(coeff, 1)
+	}
+	return b.Sum(terms...)
+}
+
+// NbConstraints returns the number of constraints emitted so far.
+func (b *Builder) NbConstraints() int { return len(b.constraints) }
+
+// NbWires returns the number of wires allocated so far.
+func (b *Builder) NbWires() int { return len(b.values) }
+
+// Finalize freezes the circuit: wires are permuted so the statement
+// (constant wire, then public inputs in declaration order) occupies the
+// leading indices required by Groth16, and the full witness vector is
+// produced. The builder must not be used afterwards.
+func (b *Builder) Finalize() (*r1cs.System, []fr.Element, error) {
+	if b.finalized {
+		return nil, nil, fmt.Errorf("frontend: builder already finalized")
+	}
+	b.finalized = true
+
+	m := len(b.values)
+	perm := make([]int, m) // old wire -> new wire
+	perm[0] = 0
+	next := 1
+	for _, w := range b.publicOrder {
+		perm[w] = next
+		next++
+	}
+	for w := 1; w < m; w++ {
+		if b.kinds[w] != kindPublic {
+			perm[w] = next
+			next++
+		}
+	}
+
+	witness := make([]fr.Element, m)
+	names := make([]string, 1+len(b.publicOrder))
+	names[0] = "one"
+	for w := 0; w < m; w++ {
+		witness[perm[w]] = b.values[w]
+		if b.kinds[w] == kindPublic {
+			names[perm[w]] = b.names[w]
+		}
+	}
+
+	remap := func(lc r1cs.LinearCombination) r1cs.LinearCombination {
+		for i := range lc {
+			lc[i].Wire = perm[lc[i].Wire]
+		}
+		return lc
+	}
+	cons := make([]r1cs.Constraint, len(b.constraints))
+	for i, c := range b.constraints {
+		cons[i] = r1cs.Constraint{A: remap(c.A), B: remap(c.B), C: remap(c.C)}
+	}
+
+	sys := &r1cs.System{
+		Constraints: cons,
+		NbPublic:    1 + len(b.publicOrder),
+		NbWires:     m,
+		PublicNames: names,
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return sys, witness, nil
+}
+
+// PublicValues extracts the public-input section (excluding the constant
+// wire) from a finalized witness, in the order Verify expects.
+func PublicValues(sys *r1cs.System, witness []fr.Element) []fr.Element {
+	out := make([]fr.Element, sys.NbPublic-1)
+	copy(out, witness[1:sys.NbPublic])
+	return out
+}

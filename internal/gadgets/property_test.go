@@ -1,0 +1,202 @@
+package gadgets
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"zkrownn/internal/fixpoint"
+)
+
+// boundedVal is a quick.Generator producing signed values inside the
+// test format's safe multiplication range.
+type boundedVal int64
+
+func (boundedVal) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(boundedVal(rng.Int63n(1<<14) - (1 << 13)))
+}
+
+// TestQuickRescaleMatchesSimulator: circuit rescale == integer rescale
+// for arbitrary in-range values.
+func TestQuickRescaleMatchesSimulator(t *testing.T) {
+	f := func(v boundedVal) bool {
+		c := NewCtx(testParams)
+		got := c.Rescale(secret(c, int64(v)), 30)
+		e := got.Value()
+		gi, err := fixpoint.FromField(&e)
+		if err != nil {
+			return false
+		}
+		if gi != testParams.Rescale(int64(v)) {
+			return false
+		}
+		sys, w, err := c.B.Finalize()
+		if err != nil {
+			return false
+		}
+		ok, _ := sys.IsSatisfied(w)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMulRescale: circuit fixed-point product == simulator product.
+func TestQuickMulRescale(t *testing.T) {
+	f := func(a, b boundedVal) bool {
+		c := NewCtx(testParams)
+		got := c.MulRescale(secret(c, int64(a)), secret(c, int64(b)), 30)
+		e := got.Value()
+		gi, err := fixpoint.FromField(&e)
+		if err != nil {
+			return false
+		}
+		return gi == testParams.MulRescale(int64(a), int64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReLUAndThreshold: sign-dependent gadgets agree with the
+// simulator across the signed range.
+func TestQuickReLUAndThreshold(t *testing.T) {
+	beta := testParams.Encode(0.5)
+	f := func(v boundedVal) bool {
+		c := NewCtx(testParams)
+		r := c.ReLU(secret(c, int64(v)), 20)
+		th := c.HardThreshold(secret(c, int64(v)), beta, 20)
+		er := r.Value()
+		et := th.Value()
+		ri, err1 := fixpoint.FromField(&er)
+		ti, err2 := fixpoint.FromField(&et)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ri == fixpoint.ReLU(int64(v)) && ti == fixpoint.HardThreshold(int64(v), beta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSigmoidEquality: the circuit sigmoid is bit-identical to the
+// simulator including the clamp region.
+func TestQuickSigmoidEquality(t *testing.T) {
+	f := func(raw int16) bool {
+		// Spread over roughly [-16, 16] to cover both clamp branches.
+		v := int64(raw) * testParams.Scale() / 2048
+		c := NewCtx(testParams)
+		s := c.Sigmoid(secret(c, v), 40)
+		e := s.Value()
+		si, err := fixpoint.FromField(&e)
+		if err != nil {
+			return false
+		}
+		if si != testParams.SigmoidPoly(v) {
+			return false
+		}
+		sys, w, err := c.B.Finalize()
+		if err != nil {
+			return false
+		}
+		ok, _ := sys.IsSatisfied(w)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGreaterEqTotalOrder: the comparison gadget implements a
+// total order consistent with integer comparison.
+func TestQuickGreaterEqTotalOrder(t *testing.T) {
+	f := func(a, b boundedVal) bool {
+		c := NewCtx(testParams)
+		ge := c.GreaterEq(secret(c, int64(a)), secret(c, int64(b)), 20)
+		le := c.GreaterEq(secret(c, int64(b)), secret(c, int64(a)), 20)
+		eg := ge.Value()
+		el := le.Value()
+		gi, _ := fixpoint.FromField(&eg)
+		li, _ := fixpoint.FromField(&el)
+		wantGe := int64(0)
+		if a >= b {
+			wantGe = 1
+		}
+		wantLe := int64(0)
+		if b >= a {
+			wantLe = 1
+		}
+		// At least one direction always holds; both iff equal.
+		if gi|li == 0 {
+			return false
+		}
+		return gi == wantGe && li == wantLe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClampIdempotent: clamping twice equals clamping once, and the
+// result is always inside the interval.
+func TestQuickClampIdempotent(t *testing.T) {
+	lo := testParams.Encode(-2)
+	hi := testParams.Encode(3)
+	f := func(v boundedVal) bool {
+		c := NewCtx(testParams)
+		once := c.Clamp(secret(c, int64(v)), lo, hi, 25)
+		twice := c.Clamp(once, lo, hi, 25)
+		e1 := once.Value()
+		e2 := twice.Value()
+		v1, _ := fixpoint.FromField(&e1)
+		v2, _ := fixpoint.FromField(&e2)
+		return v1 == v2 && v1 >= lo && v1 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBERCount: the BER gadget verdict matches a direct popcount
+// comparison for random bit strings and thresholds.
+func TestQuickBERCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(12)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		diff := 0
+		for i := range a {
+			a[i] = int64(rng.Intn(2))
+			b[i] = int64(rng.Intn(2))
+			if a[i] != b[i] {
+				diff++
+			}
+		}
+		theta := rng.Intn(n + 1)
+		want := int64(0)
+		if diff <= theta {
+			want = 1
+		}
+		c := NewCtx(testParams)
+		verdict := c.BER(secretVec(c, a), secretVec(c, b), theta)
+		e := verdict.Value()
+		got, err := fixpoint.FromField(&e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("BER verdict %d, want %d (diff=%d θ=%d)", got, want, diff, theta)
+		}
+		sys, w, err := c.B.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, bad := sys.IsSatisfied(w); !ok {
+			t.Fatalf("constraint %d violated", bad)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package groth16
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+func TestBatchVerifyAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(710))
+	sys := cubicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proofs []*Proof
+	var publics [][]fr.Element
+	for _, x := range []uint64{2, 3, 5, 11} {
+		w := cubicWitness(x)
+		proof, err := Prove(sys, pk, w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proofs = append(proofs, proof)
+		publics = append(publics, w[1:sys.NbPublic])
+	}
+	if err := BatchVerify(vk, proofs, publics, rng); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
+func TestBatchVerifyRejectsOneBadProof(t *testing.T) {
+	rng := rand.New(rand.NewSource(711))
+	sys := cubicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proofs []*Proof
+	var publics [][]fr.Element
+	for _, x := range []uint64{2, 3, 5} {
+		w := cubicWitness(x)
+		proof, err := Prove(sys, pk, w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proofs = append(proofs, proof)
+		publics = append(publics, w[1:sys.NbPublic])
+	}
+	// Corrupt the middle proof's public input (claim a different output).
+	publics[1][0].SetUint64(999)
+	if err := BatchVerify(vk, proofs, publics, rng); err == nil {
+		t.Fatal("batch with one invalid member accepted")
+	}
+}
+
+func TestBatchVerifyRejectsSwappedProofs(t *testing.T) {
+	rng := rand.New(rand.NewSource(712))
+	sys := cubicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := cubicWitness(2)
+	w3 := cubicWitness(3)
+	p2, err := Prove(sys, pk, w2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Prove(sys, pk, w3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap public inputs between the two proofs.
+	if err := BatchVerify(vk, []*Proof{p2, p3},
+		[][]fr.Element{w3[1:sys.NbPublic], w2[1:sys.NbPublic]}, rng); err == nil {
+		t.Fatal("batch with swapped instances accepted")
+	}
+}
+
+func TestBatchVerifyEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(713))
+	sys := cubicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BatchVerify(vk, nil, nil, rng); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	w := cubicWitness(4)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-proof batch must agree with plain Verify.
+	if err := BatchVerify(vk, []*Proof{proof}, [][]fr.Element{w[1:sys.NbPublic]}, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Length mismatch.
+	if err := BatchVerify(vk, []*Proof{proof}, nil, rng); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Arity mismatch.
+	if err := BatchVerify(vk, []*Proof{proof}, [][]fr.Element{nil}, rng); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func BenchmarkVerifySingle(b *testing.B) {
+	rng := rand.New(rand.NewSource(714))
+	sys := cubicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := cubicWitness(3)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := w[1:sys.NbPublic]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(vk, proof, pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchVerify8(b *testing.B) {
+	rng := rand.New(rand.NewSource(715))
+	sys := cubicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var proofs []*Proof
+	var publics [][]fr.Element
+	for x := uint64(2); x < 10; x++ {
+		w := cubicWitness(x)
+		proof, err := Prove(sys, pk, w, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proofs = append(proofs, proof)
+		publics = append(publics, w[1:sys.NbPublic])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := BatchVerify(vk, proofs, publics, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

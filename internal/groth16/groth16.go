@@ -1,0 +1,393 @@
+// Package groth16 implements the Groth16 zkSNARK (Jens Groth, "On the
+// Size of Pairing-Based Non-interactive Arguments", EUROCRYPT 2016) over
+// BN254, the protocol/curve combination used by ZKROWNN's libsnark
+// backend.
+//
+// The implementation follows the paper's notation: the circuit is a QAP
+// {uⱼ, vⱼ, wⱼ} over an FFT-friendly domain H, the trusted setup samples
+// (τ, α, β, γ, δ), and a proof is the triple (A, B, C) ∈ G1 × G2 × G1
+// verified with a single pairing-product equation
+//
+//	e(A, B) = e(α, β) · e(Σ xⱼ·ICⱼ, γ) · e(C, δ).
+package groth16
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"zkrownn/internal/bn254/curve"
+	"zkrownn/internal/bn254/ext"
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/bn254/pairing"
+	"zkrownn/internal/par"
+	"zkrownn/internal/poly"
+	"zkrownn/internal/r1cs"
+)
+
+// ProvingKey holds the prover's share of the structured reference string.
+type ProvingKey struct {
+	AlphaG1, BetaG1, DeltaG1 curve.G1Affine
+	BetaG2, DeltaG2          curve.G2Affine
+
+	// A[j] = [uⱼ(τ)]₁ for every wire j.
+	A []curve.G1Affine
+	// B1[j] = [vⱼ(τ)]₁, B2[j] = [vⱼ(τ)]₂ for every wire j.
+	B1 []curve.G1Affine
+	B2 []curve.G2Affine
+	// K[j-ℓ-1] = [(β·uⱼ(τ) + α·vⱼ(τ) + wⱼ(τ))/δ]₁ for private wires j.
+	K []curve.G1Affine
+	// Z[i] = [τⁱ·Z_H(τ)/δ]₁ for i = 0..n-2.
+	Z []curve.G1Affine
+
+	// DomainSize is the FFT domain order n used at setup.
+	DomainSize uint64
+}
+
+// VerifyingKey holds the public verification material.
+type VerifyingKey struct {
+	AlphaG1 curve.G1Affine
+	BetaG2  curve.G2Affine
+	GammaG2 curve.G2Affine
+	DeltaG2 curve.G2Affine
+	// IC[j] = [(β·uⱼ(τ) + α·vⱼ(τ) + wⱼ(τ))/γ]₁ for public wires
+	// j = 0..ℓ (IC[0] is the constant wire).
+	IC []curve.G1Affine
+}
+
+// Proof is a Groth16 proof: 2 G1 points and 1 G2 point, 128 bytes
+// compressed — matching the paper's constant "127.375 B" proof size.
+type Proof struct {
+	Ar  curve.G1Affine
+	Bs  curve.G2Affine
+	Krs curve.G1Affine
+}
+
+// Setup runs the trusted setup for the given constraint system. rng
+// supplies toxic-waste randomness (crypto/rand if nil). The returned
+// keys are circuit-specific; re-run Setup whenever the circuit changes
+// (in ZKROWNN the circuit is static, so this cost is paid once).
+func Setup(sys *r1cs.System, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nbCons := sys.NbConstraints()
+	if nbCons == 0 {
+		return nil, nil, errors.New("groth16: empty constraint system")
+	}
+	domain, err := poly.NewDomain(uint64(nbCons))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tau, err := randFr(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	alpha, err := randFr(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	beta, err := randFr(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	gamma, err := randFr(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	delta, err := randFr(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// QAP polynomials evaluated at τ via the Lagrange basis.
+	lag := domain.LagrangeBasisAt(&tau)
+	m := sys.NbWires
+	uTau := make([]fr.Element, m)
+	vTau := make([]fr.Element, m)
+	wTau := make([]fr.Element, m)
+	for i, c := range sys.Constraints {
+		for _, t := range c.A {
+			var term fr.Element
+			term.Mul(&t.Coeff, &lag[i])
+			uTau[t.Wire].Add(&uTau[t.Wire], &term)
+		}
+		for _, t := range c.B {
+			var term fr.Element
+			term.Mul(&t.Coeff, &lag[i])
+			vTau[t.Wire].Add(&vTau[t.Wire], &term)
+		}
+		for _, t := range c.C {
+			var term fr.Element
+			term.Mul(&t.Coeff, &lag[i])
+			wTau[t.Wire].Add(&wTau[t.Wire], &term)
+		}
+	}
+
+	var gammaInv, deltaInv fr.Element
+	gammaInv.Inverse(&gamma)
+	deltaInv.Inverse(&delta)
+
+	// K-query scalars (private wires) and IC scalars (public wires):
+	// (β·uⱼ + α·vⱼ + wⱼ) scaled by 1/δ or 1/γ.
+	ell := sys.NbPublic // wires 0..ell-1 public
+	icScalars := make([]fr.Element, ell)
+	kScalars := make([]fr.Element, m-ell)
+	for j := 0; j < m; j++ {
+		var acc, t fr.Element
+		acc.Mul(&beta, &uTau[j])
+		t.Mul(&alpha, &vTau[j])
+		acc.Add(&acc, &t)
+		acc.Add(&acc, &wTau[j])
+		if j < ell {
+			icScalars[j].Mul(&acc, &gammaInv)
+		} else {
+			kScalars[j-ell].Mul(&acc, &deltaInv)
+		}
+	}
+
+	// Z-query scalars: τⁱ·Z(τ)/δ for i = 0..n-2.
+	n := domain.N
+	zTau := domain.VanishingEval(&tau)
+	var zOverDelta fr.Element
+	zOverDelta.Mul(&zTau, &deltaInv)
+	zScalars := make([]fr.Element, n-1)
+	cur := zOverDelta
+	for i := range zScalars {
+		zScalars[i] = cur
+		cur.Mul(&cur, &tau)
+	}
+
+	// Fixed-base tables amortize the ~4m+n generator multiplications.
+	g1 := curve.G1Generator()
+	g2 := curve.G2Generator()
+	t1 := curve.NewG1FixedBaseTable(&g1)
+	t2 := curve.NewG2FixedBaseTable(&g2)
+
+	pk := &ProvingKey{DomainSize: n}
+	vk := &VerifyingKey{}
+
+	pk.A = t1.MulBatch(uTau)
+	pk.B1 = t1.MulBatch(vTau)
+	pk.B2 = t2.MulBatch(vTau)
+	pk.K = t1.MulBatch(kScalars)
+	pk.Z = t1.MulBatch(zScalars)
+	vk.IC = t1.MulBatch(icScalars)
+
+	single1 := func(k *fr.Element) curve.G1Affine {
+		j := t1.Mul(k)
+		var a curve.G1Affine
+		a.FromJacobian(&j)
+		return a
+	}
+	single2 := func(k *fr.Element) curve.G2Affine {
+		j := t2.Mul(k)
+		var a curve.G2Affine
+		a.FromJacobian(&j)
+		return a
+	}
+	pk.AlphaG1 = single1(&alpha)
+	pk.BetaG1 = single1(&beta)
+	pk.DeltaG1 = single1(&delta)
+	pk.BetaG2 = single2(&beta)
+	pk.DeltaG2 = single2(&delta)
+	vk.AlphaG1 = pk.AlphaG1
+	vk.BetaG2 = pk.BetaG2
+	vk.GammaG2 = single2(&gamma)
+	vk.DeltaG2 = single2(&delta)
+
+	return pk, vk, nil
+}
+
+// Prove produces a proof that the witness satisfies the system. The
+// witness is the full wire assignment (constant wire first); callers
+// normally obtain it from frontend.Builder.
+func Prove(sys *r1cs.System, pk *ProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if len(witness) != sys.NbWires {
+		return nil, fmt.Errorf("groth16: witness has %d wires, system expects %d", len(witness), sys.NbWires)
+	}
+	if ok, bad := sys.IsSatisfied(witness); !ok {
+		return nil, fmt.Errorf("groth16: witness does not satisfy constraint %d", bad)
+	}
+
+	rScalar, err := randFr(rng)
+	if err != nil {
+		return nil, err
+	}
+	sScalar, err := randFr(rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// A = α + Σ wⱼ·[uⱼ(τ)]₁ + r·δ
+	aJac := curve.MultiExpG1(pk.A, witness)
+	var term curve.G1Jac
+	var aAlpha curve.G1Jac
+	aAlpha.FromAffine(&pk.AlphaG1)
+	aJac.AddAssign(&aAlpha)
+	term.FromAffine(&pk.DeltaG1)
+	term.ScalarMul(&term, &rScalar)
+	aJac.AddAssign(&term)
+
+	// B2 = β + Σ wⱼ·[vⱼ(τ)]₂ + s·δ  (and its G1 shadow for C).
+	b2Jac := curve.MultiExpG2(pk.B2, witness)
+	var b2Beta curve.G2Jac
+	b2Beta.FromAffine(&pk.BetaG2)
+	b2Jac.AddAssign(&b2Beta)
+	var term2 curve.G2Jac
+	term2.FromAffine(&pk.DeltaG2)
+	term2.ScalarMul(&term2, &sScalar)
+	b2Jac.AddAssign(&term2)
+
+	b1Jac := curve.MultiExpG1(pk.B1, witness)
+	var b1Beta curve.G1Jac
+	b1Beta.FromAffine(&pk.BetaG1)
+	b1Jac.AddAssign(&b1Beta)
+	term.FromAffine(&pk.DeltaG1)
+	term.ScalarMul(&term, &sScalar)
+	b1Jac.AddAssign(&term)
+
+	// Quotient polynomial h = (A·B - C)/Z via coset FFTs.
+	h, err := quotient(sys, pk.DomainSize, witness)
+	if err != nil {
+		return nil, err
+	}
+
+	// C = Σ_priv wⱼ·Kⱼ + Σ hᵢ·Zᵢ + s·A + r·B1 - r·s·δ
+	privWitness := witness[sys.NbPublic:]
+	cJac := curve.MultiExpG1(pk.K, privWitness)
+	hMSM := curve.MultiExpG1(pk.Z, h)
+	cJac.AddAssign(&hMSM)
+
+	var sA curve.G1Jac
+	sA.Set(&aJac)
+	sA.ScalarMul(&sA, &sScalar)
+	cJac.AddAssign(&sA)
+
+	var rB curve.G1Jac
+	rB.Set(&b1Jac)
+	rB.ScalarMul(&rB, &rScalar)
+	cJac.AddAssign(&rB)
+
+	var rs fr.Element
+	rs.Mul(&rScalar, &sScalar)
+	term.FromAffine(&pk.DeltaG1)
+	term.ScalarMul(&term, &rs)
+	term.Neg(&term)
+	cJac.AddAssign(&term)
+
+	proof := &Proof{}
+	proof.Ar.FromJacobian(&aJac)
+	proof.Bs.FromJacobian(&b2Jac)
+	proof.Krs.FromJacobian(&cJac)
+	return proof, nil
+}
+
+// quotient computes the coefficients of h(X) = (A(X)·B(X) - C(X))/Z(X),
+// returning n-1 coefficients.
+func quotient(sys *r1cs.System, domainSize uint64, witness []fr.Element) ([]fr.Element, error) {
+	domain, err := poly.NewDomain(domainSize)
+	if err != nil {
+		return nil, err
+	}
+	if domain.N != domainSize {
+		return nil, fmt.Errorf("groth16: domain size %d is not a power of two", domainSize)
+	}
+	n := int(domain.N)
+	a := make([]fr.Element, n)
+	b := make([]fr.Element, n)
+	c := make([]fr.Element, n)
+	par.Range(len(sys.Constraints), func(start, end int) {
+		for i := start; i < end; i++ {
+			cons := &sys.Constraints[i]
+			a[i] = cons.A.Eval(witness)
+			b[i] = cons.B.Eval(witness)
+			c[i] = cons.C.Eval(witness)
+		}
+	})
+
+	// To coefficients.
+	domain.IFFT(a)
+	domain.IFFT(b)
+	domain.IFFT(c)
+	// To the coset, where Z is the non-zero constant g^n - 1.
+	domain.FFTCoset(a)
+	domain.FFTCoset(b)
+	domain.FFTCoset(c)
+
+	zc := domain.VanishingOnCoset()
+	var zcInv fr.Element
+	zcInv.Inverse(&zc)
+	for i := 0; i < n; i++ {
+		a[i].Mul(&a[i], &b[i])
+		a[i].Sub(&a[i], &c[i])
+		a[i].Mul(&a[i], &zcInv)
+	}
+	domain.IFFTCoset(a)
+
+	// deg h ≤ n-2, so the top coefficient must vanish.
+	if !a[n-1].IsZero() {
+		return nil, errors.New("groth16: quotient has unexpected degree; witness inconsistent")
+	}
+	return a[:n-1], nil
+}
+
+// Verify checks a proof against the public inputs (the instance,
+// excluding the constant wire; len must equal NbPublic-1).
+func Verify(vk *VerifyingKey, proof *Proof, publicInputs []fr.Element) error {
+	if len(publicInputs) != len(vk.IC)-1 {
+		return fmt.Errorf("groth16: got %d public inputs, verifying key expects %d",
+			len(publicInputs), len(vk.IC)-1)
+	}
+	// acc = IC₀ + Σ xⱼ·IC_{j+1}
+	acc := curve.MultiExpG1(vk.IC[1:], publicInputs)
+	var ic0 curve.G1Jac
+	ic0.FromAffine(&vk.IC[0])
+	acc.AddAssign(&ic0)
+	var accAff curve.G1Affine
+	accAff.FromJacobian(&acc)
+
+	// e(-A, B) · e(α, β) · e(acc, γ) · e(C, δ) == 1
+	var negA curve.G1Affine
+	negA.Neg(&proof.Ar)
+	ok := pairing.PairingCheck(
+		[]*curve.G1Affine{&negA, &vk.AlphaG1, &accAff, &proof.Krs},
+		[]*curve.G2Affine{&proof.Bs, &vk.BetaG2, &vk.GammaG2, &vk.DeltaG2},
+	)
+	if !ok {
+		return errors.New("groth16: invalid proof")
+	}
+	return nil
+}
+
+// randFr draws a uniform scalar, retrying the negligible zero case so
+// toxic waste is always invertible.
+func randFr(rng io.Reader) (fr.Element, error) {
+	for {
+		var e fr.Element
+		if _, err := e.SetRandom(rng); err != nil {
+			return e, err
+		}
+		if !e.IsZero() {
+			return e, nil
+		}
+	}
+}
+
+// GTElement re-exports the target-group type for callers that want to
+// cache e(α, β).
+type GTElement = ext.E12
+
+// PrecomputeAlphaBeta returns e(α, β) for verifiers that amortize this
+// pairing across many proofs of the same circuit.
+func PrecomputeAlphaBeta(vk *VerifyingKey) GTElement {
+	return pairing.Pair(&vk.AlphaG1, &vk.BetaG2)
+}

@@ -1,0 +1,282 @@
+package groth16
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/r1cs"
+)
+
+// cubicSystem builds the classic toy circuit: prove knowledge of x with
+// x³ + x + 5 = out, out public.
+//
+// Wires: 0 = one, 1 = out (public), 2 = x, 3 = x², 4 = x³.
+func cubicSystem() *r1cs.System {
+	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
+	five := func() fr.Element { var e fr.Element; e.SetUint64(5); return e }
+	lc := func(terms ...r1cs.Term) r1cs.LinearCombination { return terms }
+
+	sys := &r1cs.System{NbPublic: 2, NbWires: 5}
+	// x·x = x²
+	sys.Constraints = append(sys.Constraints, r1cs.Constraint{
+		A: lc(r1cs.Term{Wire: 2, Coeff: one()}),
+		B: lc(r1cs.Term{Wire: 2, Coeff: one()}),
+		C: lc(r1cs.Term{Wire: 3, Coeff: one()}),
+	})
+	// x²·x = x³
+	sys.Constraints = append(sys.Constraints, r1cs.Constraint{
+		A: lc(r1cs.Term{Wire: 3, Coeff: one()}),
+		B: lc(r1cs.Term{Wire: 2, Coeff: one()}),
+		C: lc(r1cs.Term{Wire: 4, Coeff: one()}),
+	})
+	// (x³ + x + 5)·1 = out
+	sys.Constraints = append(sys.Constraints, r1cs.Constraint{
+		A: lc(
+			r1cs.Term{Wire: 4, Coeff: one()},
+			r1cs.Term{Wire: 2, Coeff: one()},
+			r1cs.Term{Wire: 0, Coeff: five()},
+		),
+		B: lc(r1cs.Term{Wire: 0, Coeff: one()}),
+		C: lc(r1cs.Term{Wire: 1, Coeff: one()}),
+	})
+	return sys
+}
+
+// cubicWitness returns the wire assignment for a given x.
+func cubicWitness(x uint64) []fr.Element {
+	w := make([]fr.Element, 5)
+	w[0].SetOne()
+	w[2].SetUint64(x)
+	w[3].Mul(&w[2], &w[2])
+	w[4].Mul(&w[3], &w[2])
+	w[1].Add(&w[4], &w[2])
+	var five fr.Element
+	five.SetUint64(5)
+	w[1].Add(&w[1], &five)
+	return w
+}
+
+func TestSatisfiedWitness(t *testing.T) {
+	sys := cubicSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := cubicWitness(3)
+	if ok, bad := sys.IsSatisfied(w); !ok {
+		t.Fatalf("honest witness rejected at constraint %d", bad)
+	}
+	// Tamper.
+	w[3].SetUint64(99)
+	if ok, _ := sys.IsSatisfied(w); ok {
+		t.Fatal("tampered witness accepted")
+	}
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(70))
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cubicWitness(3)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := w[1:sys.NbPublic]
+	if err := Verify(vk, proof, public); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongPublicInput(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(71))
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cubicWitness(3)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong fr.Element
+	wrong.SetUint64(36) // true out is 35
+	if err := Verify(vk, proof, []fr.Element{wrong}); err == nil {
+		t.Fatal("proof verified against wrong public input")
+	}
+	// Wrong arity.
+	if err := Verify(vk, proof, nil); err == nil {
+		t.Fatal("proof verified with missing public inputs")
+	}
+}
+
+func TestVerifyRejectsCorruptedProof(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(72))
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cubicWitness(4)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := w[1:sys.NbPublic]
+
+	// Swap A and C (both G1): still valid points, wrong equation.
+	bad := *proof
+	bad.Ar, bad.Krs = proof.Krs, proof.Ar
+	if err := Verify(vk, &bad, public); err == nil {
+		t.Fatal("corrupted proof accepted")
+	}
+}
+
+func TestProveRejectsBadWitness(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(73))
+	pk, _, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cubicWitness(3)
+	w[4].SetUint64(1234)
+	if _, err := Prove(sys, pk, w, rng); err == nil {
+		t.Fatal("prover accepted an unsatisfiable witness")
+	}
+	if _, err := Prove(sys, pk, w[:3], rng); err == nil {
+		t.Fatal("prover accepted a short witness")
+	}
+}
+
+func TestProofsAreRandomized(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(74))
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cubicWitness(3)
+	p1, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Ar.Equal(&p2.Ar) {
+		t.Fatal("two proofs share the A element; zero-knowledge randomization broken")
+	}
+	public := w[1:sys.NbPublic]
+	if err := Verify(vk, p1, public); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, p2, public); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofSerialization(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(75))
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cubicWitness(5)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := proof.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 8 + proof.PayloadSize()
+	if buf.Len() != wantLen {
+		t.Fatalf("serialized proof is %d bytes, want %d", buf.Len(), wantLen)
+	}
+	if proof.PayloadSize() != 128 {
+		t.Fatalf("proof payload is %d bytes, want 128 (paper: ~127.4B)", proof.PayloadSize())
+	}
+
+	var dec Proof
+	if _, err := dec.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Ar.Equal(&proof.Ar) || !dec.Bs.Equal(&proof.Bs) || !dec.Krs.Equal(&proof.Krs) {
+		t.Fatal("proof round trip mismatch")
+	}
+	if err := Verify(vk, &dec, w[1:sys.NbPublic]); err != nil {
+		t.Fatal("deserialized proof rejected")
+	}
+}
+
+func TestKeySerialization(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(76))
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var vkBuf bytes.Buffer
+	if _, err := vk.WriteTo(&vkBuf); err != nil {
+		t.Fatal(err)
+	}
+	var vk2 VerifyingKey
+	if _, err := vk2.ReadFrom(&vkBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	var pkBuf bytes.Buffer
+	if _, err := pk.WriteTo(&pkBuf); err != nil {
+		t.Fatal(err)
+	}
+	var pk2 ProvingKey
+	if _, err := pk2.ReadFrom(&pkBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deserialized keys must be fully functional.
+	w := cubicWitness(7)
+	proof, err := Prove(sys, &pk2, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(&vk2, proof, w[1:sys.NbPublic]); err != nil {
+		t.Fatal("round-tripped keys fail to prove/verify")
+	}
+
+	// SizeBytes must match what WriteTo produced. Note pkBuf was drained
+	// by ReadFrom, so re-serialize.
+	var pkBuf2 bytes.Buffer
+	if _, err := pk.WriteTo(&pkBuf2); err != nil {
+		t.Fatal(err)
+	}
+	if pk.SizeBytes() != int64(pkBuf2.Len()) {
+		t.Fatalf("SizeBytes %d != serialized %d", pk.SizeBytes(), pkBuf2.Len())
+	}
+	if vk.SizeBytes() <= 0 {
+		t.Fatal("vk.SizeBytes not positive")
+	}
+}
+
+func TestProofGarbageRejected(t *testing.T) {
+	var p Proof
+	if _, err := p.ReadFrom(bytes.NewReader([]byte("nonsense"))); err == nil {
+		t.Fatal("garbage accepted as proof")
+	}
+	// Valid header, invalid point.
+	buf := append([]byte{'Z', 'K', 'P', 'F', 1, 0, 0, 0}, make([]byte, 128)...)
+	if _, err := p.ReadFrom(bytes.NewReader(buf)); err == nil {
+		t.Fatal("invalid point bytes accepted")
+	}
+}

@@ -1,0 +1,315 @@
+package groth16
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"zkrownn/internal/bn254/curve"
+)
+
+// Binary framing: a 4-byte magic, a format version, then length-prefixed
+// compressed points. All integers are little-endian uint32.
+var (
+	magicProof = [4]byte{'Z', 'K', 'P', 'F'}
+	magicPK    = [4]byte{'Z', 'K', 'P', 'K'}
+	magicVK    = [4]byte{'Z', 'K', 'V', 'K'}
+)
+
+const formatVersion = 1
+
+type countingWriter struct {
+	n int64
+	w io.Writer
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeHeader(w io.Writer, magic [4]byte) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint32(formatVersion))
+}
+
+func readHeader(r io.Reader, magic [4]byte) error {
+	var got [4]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return err
+	}
+	if got != magic {
+		return fmt.Errorf("groth16: bad magic %q", got[:])
+	}
+	var ver uint32
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return err
+	}
+	if ver != formatVersion {
+		return fmt.Errorf("groth16: unsupported format version %d", ver)
+	}
+	return nil
+}
+
+func writeG1(w io.Writer, p *curve.G1Affine) error {
+	b := p.Bytes()
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readG1(r io.Reader, p *curve.G1Affine) error {
+	var b [curve.G1CompressedSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	return p.SetBytes(b[:])
+}
+
+func writeG2(w io.Writer, p *curve.G2Affine) error {
+	b := p.Bytes()
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readG2(r io.Reader, p *curve.G2Affine) error {
+	var b [curve.G2CompressedSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	return p.SetBytes(b[:])
+}
+
+func writeG1Slice(w io.Writer, ps []curve.G1Affine) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ps))); err != nil {
+		return err
+	}
+	for i := range ps {
+		if err := writeG1(w, &ps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readG1Slice(r io.Reader) ([]curve.G1Affine, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, errors.New("groth16: implausible G1 slice length")
+	}
+	out := make([]curve.G1Affine, n)
+	for i := range out {
+		if err := readG1(r, &out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func writeG2Slice(w io.Writer, ps []curve.G2Affine) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ps))); err != nil {
+		return err
+	}
+	for i := range ps {
+		if err := writeG2(w, &ps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readG2Slice(r io.Reader) ([]curve.G2Affine, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, errors.New("groth16: implausible G2 slice length")
+	}
+	out := make([]curve.G2Affine, n)
+	for i := range out {
+		if err := readG2(r, &out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteTo serializes the proof (exactly 3 compressed points after the
+// 8-byte header: 128 bytes of cryptographic material).
+func (p *Proof) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := writeHeader(cw, magicProof); err != nil {
+		return cw.n, err
+	}
+	if err := writeG1(cw, &p.Ar); err != nil {
+		return cw.n, err
+	}
+	if err := writeG2(cw, &p.Bs); err != nil {
+		return cw.n, err
+	}
+	if err := writeG1(cw, &p.Krs); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a proof, validating curve/subgroup membership of
+// every point.
+func (p *Proof) ReadFrom(r io.Reader) (int64, error) {
+	if err := readHeader(r, magicProof); err != nil {
+		return 0, err
+	}
+	if err := readG1(r, &p.Ar); err != nil {
+		return 0, err
+	}
+	if err := readG2(r, &p.Bs); err != nil {
+		return 0, err
+	}
+	if err := readG1(r, &p.Krs); err != nil {
+		return 0, err
+	}
+	return 8 + curve.G1CompressedSize*2 + curve.G2CompressedSize, nil
+}
+
+// PayloadSize returns the size of the cryptographic payload in bytes
+// (excluding framing), i.e. the "proof size" a protocol would transmit.
+func (p *Proof) PayloadSize() int {
+	return 2*curve.G1CompressedSize + curve.G2CompressedSize
+}
+
+// WriteTo serializes the verifying key.
+func (vk *VerifyingKey) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := writeHeader(cw, magicVK); err != nil {
+		return cw.n, err
+	}
+	if err := writeG1(cw, &vk.AlphaG1); err != nil {
+		return cw.n, err
+	}
+	if err := writeG2(cw, &vk.BetaG2); err != nil {
+		return cw.n, err
+	}
+	if err := writeG2(cw, &vk.GammaG2); err != nil {
+		return cw.n, err
+	}
+	if err := writeG2(cw, &vk.DeltaG2); err != nil {
+		return cw.n, err
+	}
+	if err := writeG1Slice(cw, vk.IC); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a verifying key.
+func (vk *VerifyingKey) ReadFrom(r io.Reader) (int64, error) {
+	if err := readHeader(r, magicVK); err != nil {
+		return 0, err
+	}
+	if err := readG1(r, &vk.AlphaG1); err != nil {
+		return 0, err
+	}
+	if err := readG2(r, &vk.BetaG2); err != nil {
+		return 0, err
+	}
+	if err := readG2(r, &vk.GammaG2); err != nil {
+		return 0, err
+	}
+	if err := readG2(r, &vk.DeltaG2); err != nil {
+		return 0, err
+	}
+	ic, err := readG1Slice(r)
+	if err != nil {
+		return 0, err
+	}
+	vk.IC = ic
+	return 0, nil
+}
+
+// WriteTo serializes the proving key.
+func (pk *ProvingKey) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := writeHeader(cw, magicPK); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, pk.DomainSize); err != nil {
+		return cw.n, err
+	}
+	for _, pt := range []*curve.G1Affine{&pk.AlphaG1, &pk.BetaG1, &pk.DeltaG1} {
+		if err := writeG1(cw, pt); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, pt := range []*curve.G2Affine{&pk.BetaG2, &pk.DeltaG2} {
+		if err := writeG2(cw, pt); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, s := range [][]curve.G1Affine{pk.A, pk.B1, pk.K, pk.Z} {
+		if err := writeG1Slice(cw, s); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeG2Slice(cw, pk.B2); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a proving key.
+func (pk *ProvingKey) ReadFrom(r io.Reader) (int64, error) {
+	if err := readHeader(r, magicPK); err != nil {
+		return 0, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &pk.DomainSize); err != nil {
+		return 0, err
+	}
+	for _, pt := range []*curve.G1Affine{&pk.AlphaG1, &pk.BetaG1, &pk.DeltaG1} {
+		if err := readG1(r, pt); err != nil {
+			return 0, err
+		}
+	}
+	for _, pt := range []*curve.G2Affine{&pk.BetaG2, &pk.DeltaG2} {
+		if err := readG2(r, pt); err != nil {
+			return 0, err
+		}
+	}
+	var err error
+	if pk.A, err = readG1Slice(r); err != nil {
+		return 0, err
+	}
+	if pk.B1, err = readG1Slice(r); err != nil {
+		return 0, err
+	}
+	if pk.K, err = readG1Slice(r); err != nil {
+		return 0, err
+	}
+	if pk.Z, err = readG1Slice(r); err != nil {
+		return 0, err
+	}
+	if pk.B2, err = readG2Slice(r); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// SizeBytes returns the serialized size of the proving key.
+func (pk *ProvingKey) SizeBytes() int64 {
+	cw := &countingWriter{w: io.Discard}
+	_, _ = pk.WriteTo(cw)
+	return cw.n
+}
+
+// SizeBytes returns the serialized size of the verifying key.
+func (vk *VerifyingKey) SizeBytes() int64 {
+	cw := &countingWriter{w: io.Discard}
+	_, _ = vk.WriteTo(cw)
+	return cw.n
+}

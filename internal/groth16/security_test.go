@@ -1,0 +1,181 @@
+package groth16
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/curve"
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/r1cs"
+)
+
+// squareSystem: x² = out (public out).
+func squareSystem() *r1cs.System {
+	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
+	return &r1cs.System{
+		NbPublic: 2,
+		NbWires:  3,
+		Constraints: []r1cs.Constraint{{
+			A: r1cs.LinearCombination{{Wire: 2, Coeff: one()}},
+			B: r1cs.LinearCombination{{Wire: 2, Coeff: one()}},
+			C: r1cs.LinearCombination{{Wire: 1, Coeff: one()}},
+		}},
+	}
+}
+
+func squareWitness(x uint64) []fr.Element {
+	w := make([]fr.Element, 3)
+	w[0].SetOne()
+	w[2].SetUint64(x)
+	w[1].Mul(&w[2], &w[2])
+	return w
+}
+
+// TestCrossCircuitProofRejected: a proof generated for one circuit must
+// not verify under another circuit's verifying key, even with matching
+// public-input arity.
+func TestCrossCircuitProofRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	sysA := cubicSystem()
+	sysB := squareSystem()
+
+	pkA, _, err := Setup(sysA, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vkB, err := Setup(sysB, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wA := cubicWitness(3)
+	proofA, err := Prove(sysA, pkA, wA, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same arity (1 public input), different circuit.
+	if err := Verify(vkB, proofA, wA[1:2]); err == nil {
+		t.Fatal("cross-circuit proof accepted")
+	}
+}
+
+// TestCrossSetupProofRejected: two setups of the SAME circuit use
+// different toxic waste; proofs are not transferable between them.
+func TestCrossSetupProofRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	sys := squareSystem()
+	pk1, _, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vk2, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := squareWitness(6)
+	proof, err := Prove(sys, pk1, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk2, proof, w[1:2]); err == nil {
+		t.Fatal("proof accepted under a different setup's keys")
+	}
+}
+
+// TestRandomGroupElementsRejected: a "proof" of random valid curve
+// points must fail the pairing equation.
+func TestRandomGroupElementsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	sys := squareSystem()
+	_, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := squareWitness(5)
+
+	var k1, k2, k3 fr.Element
+	k1.SetUint64(uint64(rng.Int63()))
+	k2.SetUint64(uint64(rng.Int63()))
+	k3.SetUint64(uint64(rng.Int63()))
+	g1 := curve.G1Generator()
+	g2 := curve.G2Generator()
+	var forged Proof
+	var j1, j3 curve.G1Jac
+	var j2 curve.G2Jac
+	j1.ScalarMul(&g1, &k1)
+	j2.ScalarMul(&g2, &k2)
+	j3.ScalarMul(&g1, &k3)
+	forged.Ar.FromJacobian(&j1)
+	forged.Bs.FromJacobian(&j2)
+	forged.Krs.FromJacobian(&j3)
+
+	if err := Verify(vk, &forged, w[1:2]); err == nil {
+		t.Fatal("random group elements accepted as a proof")
+	}
+}
+
+// TestZeroKnowledgePublicOnly: the verifier only ever touches the
+// public inputs — witness length beyond the instance must not matter to
+// verification (sanity on the instance/witness split).
+func TestZeroKnowledgePublicOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	sys := squareSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two witnesses with the same public square (x and -x).
+	wPos := squareWitness(9)
+	wNeg := make([]fr.Element, 3)
+	wNeg[0].SetOne()
+	wNeg[2].SetUint64(9)
+	wNeg[2].Neg(&wNeg[2])
+	wNeg[1].Mul(&wNeg[2], &wNeg[2])
+
+	pPos, err := Prove(sys, pk, wPos, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNeg, err := Prove(sys, pk, wNeg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := wPos[1:2]
+	if err := Verify(vk, pPos, public); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, pNeg, public); err != nil {
+		t.Fatal("witness -x proves the same public statement; must verify")
+	}
+}
+
+// TestSetupValidation covers malformed-system rejection.
+func TestSetupValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	if _, _, err := Setup(&r1cs.System{NbPublic: 1, NbWires: 1}, rng); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	bad := squareSystem()
+	bad.Constraints[0].A[0].Wire = 99
+	if _, _, err := Setup(bad, rng); err == nil {
+		t.Fatal("invalid wire index accepted")
+	}
+}
+
+// TestQuotientDegreeGuard: an inconsistent witness that satisfies the
+// constraint rows but breaks the global polynomial identity cannot
+// occur through the public API; this checks the internal guard fires on
+// unsatisfied witnesses before any expensive work.
+func TestQuotientDegreeGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	sys := squareSystem()
+	pk, _, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := squareWitness(4)
+	w[1].SetUint64(999) // break the square
+	if _, err := Prove(sys, pk, w, rng); err == nil {
+		t.Fatal("prover produced a proof for a false statement")
+	}
+}

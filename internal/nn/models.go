@@ -1,0 +1,74 @@
+package nn
+
+import "math/rand"
+
+// NewMNISTMLP builds the paper's Table II MNIST architecture:
+// 784 - FC(512) - FC(512) - FC(10) with ReLU activations.
+func NewMNISTMLP(rng *rand.Rand) *Network {
+	return &Network{Layers: []Layer{
+		NewDense(784, 512, rng),
+		NewReLU(512),
+		NewDense(512, 512, rng),
+		NewReLU(512),
+		NewDense(512, 10, rng),
+	}}
+}
+
+// NewCIFAR10CNN builds the paper's Table II CIFAR-10 architecture:
+// 3×32×32 - C(32,3,2) - C(32,3,1) - MP(2,1) - C(64,3,1) - C(64,3,1)
+// - MP(2,1) - FC(512) - FC(10), ReLU activations.
+func NewCIFAR10CNN(rng *rand.Rand) *Network {
+	c1 := NewConv2D(3, 32, 32, 32, 3, 2, rng) // -> 32×15×15
+	r1 := NewReLU(c1.OutputSize())
+	c2 := NewConv2D(32, c1.OutH(), c1.OutW(), 32, 3, 1, rng) // -> 32×13×13
+	r2 := NewReLU(c2.OutputSize())
+	p1 := NewMaxPool2D(32, c2.OutH(), c2.OutW(), 2, 1)       // -> 32×12×12
+	c3 := NewConv2D(32, p1.OutH(), p1.OutW(), 64, 3, 1, rng) // -> 64×10×10
+	r3 := NewReLU(c3.OutputSize())
+	c4 := NewConv2D(64, c3.OutH(), c3.OutW(), 64, 3, 1, rng) // -> 64×8×8
+	r4 := NewReLU(c4.OutputSize())
+	p2 := NewMaxPool2D(64, c4.OutH(), c4.OutW(), 2, 1) // -> 64×7×7
+	fc1 := NewDense(p2.OutputSize(), 512, rng)
+	r5 := NewReLU(512)
+	fc2 := NewDense(512, 10, rng)
+	return &Network{Layers: []Layer{c1, r1, c2, r2, p1, c3, r3, c4, r4, p2, fc1, r5, fc2}}
+}
+
+// MLPConfig parameterises small MLPs for tests and scaled-down
+// benchmarks.
+type MLPConfig struct {
+	In      int
+	Hidden  []int
+	Classes int
+}
+
+// NewMLP builds an arbitrary ReLU MLP.
+func NewMLP(cfg MLPConfig, rng *rand.Rand) *Network {
+	var layers []Layer
+	in := cfg.In
+	for _, h := range cfg.Hidden {
+		layers = append(layers, NewDense(in, h, rng), NewReLU(h))
+		in = h
+	}
+	layers = append(layers, NewDense(in, cfg.Classes, rng))
+	return &Network{Layers: layers}
+}
+
+// SmallCNNConfig parameterises a single-conv CNN for tests and
+// scaled-down benchmarks: C(OutC, K, S) - FC(Hidden) - FC(Classes).
+type SmallCNNConfig struct {
+	InC, InH, InW int
+	OutC, K, S    int
+	Hidden        int
+	Classes       int
+}
+
+// NewSmallCNN builds the reduced CNN.
+func NewSmallCNN(cfg SmallCNNConfig, rng *rand.Rand) *Network {
+	c1 := NewConv2D(cfg.InC, cfg.InH, cfg.InW, cfg.OutC, cfg.K, cfg.S, rng)
+	r1 := NewReLU(c1.OutputSize())
+	fc1 := NewDense(c1.OutputSize(), cfg.Hidden, rng)
+	r2 := NewReLU(cfg.Hidden)
+	fc2 := NewDense(cfg.Hidden, cfg.Classes, rng)
+	return &Network{Layers: []Layer{c1, r1, fc1, r2, fc2}}
+}

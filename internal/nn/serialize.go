@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonLayer is the on-disk form of one layer.
+type jsonLayer struct {
+	Kind string    `json:"kind"`
+	In   int       `json:"in,omitempty"`
+	Out  int       `json:"out,omitempty"`
+	InC  int       `json:"in_c,omitempty"`
+	InH  int       `json:"in_h,omitempty"`
+	InW  int       `json:"in_w,omitempty"`
+	OutC int       `json:"out_c,omitempty"`
+	K    int       `json:"k,omitempty"`
+	S    int       `json:"s,omitempty"`
+	Size int       `json:"size,omitempty"`
+	W    []float64 `json:"w,omitempty"`
+	B    []float64 `json:"b,omitempty"`
+}
+
+// jsonNetwork is the on-disk form of a network.
+type jsonNetwork struct {
+	Format int         `json:"format"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+// Save serializes the network as JSON.
+func (n *Network) Save(w io.Writer) error {
+	jn := jsonNetwork{Format: 1}
+	for _, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			jn.Layers = append(jn.Layers, jsonLayer{
+				Kind: "dense", In: layer.In, Out: layer.Out, W: layer.W, B: layer.B,
+			})
+		case *ReLULayer:
+			jn.Layers = append(jn.Layers, jsonLayer{Kind: "relu", Size: layer.size})
+		case *SigmoidLayer:
+			jn.Layers = append(jn.Layers, jsonLayer{Kind: "sigmoid", Size: layer.size})
+		case *Conv2D:
+			jn.Layers = append(jn.Layers, jsonLayer{
+				Kind: "conv",
+				InC:  layer.InC, InH: layer.InH, InW: layer.InW,
+				OutC: layer.OutC, K: layer.K, S: layer.S,
+				W: layer.W, B: layer.B,
+			})
+		case *MaxPool2D:
+			jn.Layers = append(jn.Layers, jsonLayer{
+				Kind: "maxpool",
+				InC:  layer.C, InH: layer.H, InW: layer.W2(),
+				K: layer.K, S: layer.S,
+			})
+		default:
+			return fmt.Errorf("nn: cannot serialize layer %T", l)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jn)
+}
+
+// W2 returns the input width of a pooling layer (the W field name
+// collides with the weights field in jsonLayer).
+func (m *MaxPool2D) W2() int { return m.W }
+
+// Load deserializes a network saved by Save.
+func Load(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jn); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	if jn.Format != 1 {
+		return nil, fmt.Errorf("nn: unsupported network format %d", jn.Format)
+	}
+	net := &Network{}
+	for i, jl := range jn.Layers {
+		switch jl.Kind {
+		case "dense":
+			if len(jl.W) != jl.In*jl.Out || len(jl.B) != jl.Out {
+				return nil, fmt.Errorf("nn: layer %d has inconsistent dense shapes", i)
+			}
+			d := &Dense{
+				In: jl.In, Out: jl.Out,
+				W:  jl.W,
+				B:  jl.B,
+				gw: make([]float64, len(jl.W)),
+				gb: make([]float64, len(jl.B)),
+			}
+			net.Layers = append(net.Layers, d)
+		case "relu":
+			net.Layers = append(net.Layers, NewReLU(jl.Size))
+		case "sigmoid":
+			net.Layers = append(net.Layers, NewSigmoid(jl.Size))
+		case "conv":
+			want := jl.OutC * jl.InC * jl.K * jl.K
+			if len(jl.W) != want || len(jl.B) != jl.OutC {
+				return nil, fmt.Errorf("nn: layer %d has inconsistent conv shapes", i)
+			}
+			c := &Conv2D{
+				InC: jl.InC, InH: jl.InH, InW: jl.InW,
+				OutC: jl.OutC, K: jl.K, S: jl.S,
+				W:  jl.W,
+				B:  jl.B,
+				gw: make([]float64, len(jl.W)),
+				gb: make([]float64, len(jl.B)),
+			}
+			net.Layers = append(net.Layers, c)
+		case "maxpool":
+			net.Layers = append(net.Layers, NewMaxPool2D(jl.InC, jl.InH, jl.InW, jl.K, jl.S))
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %q", jl.Kind)
+		}
+	}
+	return net, nil
+}

@@ -1,0 +1,39 @@
+// Package par provides the tiny data-parallel helper shared by the
+// multi-exponentiation, FFT, and prover hot loops.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Range splits [0, n) into contiguous chunks executed concurrently on up
+// to GOMAXPROCS goroutines. f must be safe for disjoint index ranges.
+func Range(n int, f func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			f(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

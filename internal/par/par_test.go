@@ -1,0 +1,34 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 1000, 4096} {
+		seen := make([]int32, n)
+		Range(n, func(start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestRangeZero(t *testing.T) {
+	called := false
+	Range(0, func(start, end int) {
+		if start != end {
+			called = true
+		}
+	})
+	if called {
+		t.Fatal("Range(0) must not produce non-empty chunks")
+	}
+}

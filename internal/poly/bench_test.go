@@ -1,0 +1,36 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchmarkFFT(b *testing.B, n uint64) {
+	d, err := NewDomain(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	coeffs := randPoly(rng, int(d.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := append(coeffs[:0:0], coeffs...)
+		d.FFT(work)
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B)  { benchmarkFFT(b, 4096) }
+func BenchmarkFFT65536(b *testing.B) { benchmarkFFT(b, 65536) }
+
+func BenchmarkLagrangeBasis4096(b *testing.B) {
+	d, err := NewDomain(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	tau := randFr(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.LagrangeBasisAt(&tau)
+	}
+}

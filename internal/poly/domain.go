@@ -1,0 +1,238 @@
+// Package poly implements polynomial arithmetic over the BN254 scalar
+// field: radix-2 FFT evaluation domains, coset transforms for quotient
+// polynomials, Lagrange-basis evaluation for Groth16 trusted setup, and
+// assorted helpers (Horner evaluation, vanishing polynomials, batch
+// inversion wrappers).
+package poly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// Domain is a multiplicative subgroup H = {ω⁰, ..., ω^(N-1)} of F_r* of
+// power-of-two order, together with the coset shift used to evaluate the
+// Groth16 quotient polynomial off H.
+type Domain struct {
+	N             uint64
+	LogN          int
+	Gen           fr.Element // ω, primitive N-th root of unity
+	GenInv        fr.Element
+	NInv          fr.Element
+	CosetShift    fr.Element // multiplicative generator g (outside H)
+	CosetShiftInv fr.Element
+}
+
+// NewDomain returns the smallest power-of-two domain with at least
+// minSize elements.
+func NewDomain(minSize uint64) (*Domain, error) {
+	if minSize == 0 {
+		minSize = 1
+	}
+	n := nextPow2(minSize)
+	w, err := fr.RootOfUnity(n)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{N: n, LogN: bits.TrailingZeros64(n), Gen: w}
+	d.GenInv.Inverse(&d.Gen)
+	var nEl fr.Element
+	nEl.SetUint64(n)
+	d.NInv.Inverse(&nEl)
+	d.CosetShift = fr.MultiplicativeGenerator()
+	d.CosetShiftInv.Inverse(&d.CosetShift)
+	return d, nil
+}
+
+// nextPow2 returns the smallest power of two ≥ v.
+func nextPow2(v uint64) uint64 {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(v-1))
+}
+
+// Element returns ωⁱ.
+func (d *Domain) Element(i uint64) fr.Element {
+	var res fr.Element
+	res.SetOne()
+	w := d.Gen
+	for ; i > 0; i >>= 1 {
+		if i&1 == 1 {
+			res.Mul(&res, &w)
+		}
+		w.Square(&w)
+	}
+	return res
+}
+
+// bitReverse permutes a into bit-reversed index order in place.
+func bitReverse(a []fr.Element) {
+	n := uint(len(a))
+	shift := 64 - uint(bits.TrailingZeros(n))
+	for i := uint(0); i < n; i++ {
+		j := bits.Reverse64(uint64(i)) >> shift
+		if uint64(i) < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+}
+
+// fftInner runs the iterative Cooley-Tukey butterfly network with the
+// given root of unity (ω for forward, ω⁻¹ for inverse).
+func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
+	n := len(a)
+	if uint64(n) != d.N {
+		panic(fmt.Sprintf("poly: FFT input length %d != domain size %d", n, d.N))
+	}
+	if n == 1 {
+		return
+	}
+	bitReverse(a)
+	for length := 2; length <= n; length <<= 1 {
+		// wlen = root^(N/length)
+		var wlen fr.Element
+		wlen.Set(root)
+		for pow := n; pow > length; pow >>= 1 {
+			wlen.Square(&wlen)
+		}
+		half := length >> 1
+		for start := 0; start < n; start += length {
+			var w fr.Element
+			w.SetOne()
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				var v fr.Element
+				v.Mul(&a[start+j+half], &w)
+				a[start+j].Add(&u, &v)
+				a[start+j+half].Sub(&u, &v)
+				w.Mul(&w, &wlen)
+			}
+		}
+	}
+}
+
+// FFT evaluates the coefficient vector a on H in place (natural order:
+// out[i] = Σ a[j]·ω^(ij)).
+func (d *Domain) FFT(a []fr.Element) { d.fftInner(a, &d.Gen) }
+
+// IFFT interpolates evaluations on H back to coefficients in place.
+func (d *Domain) IFFT(a []fr.Element) {
+	d.fftInner(a, &d.GenInv)
+	for i := range a {
+		a[i].Mul(&a[i], &d.NInv)
+	}
+}
+
+// FFTCoset evaluates the coefficient vector on the coset g·H in place.
+func (d *Domain) FFTCoset(a []fr.Element) {
+	var s fr.Element
+	s.SetOne()
+	for i := range a {
+		a[i].Mul(&a[i], &s)
+		s.Mul(&s, &d.CosetShift)
+	}
+	d.FFT(a)
+}
+
+// IFFTCoset interpolates evaluations on the coset g·H back to
+// coefficients in place.
+func (d *Domain) IFFTCoset(a []fr.Element) {
+	d.IFFT(a)
+	var s fr.Element
+	s.SetOne()
+	for i := range a {
+		a[i].Mul(&a[i], &s)
+		s.Mul(&s, &d.CosetShiftInv)
+	}
+}
+
+// VanishingEval returns Z_H(x) = x^N - 1, computed with LogN squarings.
+func (d *Domain) VanishingEval(x *fr.Element) fr.Element {
+	xn := *x
+	for i := 0; i < d.LogN; i++ {
+		xn.Square(&xn)
+	}
+	var one fr.Element
+	one.SetOne()
+	xn.Sub(&xn, &one)
+	return xn
+}
+
+// VanishingOnCoset returns the constant value Z_H(g·ωⁱ) = g^N - 1, which
+// is independent of i — the property that makes coset division cheap.
+func (d *Domain) VanishingOnCoset() fr.Element {
+	return d.VanishingEval(&d.CosetShift)
+}
+
+// LagrangeBasisAt evaluates every Lagrange basis polynomial L_i at the
+// point tau in O(N): L_i(τ) = ωⁱ·(τ^N - 1) / (N·(τ - ωⁱ)). If τ lands on
+// the domain itself the closed form degenerates; the indicator vector is
+// returned instead.
+func (d *Domain) LagrangeBasisAt(tau *fr.Element) []fr.Element {
+	n := int(d.N)
+	out := make([]fr.Element, n)
+
+	// denominators τ - ωⁱ
+	dens := make([]fr.Element, n)
+	var wi fr.Element
+	wi.SetOne()
+	onDomain := -1
+	for i := 0; i < n; i++ {
+		dens[i].Sub(tau, &wi)
+		if dens[i].IsZero() {
+			onDomain = i
+		}
+		wi.Mul(&wi, &d.Gen)
+	}
+	if onDomain >= 0 {
+		out[onDomain].SetOne()
+		return out
+	}
+
+	z := d.VanishingEval(tau)
+	var zOverN fr.Element
+	zOverN.Mul(&z, &d.NInv)
+
+	invs := fr.BatchInvert(dens)
+	wi.SetOne()
+	for i := 0; i < n; i++ {
+		out[i].Mul(&zOverN, &invs[i])
+		out[i].Mul(&out[i], &wi)
+		wi.Mul(&wi, &d.Gen)
+	}
+	return out
+}
+
+// EvalPoly evaluates the coefficient vector at x with Horner's rule.
+func EvalPoly(coeffs []fr.Element, x *fr.Element) fr.Element {
+	var res fr.Element
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		res.Mul(&res, x)
+		res.Add(&res, &coeffs[i])
+	}
+	return res
+}
+
+// MulNaive returns the product of two coefficient vectors in O(n·m);
+// used as a test oracle and for the small polynomials in gadget
+// preprocessing.
+func MulNaive(a, b []fr.Element) []fr.Element {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]fr.Element, len(a)+len(b)-1)
+	for i := range a {
+		if a[i].IsZero() {
+			continue
+		}
+		for j := range b {
+			var t fr.Element
+			t.Mul(&a[i], &b[j])
+			out[i+j].Add(&out[i+j], &t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package r1cs defines the rank-1 constraint system representation that
+// the frontend compiles circuits into and the Groth16 backend consumes.
+//
+// A system over F_r has wires w₀..w_{m-1} with the fixed layout
+//
+//	w₀ = 1 (the constant wire)
+//	w₁..w_{ℓ} = public inputs/outputs (the "instance")
+//	w_{ℓ+1}.. = private witness
+//
+// and constraints ⟨Aᵢ, w⟩ · ⟨Bᵢ, w⟩ = ⟨Cᵢ, w⟩.
+package r1cs
+
+import (
+	"fmt"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// Term is one coefficient·wire entry of a linear combination.
+type Term struct {
+	Wire  int
+	Coeff fr.Element
+}
+
+// LinearCombination is a sparse Σ coeff·wire expression.
+type LinearCombination []Term
+
+// Constraint is one rank-1 constraint A·B = C.
+type Constraint struct {
+	A, B, C LinearCombination
+}
+
+// System is a complete constraint system.
+type System struct {
+	Constraints []Constraint
+	// NbPublic counts the constant-one wire plus the public inputs, i.e.
+	// wires 0..NbPublic-1 are the statement.
+	NbPublic int
+	// NbWires is the total wire count (public + private).
+	NbWires int
+	// PublicNames optionally labels the public wires (index 1..NbPublic-1)
+	// for diagnostics and serialization.
+	PublicNames []string
+}
+
+// NbPrivate returns the number of private witness wires.
+func (s *System) NbPrivate() int { return s.NbWires - s.NbPublic }
+
+// NbConstraints returns the number of constraints.
+func (s *System) NbConstraints() int { return len(s.Constraints) }
+
+// Eval computes ⟨lc, w⟩ for a full wire assignment.
+func (lc LinearCombination) Eval(w []fr.Element) fr.Element {
+	var acc fr.Element
+	for _, t := range lc {
+		var term fr.Element
+		term.Mul(&t.Coeff, &w[t.Wire])
+		acc.Add(&acc, &term)
+	}
+	return acc
+}
+
+// Clone returns a deep copy of the linear combination.
+func (lc LinearCombination) Clone() LinearCombination {
+	out := make(LinearCombination, len(lc))
+	copy(out, lc)
+	return out
+}
+
+// Validate checks structural invariants: wire indices in range and the
+// public prefix well-formed.
+func (s *System) Validate() error {
+	if s.NbPublic < 1 {
+		return fmt.Errorf("r1cs: NbPublic must include the constant wire (got %d)", s.NbPublic)
+	}
+	if s.NbWires < s.NbPublic {
+		return fmt.Errorf("r1cs: NbWires %d < NbPublic %d", s.NbWires, s.NbPublic)
+	}
+	check := func(lc LinearCombination) error {
+		for _, t := range lc {
+			if t.Wire < 0 || t.Wire >= s.NbWires {
+				return fmt.Errorf("r1cs: wire index %d out of range [0,%d)", t.Wire, s.NbWires)
+			}
+		}
+		return nil
+	}
+	for i, c := range s.Constraints {
+		if err := check(c.A); err != nil {
+			return fmt.Errorf("constraint %d A: %w", i, err)
+		}
+		if err := check(c.B); err != nil {
+			return fmt.Errorf("constraint %d B: %w", i, err)
+		}
+		if err := check(c.C); err != nil {
+			return fmt.Errorf("constraint %d C: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// IsSatisfied reports whether the witness satisfies every constraint;
+// on failure it returns the index of the first violated constraint.
+func (s *System) IsSatisfied(w []fr.Element) (bool, int) {
+	if len(w) != s.NbWires {
+		return false, -1
+	}
+	if !w[0].IsOne() {
+		return false, -1
+	}
+	for i, c := range s.Constraints {
+		a := c.A.Eval(w)
+		b := c.B.Eval(w)
+		cc := c.C.Eval(w)
+		var ab fr.Element
+		ab.Mul(&a, &b)
+		if !ab.Equal(&cc) {
+			return false, i
+		}
+	}
+	return true, 0
+}
+
+// Stats summarises the system for benchmark reporting.
+type Stats struct {
+	NbConstraints int
+	NbWires       int
+	NbPublic      int
+	NbPrivate     int
+	NbTerms       int // total non-zero coefficients across A, B, C
+}
+
+// Stats computes summary statistics.
+func (s *System) Stats() Stats {
+	terms := 0
+	for _, c := range s.Constraints {
+		terms += len(c.A) + len(c.B) + len(c.C)
+	}
+	return Stats{
+		NbConstraints: len(s.Constraints),
+		NbWires:       s.NbWires,
+		NbPublic:      s.NbPublic,
+		NbPrivate:     s.NbPrivate(),
+		NbTerms:       terms,
+	}
+}

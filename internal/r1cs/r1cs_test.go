@@ -1,0 +1,139 @@
+package r1cs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+func one() fr.Element {
+	var e fr.Element
+	e.SetOne()
+	return e
+}
+
+func elem(v uint64) fr.Element {
+	var e fr.Element
+	e.SetUint64(v)
+	return e
+}
+
+// mulSystem is w1·w2 = w3 with all wires private except the constant.
+func mulSystem() *System {
+	return &System{
+		NbPublic: 1,
+		NbWires:  4,
+		Constraints: []Constraint{{
+			A: LinearCombination{{Wire: 1, Coeff: one()}},
+			B: LinearCombination{{Wire: 2, Coeff: one()}},
+			C: LinearCombination{{Wire: 3, Coeff: one()}},
+		}},
+	}
+}
+
+func TestEval(t *testing.T) {
+	w := []fr.Element{one(), elem(3), elem(5)}
+	lc := LinearCombination{
+		{Wire: 0, Coeff: elem(10)},
+		{Wire: 1, Coeff: elem(2)},
+		{Wire: 2, Coeff: elem(4)},
+	}
+	got := lc.Eval(w)
+	want := elem(10 + 6 + 20)
+	if !got.Equal(&want) {
+		t.Fatalf("Eval = %v, want 36", got)
+	}
+	var empty LinearCombination
+	z := empty.Eval(w)
+	if !z.IsZero() {
+		t.Fatal("empty LC should evaluate to 0")
+	}
+}
+
+func TestIsSatisfied(t *testing.T) {
+	sys := mulSystem()
+	good := []fr.Element{one(), elem(6), elem(7), elem(42)}
+	if ok, _ := sys.IsSatisfied(good); !ok {
+		t.Fatal("valid witness rejected")
+	}
+	bad := []fr.Element{one(), elem(6), elem(7), elem(43)}
+	if ok, idx := sys.IsSatisfied(bad); ok || idx != 0 {
+		t.Fatal("invalid witness accepted")
+	}
+	// Wrong length.
+	if ok, _ := sys.IsSatisfied(good[:2]); ok {
+		t.Fatal("short witness accepted")
+	}
+	// Constant wire must be 1.
+	brokenOne := []fr.Element{elem(2), elem(6), elem(7), elem(42)}
+	if ok, _ := sys.IsSatisfied(brokenOne); ok {
+		t.Fatal("witness with constant != 1 accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sys := mulSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range wire.
+	sys.Constraints[0].A[0].Wire = 99
+	if err := sys.Validate(); err == nil {
+		t.Fatal("out-of-range wire accepted")
+	}
+	// NbPublic must include the constant wire.
+	sys2 := &System{NbPublic: 0, NbWires: 1}
+	if err := sys2.Validate(); err == nil {
+		t.Fatal("NbPublic 0 accepted")
+	}
+	sys3 := &System{NbPublic: 5, NbWires: 3}
+	if err := sys3.Validate(); err == nil {
+		t.Fatal("NbWires < NbPublic accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	lc := LinearCombination{{Wire: 1, Coeff: elem(2)}}
+	cp := lc.Clone()
+	cp[0].Wire = 7
+	if lc[0].Wire != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sys := mulSystem()
+	st := sys.Stats()
+	if st.NbConstraints != 1 || st.NbWires != 4 || st.NbPublic != 1 || st.NbPrivate != 3 || st.NbTerms != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestLinearityQuick: Eval must be linear in the witness.
+func TestLinearityQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lc := LinearCombination{
+		{Wire: 0, Coeff: elem(uint64(rng.Intn(100) + 1))},
+		{Wire: 1, Coeff: elem(uint64(rng.Intn(100) + 1))},
+		{Wire: 2, Coeff: elem(uint64(rng.Intn(100) + 1))},
+	}
+	f := func(a1, a2, b1, b2 uint64) bool {
+		wa := []fr.Element{one(), elem(a1), elem(a2)}
+		wb := []fr.Element{one(), elem(b1), elem(b2)}
+		wsum := make([]fr.Element, 3)
+		for i := range wsum {
+			wsum[i].Add(&wa[i], &wb[i])
+		}
+		ea := lc.Eval(wa)
+		eb := lc.Eval(wb)
+		esum := lc.Eval(wsum)
+		var want fr.Element
+		want.Add(&ea, &eb)
+		return esum.Equal(&want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package watermark
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"zkrownn/internal/nn"
+)
+
+// The paper inherits DeepSigns' robustness claims: the watermark
+// survives parameter pruning, task fine-tuning, and watermark
+// overwriting. These tests reproduce those attacks on the substrate.
+
+// embeddedFixture returns a watermarked model and its training data.
+func embeddedFixture(t *testing.T, seed int64) (*nn.Network, *Key, [][]float64, []int, *rand.Rand) {
+	t.Helper()
+	net, ds, key, rng := trainedSetup(t, seed)
+	cfg := DefaultEmbedConfig()
+	cfg.Epochs = 80
+	if err := Embed(net, key, ds.X, ds.Y, cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, ber := Extract(net, key); ber != 0 {
+		t.Skipf("embedding did not converge at seed %d", seed)
+	}
+	return net, key, ds.X, ds.Y, rng
+}
+
+// pruneNetwork zeroes the fraction of smallest-magnitude weights in
+// every parameterized layer (standard magnitude pruning).
+func pruneNetwork(net *nn.Network, frac float64) {
+	for _, l := range net.Layers {
+		params := l.Params()
+		if len(params) == 0 {
+			continue
+		}
+		w := params[0] // weights (biases spared, as usual)
+		mags := make([]float64, len(w))
+		for i, v := range w {
+			mags[i] = math.Abs(v)
+		}
+		sort.Float64s(mags)
+		cut := mags[int(frac*float64(len(mags)))]
+		for i := range w {
+			if math.Abs(w[i]) <= cut {
+				w[i] = 0
+			}
+		}
+	}
+}
+
+func TestWatermarkSurvivesPruning(t *testing.T) {
+	net, key, _, _, _ := embeddedFixture(t, 600)
+	// Exact survival at moderate pruning; graceful degradation at 30%.
+	// (DeepSigns reports exact survival at much higher rates on its
+	// 512-wide layers; this fixture's 24-unit layer concentrates far
+	// more signal per weight.)
+	for _, tc := range []struct {
+		frac   float64
+		maxBER float64
+	}{{0.1, 0}, {0.2, 0}, {0.3, 0.1}} {
+		clone := cloneNet(t, net)
+		pruneNetwork(clone, tc.frac)
+		_, ber := Extract(clone, key)
+		if ber > tc.maxBER {
+			t.Fatalf("watermark lost after %.0f%% pruning (BER %.3f > %.3f)",
+				tc.frac*100, ber, tc.maxBER)
+		}
+	}
+}
+
+func TestWatermarkSurvivesFineTuning(t *testing.T) {
+	net, key, xs, ys, rng := embeddedFixture(t, 601)
+	// A few epochs of plain task training (a removal attempt).
+	net.Train(xs, ys, nn.TrainConfig{Epochs: 5, BatchSize: 16, LearningRate: 0.02, Silent: true}, rng)
+	_, ber := Extract(net, key)
+	if ber > 0.1 {
+		t.Fatalf("watermark destroyed by light fine-tuning (BER %.3f)", ber)
+	}
+}
+
+func TestWatermarkSurvivesOverwriting(t *testing.T) {
+	net, key, xs, ys, rng := embeddedFixture(t, 602)
+	// The attacker embeds their own watermark with a fresh key at the
+	// same layer.
+	attacker, err := GenerateKey(rng, key.LayerIndex, 0, len(key.A), key.NbBits(), len(key.Triggers),
+		trainedClassInputs(xs, ys, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultEmbedConfig()
+	cfg.Epochs = 40
+	if err := Embed(net, attacker, xs, ys, cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's mark embeds...
+	if _, aber := Extract(net, attacker); aber > 0.1 {
+		t.Logf("attacker embedding incomplete (BER %.3f)", aber)
+	}
+	// ...but the owner's mark must survive (distinct random projections
+	// are nearly orthogonal).
+	_, ber := Extract(net, key)
+	if ber > 0.15 {
+		t.Fatalf("owner watermark destroyed by overwriting (BER %.3f)", ber)
+	}
+}
+
+func trainedClassInputs(xs [][]float64, ys []int, class int) [][]float64 {
+	var out [][]float64
+	for i := range xs {
+		if ys[i] == class {
+			out = append(out, xs[i])
+		}
+	}
+	return out
+}
+
+// cloneNet deep-copies a network through its snapshot mechanism.
+func cloneNet(t *testing.T, net *nn.Network) *nn.Network {
+	t.Helper()
+	snap := net.SnapshotParams()
+	clone := rebuildLike(t, net)
+	clone.RestoreParams(snap)
+	return clone
+}
+
+// rebuildLike constructs a structurally identical network.
+func rebuildLike(t *testing.T, net *nn.Network) *nn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(0))
+	var layers []nn.Layer
+	for _, l := range net.Layers {
+		switch layer := l.(type) {
+		case *nn.Dense:
+			layers = append(layers, nn.NewDense(layer.In, layer.Out, rng))
+		case *nn.ReLULayer:
+			layers = append(layers, nn.NewReLU(layer.OutputSize()))
+		default:
+			t.Fatalf("unsupported layer %T in clone", l)
+		}
+	}
+	return &nn.Network{Layers: layers}
+}

@@ -1,0 +1,184 @@
+package watermark
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/dataset"
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/nn"
+)
+
+// trainedSetup returns a small trained MLP, its dataset, and a key.
+func trainedSetup(t *testing.T, seed int64) (*nn.Network, *dataset.Dataset, *Key, *rand.Rand) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Samples: 300, Dim: 16, Classes: 3, ClusterStd: 0.25, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewMLP(nn.MLPConfig{In: 16, Hidden: []int{24}, Classes: 3}, rng)
+	net.Train(ds.X, ds.Y, nn.TrainConfig{Epochs: 10, BatchSize: 16, LearningRate: 0.1, Silent: true}, rng)
+
+	key, err := GenerateKey(rng, 1 /* after first ReLU */, 0, 24, 16, 5, ds.OfClass(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, ds, key, rng
+}
+
+func TestGenerateKeyShapes(t *testing.T) {
+	_, _, key, _ := trainedSetup(t, 200)
+	if err := key.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(key.A) != 24 || len(key.A[0]) != 16 || key.NbBits() != 16 {
+		t.Fatal("key shapes wrong")
+	}
+	if len(key.Triggers) != 5 {
+		t.Fatal("trigger count wrong")
+	}
+}
+
+func TestGenerateKeyInsufficientTriggers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateKey(rng, 1, 0, 8, 8, 10, make([][]float64, 3)); err == nil {
+		t.Fatal("accepted too few trigger candidates")
+	}
+}
+
+func TestEmbedReachesZeroBER(t *testing.T) {
+	net, ds, key, rng := trainedSetup(t, 201)
+
+	_, berBefore := Extract(net, key)
+	// A random 16-bit signature matches a fresh model only by chance;
+	// it is essentially never already embedded.
+	cfg := DefaultEmbedConfig()
+	cfg.Epochs = 30
+	if err := Embed(net, key, ds.X, ds.Y, cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	_, berAfter := Extract(net, key)
+	if berAfter != 0 {
+		t.Fatalf("embedding failed: BER %.3f -> %.3f", berBefore, berAfter)
+	}
+}
+
+func TestEmbedPreservesAccuracy(t *testing.T) {
+	net, ds, key, rng := trainedSetup(t, 202)
+	train, test := ds.Split(0.2)
+	accBefore := net.Accuracy(test.X, test.Y)
+
+	cfg := DefaultEmbedConfig()
+	cfg.Epochs = 30
+	if err := Embed(net, key, train.X, train.Y, cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	accAfter := net.Accuracy(test.X, test.Y)
+	if accAfter < accBefore-0.05 {
+		t.Fatalf("accuracy dropped too much: %.3f -> %.3f (paper claims no lapse)", accBefore, accAfter)
+	}
+	_, ber := Extract(net, key)
+	if ber != 0 {
+		t.Fatalf("BER %.3f after embedding", ber)
+	}
+}
+
+func TestNonWatermarkedModelFailsExtraction(t *testing.T) {
+	net, _, key, _ := trainedSetup(t, 203)
+	// Without embedding, a random 16-bit signature should mismatch.
+	_, ber := Extract(net, key)
+	if ber == 0 {
+		t.Fatal("unembedded watermark extracted with BER 0 (astronomically unlikely)")
+	}
+}
+
+func TestWrongKeyFailsExtraction(t *testing.T) {
+	net, ds, key, rng := trainedSetup(t, 204)
+	cfg := DefaultEmbedConfig()
+	cfg.Epochs = 30
+	if err := Embed(net, key, ds.X, ds.Y, cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	// A different owner's key (fresh projection + signature) must not
+	// extract cleanly.
+	thiefKey, err := GenerateKey(rng, 1, 0, 24, 16, 5, ds.OfClass(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ber := Extract(net, thiefKey)
+	if ber == 0 {
+		t.Fatal("unrelated key extracted with BER 0")
+	}
+}
+
+func TestQuantizedExtractionMatchesFloat(t *testing.T) {
+	net, ds, key, rng := trainedSetup(t, 205)
+	cfg := DefaultEmbedConfig()
+	cfg.Epochs = 30
+	if err := Embed(net, key, ds.X, ds.Y, cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	bitsF, berF := Extract(net, key)
+	if berF != 0 {
+		t.Fatalf("float BER %.3f", berF)
+	}
+
+	q, err := nn.Quantize(net, fixpoint.Default16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsQ, nbErr, err := ExtractQuantized(q, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbErr != 0 {
+		t.Fatalf("quantized extraction has %d bit errors", nbErr)
+	}
+	if BER(bitsF, bitsQ) != 0 {
+		t.Fatal("float and quantized extraction disagree")
+	}
+}
+
+func TestBERHelper(t *testing.T) {
+	if BER([]int{1, 0, 1}, []int{1, 0, 1}) != 0 {
+		t.Fatal("identical strings have non-zero BER")
+	}
+	if BER([]int{1, 0}, []int{0, 1}) != 1 {
+		t.Fatal("fully flipped strings should have BER 1")
+	}
+	if BER([]int{1, 0, 1, 1}, []int{1, 1, 1, 1}) != 0.25 {
+		t.Fatal("quarter BER wrong")
+	}
+	if BER([]int{1}, []int{1, 0}) != 1 {
+		t.Fatal("length mismatch should be BER 1")
+	}
+	if BER(nil, nil) != 0 {
+		t.Fatal("empty strings should be BER 0")
+	}
+}
+
+func TestValidateRejectsBadKeys(t *testing.T) {
+	bad := &Key{Signature: []int{0, 1}, A: [][]float64{{1, 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty trigger set accepted")
+	}
+	bad2 := &Key{
+		Triggers:  [][]float64{{1}},
+		Signature: []int{0, 2},
+		A:         [][]float64{{1, 2}},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("non-binary signature accepted")
+	}
+	bad3 := &Key{
+		Triggers:  [][]float64{{1}},
+		Signature: []int{0, 1, 1},
+		A:         [][]float64{{1, 2}},
+	}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

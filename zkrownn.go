@@ -1,0 +1,312 @@
+// Package zkrownn is a from-scratch Go implementation of ZKROWNN
+// ("Zero Knowledge Right of Ownership for Neural Networks", DAC 2023):
+// an end-to-end framework that lets a model owner prove, in zero
+// knowledge, that a deployed neural network contains their DeepSigns
+// watermark — without revealing the trigger keys, the projection matrix,
+// or the watermark bits.
+//
+// The pipeline, mirroring the paper's Figure 1:
+//
+//  1. Train a model and embed a watermark (EmbedWatermark).
+//  2. Build the zero-knowledge extraction circuit for the suspect model
+//     (BuildOwnershipCircuit) — Algorithm 1: zkFeedForward → zkAverage →
+//     zkSigmoid → zkHardThresholding → zkBER.
+//  3. Run the one-time trusted setup (Setup), producing a proving key
+//     for the owner and a small verifying key for everyone else.
+//  4. Generate the ownership proof (ProveOwnership) — a 128-byte
+//     Groth16 proof.
+//  5. Any third party verifies in milliseconds (VerifyOwnership).
+//
+// Everything below the API — the BN254 pairing curve, the Groth16
+// proof system, the circuit frontend, the DNN substrate, and DeepSigns
+// watermarking — is implemented in this repository using only the Go
+// standard library.
+package zkrownn
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/core"
+	"zkrownn/internal/dataset"
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/nn"
+	"zkrownn/internal/watermark"
+)
+
+// Re-exported substrate types. Aliases keep the public surface thin
+// while the implementations stay in internal packages.
+type (
+	// Model is a trainable feed-forward network.
+	Model = nn.Network
+	// QuantizedModel is the fixed-point image of a Model, the exact
+	// arithmetic the zkSNARK circuit evaluates.
+	QuantizedModel = nn.QuantizedNetwork
+	// WatermarkKey is the owner's secret watermark material (triggers,
+	// projection matrix, signature, embedded layer).
+	WatermarkKey = watermark.Key
+	// FixedPoint selects the fixed-point format shared by circuits and
+	// the reference extraction pipeline.
+	FixedPoint = fixpoint.Params
+	// Proof is a 128-byte Groth16 ownership proof.
+	Proof = groth16.Proof
+	// ProvingKey is the owner's share of the structured reference string.
+	ProvingKey = groth16.ProvingKey
+	// VerifyingKey is the public verification material any third party
+	// needs to check ownership proofs.
+	VerifyingKey = groth16.VerifyingKey
+	// Circuit is a finalized extraction circuit plus its witness.
+	Circuit = core.Artifact
+	// Dataset is a labelled sample collection.
+	Dataset = dataset.Dataset
+	// PipelineMetrics reports Table I-style measurements for one circuit.
+	PipelineMetrics = core.Metrics
+)
+
+// DefaultFixedPoint is the 16-fraction-bit format used throughout the
+// paper-scale benchmarks.
+var DefaultFixedPoint = fixpoint.Default16
+
+// NewMNISTMLP builds the paper's Table II MNIST architecture
+// (784 - FC512 - FC512 - FC10).
+func NewMNISTMLP(rng *rand.Rand) *Model { return nn.NewMNISTMLP(rng) }
+
+// NewCIFAR10CNN builds the paper's Table II CIFAR-10 architecture.
+func NewCIFAR10CNN(rng *rand.Rand) *Model { return nn.NewCIFAR10CNN(rng) }
+
+// NewMLP builds an arbitrary ReLU multilayer perceptron.
+func NewMLP(in int, hidden []int, classes int, rng *rand.Rand) *Model {
+	return nn.NewMLP(nn.MLPConfig{In: in, Hidden: hidden, Classes: classes}, rng)
+}
+
+// SyntheticMNIST generates a deterministic MNIST-shaped synthetic
+// dataset (the offline substitution documented in DESIGN.md).
+func SyntheticMNIST(samples int, seed int64) (*Dataset, error) {
+	return dataset.Generate(dataset.MNISTLike(samples, seed))
+}
+
+// SyntheticCIFAR generates a CIFAR-shaped synthetic dataset.
+func SyntheticCIFAR(samples int, seed int64) (*Dataset, error) {
+	return dataset.Generate(dataset.CIFARLike(samples, seed))
+}
+
+// TrainOptions configures plain task training.
+type TrainOptions struct {
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Logf         func(format string, args ...any)
+}
+
+// Train fits the model to the dataset with SGD.
+func Train(m *Model, ds *Dataset, opt TrainOptions, rng *rand.Rand) {
+	cfg := nn.TrainConfig{
+		Epochs:       opt.Epochs,
+		BatchSize:    opt.BatchSize,
+		LearningRate: opt.LearningRate,
+		Silent:       opt.Logf == nil,
+		Logf:         opt.Logf,
+	}
+	m.Train(ds.X, ds.Y, cfg, rng)
+}
+
+// KeyOptions configures watermark key generation.
+type KeyOptions struct {
+	// LayerIndex is l_wm (the activation read by extraction), normally
+	// the ReLU after the first hidden layer — index 1 in this package's
+	// model builders.
+	LayerIndex int
+	// TargetClass selects the Gaussian class carrying the watermark.
+	TargetClass int
+	// Bits is the signature length (the paper embeds 32 bits).
+	Bits int
+	// Triggers is the trigger-set size |X_key|.
+	Triggers int
+}
+
+// GenerateKey draws a fresh watermark key for the model over the
+// dataset's TargetClass samples.
+func GenerateKey(m *Model, ds *Dataset, opt KeyOptions, rng *rand.Rand) (*WatermarkKey, error) {
+	if opt.LayerIndex <= 0 {
+		opt.LayerIndex = 1
+	}
+	if opt.Bits <= 0 {
+		opt.Bits = 32
+	}
+	if opt.Triggers <= 0 {
+		opt.Triggers = 4
+	}
+	actDim := m.Layers[opt.LayerIndex].OutputSize()
+	return watermark.GenerateKey(rng, opt.LayerIndex, opt.TargetClass,
+		actDim, opt.Bits, opt.Triggers, ds.OfClass(opt.TargetClass))
+}
+
+// EmbedOptions configures watermark embedding (DeepSigns fine-tuning).
+type EmbedOptions struct {
+	Epochs       int
+	LearningRate float64
+	LambdaWM     float64
+	Logf         func(format string, args ...any)
+}
+
+// EmbedWatermark fine-tunes the model until the watermark extracts with
+// zero bit error rate and a quantization-robust margin.
+func EmbedWatermark(m *Model, key *WatermarkKey, ds *Dataset, opt EmbedOptions, rng *rand.Rand) error {
+	cfg := watermark.DefaultEmbedConfig()
+	if opt.Epochs > 0 {
+		cfg.Epochs = opt.Epochs
+	}
+	if opt.LearningRate > 0 {
+		cfg.LearningRate = opt.LearningRate
+	}
+	if opt.LambdaWM > 0 {
+		cfg.LambdaWM = opt.LambdaWM
+	}
+	if opt.Logf != nil {
+		cfg.Silent = false
+		cfg.Logf = opt.Logf
+	}
+	return watermark.Embed(m, key, ds.X, ds.Y, cfg, rng)
+}
+
+// ExtractWatermark runs plain (out-of-circuit) extraction, returning the
+// recovered bits and BER — the reference the zero-knowledge proof
+// attests to.
+func ExtractWatermark(m *Model, key *WatermarkKey) (bits []int, ber float64) {
+	return watermark.Extract(m, key)
+}
+
+// Quantize converts a model to the fixed-point form used in circuits.
+func Quantize(m *Model, p FixedPoint) (*QuantizedModel, error) {
+	return nn.Quantize(m, p)
+}
+
+// BuildOwnershipCircuit compiles Algorithm 1 for the given quantized
+// model and key. maxErrors is the BER tolerance θ·N (0 demands an exact
+// watermark match). The suspect model's weights become public inputs;
+// the key material stays private.
+func BuildOwnershipCircuit(q *QuantizedModel, key *WatermarkKey, maxErrors int) (*Circuit, error) {
+	ck := core.QuantizeKey(key, q.Params)
+	return core.ExtractionCircuit(q, ck, maxErrors)
+}
+
+// Setup runs the one-time Groth16 trusted setup for a circuit.
+// rng supplies the toxic-waste randomness (crypto/rand when nil).
+func Setup(c *Circuit, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
+	return groth16.Setup(c.System, rng)
+}
+
+// ProveOwnership generates the ownership proof for a circuit whose
+// witness was built from the owner's private key material.
+func ProveOwnership(c *Circuit, pk *ProvingKey, rng io.Reader) (*Proof, error) {
+	return groth16.Prove(c.System, pk, c.Witness, rng)
+}
+
+// PublicInputs returns the circuit's instance (model weights and the
+// claim bit) in the order VerifyOwnership expects.
+func PublicInputs(c *Circuit) []fr.Element { return c.PublicInputs() }
+
+// VerifyOwnership checks an ownership proof: the proof must verify and
+// the public claim bit must be 1. Any third party holding the verifying
+// key and the public model can run this in milliseconds.
+func VerifyOwnership(vk *VerifyingKey, proof *Proof, public []fr.Element) (bool, error) {
+	return core.VerifyClaim(vk, proof, public)
+}
+
+// RunPipeline executes setup → prove → verify for any circuit and
+// collects the paper's Table I metrics.
+func RunPipeline(c *Circuit, rng io.Reader) (*PipelineMetrics, error) {
+	pl, err := core.RunPipeline(c, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &pl.Metrics, nil
+}
+
+// SaveModel / LoadModel persist models as JSON.
+func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
+func LoadModel(r io.Reader) (*Model, error) { return nn.Load(r) }
+
+// ErrNotWatermarked is returned by helpers when extraction fails on a
+// model that was expected to carry the watermark.
+var ErrNotWatermarked = errors.New("zkrownn: watermark does not extract with BER 0")
+
+// ProveModelOwnership is the one-call convenience path: quantize, build
+// the circuit, set up, prove, and return everything a dispute needs.
+// It fails with ErrNotWatermarked when the fixed-point extraction does
+// not reproduce the signature (maxErrors = 0).
+func ProveModelOwnership(m *Model, key *WatermarkKey, p FixedPoint, rng io.Reader) (*Circuit, *ProvingKey, *VerifyingKey, *Proof, error) {
+	q, err := nn.Quantize(m, p)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if _, nbErr, err := watermark.ExtractQuantized(q, key); err != nil {
+		return nil, nil, nil, nil, err
+	} else if nbErr != 0 {
+		return nil, nil, nil, nil, ErrNotWatermarked
+	}
+	circuit, err := BuildOwnershipCircuit(q, key, 0)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pk, vk, err := Setup(circuit, rng)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	proof, err := ProveOwnership(circuit, pk, rng)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return circuit, pk, vk, proof, nil
+}
+
+// --- Extensions beyond the paper ---
+
+// BuildCommittedOwnershipCircuit compiles the committed-model variant of
+// Algorithm 1: the suspect model's weights stay private, bound to a
+// public Fiat-Shamir digest that verifiers recompute from the public
+// model. Verifying keys become constant-size (~500 B) and verification
+// takes ~10 ms regardless of model size, removing the paper's noted
+// VK-growth drawback (its MNIST-MLP verifying key is 16 MB).
+func BuildCommittedOwnershipCircuit(q *QuantizedModel, key *WatermarkKey, maxErrors int) (*Circuit, error) {
+	ck := core.QuantizeKey(key, q.Params)
+	return core.CommittedExtractionCircuit(q, ck, maxErrors)
+}
+
+// ModelDigest returns the Fiat-Shamir digest binding a committed-model
+// proof to the public model prefix (layers 0..layerIndex). Verifiers
+// compare it against the first public input of a committed proof.
+func ModelDigest(q *QuantizedModel, layerIndex int) (fr.Element, error) {
+	_, d, err := core.ModelDigest(q, layerIndex)
+	return d, err
+}
+
+// VerifyCommittedOwnership verifies a committed-model ownership proof
+// against the public model: the Groth16 check plus the digest and claim
+// checks.
+func VerifyCommittedOwnership(vk *VerifyingKey, proof *Proof, public []fr.Element, q *QuantizedModel, layerIndex int) error {
+	if err := groth16.Verify(vk, proof, public); err != nil {
+		return err
+	}
+	return core.VerifyCommittedPublicInputs(q, layerIndex, public)
+}
+
+// BatchVerifyOwnership verifies many proofs under one verifying key with
+// a single combined pairing product (~3× faster than verifying each
+// proof individually) and then checks every claim bit.
+func BatchVerifyOwnership(vk *VerifyingKey, proofs []*Proof, publicInputs [][]fr.Element, rng io.Reader) (bool, error) {
+	if err := groth16.BatchVerify(vk, proofs, publicInputs, rng); err != nil {
+		return false, err
+	}
+	var one fr.Element
+	one.SetOne()
+	for _, pub := range publicInputs {
+		if len(pub) == 0 || !pub[len(pub)-1].Equal(&one) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
