@@ -5,7 +5,9 @@
 package zkrownn
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"zkrownn/internal/core"
@@ -144,6 +146,73 @@ func BenchmarkTableI_CIFAR10CNN(b *testing.B) {
 			InC: 3, InH: 12, InW: 12, OutC: 4, K: 3, S: 2,
 		}, 16, 2, rng)
 	})
+}
+
+// BenchmarkProverScaling pins GOMAXPROCS and measures trusted setup and
+// proving for the MNIST-MLP extraction circuit, demonstrating that the
+// FFT / Setup / Prove hot paths scale with cores. Compare procs=1
+// against the widest setting the host offers:
+//
+//	go test -bench ProverScaling -benchtime 3x
+func BenchmarkProverScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	art, err := core.BenchMLPExtractionCircuit(benchP, 196, 64, 32, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("%s: %d constraints", art.Name, art.System.NbConstraints())
+	for _, procs := range []int{1, 2, 4, 8} {
+		if procs > 2*runtime.NumCPU() && procs != 1 {
+			continue
+		}
+		b.Run(fmt.Sprintf("Setup/procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := groth16.Setup(art.System, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	pk, _, err := groth16.Setup(art.System, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, procs := range []int{1, 2, 4, 8} {
+		if procs > 2*runtime.NumCPU() && procs != 1 {
+			continue
+		}
+		b.Run(fmt.Sprintf("Prove/procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := groth16.Prove(art.System, pk, art.Witness, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCachedProve measures the engine path end-to-end: the
+// first iteration pays trusted setup, every subsequent one hits the key
+// cache, so the steady-state number is prove-only.
+func BenchmarkEngineCachedProve(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	art, err := core.BenchMLPExtractionCircuit(benchP, 64, 32, 16, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(EngineOptions{Rand: rng})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Prove(EngineRequest(art, nil)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	b.Logf("engine: %d setups, %d cache hits across %d proves", st.Setups, st.MemHits+st.DiskHits, st.Proves)
 }
 
 // BenchmarkAblationFracBits sweeps the fixed-point precision (DESIGN.md

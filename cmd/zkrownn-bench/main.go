@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	"zkrownn/internal/core"
+	"zkrownn/internal/engine"
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/gadgets"
 )
@@ -83,6 +85,9 @@ func main() {
 		fracBits = flag.Int("frac-bits", 16, "fixed-point fraction bits")
 		magBits  = flag.Int("mag-bits", 44, "fixed-point magnitude bound bits (range-check width)")
 		triggers = flag.Int("triggers", 0, "override the trigger-set size of the end-to-end rows")
+		repeat   = flag.Int("repeat", 1, "run each row this many times; repeats reuse keys via the engine's digest cache")
+		jsonOut  = flag.String("json", "BENCH_groth16.json", `write machine-readable per-row metrics to this file ("" disables)`)
+		keyCache = flag.String("keycache", "", "key-cache directory shared across bench invocations")
 	)
 	flag.Parse()
 
@@ -144,6 +149,16 @@ func main() {
 	fmt.Println(core.Header())
 	fmt.Println(strings.Repeat("-", 112))
 
+	// -repeat runs of one row are adjacent, so a 2-entry cache serves
+	// every repeat while keeping at most two (potentially huge) proving
+	// keys resident during a full-table run.
+	eng := engine.New(engine.Options{CacheDir: *keyCache, CacheEntries: 2})
+	report := benchReport{
+		Scale:      *scale,
+		FracBits:   *fracBits,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       []benchRecord{},
+	}
 	for _, spec := range rows {
 		if *row != "" && !strings.EqualFold(*row, spec.name) {
 			continue
@@ -154,13 +169,82 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: build: %v\n", spec.name, err)
 			os.Exit(1)
 		}
-		pl, err := core.RunPipeline(art, rng)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
+		for r := 0; r < *repeat; r++ {
+			pl, err := core.RunPipelineWith(eng, art, rng)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
+				os.Exit(1)
+			}
+			fmt.Println(pl.Metrics.String())
+			report.Rows = append(report.Rows, recordOf(&pl.Metrics))
+		}
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\nengine: %d setups (%.2fs), %d cache hits (%d mem, %d disk), %d proofs (%.2fs), %d verifies (%.3fs)\n",
+		st.Setups, st.SetupTime.Seconds(), st.MemHits+st.DiskHits, st.MemHits, st.DiskHits,
+		st.Proves, st.ProveTime.Seconds(), st.Verifies, st.VerifyTime.Seconds())
+
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}
-		fmt.Println(pl.Metrics.String())
+		fmt.Printf("metrics written to %s\n", *jsonOut)
 	}
+}
+
+// benchReport is the machine-readable Table I artifact tracked across
+// PRs (BENCH_groth16.json).
+type benchReport struct {
+	Scale      string        `json:"scale"`
+	FracBits   int           `json:"frac_bits"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Rows       []benchRecord `json:"rows"`
+}
+
+type benchRecord struct {
+	Name          string  `json:"name"`
+	Constraints   int     `json:"constraints"`
+	NbPublic      int     `json:"nb_public"`
+	NbPrivate     int     `json:"nb_private"`
+	SetupSeconds  float64 `json:"setup_seconds"`
+	SetupCached   bool    `json:"setup_cached"`
+	ProveSeconds  float64 `json:"prove_seconds"`
+	VerifySeconds float64 `json:"verify_seconds"`
+	PKBytes       int64   `json:"pk_bytes"`
+	VKBytes       int64   `json:"vk_bytes"`
+	ProofBytes    int     `json:"proof_bytes"`
+}
+
+func recordOf(m *core.Metrics) benchRecord {
+	return benchRecord{
+		Name:          m.Name,
+		Constraints:   m.NbConstraints,
+		NbPublic:      m.NbPublic,
+		NbPrivate:     m.NbPrivate,
+		SetupSeconds:  m.SetupTime.Seconds(),
+		SetupCached:   m.SetupCached,
+		ProveSeconds:  m.ProveTime.Seconds(),
+		VerifySeconds: m.VerifyTime.Seconds(),
+		PKBytes:       m.PKSize,
+		VKBytes:       m.VKSize,
+		ProofBytes:    m.ProofSize,
+	}
+}
+
+func writeReport(path string, rep *benchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printTableII() {

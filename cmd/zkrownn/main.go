@@ -27,6 +27,7 @@ import (
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/core"
 	"zkrownn/internal/dataset"
+	"zkrownn/internal/engine"
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
@@ -243,6 +244,7 @@ func cmdProve(args []string) error {
 	maxErrors := fs.Int("max-errors", 0, "BER tolerance θ·N")
 	fracBits := fs.Int("frac-bits", 16, "fixed-point fraction bits")
 	committed := fs.Bool("committed", false, "use the committed-model circuit (constant-size VK; weights bound by digest instead of public inputs)")
+	keyCache := fs.String("keycache", "", "key-cache directory: reuse trusted-setup keys across runs for the same circuit architecture")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -274,20 +276,26 @@ func cmdProve(args []string) error {
 	fmt.Printf("circuit: %d constraints, %d public inputs\n",
 		art.System.NbConstraints(), art.System.NbPublic-1)
 
-	start := time.Now()
-	pk, vk, err := groth16.Setup(art.System, nil)
+	eng := engine.New(engine.Options{CacheDir: *keyCache})
+	res, err := eng.Prove(art.Request(nil))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("setup:  %.2fs (PK %.1f MB, VK %.1f KB)\n",
-		time.Since(start).Seconds(), float64(pk.SizeBytes())/1e6, float64(vk.SizeBytes())/1e3)
-
-	start = time.Now()
-	proof, err := groth16.Prove(art.System, pk, art.Witness, nil)
-	if err != nil {
-		return err
+	pk, vk, proof := res.Keys.PK, res.Keys.VK, res.Proof
+	if res.CacheHit {
+		fmt.Printf("setup:  cache hit %s (keys for digest %s, PK %.1f MB, VK %.1f KB)\n",
+			res.SetupTime, res.Digest[:12], float64(pk.SizeBytes())/1e6, float64(vk.SizeBytes())/1e3)
+	} else {
+		fmt.Printf("setup:  %.2fs (PK %.1f MB, VK %.1f KB)\n",
+			res.SetupTime.Seconds(), float64(pk.SizeBytes())/1e6, float64(vk.SizeBytes())/1e3)
+		switch {
+		case res.PersistErr != nil:
+			fmt.Printf("        warning: key cache write failed: %v\n", res.PersistErr)
+		case *keyCache != "":
+			fmt.Printf("        keys cached under %s/%s.{pk,vk}\n", *keyCache, res.Digest)
+		}
 	}
-	fmt.Printf("prove:  %.2fs (proof %d B)\n", time.Since(start).Seconds(), proof.PayloadSize())
+	fmt.Printf("prove:  %.2fs (proof %d B)\n", res.ProveTime.Seconds(), proof.PayloadSize())
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err

@@ -1,0 +1,3 @@
+module zkrownn
+
+go 1.24

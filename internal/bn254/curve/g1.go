@@ -443,6 +443,48 @@ func (p *G1Affine) Bytes() [G1CompressedSize]byte {
 	return out
 }
 
+// G1UncompressedSize is the byte length of an uncompressed G1 point
+// (big-endian X then Y).
+const G1UncompressedSize = 2 * fp.Bytes
+
+// BytesRaw returns the 64-byte uncompressed encoding of p: X||Y, with
+// the point at infinity as all zeros. Decoding skips the square root
+// that compressed decoding pays, so this is the format of locally
+// trusted bulk material (the prover engine's on-disk key cache).
+func (p *G1Affine) BytesRaw() [G1UncompressedSize]byte {
+	var out [G1UncompressedSize]byte
+	if p.IsInfinity() {
+		return out
+	}
+	xb := p.X.Bytes()
+	yb := p.Y.Bytes()
+	copy(out[:fp.Bytes], xb[:])
+	copy(out[fp.Bytes:], yb[:])
+	return out
+}
+
+// SetBytesRaw decodes an uncompressed G1 point, verifying curve
+// membership (which implies subgroup membership: BN254's G1 has
+// cofactor 1).
+func (p *G1Affine) SetBytesRaw(buf []byte) error {
+	if len(buf) != G1UncompressedSize {
+		return errors.New("curve: bad uncompressed G1 encoding length")
+	}
+	if err := p.X.SetBytesCanonical(buf[:fp.Bytes]); err != nil {
+		return err
+	}
+	if err := p.Y.SetBytesCanonical(buf[fp.Bytes:]); err != nil {
+		return err
+	}
+	if p.IsInfinity() {
+		return nil
+	}
+	if !p.IsOnCurve() {
+		return errors.New("curve: uncompressed G1 point not on curve")
+	}
+	return nil
+}
+
 // SetBytes decodes a compressed G1 point, verifying curve membership.
 func (p *G1Affine) SetBytes(buf []byte) error {
 	if len(buf) != G1CompressedSize {

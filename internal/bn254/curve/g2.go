@@ -448,6 +448,59 @@ func (p *G2Affine) Bytes() [G2CompressedSize]byte {
 	return out
 }
 
+// G2UncompressedSize is the byte length of an uncompressed G2 point
+// (X.A1, X.A0, Y.A1, Y.A0, each 32 bytes big-endian).
+const G2UncompressedSize = 4 * fp.Bytes
+
+// BytesRaw returns the 128-byte uncompressed encoding of p, with the
+// point at infinity as all zeros. Like the G1 variant it exists for
+// locally trusted bulk material: decoding skips the square root.
+func (p *G2Affine) BytesRaw() [G2UncompressedSize]byte {
+	var out [G2UncompressedSize]byte
+	if p.IsInfinity() {
+		return out
+	}
+	xa1 := p.X.A1.Bytes()
+	xa0 := p.X.A0.Bytes()
+	ya1 := p.Y.A1.Bytes()
+	ya0 := p.Y.A0.Bytes()
+	copy(out[:fp.Bytes], xa1[:])
+	copy(out[fp.Bytes:2*fp.Bytes], xa0[:])
+	copy(out[2*fp.Bytes:3*fp.Bytes], ya1[:])
+	copy(out[3*fp.Bytes:], ya0[:])
+	return out
+}
+
+// SetBytesRaw decodes an uncompressed G2 point, verifying twist-curve
+// membership only. G2 has a non-trivial cofactor, so unlike SetBytes
+// this does NOT prove order-r subgroup membership — it is for material
+// the caller already trusts (its own key cache), not for adversarial
+// inputs.
+func (p *G2Affine) SetBytesRaw(buf []byte) error {
+	if len(buf) != G2UncompressedSize {
+		return errors.New("curve: bad uncompressed G2 encoding length")
+	}
+	if err := p.X.A1.SetBytesCanonical(buf[:fp.Bytes]); err != nil {
+		return err
+	}
+	if err := p.X.A0.SetBytesCanonical(buf[fp.Bytes : 2*fp.Bytes]); err != nil {
+		return err
+	}
+	if err := p.Y.A1.SetBytesCanonical(buf[2*fp.Bytes : 3*fp.Bytes]); err != nil {
+		return err
+	}
+	if err := p.Y.A0.SetBytesCanonical(buf[3*fp.Bytes:]); err != nil {
+		return err
+	}
+	if p.IsInfinity() {
+		return nil
+	}
+	if !p.IsOnCurve() {
+		return errors.New("curve: uncompressed G2 point not on twist")
+	}
+	return nil
+}
+
 // SetBytes decodes a compressed G2 point, verifying twist-curve and
 // subgroup membership.
 func (p *G2Affine) SetBytes(buf []byte) error {

@@ -6,28 +6,37 @@ import (
 	"time"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
 )
 
-// Metrics mirrors the columns of the paper's Table I for one circuit.
+// Metrics mirrors the columns of the paper's Table I for one circuit,
+// plus the engine's cache verdict.
 type Metrics struct {
 	Name          string
 	NbConstraints int
 	NbPublic      int
 	NbPrivate     int
 	SetupTime     time.Duration
-	PKSize        int64
-	ProveTime     time.Duration
-	ProofSize     int
-	VKSize        int64
-	VerifyTime    time.Duration
+	// SetupCached is true when the prover engine served the keys from
+	// its digest-keyed cache instead of running trusted setup.
+	SetupCached bool
+	PKSize      int64
+	ProveTime   time.Duration
+	ProofSize   int
+	VKSize      int64
+	VerifyTime  time.Duration
 }
 
 // String renders one Table I row.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("%-24s %10d %12.4fs %10.2fMB %12.4fs %8dB %10.3fKB %10.3fms",
+	setup := fmt.Sprintf("%12.4fs", m.SetupTime.Seconds())
+	if m.SetupCached {
+		setup = fmt.Sprintf("%12s", "(cached)")
+	}
+	return fmt.Sprintf("%-24s %10d %s %10.2fMB %12.4fs %8dB %10.3fKB %10.3fms",
 		m.Name, m.NbConstraints,
-		m.SetupTime.Seconds(), float64(m.PKSize)/1e6,
+		setup, float64(m.PKSize)/1e6,
 		m.ProveTime.Seconds(), m.ProofSize,
 		float64(m.VKSize)/1e3, float64(m.VerifyTime.Microseconds())/1e3)
 }
@@ -47,38 +56,58 @@ type Pipeline struct {
 	Metrics  Metrics
 }
 
+// Request converts the artifact into a prover-engine request.
+func (a *Artifact) Request(rng io.Reader) engine.Request {
+	return engine.Request{Name: a.Name, System: a.System, Witness: a.Witness, Rand: rng}
+}
+
+// defaultEngine backs RunPipeline so that repeated runs of the same
+// circuit architecture within one process share trusted setup — the
+// engine's whole point. The cache is kept small (2 entries) because
+// proving keys can run to hundreds of MB at paper scale and RunPipeline
+// callers typically iterate circuits back-to-back, where 2 entries
+// already serve the repeat pattern. Callers needing a deeper cache,
+// isolation, or disk persistence build their own engine and use
+// RunPipelineWith.
+var defaultEngine = engine.New(engine.Options{CacheEntries: 2})
+
+// DefaultEngine returns the process-wide engine behind RunPipeline.
+// Long-lived embedders that are done proving can reclaim the cached
+// proving keys with DefaultEngine().ClearCache().
+func DefaultEngine() *engine.Engine { return defaultEngine }
+
 // RunPipeline executes setup → prove → verify for the artifact and
 // collects Table I metrics. rng supplies setup/prover randomness
-// (crypto/rand when nil).
+// (crypto/rand when nil). It is a thin wrapper over the process-wide
+// prover engine: a second run for the same circuit digest skips setup.
 func RunPipeline(art *Artifact, rng io.Reader) (*Pipeline, error) {
+	return RunPipelineWith(defaultEngine, art, rng)
+}
+
+// RunPipelineWith executes the pipeline on a specific prover engine.
+func RunPipelineWith(eng *engine.Engine, art *Artifact, rng io.Reader) (*Pipeline, error) {
 	pl := &Pipeline{Artifact: art}
 	pl.Metrics.Name = art.Name
 	pl.Metrics.NbConstraints = art.System.NbConstraints()
 	pl.Metrics.NbPublic = art.System.NbPublic - 1
 	pl.Metrics.NbPrivate = art.System.NbPrivate()
 
-	start := time.Now()
-	pk, vk, err := groth16.Setup(art.System, rng)
+	res, err := eng.Prove(art.Request(rng))
 	if err != nil {
-		return nil, fmt.Errorf("core: setup: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	pl.Metrics.SetupTime = time.Since(start)
-	pl.PK, pl.VK = pk, vk
-	pl.Metrics.PKSize = pk.SizeBytes()
-	pl.Metrics.VKSize = vk.SizeBytes()
-
-	start = time.Now()
-	proof, err := groth16.Prove(art.System, pk, art.Witness, rng)
-	if err != nil {
-		return nil, fmt.Errorf("core: prove: %w", err)
-	}
-	pl.Metrics.ProveTime = time.Since(start)
-	pl.Proof = proof
-	pl.Metrics.ProofSize = proof.PayloadSize()
+	pl.PK, pl.VK = res.Keys.PK, res.Keys.VK
+	pl.Proof = res.Proof
+	pl.Metrics.SetupTime = res.SetupTime
+	pl.Metrics.SetupCached = res.CacheHit
+	pl.Metrics.ProveTime = res.ProveTime
+	pl.Metrics.PKSize = pl.PK.SizeBytes()
+	pl.Metrics.VKSize = pl.VK.SizeBytes()
+	pl.Metrics.ProofSize = res.Proof.PayloadSize()
 
 	public := art.PublicInputs()
-	start = time.Now()
-	if err := groth16.Verify(vk, proof, public); err != nil {
+	start := time.Now()
+	if err := eng.Verify(pl.VK, pl.Proof, public); err != nil {
 		return nil, fmt.Errorf("core: verify: %w", err)
 	}
 	pl.Metrics.VerifyTime = time.Since(start)

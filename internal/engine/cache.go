@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"bufio"
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"zkrownn/internal/groth16"
+)
+
+// KeyPair bundles the Groth16 keys produced by one trusted setup.
+type KeyPair struct {
+	PK *groth16.ProvingKey
+	VK *groth16.VerifyingKey
+}
+
+// keyCache is a circuit-digest-keyed LRU of Groth16 key pairs with
+// optional write-through persistence to a directory. Proving keys are
+// large (tens of MB at paper scale), so the in-memory tier is bounded by
+// entry count and the disk tier — when enabled — survives process
+// restarts, letting a redeployed prover service skip every trusted setup
+// it has ever run.
+type keyCache struct {
+	mu      sync.Mutex
+	maxSize int
+	dir     string // "" disables the disk tier
+	order   *list.List
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	digest string
+	keys   *KeyPair
+}
+
+func newKeyCache(maxSize int, dir string) *keyCache {
+	return &keyCache{
+		maxSize: maxSize,
+		dir:     dir,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// getMem returns the key pair for a digest from the in-memory LRU.
+func (c *keyCache) getMem(digest string) (*KeyPair, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).keys, true
+	}
+	return nil, false
+}
+
+// getDisk loads a key pair from the disk tier (if configured) and
+// promotes it to memory. Callers are expected to hold the engine's
+// per-digest singleflight so a cold burst deserializes a key file once.
+func (c *keyCache) getDisk(digest string) (*KeyPair, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	keys, err := c.loadDisk(digest)
+	if err != nil {
+		return nil, false
+	}
+	c.putMem(digest, keys)
+	return keys, true
+}
+
+// put stores a fresh key pair in memory and, when a directory is
+// configured, on disk. Disk write failures are returned but leave the
+// memory tier populated — the engine keeps working, just without
+// persistence.
+func (c *keyCache) put(digest string, keys *KeyPair) error {
+	c.putMem(digest, keys)
+	if c.dir == "" {
+		return nil
+	}
+	return c.storeDisk(digest, keys)
+}
+
+func (c *keyCache) putMem(digest string, keys *KeyPair) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).keys = keys
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{digest: digest, keys: keys})
+	c.entries[digest] = el
+	for c.maxSize > 0 && c.order.Len() > c.maxSize {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).digest)
+	}
+}
+
+// len reports the number of in-memory entries.
+func (c *keyCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// clear drops every in-memory entry (the disk tier is untouched).
+func (c *keyCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+func (c *keyCache) pkPath(digest string) string {
+	return filepath.Join(c.dir, digest+".pk")
+}
+
+func (c *keyCache) vkPath(digest string) string {
+	return filepath.Join(c.dir, digest+".vk")
+}
+
+// loadDisk reads a cached key pair. The proving key uses the raw
+// (uncompressed) encoding: loading it costs a linear pass of cheap
+// field decodings instead of one modular square root per point, which
+// would otherwise make a disk hit slower than re-running setup for
+// small circuits. The directory is the operator's own material, so the
+// weaker G2 checks of the raw format are acceptable.
+func (c *keyCache) loadDisk(digest string) (*KeyPair, error) {
+	pkf, err := os.Open(c.pkPath(digest))
+	if err != nil {
+		return nil, err
+	}
+	defer pkf.Close()
+	vkf, err := os.Open(c.vkPath(digest))
+	if err != nil {
+		return nil, err
+	}
+	defer vkf.Close()
+
+	keys := &KeyPair{PK: new(groth16.ProvingKey), VK: new(groth16.VerifyingKey)}
+	if _, err := keys.PK.ReadRawFrom(bufio.NewReaderSize(pkf, 1<<20)); err != nil {
+		return nil, fmt.Errorf("engine: corrupt cached proving key %s: %w", digest, err)
+	}
+	if _, err := keys.VK.ReadFrom(bufio.NewReader(vkf)); err != nil {
+		return nil, fmt.Errorf("engine: corrupt cached verifying key %s: %w", digest, err)
+	}
+	return keys, nil
+}
+
+// storeDisk writes both keys via temp-file rename so a crash mid-write
+// never leaves a truncated key that a later run would trust.
+func (c *keyCache) storeDisk(digest string, keys *KeyPair) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	if err := atomicWrite(c.pkPath(digest), func(w io.Writer) error {
+		_, err := keys.PK.WriteRawTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	return atomicWrite(c.vkPath(digest), func(w io.Writer) error {
+		_, err := keys.VK.WriteTo(w)
+		return err
+	})
+}
+
+func atomicWrite(path string, fn func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := fn(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,365 @@
+// Package engine is ZKROWNN's prover engine: a concurrent, cache-aware
+// subsystem that owns the Groth16 setup → prove → verify lifecycle for
+// many requests.
+//
+// The engine keys trusted setup on the circuit digest (r1cs.System
+// .Digest): two requests for the same circuit *architecture* — the
+// common shape of ownership disputes, where one model family is proved
+// over and over against different suspect weights — share one setup.
+// Keys live in a bounded in-memory LRU with an optional on-disk tier
+// (the groth16 WriteTo/ReadFrom encoding), so a restarted service skips
+// every setup it has ever run. Concurrent requests for the same digest
+// are deduplicated: one goroutine runs setup, the rest wait for it.
+//
+// ProveMany fans requests across a worker pool; VerifyMany folds many
+// proofs under one verifying key into a single batched pairing product.
+// Every stage is metered (Stats) so operators can see cache hit rates
+// and where wall-clock time goes.
+package engine
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/r1cs"
+)
+
+// Options configures an Engine. The zero value is usable: a small
+// memory-only cache and one prover worker per core.
+type Options struct {
+	// CacheEntries bounds the in-memory key cache (default 16; a
+	// negative value means unbounded).
+	CacheEntries int
+	// CacheDir, when non-empty, enables on-disk key persistence keyed by
+	// circuit digest. The directory is created on first write.
+	CacheDir string
+	// Workers sizes the ProveMany pool (default GOMAXPROCS).
+	Workers int
+	// Rand supplies setup and prover randomness (default crypto/rand).
+	// It must be safe for concurrent use; the engine serializes setup
+	// internally but proves concurrently.
+	Rand io.Reader
+}
+
+// Request is one proving job: a finalized constraint system plus its
+// witness.
+type Request struct {
+	Name    string
+	System  *r1cs.System
+	Witness []fr.Element
+	// Rand overrides the engine's randomness source for this request
+	// (useful for deterministic tests). The engine serializes reads from
+	// a per-request source, so a plain math/rand Reader is safe.
+	Rand io.Reader
+}
+
+// Result reports one proving job's artifacts and per-stage timings.
+type Result struct {
+	Name   string
+	Digest string
+	Keys   *KeyPair
+	Proof  *groth16.Proof
+	// SetupTime is the wall-clock cost of obtaining keys. On a cache hit
+	// it is the lookup cost — effectively zero next to a real setup.
+	SetupTime time.Duration
+	ProveTime time.Duration
+	// CacheHit is true when setup was skipped (memory or disk tier).
+	CacheHit bool
+	// PersistErr reports a failed write to the disk cache tier. The keys
+	// are still cached in memory and fully usable; it is surfaced so
+	// callers don't promise on-disk keys that don't exist.
+	PersistErr error
+	// Err is set instead of returned so ProveMany can report per-request
+	// failures without abandoning the rest of the batch.
+	Err error
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Setups     uint64 // trusted setups actually executed
+	MemHits    uint64 // key lookups served from the in-memory LRU
+	DiskHits   uint64 // key lookups served from the disk tier
+	Proves     uint64
+	Verifies   uint64 // individual + batched verification calls
+	SetupTime  time.Duration
+	ProveTime  time.Duration
+	VerifyTime time.Duration
+}
+
+// Engine is safe for concurrent use by multiple goroutines.
+type Engine struct {
+	opts  Options
+	cache *keyCache
+
+	// inflight deduplicates concurrent setups per digest.
+	inflightMu sync.Mutex
+	inflight   map[string]*setupCall
+
+	setups, memHits, diskHits  atomic.Uint64
+	proves, verifies           atomic.Uint64
+	setupNs, proveNs, verifyNs atomic.Int64
+}
+
+type setupCall struct {
+	done       chan struct{}
+	keys       *KeyPair
+	err        error
+	persistErr error
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 16
+	}
+	if opts.CacheEntries < 0 {
+		opts.CacheEntries = 0 // unbounded in keyCache terms
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.Reader
+	}
+	return &Engine{
+		opts:     opts,
+		cache:    newKeyCache(opts.CacheEntries, opts.CacheDir),
+		inflight: make(map[string]*setupCall),
+	}
+}
+
+// Keys returns the Groth16 key pair for a constraint system, running the
+// trusted setup only when no cache tier holds the digest. The bool
+// reports whether setup was skipped. Concurrent callers with the same
+// digest share one setup execution.
+func (e *Engine) Keys(sys *r1cs.System, rng io.Reader) (*KeyPair, bool, error) {
+	keys, hit, _, _, err := e.keys(sys, rng)
+	return keys, hit, err
+}
+
+func (e *Engine) keys(sys *r1cs.System, rng io.Reader) (keys *KeyPair, hit bool, digest string, persistErr error, err error) {
+	digest = sys.DigestHex()
+	if keys, ok := e.cache.getMem(digest); ok {
+		e.memHits.Add(1)
+		return keys, true, digest, nil, nil
+	}
+
+	e.inflightMu.Lock()
+	if call, ok := e.inflight[digest]; ok {
+		e.inflightMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, digest, nil, call.err
+		}
+		// A waiter's wall-clock includes the setup it blocked on, so it
+		// reports hit=false: its cost accounting must not read as "free"
+		// even though it didn't execute the setup itself.
+		return call.keys, false, digest, call.persistErr, nil
+	}
+	// Re-check the memory tier under inflightMu: another goroutine may
+	// have finished setup and deregistered between our miss above and
+	// taking the lock — without this, that window runs a redundant setup.
+	if keys, ok := e.cache.getMem(digest); ok {
+		e.inflightMu.Unlock()
+		e.memHits.Add(1)
+		return keys, true, digest, nil, nil
+	}
+	call := &setupCall{done: make(chan struct{})}
+	e.inflight[digest] = call
+	e.inflightMu.Unlock()
+
+	// The disk load sits inside the singleflight so a cold-memory burst
+	// of same-digest requests deserializes the (potentially huge) key
+	// file once, not once per worker.
+	diskHit := false
+	if keys, ok := e.cache.getDisk(digest); ok {
+		e.diskHits.Add(1)
+		call.keys = keys
+		diskHit = true
+	} else {
+		start := time.Now()
+		pk, vk, serr := groth16.Setup(sys, e.requestRand(rng))
+		elapsed := time.Since(start)
+		if serr == nil {
+			call.keys = &KeyPair{PK: pk, VK: vk}
+			e.setups.Add(1)
+			e.setupNs.Add(int64(elapsed))
+			// Persistence is best-effort; a disk-tier write failure
+			// leaves the keys cached in memory and the engine fully
+			// functional.
+			call.persistErr = e.cache.put(digest, call.keys)
+		}
+		call.err = serr
+	}
+
+	e.inflightMu.Lock()
+	delete(e.inflight, digest)
+	e.inflightMu.Unlock()
+	close(call.done)
+
+	if call.err != nil {
+		return nil, false, digest, nil, call.err
+	}
+	return call.keys, diskHit, digest, call.persistErr, nil
+}
+
+// Prove runs one job end-to-end: keys from the cache (or a fresh setup)
+// and then the Groth16 prover. The returned Result always has Err nil —
+// errors are returned — but shares its layout with ProveMany results.
+func (e *Engine) Prove(req Request) (*Result, error) {
+	res := e.prove(req)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res, nil
+}
+
+func (e *Engine) prove(req Request) *Result {
+	res := &Result{Name: req.Name}
+	if req.System == nil {
+		res.Err = errors.New("engine: request has no constraint system")
+		return res
+	}
+
+	start := time.Now()
+	keys, hit, digest, persistErr, err := e.keys(req.System, req.Rand)
+	res.SetupTime = time.Since(start)
+	res.Digest = digest
+	res.CacheHit = hit
+	res.PersistErr = persistErr
+	if err != nil {
+		res.Err = fmt.Errorf("engine: setup: %w", err)
+		return res
+	}
+	res.Keys = keys
+
+	start = time.Now()
+	proof, err := groth16.Prove(req.System, keys.PK, req.Witness, e.requestRand(req.Rand))
+	res.ProveTime = time.Since(start)
+	if err != nil {
+		res.Err = fmt.Errorf("engine: prove: %w", err)
+		return res
+	}
+	e.proves.Add(1)
+	e.proveNs.Add(int64(res.ProveTime))
+	res.Proof = proof
+	return res
+}
+
+// ProveMany runs the requests on the engine's worker pool and returns
+// one Result per request, order-preserving. Requests sharing a circuit
+// digest trigger a single trusted setup no matter how the pool
+// interleaves them. Failed requests carry their error in Result.Err;
+// the rest of the batch completes.
+func (e *Engine) ProveMany(reqs []Request) []*Result {
+	results := make([]*Result, len(reqs))
+	workers := e.opts.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i := range reqs {
+			results[i] = e.prove(reqs[i])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = e.prove(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Verify checks one proof against its public inputs.
+func (e *Engine) Verify(vk *groth16.VerifyingKey, proof *groth16.Proof, public []fr.Element) error {
+	start := time.Now()
+	err := groth16.Verify(vk, proof, public)
+	e.verifies.Add(1)
+	e.verifyNs.Add(int64(time.Since(start)))
+	return err
+}
+
+// VerifyMany checks many proofs under one verifying key with a single
+// combined pairing product (groth16.BatchVerify) — the verifier-side
+// analogue of ProveMany.
+func (e *Engine) VerifyMany(vk *groth16.VerifyingKey, proofs []*groth16.Proof, publicInputs [][]fr.Element) error {
+	start := time.Now()
+	err := groth16.BatchVerify(vk, proofs, publicInputs, e.requestRand(nil))
+	e.verifies.Add(uint64(len(proofs)))
+	e.verifyNs.Add(int64(time.Since(start)))
+	return err
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Setups:     e.setups.Load(),
+		MemHits:    e.memHits.Load(),
+		DiskHits:   e.diskHits.Load(),
+		Proves:     e.proves.Load(),
+		Verifies:   e.verifies.Load(),
+		SetupTime:  time.Duration(e.setupNs.Load()),
+		ProveTime:  time.Duration(e.proveNs.Load()),
+		VerifyTime: time.Duration(e.verifyNs.Load()),
+	}
+}
+
+// CachedKeys reports the number of key pairs resident in memory.
+func (e *Engine) CachedKeys() int { return e.cache.len() }
+
+// ClearCache releases every in-memory key pair (proving keys can run to
+// hundreds of MB) so long-lived embedders can reclaim the memory; the
+// disk tier, when configured, is left intact and repopulates the memory
+// tier on the next request.
+func (e *Engine) ClearCache() { e.cache.clear() }
+
+// requestRand resolves the effective randomness source for one request.
+// User-supplied readers (deterministic test sources, typically
+// math/rand) are not concurrency-safe, and the same reader may back
+// several requests running on different pool workers, so all of them
+// share one package-wide lock. crypto/rand — the production default —
+// bypasses it.
+func (e *Engine) requestRand(override io.Reader) io.Reader {
+	r := override
+	if r == nil {
+		r = e.opts.Rand
+	}
+	if r == rand.Reader {
+		return r // crypto/rand is already concurrency-safe
+	}
+	return &lockedReader{r: r}
+}
+
+// userRandMu serializes every read from user-supplied randomness
+// sources, whichever requests they arrived with.
+var userRandMu sync.Mutex
+
+type lockedReader struct {
+	r io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	userRandMu.Lock()
+	defer userRandMu.Unlock()
+	return l.r.Read(p)
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/r1cs"
+)
+
+// cubicSystem builds x³ + x + k = out (out public) — the standard toy
+// circuit. Different k values produce different constraint coefficients
+// and therefore different circuit digests.
+func cubicSystem(k uint64) *r1cs.System {
+	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
+	kEl := func() fr.Element { var e fr.Element; e.SetUint64(k); return e }
+	lc := func(terms ...r1cs.Term) r1cs.LinearCombination { return terms }
+
+	sys := &r1cs.System{NbPublic: 2, NbWires: 5}
+	sys.Constraints = append(sys.Constraints,
+		r1cs.Constraint{ // x·x = x²
+			A: lc(r1cs.Term{Wire: 2, Coeff: one()}),
+			B: lc(r1cs.Term{Wire: 2, Coeff: one()}),
+			C: lc(r1cs.Term{Wire: 3, Coeff: one()}),
+		},
+		r1cs.Constraint{ // x²·x = x³
+			A: lc(r1cs.Term{Wire: 3, Coeff: one()}),
+			B: lc(r1cs.Term{Wire: 2, Coeff: one()}),
+			C: lc(r1cs.Term{Wire: 4, Coeff: one()}),
+		},
+		r1cs.Constraint{ // (x³ + x + k)·1 = out
+			A: lc(
+				r1cs.Term{Wire: 4, Coeff: one()},
+				r1cs.Term{Wire: 2, Coeff: one()},
+				r1cs.Term{Wire: 0, Coeff: kEl()},
+			),
+			B: lc(r1cs.Term{Wire: 0, Coeff: one()}),
+			C: lc(r1cs.Term{Wire: 1, Coeff: one()}),
+		})
+	return sys
+}
+
+func cubicWitness(k, x uint64) []fr.Element {
+	w := make([]fr.Element, 5)
+	w[0].SetOne()
+	w[2].SetUint64(x)
+	w[3].Mul(&w[2], &w[2])
+	w[4].Mul(&w[3], &w[2])
+	var kEl fr.Element
+	kEl.SetUint64(k)
+	w[1].Add(&w[4], &w[2])
+	w[1].Add(&w[1], &kEl)
+	return w
+}
+
+func publicOf(w []fr.Element) []fr.Element { return w[1:2] }
+
+func TestProveCacheHitSkipsSetup(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(1))})
+	sys := cubicSystem(5)
+
+	r1, err := e.Prove(Request{Name: "first", System: sys, Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first prove must run setup")
+	}
+	if err := e.Verify(r1.Keys.VK, r1.Proof, publicOf(cubicWitness(5, 3))); err != nil {
+		t.Fatalf("first proof rejected: %v", err)
+	}
+
+	// Same digest, different witness: the repeat-dispute shape.
+	r2, err := e.Prove(Request{Name: "second", System: cubicSystem(5), Witness: cubicWitness(5, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second prove for the same circuit digest must hit the key cache")
+	}
+	if r2.SetupTime >= r1.SetupTime {
+		t.Fatalf("cache-hit SetupTime %v not cheaper than real setup %v", r2.SetupTime, r1.SetupTime)
+	}
+	if err := e.Verify(r2.Keys.VK, r2.Proof, publicOf(cubicWitness(5, 7))); err != nil {
+		t.Fatalf("cached-key proof rejected: %v", err)
+	}
+
+	st := e.Stats()
+	if st.Setups != 1 || st.MemHits != 1 || st.Proves != 2 {
+		t.Fatalf("stats = %+v, want 1 setup, 1 mem hit, 2 proves", st)
+	}
+}
+
+func TestDistinctDigestsDistinctKeys(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(2))})
+	ra, err := e.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := e.Prove(Request{System: cubicSystem(9), Witness: cubicWitness(9, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Digest == rb.Digest {
+		t.Fatal("different constraint coefficients must give different digests")
+	}
+	if rb.CacheHit {
+		t.Fatal("different digest must not hit the cache")
+	}
+	if e.Stats().Setups != 2 {
+		t.Fatalf("want 2 setups, got %d", e.Stats().Setups)
+	}
+}
+
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+
+	e1 := New(Options{CacheDir: dir, Rand: rng})
+	r1, err := e1.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine (cold memory) over the same directory: disk hit.
+	e2 := New(Options{CacheDir: dir, Rand: rng})
+	r2, err := e2.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("restarted engine must load keys from disk")
+	}
+	st := e2.Stats()
+	if st.Setups != 0 || st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 0 setups and 1 disk hit", st)
+	}
+	// Keys deserialized from disk must interoperate with the original VK.
+	if err := e2.Verify(r1.Keys.VK, r2.Proof, publicOf(cubicWitness(5, 4))); err != nil {
+		t.Fatalf("proof from disk-cached keys rejected by original VK: %v", err)
+	}
+}
+
+func TestConcurrentSetupDeduplicated(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(4)), Workers: 8})
+	const jobs = 8
+	reqs := make([]Request, jobs)
+	for i := range reqs {
+		reqs[i] = Request{System: cubicSystem(5), Witness: cubicWitness(5, uint64(i+2))}
+	}
+	results := e.ProveMany(reqs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	if got := e.Stats().Setups; got != 1 {
+		t.Fatalf("concurrent same-digest requests ran %d setups, want 1", got)
+	}
+}
+
+func TestVerifyMany(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(5)), Workers: 4})
+	const jobs = 3
+	reqs := make([]Request, jobs)
+	publics := make([][]fr.Element, jobs)
+	for i := range reqs {
+		w := cubicWitness(5, uint64(i+2))
+		reqs[i] = Request{System: cubicSystem(5), Witness: w}
+		publics[i] = publicOf(w)
+	}
+	results := e.ProveMany(reqs)
+	vk := results[0].Keys.VK
+	proofs := make([]*groth16.Proof, jobs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		proofs[i] = r.Proof
+	}
+	if err := e.VerifyMany(vk, proofs, publics); err != nil {
+		t.Fatalf("batch verification failed: %v", err)
+	}
+	// Tampered public input must fail the batch.
+	publics[1][0].SetUint64(12345)
+	if err := e.VerifyMany(vk, proofs, publics); err == nil {
+		t.Fatal("tampered batch accepted")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(Options{CacheEntries: 2, Rand: rand.New(rand.NewSource(6))})
+	for _, k := range []uint64{5, 6, 7} {
+		if _, err := e.Prove(Request{System: cubicSystem(k), Witness: cubicWitness(k, 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.CachedKeys(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+	// k=5 was evicted; proving it again runs setup.
+	before := e.Stats().Setups
+	r, err := e.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit || e.Stats().Setups != before+1 {
+		t.Fatal("evicted digest must re-run setup")
+	}
+}

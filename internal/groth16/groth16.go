@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/big"
+	"sync"
 
 	"zkrownn/internal/bn254/curve"
 	"zkrownn/internal/bn254/ext"
@@ -105,63 +107,80 @@ func Setup(sys *r1cs.System, rng io.Reader) (*ProvingKey, *VerifyingKey, error) 
 		return nil, nil, err
 	}
 
-	// QAP polynomials evaluated at τ via the Lagrange basis.
+	// QAP polynomials evaluated at τ via the Lagrange basis. The
+	// per-constraint loop accumulates into per-wire slots, so it is
+	// transposed first: wireIndex buckets every (constraint, coeff) term
+	// by wire, and the field multiplications then parallelize over
+	// disjoint wire ranges with no locking and no redundant scans.
 	lag := domain.LagrangeBasisAt(&tau)
 	m := sys.NbWires
+	var uIdx, vIdx, wIdx wireIndex
+	var idxWg sync.WaitGroup
+	idxWg.Add(3)
+	go func() {
+		defer idxWg.Done()
+		uIdx = buildWireIndex(sys.Constraints, m, func(c *r1cs.Constraint) r1cs.LinearCombination { return c.A })
+	}()
+	go func() {
+		defer idxWg.Done()
+		vIdx = buildWireIndex(sys.Constraints, m, func(c *r1cs.Constraint) r1cs.LinearCombination { return c.B })
+	}()
+	go func() {
+		defer idxWg.Done()
+		wIdx = buildWireIndex(sys.Constraints, m, func(c *r1cs.Constraint) r1cs.LinearCombination { return c.C })
+	}()
+	idxWg.Wait()
+
 	uTau := make([]fr.Element, m)
 	vTau := make([]fr.Element, m)
 	wTau := make([]fr.Element, m)
-	for i, c := range sys.Constraints {
-		for _, t := range c.A {
-			var term fr.Element
-			term.Mul(&t.Coeff, &lag[i])
-			uTau[t.Wire].Add(&uTau[t.Wire], &term)
-		}
-		for _, t := range c.B {
-			var term fr.Element
-			term.Mul(&t.Coeff, &lag[i])
-			vTau[t.Wire].Add(&vTau[t.Wire], &term)
-		}
-		for _, t := range c.C {
-			var term fr.Element
-			term.Mul(&t.Coeff, &lag[i])
-			wTau[t.Wire].Add(&wTau[t.Wire], &term)
-		}
-	}
+	par.Range(m, func(lo, hi int) {
+		uIdx.accumulate(lo, hi, lag, uTau)
+		vIdx.accumulate(lo, hi, lag, vTau)
+		wIdx.accumulate(lo, hi, lag, wTau)
+	})
 
 	var gammaInv, deltaInv fr.Element
 	gammaInv.Inverse(&gamma)
 	deltaInv.Inverse(&delta)
 
 	// K-query scalars (private wires) and IC scalars (public wires):
-	// (β·uⱼ + α·vⱼ + wⱼ) scaled by 1/δ or 1/γ.
+	// (β·uⱼ + α·vⱼ + wⱼ) scaled by 1/δ or 1/γ. Disjoint writes per wire.
 	ell := sys.NbPublic // wires 0..ell-1 public
 	icScalars := make([]fr.Element, ell)
 	kScalars := make([]fr.Element, m-ell)
-	for j := 0; j < m; j++ {
-		var acc, t fr.Element
-		acc.Mul(&beta, &uTau[j])
-		t.Mul(&alpha, &vTau[j])
-		acc.Add(&acc, &t)
-		acc.Add(&acc, &wTau[j])
-		if j < ell {
-			icScalars[j].Mul(&acc, &gammaInv)
-		} else {
-			kScalars[j-ell].Mul(&acc, &deltaInv)
+	par.Range(m, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var acc, t fr.Element
+			acc.Mul(&beta, &uTau[j])
+			t.Mul(&alpha, &vTau[j])
+			acc.Add(&acc, &t)
+			acc.Add(&acc, &wTau[j])
+			if j < ell {
+				icScalars[j].Mul(&acc, &gammaInv)
+			} else {
+				kScalars[j-ell].Mul(&acc, &deltaInv)
+			}
 		}
-	}
+	})
 
-	// Z-query scalars: τⁱ·Z(τ)/δ for i = 0..n-2.
+	// Z-query scalars: τⁱ·Z(τ)/δ for i = 0..n-2, each chunk seeded with
+	// Z(τ)/δ·τ^start.
 	n := domain.N
 	zTau := domain.VanishingEval(&tau)
 	var zOverDelta fr.Element
 	zOverDelta.Mul(&zTau, &deltaInv)
 	zScalars := make([]fr.Element, n-1)
-	cur := zOverDelta
-	for i := range zScalars {
-		zScalars[i] = cur
-		cur.Mul(&cur, &tau)
-	}
+	par.Range(len(zScalars), func(lo, hi int) {
+		cur := zOverDelta
+		var tpow fr.Element
+		tpow.Exp(&tau, big.NewInt(int64(lo)))
+		cur.Mul(&cur, &tpow)
+		for i := lo; i < hi; i++ {
+			zScalars[i] = cur
+			cur.Mul(&cur, &tau)
+		}
+	})
 
 	// Fixed-base tables amortize the ~4m+n generator multiplications.
 	g1 := curve.G1Generator()
@@ -291,6 +310,57 @@ func Prove(sys *r1cs.System, pk *ProvingKey, witness []fr.Element, rng io.Reader
 	return proof, nil
 }
 
+// wireIndex is the transpose of one R1CS matrix: for each wire, the
+// (constraint, coefficient) terms in which it appears, stored as CSR
+// (offs[w]..offs[w+1] index into cons/coef).
+type wireIndex struct {
+	offs []uint32
+	cons []uint32
+	coef []fr.Element
+}
+
+// buildWireIndex transposes the selected linear combinations in two
+// O(#terms) passes (count + fill).
+func buildWireIndex(constraints []r1cs.Constraint, m int, sel func(*r1cs.Constraint) r1cs.LinearCombination) wireIndex {
+	offs := make([]uint32, m+1)
+	for i := range constraints {
+		for _, t := range sel(&constraints[i]) {
+			offs[t.Wire+1]++
+		}
+	}
+	for w := 0; w < m; w++ {
+		offs[w+1] += offs[w]
+	}
+	idx := wireIndex{
+		offs: offs,
+		cons: make([]uint32, offs[m]),
+		coef: make([]fr.Element, offs[m]),
+	}
+	cursor := make([]uint32, m)
+	copy(cursor, offs[:m])
+	for i := range constraints {
+		for _, t := range sel(&constraints[i]) {
+			k := cursor[t.Wire]
+			cursor[t.Wire]++
+			idx.cons[k] = uint32(i)
+			idx.coef[k] = t.Coeff
+		}
+	}
+	return idx
+}
+
+// accumulate adds Σ coeff·lag[constraint] into dst[w] for every wire w
+// in [lo, hi). Disjoint wire ranges touch disjoint dst entries.
+func (x *wireIndex) accumulate(lo, hi int, lag, dst []fr.Element) {
+	for w := lo; w < hi; w++ {
+		for k := x.offs[w]; k < x.offs[w+1]; k++ {
+			var term fr.Element
+			term.Mul(&x.coef[k], &lag[x.cons[k]])
+			dst[w].Add(&dst[w], &term)
+		}
+	}
+}
+
 // quotient computes the coefficients of h(X) = (A(X)·B(X) - C(X))/Z(X),
 // returning n-1 coefficients.
 func quotient(sys *r1cs.System, domainSize uint64, witness []fr.Element) ([]fr.Element, error) {
@@ -326,11 +396,13 @@ func quotient(sys *r1cs.System, domainSize uint64, witness []fr.Element) ([]fr.E
 	zc := domain.VanishingOnCoset()
 	var zcInv fr.Element
 	zcInv.Inverse(&zc)
-	for i := 0; i < n; i++ {
-		a[i].Mul(&a[i], &b[i])
-		a[i].Sub(&a[i], &c[i])
-		a[i].Mul(&a[i], &zcInv)
-	}
+	par.Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i].Mul(&a[i], &b[i])
+			a[i].Sub(&a[i], &c[i])
+			a[i].Mul(&a[i], &zcInv)
+		}
+	})
 	domain.IFFTCoset(a)
 
 	// deg h ≤ n-2, so the top coefficient must vanish.

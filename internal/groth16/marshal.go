@@ -14,6 +14,7 @@ import (
 var (
 	magicProof = [4]byte{'Z', 'K', 'P', 'F'}
 	magicPK    = [4]byte{'Z', 'K', 'P', 'K'}
+	magicPKRaw = [4]byte{'Z', 'K', 'P', 'R'}
 	magicVK    = [4]byte{'Z', 'K', 'V', 'K'}
 )
 
@@ -296,6 +297,133 @@ func (pk *ProvingKey) ReadFrom(r io.Reader) (int64, error) {
 	}
 	if pk.B2, err = readG2Slice(r); err != nil {
 		return 0, err
+	}
+	return 0, nil
+}
+
+// WriteRawTo serializes the proving key with uncompressed points — about
+// twice the bytes of WriteTo, but ReadRawFrom skips the per-point square
+// root of compressed decoding, making deserialization orders of
+// magnitude faster. This is the format of the prover engine's local key
+// cache; use WriteTo for keys that cross a trust boundary.
+func (pk *ProvingKey) WriteRawTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if err := writeHeader(cw, magicPKRaw); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, pk.DomainSize); err != nil {
+		return cw.n, err
+	}
+	for _, pt := range []*curve.G1Affine{&pk.AlphaG1, &pk.BetaG1, &pk.DeltaG1} {
+		b := pt.BytesRaw()
+		if _, err := cw.Write(b[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, pt := range []*curve.G2Affine{&pk.BetaG2, &pk.DeltaG2} {
+		b := pt.BytesRaw()
+		if _, err := cw.Write(b[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, s := range [][]curve.G1Affine{pk.A, pk.B1, pk.K, pk.Z} {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return cw.n, err
+		}
+		for i := range s {
+			b := s[i].BytesRaw()
+			if _, err := cw.Write(b[:]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(pk.B2))); err != nil {
+		return cw.n, err
+	}
+	for i := range pk.B2 {
+		b := pk.B2[i].BytesRaw()
+		if _, err := cw.Write(b[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadRawFrom deserializes a proving key written by WriteRawTo. Points
+// are checked on-curve but G2 subgroup membership is NOT verified — the
+// raw format is for locally trusted material only.
+func (pk *ProvingKey) ReadRawFrom(r io.Reader) (int64, error) {
+	if err := readHeader(r, magicPKRaw); err != nil {
+		return 0, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &pk.DomainSize); err != nil {
+		return 0, err
+	}
+	var g1buf [curve.G1UncompressedSize]byte
+	var g2buf [curve.G2UncompressedSize]byte
+	readG1Raw := func(p *curve.G1Affine) error {
+		if _, err := io.ReadFull(r, g1buf[:]); err != nil {
+			return err
+		}
+		return p.SetBytesRaw(g1buf[:])
+	}
+	readG2Raw := func(p *curve.G2Affine) error {
+		if _, err := io.ReadFull(r, g2buf[:]); err != nil {
+			return err
+		}
+		return p.SetBytesRaw(g2buf[:])
+	}
+	for _, pt := range []*curve.G1Affine{&pk.AlphaG1, &pk.BetaG1, &pk.DeltaG1} {
+		if err := readG1Raw(pt); err != nil {
+			return 0, err
+		}
+	}
+	for _, pt := range []*curve.G2Affine{&pk.BetaG2, &pk.DeltaG2} {
+		if err := readG2Raw(pt); err != nil {
+			return 0, err
+		}
+	}
+	readG1RawSlice := func() ([]curve.G1Affine, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 1<<28 {
+			return nil, errors.New("groth16: implausible G1 slice length")
+		}
+		out := make([]curve.G1Affine, n)
+		for i := range out {
+			if err := readG1Raw(&out[i]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var err error
+	if pk.A, err = readG1RawSlice(); err != nil {
+		return 0, err
+	}
+	if pk.B1, err = readG1RawSlice(); err != nil {
+		return 0, err
+	}
+	if pk.K, err = readG1RawSlice(); err != nil {
+		return 0, err
+	}
+	if pk.Z, err = readG1RawSlice(); err != nil {
+		return 0, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, err
+	}
+	if n > 1<<28 {
+		return 0, errors.New("groth16: implausible G2 slice length")
+	}
+	pk.B2 = make([]curve.G2Affine, n)
+	for i := range pk.B2 {
+		if err := readG2Raw(&pk.B2[i]); err != nil {
+			return 0, err
+		}
 	}
 	return 0, nil
 }

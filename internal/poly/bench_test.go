@@ -1,7 +1,9 @@
 package poly
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -21,6 +23,26 @@ func benchmarkFFT(b *testing.B, n uint64) {
 
 func BenchmarkFFT4096(b *testing.B)  { benchmarkFFT(b, 4096) }
 func BenchmarkFFT65536(b *testing.B) { benchmarkFFT(b, 65536) }
+
+// BenchmarkFFTParallel pins GOMAXPROCS to measure how the per-level
+// butterfly parallelism scales with cores. Run with
+// `go test -bench FFTParallel ./internal/poly` and compare the /procs=1
+// row against the highest one available on the host.
+func BenchmarkFFTParallel(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		if procs > runtime.NumCPU() && procs != 1 {
+			// Still report it: goroutines timeshare, documenting the ceiling.
+			if procs > 2*runtime.NumCPU() {
+				continue
+			}
+		}
+		b.Run(fmt.Sprintf("n=262144/procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			benchmarkFFT(b, 262144)
+		})
+	}
+}
 
 func BenchmarkLagrangeBasis4096(b *testing.B) {
 	d, err := NewDomain(4096)

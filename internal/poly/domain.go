@@ -8,8 +8,10 @@ package poly
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/par"
 )
 
 // Domain is a multiplicative subgroup H = {ω⁰, ..., ω^(N-1)} of F_r* of
@@ -56,14 +58,18 @@ func nextPow2(v uint64) uint64 {
 
 // Element returns ωⁱ.
 func (d *Domain) Element(i uint64) fr.Element {
+	return powUint64(d.Gen, i)
+}
+
+// powUint64 returns base^exp by square-and-multiply.
+func powUint64(base fr.Element, exp uint64) fr.Element {
 	var res fr.Element
 	res.SetOne()
-	w := d.Gen
-	for ; i > 0; i >>= 1 {
-		if i&1 == 1 {
-			res.Mul(&res, &w)
+	for ; exp > 0; exp >>= 1 {
+		if exp&1 == 1 {
+			res.Mul(&res, &base)
 		}
-		w.Square(&w)
+		base.Square(&base)
 	}
 	return res
 }
@@ -81,7 +87,10 @@ func bitReverse(a []fr.Element) {
 }
 
 // fftInner runs the iterative Cooley-Tukey butterfly network with the
-// given root of unity (ω for forward, ω⁻¹ for inverse).
+// given root of unity (ω for forward, ω⁻¹ for inverse). Every level is
+// data-parallel: early levels have many independent blocks (split across
+// blocks), late levels have few wide blocks (split inside each block,
+// seeding each chunk's twiddle with wlen^j₀).
 func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
 	n := len(a)
 	if uint64(n) != d.N {
@@ -99,19 +108,41 @@ func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
 			wlen.Square(&wlen)
 		}
 		half := length >> 1
-		for start := 0; start < n; start += length {
-			var w fr.Element
-			w.SetOne()
-			for j := 0; j < half; j++ {
-				u := a[start+j]
-				var v fr.Element
-				v.Mul(&a[start+j+half], &w)
-				a[start+j].Add(&u, &v)
-				a[start+j+half].Sub(&u, &v)
-				w.Mul(&w, &wlen)
+		nbBlocks := n / length
+		if nbBlocks >= half {
+			par.Range(nbBlocks, func(bs, be int) {
+				for b := bs; b < be; b++ {
+					start := b * length
+					var w fr.Element
+					w.SetOne()
+					for j := 0; j < half; j++ {
+						butterfly(a, start+j, start+j+half, &w)
+						w.Mul(&w, &wlen)
+					}
+				}
+			})
+		} else {
+			for start := 0; start < n; start += length {
+				par.Range(half, func(js, je int) {
+					w := powUint64(wlen, uint64(js))
+					for j := js; j < je; j++ {
+						butterfly(a, start+j, start+j+half, &w)
+						w.Mul(&w, &wlen)
+					}
+				})
 			}
 		}
 	}
+}
+
+// butterfly applies one Cooley-Tukey butterfly: (a[i], a[k]) becomes
+// (a[i] + w·a[k], a[i] - w·a[k]).
+func butterfly(a []fr.Element, i, k int, w *fr.Element) {
+	u := a[i]
+	var v fr.Element
+	v.Mul(&a[k], w)
+	a[i].Add(&u, &v)
+	a[k].Sub(&u, &v)
 }
 
 // FFT evaluates the coefficient vector a on H in place (natural order:
@@ -121,19 +152,28 @@ func (d *Domain) FFT(a []fr.Element) { d.fftInner(a, &d.Gen) }
 // IFFT interpolates evaluations on H back to coefficients in place.
 func (d *Domain) IFFT(a []fr.Element) {
 	d.fftInner(a, &d.GenInv)
-	for i := range a {
-		a[i].Mul(&a[i], &d.NInv)
-	}
+	par.Range(len(a), func(start, end int) {
+		for i := start; i < end; i++ {
+			a[i].Mul(&a[i], &d.NInv)
+		}
+	})
+}
+
+// mulPowers multiplies a[i] by s^i in place, seeding each parallel chunk
+// with s^start.
+func mulPowers(a []fr.Element, s *fr.Element) {
+	par.Range(len(a), func(start, end int) {
+		cur := powUint64(*s, uint64(start))
+		for i := start; i < end; i++ {
+			a[i].Mul(&a[i], &cur)
+			cur.Mul(&cur, s)
+		}
+	})
 }
 
 // FFTCoset evaluates the coefficient vector on the coset g·H in place.
 func (d *Domain) FFTCoset(a []fr.Element) {
-	var s fr.Element
-	s.SetOne()
-	for i := range a {
-		a[i].Mul(&a[i], &s)
-		s.Mul(&s, &d.CosetShift)
-	}
+	mulPowers(a, &d.CosetShift)
 	d.FFT(a)
 }
 
@@ -141,12 +181,7 @@ func (d *Domain) FFTCoset(a []fr.Element) {
 // coefficients in place.
 func (d *Domain) IFFTCoset(a []fr.Element) {
 	d.IFFT(a)
-	var s fr.Element
-	s.SetOne()
-	for i := range a {
-		a[i].Mul(&a[i], &s)
-		s.Mul(&s, &d.CosetShiftInv)
-	}
+	mulPowers(a, &d.CosetShiftInv)
 }
 
 // VanishingEval returns Z_H(x) = x^N - 1, computed with LogN squarings.
@@ -177,16 +212,20 @@ func (d *Domain) LagrangeBasisAt(tau *fr.Element) []fr.Element {
 
 	// denominators τ - ωⁱ
 	dens := make([]fr.Element, n)
-	var wi fr.Element
-	wi.SetOne()
 	onDomain := -1
-	for i := 0; i < n; i++ {
-		dens[i].Sub(tau, &wi)
-		if dens[i].IsZero() {
-			onDomain = i
+	var onDomainMu sync.Mutex
+	par.Range(n, func(start, end int) {
+		wi := powUint64(d.Gen, uint64(start))
+		for i := start; i < end; i++ {
+			dens[i].Sub(tau, &wi)
+			if dens[i].IsZero() {
+				onDomainMu.Lock()
+				onDomain = i
+				onDomainMu.Unlock()
+			}
+			wi.Mul(&wi, &d.Gen)
 		}
-		wi.Mul(&wi, &d.Gen)
-	}
+	})
 	if onDomain >= 0 {
 		out[onDomain].SetOne()
 		return out
@@ -197,12 +236,14 @@ func (d *Domain) LagrangeBasisAt(tau *fr.Element) []fr.Element {
 	zOverN.Mul(&z, &d.NInv)
 
 	invs := fr.BatchInvert(dens)
-	wi.SetOne()
-	for i := 0; i < n; i++ {
-		out[i].Mul(&zOverN, &invs[i])
-		out[i].Mul(&out[i], &wi)
-		wi.Mul(&wi, &d.Gen)
-	}
+	par.Range(n, func(start, end int) {
+		wi := powUint64(d.Gen, uint64(start))
+		for i := start; i < end; i++ {
+			out[i].Mul(&zOverN, &invs[i])
+			out[i].Mul(&out[i], &wi)
+			wi.Mul(&wi, &d.Gen)
+		}
+	})
 	return out
 }
 

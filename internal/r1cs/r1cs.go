@@ -11,6 +11,9 @@
 package r1cs
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 
 	"zkrownn/internal/bn254/fr"
@@ -118,6 +121,50 @@ func (s *System) IsSatisfied(w []fr.Element) (bool, int) {
 		}
 	}
 	return true, 0
+}
+
+// Digest returns a SHA-256 digest of the system's structure: wire
+// layout and every constraint's sparse coefficients. Two systems share a
+// digest exactly when the Groth16 trusted setup would produce
+// interchangeable keys for them, so the digest is the cache key of the
+// prover engine's key cache. Public-wire *values* live in the witness,
+// not the constraints — proving the same architecture against different
+// model weights reuses the same digest (and the same keys).
+func (s *System) Digest() [32]byte {
+	h := sha256.New()
+	var buf [4]byte
+	writeU32 := func(vs ...uint32) {
+		for _, v := range vs {
+			binary.LittleEndian.PutUint32(buf[:], v)
+			h.Write(buf[:])
+		}
+	}
+	h.Write([]byte("zkrownn/r1cs/v1"))
+	writeU32(uint32(s.NbPublic), uint32(s.NbWires), uint32(len(s.Constraints)))
+	writeLC := func(lc LinearCombination) {
+		writeU32(uint32(len(lc)))
+		for _, t := range lc {
+			b := t.Coeff.Bytes()
+			binary.LittleEndian.PutUint32(buf[:], uint32(t.Wire))
+			h.Write(buf[:])
+			h.Write(b[:])
+		}
+	}
+	for i := range s.Constraints {
+		writeLC(s.Constraints[i].A)
+		writeLC(s.Constraints[i].B)
+		writeLC(s.Constraints[i].C)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// DigestHex returns Digest as a lowercase hex string (the on-disk cache
+// file stem).
+func (s *System) DigestHex() string {
+	d := s.Digest()
+	return hex.EncodeToString(d[:])
 }
 
 // Stats summarises the system for benchmark reporting.

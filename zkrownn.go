@@ -31,6 +31,7 @@ import (
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/core"
 	"zkrownn/internal/dataset"
+	"zkrownn/internal/engine"
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
@@ -292,6 +293,50 @@ func VerifyCommittedOwnership(vk *VerifyingKey, proof *Proof, public []fr.Elemen
 		return err
 	}
 	return core.VerifyCommittedPublicInputs(q, layerIndex, public)
+}
+
+// --- Prover-engine service entry points ---
+//
+// The one-shot helpers above re-run trusted setup on every call. A
+// long-lived service — a dispute-resolution endpoint proving ownership
+// for many models of the same architecture, say — should instead hold an
+// Engine: keys are cached by circuit digest (in memory, and on disk when
+// EngineOptions.CacheDir is set), proofs fan out over a worker pool, and
+// verification batches into one pairing product.
+
+type (
+	// Engine is the concurrent, cache-aware prover engine.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine (cache bounds, persistence
+	// directory, worker count, randomness source).
+	EngineOptions = engine.Options
+	// ProveRequest is one proving job for Engine.ProveMany.
+	ProveRequest = engine.Request
+	// ProveResult reports one job's proof, keys, and per-stage timings.
+	ProveResult = engine.Result
+	// EngineStats snapshots the engine's cache and timing counters.
+	EngineStats = engine.Stats
+)
+
+// NewEngine builds a prover engine. The zero Options value gives a
+// memory-only cache and one prover worker per core.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// EngineRequest converts a finalized circuit into an engine proving
+// request. rng overrides the engine's randomness for this job (nil for
+// the engine default).
+func EngineRequest(c *Circuit, rng io.Reader) ProveRequest { return c.Request(rng) }
+
+// ProveOwnershipMany proves a batch of ownership circuits on the
+// engine's worker pool. Circuits sharing an architecture (and therefore
+// a circuit digest) share one trusted setup. One Result per circuit,
+// order-preserving; per-job failures land in Result.Err.
+func ProveOwnershipMany(e *Engine, circuits []*Circuit) []*ProveResult {
+	reqs := make([]ProveRequest, len(circuits))
+	for i, c := range circuits {
+		reqs[i] = c.Request(nil)
+	}
+	return e.ProveMany(reqs)
 }
 
 // BatchVerifyOwnership verifies many proofs under one verifying key with
