@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"zkrownn/internal/core"
@@ -88,8 +89,15 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "run each row this many times; repeats reuse keys via the engine's digest cache")
 		jsonOut  = flag.String("json", "BENCH_groth16.json", `write machine-readable per-row metrics to this file ("" disables)`)
 		keyCache = flag.String("keycache", "", "key-cache directory shared across bench invocations")
+		procs    = flag.String("procs", "", `comma-separated GOMAXPROCS values to run the whole table at (e.g. "1,4"); empty keeps the ambient setting`)
 	)
 	flag.Parse()
+
+	procsList, err := parseProcs(*procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *table2 {
 		printTableII()
@@ -144,39 +152,50 @@ func main() {
 		}},
 	}
 
-	fmt.Printf("ZKROWNN Table I reproduction — scale=%s, fixed-point f=%d, GOMAXPROCS=%d\n",
-		*scale, *fracBits, runtime.GOMAXPROCS(0))
-	fmt.Println(core.Header())
-	fmt.Println(strings.Repeat("-", 112))
-
 	// -repeat runs of one row are adjacent, so a 2-entry cache serves
 	// every repeat while keeping at most two (potentially huge) proving
-	// keys resident during a full-table run.
-	eng := engine.New(engine.Options{CacheDir: *keyCache, CacheEntries: 2})
+	// keys resident during a full-table run. A -procs sweep revisits
+	// every row once per setting, so it needs the whole table resident:
+	// only the first pass then pays trusted setup and the sweep compares
+	// prove/verify times against identical keys.
+	cacheEntries := 2
+	if len(procsList) > 1 {
+		cacheEntries = len(rows)
+	}
+	eng := engine.New(engine.Options{CacheDir: *keyCache, CacheEntries: cacheEntries})
 	report := benchReport{
 		Scale:      *scale,
 		FracBits:   *fracBits,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: procsList[0],
 		Rows:       []benchRecord{},
 	}
-	for _, spec := range rows {
-		if *row != "" && !strings.EqualFold(*row, spec.name) {
-			continue
-		}
-		rng := rand.New(rand.NewSource(*seed))
-		art, err := spec.build(p, rng)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: build: %v\n", spec.name, err)
-			os.Exit(1)
-		}
-		for r := 0; r < *repeat; r++ {
-			pl, err := core.RunPipelineWith(eng, art, rng)
+	for _, np := range procsList {
+		runtime.GOMAXPROCS(np)
+		fmt.Printf("ZKROWNN Table I reproduction — scale=%s, fixed-point f=%d, GOMAXPROCS=%d\n",
+			*scale, *fracBits, runtime.GOMAXPROCS(0))
+		fmt.Println(core.Header())
+		fmt.Println(strings.Repeat("-", 112))
+		for _, spec := range rows {
+			if *row != "" && !strings.EqualFold(*row, spec.name) {
+				continue
+			}
+			rng := rand.New(rand.NewSource(*seed))
+			art, err := spec.build(p, rng)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
+				fmt.Fprintf(os.Stderr, "%s: build: %v\n", spec.name, err)
 				os.Exit(1)
 			}
-			fmt.Println(pl.Metrics.String())
-			report.Rows = append(report.Rows, recordOf(&pl.Metrics))
+			for r := 0; r < *repeat; r++ {
+				pl, err := core.RunPipelineWith(eng, art, rng)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
+					os.Exit(1)
+				}
+				fmt.Println(pl.Metrics.String())
+				rec := recordOf(&pl.Metrics)
+				rec.GoMaxProcs = runtime.GOMAXPROCS(0)
+				report.Rows = append(report.Rows, rec)
+			}
 		}
 	}
 
@@ -194,8 +213,26 @@ func main() {
 	}
 }
 
+// parseProcs parses the -procs flag into the GOMAXPROCS sweep; an empty
+// flag keeps the ambient setting as a single run.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-procs: %q is not a positive integer", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // benchReport is the machine-readable Table I artifact tracked across
-// PRs (BENCH_groth16.json).
+// PRs (BENCH_groth16.json). The top-level gomaxprocs records the first
+// run of a -procs sweep; each row carries the setting it ran at.
 type benchReport struct {
 	Scale      string        `json:"scale"`
 	FracBits   int           `json:"frac_bits"`
@@ -208,6 +245,7 @@ type benchRecord struct {
 	Constraints   int     `json:"constraints"`
 	NbPublic      int     `json:"nb_public"`
 	NbPrivate     int     `json:"nb_private"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
 	SetupSeconds  float64 `json:"setup_seconds"`
 	SetupCached   bool    `json:"setup_cached"`
 	ProveSeconds  float64 `json:"prove_seconds"`

@@ -1,7 +1,9 @@
 package curve
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"zkrownn/internal/bn254/fr"
@@ -48,23 +50,83 @@ func BenchmarkG1ScalarMul(b *testing.B) {
 	}
 }
 
-func benchmarkMSM(b *testing.B, n int) {
+// msmBenchG1Input builds n distinct points via a doubling chain (full
+// per-point ScalarMuls would dominate setup at 2^16) plus uniform
+// scalars.
+func msmBenchG1Input(n int) ([]G1Affine, []fr.Element) {
 	rng := rand.New(rand.NewSource(int64(n)))
-	points := make([]G1Affine, n)
-	scalars := make([]fr.Element, n)
+	jacs := make([]G1Jac, n)
+	cur := randG1(rng)
 	for i := 0; i < n; i++ {
-		j := randG1(rng)
-		points[i].FromJacobian(&j)
+		jacs[i] = cur
+		cur.DoubleAssign()
+	}
+	scalars := make([]fr.Element, n)
+	for i := range scalars {
 		scalars[i] = randFr(rng)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = MultiExpG1(points, scalars)
-	}
+	return BatchJacToAffineG1(jacs), scalars
 }
 
-func BenchmarkMSMG1_256(b *testing.B)  { benchmarkMSM(b, 256) }
-func BenchmarkMSMG1_4096(b *testing.B) { benchmarkMSM(b, 4096) }
+// BenchmarkMSM is the multi-exponentiation benchmark family: size
+// scaling over G1 and G2, core scaling at 2^16 points (the prover-shaped
+// size), and the shared scalar recoding on its own. Compare across PRs
+// before touching the MSM:
+//
+//	go test ./internal/bn254/curve/ -run '^$' -bench BenchmarkMSM
+func BenchmarkMSM(b *testing.B) {
+	for _, n := range []int{256, 4096, 1 << 16} {
+		points, scalars := msmBenchG1Input(n)
+		b.Run(fmt.Sprintf("G1/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = MultiExpG1(points, scalars)
+			}
+		})
+	}
+
+	{
+		n := 4096
+		rng := rand.New(rand.NewSource(int64(n)))
+		jacs := make([]G2Jac, n)
+		cur := randG2(rng)
+		for i := 0; i < n; i++ {
+			jacs[i] = cur
+			cur.DoubleAssign()
+		}
+		points := BatchJacToAffineG2(jacs)
+		scalars := make([]fr.Element, n)
+		for i := range scalars {
+			scalars[i] = randFr(rng)
+		}
+		b.Run(fmt.Sprintf("G2/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = MultiExpG2(points, scalars)
+			}
+		})
+	}
+
+	{
+		n := 1 << 16
+		points, scalars := msmBenchG1Input(n)
+		b.Run(fmt.Sprintf("Decompose/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = DecomposeScalars(scalars, MSMWindowSize(n))
+			}
+		})
+		for _, procs := range []int{1, 2, 4} {
+			if procs > 2*runtime.NumCPU() && procs != 1 {
+				continue
+			}
+			b.Run(fmt.Sprintf("G1/n=%d/procs=%d", n, procs), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				for i := 0; i < b.N; i++ {
+					_ = MultiExpG1(points, scalars)
+				}
+			})
+		}
+	}
+}
 
 func BenchmarkFixedBaseMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))

@@ -410,6 +410,101 @@ func BatchJacToAffineG1(points []G1Jac) []G1Affine {
 	return res
 }
 
+// g1BatchAdder applies batches of independent affine additions
+// buckets[idx[k]] += pts[k] with one shared field inversion (Montgomery's
+// trick over the chord/tangent denominators). It is the G1 leaf of the
+// MSM's batch-affine bucket accumulation: an amortized affine add costs
+// ~6 field muls against ~15 for a Jacobian mixed add. The scratch slices
+// persist across flushes so the hot loop never allocates.
+type g1BatchAdder struct {
+	den, inv []fp.Element
+	kind     []uint8 // batchAddSkip/batchAddChord/batchAddTangent per op
+}
+
+// Op classification for one slot of a batch-affine flush.
+const (
+	batchAddSkip    = iota // handled inline (infinity cases), no inversion
+	batchAddChord          // general addition, den = x2 - x1
+	batchAddTangent        // doubling, den = 2y
+)
+
+func newG1BatchAdder(batchSize int) *g1BatchAdder {
+	return &g1BatchAdder{
+		den:  make([]fp.Element, batchSize),
+		inv:  make([]fp.Element, batchSize),
+		kind: make([]uint8, batchSize),
+	}
+}
+
+func (a *g1BatchAdder) isInfinity(p *G1Affine) bool { return p.IsInfinity() }
+
+func (a *g1BatchAdder) negInto(dst, src *G1Affine) { dst.Neg(src) }
+
+func (a *g1BatchAdder) addMixedJac(dst *G1Jac, p *G1Affine) { dst.AddMixed(p) }
+
+// flush performs buckets[idx[k]] += pts[k] for all k. Indices must be
+// distinct within one call — the scheduler guarantees it — so the adds
+// are independent and the denominators can be inverted together.
+func (a *g1BatchAdder) flush(buckets []G1Affine, idx []int32, pts []G1Affine) {
+	n := len(idx)
+	den, inv, kind := a.den[:n], a.inv[:n], a.kind[:n]
+	for k := 0; k < n; k++ {
+		b := &buckets[idx[k]]
+		p := &pts[k]
+		switch {
+		case b.IsInfinity():
+			*b = *p
+			kind[k] = batchAddSkip
+			den[k].SetZero()
+		case b.X.Equal(&p.X):
+			if b.Y.Equal(&p.Y) {
+				// Doubling: den = 2y (never zero — the subgroup has odd
+				// order, so no 2-torsion).
+				kind[k] = batchAddTangent
+				den[k].Double(&b.Y)
+			} else {
+				// p = -bucket: the sum is infinity.
+				b.X.SetZero()
+				b.Y.SetZero()
+				kind[k] = batchAddSkip
+				den[k].SetZero()
+			}
+		default:
+			kind[k] = batchAddChord
+			den[k].Sub(&p.X, &b.X)
+		}
+	}
+	fp.BatchInvertInto(den, inv)
+	for k := 0; k < n; k++ {
+		if kind[k] == batchAddSkip {
+			continue
+		}
+		b := &buckets[idx[k]]
+		p := &pts[k]
+		var lambda, x3, y3 fp.Element
+		if kind[k] == batchAddTangent {
+			// λ = 3x² / 2y
+			lambda.Square(&b.X)
+			var t fp.Element
+			t.Double(&lambda)
+			lambda.Add(&lambda, &t)
+			lambda.Mul(&lambda, &inv[k])
+		} else {
+			// λ = (y2 - y1) / (x2 - x1)
+			lambda.Sub(&p.Y, &b.Y)
+			lambda.Mul(&lambda, &inv[k])
+		}
+		x3.Square(&lambda)
+		x3.Sub(&x3, &b.X)
+		x3.Sub(&x3, &p.X)
+		y3.Sub(&b.X, &x3)
+		y3.Mul(&y3, &lambda)
+		y3.Sub(&y3, &b.Y)
+		b.X.Set(&x3)
+		b.Y.Set(&y3)
+	}
+}
+
 // Compression flags live in the top two bits of the first byte of the
 // big-endian X encoding, which are guaranteed free because p < 2²⁵⁴.
 // 0b10 = compressed with lexicographically smaller y, 0b11 = compressed

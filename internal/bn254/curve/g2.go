@@ -424,6 +424,85 @@ func BatchJacToAffineG2(points []G2Jac) []G2Affine {
 	return res
 }
 
+// g2BatchAdder is the G2 leaf of the batch-affine bucket accumulation:
+// identical algebra to g1BatchAdder over F_p² coordinates, sharing one
+// F_p² inversion per flush via ext.BatchInvertE2Into.
+type g2BatchAdder struct {
+	den, inv []ext.E2
+	kind     []uint8
+}
+
+func newG2BatchAdder(batchSize int) *g2BatchAdder {
+	return &g2BatchAdder{
+		den:  make([]ext.E2, batchSize),
+		inv:  make([]ext.E2, batchSize),
+		kind: make([]uint8, batchSize),
+	}
+}
+
+func (a *g2BatchAdder) isInfinity(p *G2Affine) bool { return p.IsInfinity() }
+
+func (a *g2BatchAdder) negInto(dst, src *G2Affine) { dst.Neg(src) }
+
+func (a *g2BatchAdder) addMixedJac(dst *G2Jac, p *G2Affine) { dst.AddMixed(p) }
+
+// flush performs buckets[idx[k]] += pts[k] for all k; indices are
+// distinct within one call (scheduler invariant).
+func (a *g2BatchAdder) flush(buckets []G2Affine, idx []int32, pts []G2Affine) {
+	n := len(idx)
+	den, inv, kind := a.den[:n], a.inv[:n], a.kind[:n]
+	for k := 0; k < n; k++ {
+		b := &buckets[idx[k]]
+		p := &pts[k]
+		switch {
+		case b.IsInfinity():
+			*b = *p
+			kind[k] = batchAddSkip
+			den[k].SetZero()
+		case b.X.Equal(&p.X):
+			if b.Y.Equal(&p.Y) {
+				kind[k] = batchAddTangent
+				den[k].Double(&b.Y)
+			} else {
+				b.X.SetZero()
+				b.Y.SetZero()
+				kind[k] = batchAddSkip
+				den[k].SetZero()
+			}
+		default:
+			kind[k] = batchAddChord
+			den[k].Sub(&p.X, &b.X)
+		}
+	}
+	ext.BatchInvertE2Into(den, inv)
+	for k := 0; k < n; k++ {
+		if kind[k] == batchAddSkip {
+			continue
+		}
+		b := &buckets[idx[k]]
+		p := &pts[k]
+		var lambda, x3, y3 ext.E2
+		if kind[k] == batchAddTangent {
+			lambda.Square(&b.X)
+			var t ext.E2
+			t.Double(&lambda)
+			lambda.Add(&lambda, &t)
+			lambda.Mul(&lambda, &inv[k])
+		} else {
+			lambda.Sub(&p.Y, &b.Y)
+			lambda.Mul(&lambda, &inv[k])
+		}
+		x3.Square(&lambda)
+		x3.Sub(&x3, &b.X)
+		x3.Sub(&x3, &p.X)
+		y3.Sub(&b.X, &x3)
+		y3.Mul(&y3, &lambda)
+		y3.Sub(&y3, &b.Y)
+		b.X.Set(&x3)
+		b.Y.Set(&y3)
+	}
+}
+
 // G2CompressedSize is the byte length of a compressed G2 point
 // (X = (A0, A1) as two 32-byte field encodings, A1 first to carry the
 // flag bits in its spare top bits).

@@ -1,34 +1,61 @@
 package curve
 
 import (
-	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/par"
 )
 
-// msmWindowSize picks the Pippenger window width c for n points. The
-// heuristic follows the usual cost model n/c additions per window times
-// 256/c windows plus 2^c bucket work.
-func msmWindowSize(n int) int {
+// The multi-scalar multiplication Σ kᵢ·Pᵢ is the prover's dominant cost,
+// so it gets the full production treatment:
+//
+//   - signed-digit recoding: window digits live in [-2^(c-1), 2^(c-1)]
+//     instead of [0, 2^c), halving the bucket count per window (negative
+//     digits add the negated point, a free transform in affine form);
+//   - batch-affine buckets: bucket inserts are affine additions whose
+//     chord/tangent denominators are inverted together (Montgomery's
+//     trick), ~6 field muls amortized against ~15 for a Jacobian mixed
+//     add;
+//   - two-dimensional parallelism: work is split into point-chunks ×
+//     windows and scheduled on par.Each, so the MSM keeps scaling past
+//     the ~20-window ceiling of window-only parallelism;
+//   - a precomputed-digit API (DecomposeScalars + MultiExp*Decomposed)
+//     so a caller multiplying one scalar vector against several bases —
+//     the Groth16 prover's A/B1/B2 queries — recodes the scalars once.
+//
+// One generic core (multiExp / msmAccumulate) drives both groups; G1 and
+// G2 plug in only their leaf arithmetic (g1BatchAdder / g2BatchAdder and
+// the Jacobian fold ops below).
+
+// MSMWindowSize picks the Pippenger window width c for n points under
+// signed-digit recoding (2^(c-1) buckets per window). The heuristic
+// balances n inserts plus two bucket-scan additions per window against
+// the ~254/c window count. Capped at 15 so digits fit int16.
+func MSMWindowSize(n int) int {
 	switch {
 	case n < 8:
-		return 2
-	case n < 32:
 		return 3
-	case n < 128:
+	case n < 64:
 		return 4
+	case n < 256:
+		return 5
 	case n < 1024:
-		return 6
-	case n < 8192:
+		return 7
+	case n < 4096:
 		return 8
-	case n < 1<<17:
-		return 10
-	case n < 1<<21:
+	case n < 16384:
+		return 9
+	case n < 1<<16:
+		return 11
+	case n < 1<<18:
 		return 12
-	default:
+	case n < 1<<20:
+		return 13
+	case n < 1<<22:
 		return 14
+	default:
+		return 15
 	}
 }
 
@@ -47,16 +74,536 @@ func scalarWindow(limbs *[fr.Limbs]uint64, offset, c int) uint64 {
 	return v & ((1 << c) - 1)
 }
 
-// MultiExpG1 computes Σ scalars[i]·points[i] with a parallel Pippenger
-// bucket method. Points and scalars must have equal length; zero scalars
-// and infinity points are skipped naturally.
-func MultiExpG1(points []G1Affine, scalars []fr.Element) G1Jac {
-	var res G1Jac
-	res.SetInfinity()
+// ScalarDecomposition holds the signed window digits of a scalar vector:
+// the reusable half of an MSM. A decomposition computed once serves any
+// number of MultiExp*Decomposed calls over bases of the same length — in
+// either group, since digits depend only on the scalars.
+type ScalarDecomposition struct {
+	c       int
+	windows int
+	n       int
+	// used counts the windows up to the highest nonzero digit. Real
+	// witnesses are dominated by bit wires and small fixed-point values,
+	// so their digits live in a handful of low windows — the MSM skips
+	// the all-zero rest outright.
+	used int
+	// digits[w*n+i] is scalar i's signed digit for window w, in
+	// [-(2^(c-1)-1), 2^(c-1)].
+	digits []int16
+}
+
+// C returns the window width the scalars were recoded at.
+func (d *ScalarDecomposition) C() int { return d.c }
+
+// Len returns the number of scalars in the decomposition.
+func (d *ScalarDecomposition) Len() int { return d.n }
+
+// DecomposeScalars recodes scalars into signed c-bit window digits
+// (2 ≤ c ≤ 15; use MSMWindowSize to pick c for a given size). Each
+// window value v ∈ [0, 2^c] (window bits plus incoming carry) becomes
+// v-2^c with a carry into the next window when v > 2^(c-1), so every
+// digit needs only 2^(c-1) buckets. One extra top window absorbs the
+// final carry; scalars are < 2^254, so recoding always terminates with
+// carry zero.
+func DecomposeScalars(scalars []fr.Element, c int) *ScalarDecomposition {
+	if c < 2 || c > 15 {
+		panic("curve: DecomposeScalars window width out of range [2,15]")
+	}
+	n := len(scalars)
+	windows := (fr.Bits+c-1)/c + 1
+	d := &ScalarDecomposition{c: c, windows: windows, n: n, digits: make([]int16, windows*n)}
+	half := int64(1) << (c - 1)
+	full := int64(1) << c
+	var maxUsed atomic.Int64
+	par.Range(n, func(start, end int) {
+		localUsed := 0
+		for i := start; i < end; i++ {
+			limbs := scalars[i].RegularLimbs()
+			carry := int64(0)
+			for w := 0; w < windows; w++ {
+				v := int64(scalarWindow(&limbs, w*c, c)) + carry
+				carry = 0
+				if v > half {
+					v -= full
+					carry = 1
+				}
+				d.digits[w*n+i] = int16(v)
+				if v != 0 && w+1 > localUsed {
+					localUsed = w + 1
+				}
+			}
+		}
+		for {
+			cur := maxUsed.Load()
+			if int64(localUsed) <= cur || maxUsed.CompareAndSwap(cur, int64(localUsed)) {
+				break
+			}
+		}
+	})
+	d.used = int(maxUsed.Load())
+	return d
+}
+
+// msmBatchSize caps the number of independent bucket additions gathered
+// before one shared inversion, amortizing it to ~1.5 field muls per add
+// while keeping the op queue cache-resident. The actual batch is scaled
+// down to numBuckets/8 — a batch near the bucket count makes conflicts
+// the common case and starves the scheduler.
+const msmBatchSize = 512
+
+// msmMinBatch is the smallest batch worth an inversion; below it (few
+// buckets even after window grouping) the Jacobian path wins.
+const msmMinBatch = 16
+
+// msmGroupBuckets is the combined bucket-pool target for a window
+// group: enough buckets that a full msmBatchSize batch stays mostly
+// conflict-free (batch/pool = 1/16).
+const msmGroupBuckets = 8192
+
+// msmOverflowCap is the conflict queue's initial capacity. The queue
+// holds ops whose bucket is already in the pending batch; every flush
+// drains it into the next batch, so it hovers near the per-batch
+// conflict count and growth past the cap is rare.
+const msmOverflowCap = 512
+
+// msmMinChunk is the minimum number of points per chunk: below this the
+// per-chunk bucket allocation and reduction dominate the inserts.
+const msmMinChunk = 512
+
+// msmSerialThreshold is the point count under which the whole MSM runs
+// on the calling goroutine — parallel dispatch overhead is a measurable
+// fraction of a millisecond-scale MSM.
+const msmSerialThreshold = 1024
+
+// msmAffineThreshold is the point count under which the batch-affine
+// machinery can't amortize its flush inversions and plain Jacobian
+// bucket accumulation wins.
+const msmAffineThreshold = 512
+
+// batchOps is the leaf interface of the batch-affine accumulation,
+// implemented by g1BatchAdder and g2BatchAdder.
+type batchOps[A, J any] interface {
+	isInfinity(p *A) bool
+	negInto(dst, src *A)
+	flush(buckets []A, idx []int32, pts []A)
+	// addMixedJac folds one conflict-queue spill into a Jacobian side
+	// bucket (p is already negated when the digit was negative).
+	addMixedJac(dst *J, p *A)
+}
+
+// batchOp is one deferred bucket addition sitting in the conflict queue.
+type batchOp[A any] struct {
+	b  int32
+	pt A
+}
+
+// msmAccumulate folds one chunk×window-group cell of points into
+// signed-digit buckets. digitRows[g] holds the digits of the g-th window
+// in the group, and that window owns the bucket segment
+// [g·bucketsPerWindow, (g+1)·bucketsPerWindow): grouping narrow windows
+// multiplies the bucket pool so batches stay large — one window of 256
+// buckets can never amortize a 256-op batch, eight of them can.
+//
+// A flush requires distinct buckets (so its affine adds are
+// independent); ops that would duplicate a pending bucket wait in an
+// overflow queue and re-enter after the next flush, which keeps batches
+// full — flushing on first conflict would cap them near √buckets by the
+// birthday bound. Negative digits enqueue the negated point.
+//
+// Real witnesses repeat values (bit wires, shared constants), sending
+// thousands of ops to one bucket; a queue alone would readmit one per
+// flush and melt down quadratically. When the queue fills it is dumped
+// into Jacobian side buckets instead — hot buckets degrade to exactly
+// the plain-Jacobian cost while everything else stays batch-affine.
+// The returned side buckets (nil when never needed) hold that spilled
+// remainder; the caller folds them into the reduction.
+func msmAccumulate[A, J any, AD batchOps[A, J]](adder AD, buckets []A, bucketsPerWindow int, points []A, digitRows [][]int16, pending []bool, idx []int32, pts []A) []J {
+	cnt := 0
+	overflow := make([]batchOp[A], 0, msmOverflowCap)
+	var side []J
+	drainToSide := func() {
+		if side == nil {
+			side = make([]J, len(buckets)) // zero Jacobian value has Z = 0: infinity
+		}
+		for k := range overflow {
+			adder.addMixedJac(&side[overflow[k].b], &overflow[k].pt)
+		}
+		overflow = overflow[:0]
+	}
+	flush := func() {
+		adder.flush(buckets, idx[:cnt], pts[:cnt])
+		for _, b := range idx[:cnt] {
+			pending[b] = false
+		}
+		cnt = 0
+		// Re-admit queued ops; first occurrence of each bucket always
+		// enters the fresh batch, so the queue strictly shrinks.
+		kept := overflow[:0]
+		for k := range overflow {
+			o := &overflow[k]
+			if pending[o.b] || cnt == len(idx) {
+				kept = append(kept, *o)
+				continue
+			}
+			pts[cnt] = o.pt
+			idx[cnt] = o.b
+			pending[o.b] = true
+			cnt++
+		}
+		overflow = kept
+	}
+	for i := range points {
+		if adder.isInfinity(&points[i]) {
+			continue
+		}
+		for g := range digitRows {
+			d := digitRows[g][i]
+			if d == 0 {
+				continue
+			}
+			b := int32(d)
+			neg := false
+			if b < 0 {
+				b = -b
+				neg = true
+			}
+			b += int32(g*bucketsPerWindow) - 1
+			if pending[b] {
+				op := batchOp[A]{b: b}
+				if neg {
+					adder.negInto(&op.pt, &points[i])
+				} else {
+					op.pt = points[i]
+				}
+				overflow = append(overflow, op)
+				if len(overflow) >= msmOverflowCap {
+					drainToSide()
+				}
+				continue
+			}
+			if neg {
+				adder.negInto(&pts[cnt], &points[i])
+			} else {
+				pts[cnt] = points[i]
+			}
+			idx[cnt] = b
+			pending[b] = true
+			cnt++
+			if cnt == len(idx) {
+				flush()
+			}
+		}
+	}
+	// Final drain: one flush applies the open batch and re-admits what it
+	// can; anything still queued is same-bucket repetition with no more
+	// stream to amortize against, so it spills to the Jacobian side
+	// rather than trickling out one op per inversion.
+	for cnt > 0 {
+		flush()
+		if len(overflow) > 0 {
+			drainToSide()
+		}
+	}
+	return side
+}
+
+// msmCurve is the group-level interface of the shared Pippenger driver.
+type msmCurve[A, J any] interface {
+	// accumulator returns a closure over a fresh batch adder (whose
+	// scratch persists across flushes) running msmAccumulate for this
+	// group; the closure returns the Jacobian side buckets of spilled
+	// conflict-queue ops (nil when none spilled).
+	accumulator(batchSize int) func(buckets []A, bucketsPerWindow int, points []A, digitRows [][]int16, pending []bool, idx []int32, pts []A) []J
+	// jacAccumulate folds digits into Jacobian buckets with mixed adds —
+	// the small-MSM path, where batch-affine flushes can't amortize
+	// their inversion.
+	jacAccumulate(buckets []J, points []A, digits []int16)
+	infinity() J
+	// reduce sets sum = Σ_b (b+1)·buckets[b] with the usual running-sum
+	// scan (affine buckets, so the inner add is mixed).
+	reduce(buckets []A, sum *J)
+	// jacReduce is reduce over Jacobian buckets.
+	jacReduce(buckets []J, sum *J)
+	add(dst, src *J)
+	double(dst *J)
+}
+
+// msmTask is one cell of the driver's work decomposition: a point chunk
+// crossed with a run of windows [w0, w1), accumulated batch-affine or
+// Jacobian.
+type msmTask struct {
+	chunk  int
+	w0, w1 int
+	affine bool
+}
+
+// multiExp is the shared signed-digit Pippenger driver. Work splits
+// two-dimensionally into point chunks × window groups; each cell owns
+// its buckets and reduces them independently, and the final fold is a
+// cheap serial pass over numChunks·numWindows partial sums.
+//
+// Narrow windows are grouped so one batch-affine pass owns several
+// bucket segments at once: a single 256-bucket window can never keep a
+// 256-op batch conflict-free, eight of them together can — and the
+// group scans the point array once instead of once per window. The top
+// windows see only the scalar's high-order sliver of bits, so their
+// digits crowd a handful of buckets; they take the Jacobian path, as do
+// small MSMs where flush inversions can't amortize.
+func multiExp[A, J any, CV msmCurve[A, J]](cv CV, points []A, dec *ScalarDecomposition) J {
 	n := len(points)
+	res := cv.infinity()
 	if n == 0 {
 		return res
 	}
+	if n != dec.n {
+		panic("curve: MultiExp decomposition length mismatch")
+	}
+	c := dec.c
+	// All-zero top windows (small witness values) are skipped outright;
+	// the Horner fold below never needs to double past the highest
+	// nonzero digit.
+	numWindows := dec.used
+	if numWindows == 0 {
+		return res
+	}
+	numBuckets := 1 << (c - 1)
+
+	// Windows 0..wide-1 draw digits from the scalar's full range.
+	wide := fr.Bits / c
+	if wide > numWindows {
+		wide = numWindows
+	}
+
+	group, batch := 1, 0
+	useAffine := n >= msmAffineThreshold && wide > 0
+	if useAffine {
+		group = (msmGroupBuckets + numBuckets - 1) / numBuckets
+		if group > wide {
+			group = wide
+		}
+		batch = group * numBuckets / 16
+		if batch > msmBatchSize {
+			batch = msmBatchSize
+		}
+		if batch < msmMinBatch {
+			useAffine = false
+			group = 1
+		}
+	}
+
+	taskCols := numWindows
+	if useAffine {
+		taskCols = (wide+group-1)/group + (numWindows - wide)
+	}
+	numChunks := 1
+	if procs := par.Workers(); procs > taskCols {
+		numChunks = (procs + taskCols - 1) / taskCols
+	}
+	if maxChunks := (n + msmMinChunk - 1) / msmMinChunk; numChunks > maxChunks {
+		numChunks = maxChunks
+	}
+	chunkLen := (n + numChunks - 1) / numChunks
+
+	tasks := make([]msmTask, 0, numChunks*taskCols)
+	for ch := 0; ch < numChunks; ch++ {
+		if useAffine {
+			for w0 := 0; w0 < wide; w0 += group {
+				w1 := w0 + group
+				if w1 > wide {
+					w1 = wide
+				}
+				tasks = append(tasks, msmTask{chunk: ch, w0: w0, w1: w1, affine: true})
+			}
+			for w := wide; w < numWindows; w++ {
+				tasks = append(tasks, msmTask{chunk: ch, w0: w, w1: w + 1})
+			}
+		} else {
+			for w := 0; w < numWindows; w++ {
+				tasks = append(tasks, msmTask{chunk: ch, w0: w, w1: w + 1})
+			}
+		}
+	}
+
+	partials := make([]J, numChunks*numWindows)
+	runTask := func(t int) {
+		task := tasks[t]
+		start := task.chunk * chunkLen
+		end := start + chunkLen
+		if end > n {
+			end = n
+		}
+		pointsChunk := points[start:end]
+		if !task.affine {
+			w := task.w0
+			buckets := make([]J, numBuckets)
+			for b := range buckets {
+				buckets[b] = cv.infinity()
+			}
+			cv.jacAccumulate(buckets, pointsChunk, dec.digits[w*n+start:w*n+end])
+			cv.jacReduce(buckets, &partials[task.chunk*numWindows+w])
+			return
+		}
+		g := task.w1 - task.w0
+		buckets := make([]A, g*numBuckets) // zero value is affine infinity
+		pending := make([]bool, g*numBuckets)
+		idx := make([]int32, batch)
+		pts := make([]A, batch)
+		digitRows := make([][]int16, g)
+		for j := 0; j < g; j++ {
+			w := task.w0 + j
+			digitRows[j] = dec.digits[w*n+start : w*n+end]
+		}
+		accumulate := cv.accumulator(batch)
+		side := accumulate(buckets, numBuckets, pointsChunk, digitRows, pending, idx, pts)
+		for j := 0; j < g; j++ {
+			p := &partials[task.chunk*numWindows+task.w0+j]
+			cv.reduce(buckets[j*numBuckets:(j+1)*numBuckets], p)
+			if side != nil {
+				var spill J
+				cv.jacReduce(side[j*numBuckets:(j+1)*numBuckets], &spill)
+				cv.add(p, &spill)
+			}
+		}
+	}
+	// Tiny MSMs finish in milliseconds serially; goroutine dispatch
+	// would cost a measurable slice of that, so they stay inline.
+	if n < msmSerialThreshold {
+		for t := range tasks {
+			runTask(t)
+		}
+	} else {
+		par.Each(len(tasks), runTask)
+	}
+
+	// Horner fold over windows, most significant first; within a window,
+	// chunk partials just add.
+	for w := numWindows - 1; w >= 0; w-- {
+		if w != numWindows-1 {
+			for i := 0; i < c; i++ {
+				cv.double(&res)
+			}
+		}
+		for ch := 0; ch < numChunks; ch++ {
+			cv.add(&res, &partials[ch*numWindows+w])
+		}
+	}
+	return res
+}
+
+// g1Msm and g2Msm bind the generic driver to the concrete groups.
+type g1Msm struct{}
+
+func (g1Msm) accumulator(batchSize int) func([]G1Affine, int, []G1Affine, [][]int16, []bool, []int32, []G1Affine) []G1Jac {
+	adder := newG1BatchAdder(batchSize)
+	return func(buckets []G1Affine, bucketsPerWindow int, points []G1Affine, digitRows [][]int16, pending []bool, idx []int32, pts []G1Affine) []G1Jac {
+		return msmAccumulate[G1Affine, G1Jac](adder, buckets, bucketsPerWindow, points, digitRows, pending, idx, pts)
+	}
+}
+
+func (g1Msm) jacAccumulate(buckets []G1Jac, points []G1Affine, digits []int16) {
+	for i := range digits {
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			buckets[d-1].AddMixed(&points[i])
+		} else {
+			var neg G1Affine
+			neg.Neg(&points[i])
+			buckets[-d-1].AddMixed(&neg)
+		}
+	}
+}
+
+func (g1Msm) infinity() G1Jac {
+	var j G1Jac
+	j.SetInfinity()
+	return j
+}
+
+func (g1Msm) reduce(buckets []G1Affine, sum *G1Jac) {
+	var acc G1Jac
+	acc.SetInfinity()
+	sum.SetInfinity()
+	for b := len(buckets) - 1; b >= 0; b-- {
+		acc.AddMixed(&buckets[b])
+		sum.AddAssign(&acc)
+	}
+}
+
+func (g1Msm) jacReduce(buckets []G1Jac, sum *G1Jac) {
+	var acc G1Jac
+	acc.SetInfinity()
+	sum.SetInfinity()
+	for b := len(buckets) - 1; b >= 0; b-- {
+		acc.AddAssign(&buckets[b])
+		sum.AddAssign(&acc)
+	}
+}
+
+func (g1Msm) add(dst, src *G1Jac) { dst.AddAssign(src) }
+func (g1Msm) double(dst *G1Jac)   { dst.DoubleAssign() }
+
+type g2Msm struct{}
+
+func (g2Msm) accumulator(batchSize int) func([]G2Affine, int, []G2Affine, [][]int16, []bool, []int32, []G2Affine) []G2Jac {
+	adder := newG2BatchAdder(batchSize)
+	return func(buckets []G2Affine, bucketsPerWindow int, points []G2Affine, digitRows [][]int16, pending []bool, idx []int32, pts []G2Affine) []G2Jac {
+		return msmAccumulate[G2Affine, G2Jac](adder, buckets, bucketsPerWindow, points, digitRows, pending, idx, pts)
+	}
+}
+
+func (g2Msm) jacAccumulate(buckets []G2Jac, points []G2Affine, digits []int16) {
+	for i := range digits {
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			buckets[d-1].AddMixed(&points[i])
+		} else {
+			var neg G2Affine
+			neg.Neg(&points[i])
+			buckets[-d-1].AddMixed(&neg)
+		}
+	}
+}
+
+func (g2Msm) infinity() G2Jac {
+	var j G2Jac
+	j.SetInfinity()
+	return j
+}
+
+func (g2Msm) reduce(buckets []G2Affine, sum *G2Jac) {
+	var acc G2Jac
+	acc.SetInfinity()
+	sum.SetInfinity()
+	for b := len(buckets) - 1; b >= 0; b-- {
+		acc.AddMixed(&buckets[b])
+		sum.AddAssign(&acc)
+	}
+}
+
+func (g2Msm) jacReduce(buckets []G2Jac, sum *G2Jac) {
+	var acc G2Jac
+	acc.SetInfinity()
+	sum.SetInfinity()
+	for b := len(buckets) - 1; b >= 0; b-- {
+		acc.AddAssign(&buckets[b])
+		sum.AddAssign(&acc)
+	}
+}
+
+func (g2Msm) add(dst, src *G2Jac) { dst.AddAssign(src) }
+func (g2Msm) double(dst *G2Jac)   { dst.DoubleAssign() }
+
+// MultiExpG1 computes Σ scalars[i]·points[i] with the parallel
+// signed-digit Pippenger method. Points and scalars must have equal
+// length; zero scalars and infinity points are skipped naturally.
+func MultiExpG1(points []G1Affine, scalars []fr.Element) G1Jac {
+	n := len(points)
 	if len(scalars) != n {
 		panic("curve: MultiExpG1 length mismatch")
 	}
@@ -66,64 +613,25 @@ func MultiExpG1(points []G1Affine, scalars []fr.Element) G1Jac {
 		j.ScalarMul(&j, &scalars[0])
 		return j
 	}
-
-	c := msmWindowSize(n)
-	numWindows := (fr.Bits + c) / c
-	regular := make([][fr.Limbs]uint64, n)
-	for i := range scalars {
-		regular[i] = scalars[i].RegularLimbs()
+	if n == 0 {
+		var j G1Jac
+		j.SetInfinity()
+		return j
 	}
+	return MultiExpG1Decomposed(points, DecomposeScalars(scalars, MSMWindowSize(n)))
+}
 
-	windowSums := make([]G1Jac, numWindows)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < numWindows; w++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(w int) {
-			defer func() { <-sem; wg.Done() }()
-			buckets := make([]G1Jac, (1<<c)-1)
-			for b := range buckets {
-				buckets[b].SetInfinity()
-			}
-			offset := w * c
-			for i := 0; i < n; i++ {
-				d := scalarWindow(&regular[i], offset, c)
-				if d == 0 {
-					continue
-				}
-				buckets[d-1].AddMixed(&points[i])
-			}
-			var acc, sum G1Jac
-			acc.SetInfinity()
-			sum.SetInfinity()
-			for b := len(buckets) - 1; b >= 0; b-- {
-				acc.AddAssign(&buckets[b])
-				sum.AddAssign(&acc)
-			}
-			windowSums[w] = sum
-		}(w)
-	}
-	wg.Wait()
-
-	res = windowSums[numWindows-1]
-	for w := numWindows - 2; w >= 0; w-- {
-		for i := 0; i < c; i++ {
-			res.DoubleAssign()
-		}
-		res.AddAssign(&windowSums[w])
-	}
-	return res
+// MultiExpG1Decomposed computes the G1 MSM against pre-recoded scalar
+// digits, letting callers amortize DecomposeScalars across several bases
+// (the Groth16 prover reuses one witness decomposition for the A, B1,
+// and B2 queries).
+func MultiExpG1Decomposed(points []G1Affine, dec *ScalarDecomposition) G1Jac {
+	return multiExp[G1Affine, G1Jac](g1Msm{}, points, dec)
 }
 
 // MultiExpG2 computes Σ scalars[i]·points[i] over G2.
 func MultiExpG2(points []G2Affine, scalars []fr.Element) G2Jac {
-	var res G2Jac
-	res.SetInfinity()
 	n := len(points)
-	if n == 0 {
-		return res
-	}
 	if len(scalars) != n {
 		panic("curve: MultiExpG2 length mismatch")
 	}
@@ -133,54 +641,18 @@ func MultiExpG2(points []G2Affine, scalars []fr.Element) G2Jac {
 		j.ScalarMul(&j, &scalars[0])
 		return j
 	}
-
-	c := msmWindowSize(n)
-	numWindows := (fr.Bits + c) / c
-	regular := make([][fr.Limbs]uint64, n)
-	for i := range scalars {
-		regular[i] = scalars[i].RegularLimbs()
+	if n == 0 {
+		var j G2Jac
+		j.SetInfinity()
+		return j
 	}
+	return MultiExpG2Decomposed(points, DecomposeScalars(scalars, MSMWindowSize(n)))
+}
 
-	windowSums := make([]G2Jac, numWindows)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < numWindows; w++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(w int) {
-			defer func() { <-sem; wg.Done() }()
-			buckets := make([]G2Jac, (1<<c)-1)
-			for b := range buckets {
-				buckets[b].SetInfinity()
-			}
-			offset := w * c
-			for i := 0; i < n; i++ {
-				d := scalarWindow(&regular[i], offset, c)
-				if d == 0 {
-					continue
-				}
-				buckets[d-1].AddMixed(&points[i])
-			}
-			var acc, sum G2Jac
-			acc.SetInfinity()
-			sum.SetInfinity()
-			for b := len(buckets) - 1; b >= 0; b-- {
-				acc.AddAssign(&buckets[b])
-				sum.AddAssign(&acc)
-			}
-			windowSums[w] = sum
-		}(w)
-	}
-	wg.Wait()
-
-	res = windowSums[numWindows-1]
-	for w := numWindows - 2; w >= 0; w-- {
-		for i := 0; i < c; i++ {
-			res.DoubleAssign()
-		}
-		res.AddAssign(&windowSums[w])
-	}
-	return res
+// MultiExpG2Decomposed computes the G2 MSM against pre-recoded scalar
+// digits (see MultiExpG1Decomposed).
+func MultiExpG2Decomposed(points []G2Affine, dec *ScalarDecomposition) G2Jac {
+	return multiExp[G2Affine, G2Jac](g2Msm{}, points, dec)
 }
 
 // fixedBaseWindow is the window width used by fixed-base tables: 8 bits

@@ -276,15 +276,25 @@ func (z *E2) LexicographicallyLargest() bool {
 // Zero entries map to zero.
 func BatchInvertE2(a []E2) []E2 {
 	res := make([]E2, len(a))
-	if len(a) == 0 {
-		return res
+	BatchInvertE2Into(a, res)
+	return res
+}
+
+// BatchInvertE2Into is BatchInvertE2 writing into caller-owned storage
+// (the G2 batch-affine bucket adder reuses one scratch buffer across
+// flushes). res must have len(a) entries; a and res may not alias.
+func BatchInvertE2Into(a, res []E2) {
+	if len(a) != len(res) {
+		panic("ext: BatchInvertE2Into length mismatch")
 	}
-	zeroes := make([]bool, len(a))
+	if len(a) == 0 {
+		return
+	}
 	var acc E2
 	acc.SetOne()
 	for i := range a {
 		if a[i].IsZero() {
-			zeroes[i] = true
+			res[i].SetZero()
 			continue
 		}
 		res[i] = acc
@@ -293,11 +303,10 @@ func BatchInvertE2(a []E2) []E2 {
 	var accInv E2
 	accInv.Inverse(&acc)
 	for i := len(a) - 1; i >= 0; i-- {
-		if zeroes[i] {
+		if a[i].IsZero() {
 			continue
 		}
 		res[i].Mul(&res[i], &accInv)
 		accInv.Mul(&accInv, &a[i])
 	}
-	return res
 }

@@ -322,3 +322,32 @@ func TestBatchInvertE2(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchInvertE2Into(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := make([]E2, 23)
+	for i := range in {
+		if i%6 == 1 {
+			continue // leave zeros
+		}
+		in[i] = randE2(rng)
+	}
+	out := make([]E2, len(in))
+	for i := range out {
+		out[i] = randE2(rng) // garbage that must be overwritten
+	}
+	BatchInvertE2Into(in, out)
+	for i := range in {
+		if in[i].IsZero() {
+			if !out[i].IsZero() {
+				t.Fatal("zero inverse not zero")
+			}
+			continue
+		}
+		var prod E2
+		prod.Mul(&in[i], &out[i])
+		if !prod.IsOne() {
+			t.Fatal("batch E2 inverse wrong")
+		}
+	}
+}

@@ -322,6 +322,67 @@ func TestBatchInvert(t *testing.T) {
 	}
 }
 
+func TestBatchInvertInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	in := make([]Element, 50)
+	for i := range in {
+		if i%9 == 4 {
+			continue // zero entry
+		}
+		in[i] = randElement(rng)
+	}
+	out := make([]Element, len(in))
+	// Pre-fill with garbage: BatchInvertInto must fully overwrite.
+	for i := range out {
+		out[i] = randElement(rng)
+	}
+	BatchInvertInto(in, out)
+	for i := range in {
+		if in[i].IsZero() {
+			if !out[i].IsZero() {
+				t.Fatal("inverse of zero not zero")
+			}
+			continue
+		}
+		var prod Element
+		prod.Mul(&in[i], &out[i])
+		if !prod.IsOne() {
+			t.Fatalf("batch inverse wrong at %d", i)
+		}
+	}
+}
+
+// TestInverseMatchesFermatOracle pins the binary-GCD Inverse against
+// the exponentiation-by-(p-2) oracle, including structured values that
+// stress the GCD's even/odd and comparison branches.
+func TestInverseMatchesFermatOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	check := func(x *Element) {
+		var want, got Element
+		inverseExp(&want, x)
+		got.Inverse(x)
+		if !want.Equal(&got) {
+			t.Fatalf("Inverse mismatch for %s", x.String())
+		}
+	}
+	for i := 0; i < 500; i++ {
+		x := randElement(rng)
+		check(&x)
+	}
+	var x Element
+	for _, v := range []uint64{0, 1, 2, 3, 4, 255, 1 << 63} {
+		x.SetUint64(v)
+		check(&x)
+		x.Neg(&x) // p - v
+		check(&x)
+	}
+	x.SetOne()
+	for i := 0; i < 254; i++ { // all powers of two in the field
+		check(&x)
+		x.Double(&x)
+	}
+}
+
 func TestHalve(t *testing.T) {
 	a := MustRandom()
 	h := a

@@ -277,3 +277,22 @@ func PairingCheck(ps []*curve.G1Affine, qs []*curve.G2Affine) bool {
 	res := FinalExponentiation(&acc)
 	return res.IsOne()
 }
+
+// PairingCheckMul reports whether Π e(ps[i], qs[i]) · k == 1. k must
+// already be a reduced pairing value (a Pair output or a product/power
+// of them); verifiers that cache e(α, β) use this to drop one Miller
+// loop from every check.
+func PairingCheckMul(ps []*curve.G1Affine, qs []*curve.G2Affine, k *ext.E12) bool {
+	if len(ps) != len(qs) {
+		panic("pairing: mismatched pair counts")
+	}
+	var acc ext.E12
+	acc.SetOne()
+	for i := range ps {
+		f := MillerLoop(ps[i], qs[i])
+		acc.Mul(&acc, &f)
+	}
+	res := FinalExponentiation(&acc)
+	res.Mul(&res, k)
+	return res.IsOne()
+}

@@ -32,7 +32,7 @@ type Metrics struct {
 func (m *Metrics) String() string {
 	setup := fmt.Sprintf("%12.4fs", m.SetupTime.Seconds())
 	if m.SetupCached {
-		setup = fmt.Sprintf("%12s", "(cached)")
+		setup = fmt.Sprintf("%13s", "(cached)")
 	}
 	return fmt.Sprintf("%-24s %10d %s %10.2fMB %12.4fs %8dB %10.3fKB %10.3fms",
 		m.Name, m.NbConstraints,

@@ -78,20 +78,32 @@ func BatchVerify(vk *VerifyingKey, proofs []*Proof, publicInputs [][]fr.Element,
 		qs = append(qs, &proof.Bs)
 	}
 
-	// e((Σrᵢ)·α, β) · e(Σ rᵢ·ICᵢ, γ) · e(Σ rᵢ·Cᵢ, δ).
-	var alphaScaled curve.G1Jac
-	alphaScaled.FromAffine(&vk.AlphaG1)
-	alphaScaled.ScalarMul(&alphaScaled, &sumR)
-	alphaAff := new(curve.G1Affine)
-	alphaAff.FromJacobian(&alphaScaled)
-
 	icAff := new(curve.G1Affine)
 	icAff.FromJacobian(&icAcc)
 	cAff := new(curve.G1Affine)
 	cAff.FromJacobian(&cAcc)
 
-	ps = append(ps, alphaAff, icAff, cAff)
-	qs = append(qs, &vk.BetaG2, &vk.GammaG2, &vk.DeltaG2)
+	ps = append(ps, icAff, cAff)
+	qs = append(qs, &vk.GammaG2, &vk.DeltaG2)
+
+	// The α-β term e((Σrᵢ)·α, β): with e(α, β) cached on the key it is a
+	// cyclotomic exponentiation e(α, β)^Σrᵢ — one Miller loop fewer —
+	// otherwise a pairing of the scaled point like any other term.
+	if !vk.AlphaBeta.IsZero() {
+		var ab ext.E12
+		ab.CyclotomicExp(&vk.AlphaBeta, sumR.ToBigInt())
+		if !pairing.PairingCheckMul(ps, qs, &ab) {
+			return errors.New("groth16: batch verification failed")
+		}
+		return nil
+	}
+	var alphaScaled curve.G1Jac
+	alphaScaled.FromAffine(&vk.AlphaG1)
+	alphaScaled.ScalarMul(&alphaScaled, &sumR)
+	alphaAff := new(curve.G1Affine)
+	alphaAff.FromJacobian(&alphaScaled)
+	ps = append(ps, alphaAff)
+	qs = append(qs, &vk.BetaG2)
 
 	if !pairing.PairingCheck(ps, qs) {
 		return errors.New("groth16: batch verification failed")

@@ -56,6 +56,13 @@ type VerifyingKey struct {
 	// IC[j] = [(β·uⱼ(τ) + α·vⱼ(τ) + wⱼ(τ))/γ]₁ for public wires
 	// j = 0..ℓ (IC[0] is the constant wire).
 	IC []curve.G1Affine
+	// AlphaBeta caches e(α, β), the proof-independent pairing of the
+	// verification equation: with it, single-proof Verify needs 3 Miller
+	// loops instead of 4. Setup, ReadFrom, and PrecomputeAlphaBeta
+	// populate it; the zero value (never a valid pairing output) means
+	// "not computed" and Verify falls back to the 4-pairing check.
+	// Populate before sharing the key across goroutines.
+	AlphaBeta GTElement
 }
 
 // Proof is a Groth16 proof: 2 G1 points and 1 G2 point, 128 bytes
@@ -219,6 +226,7 @@ func Setup(sys *r1cs.System, rng io.Reader) (*ProvingKey, *VerifyingKey, error) 
 	vk.BetaG2 = pk.BetaG2
 	vk.GammaG2 = single2(&gamma)
 	vk.DeltaG2 = single2(&delta)
+	vk.AlphaBeta = pairing.Pair(&vk.AlphaG1, &vk.BetaG2)
 
 	return pk, vk, nil
 }
@@ -246,8 +254,13 @@ func Prove(sys *r1cs.System, pk *ProvingKey, witness []fr.Element, rng io.Reader
 		return nil, err
 	}
 
+	// The A, B1 (G1) and B2 (G2) queries all multiply the same witness
+	// vector, so its signed-digit recoding is computed once and shared —
+	// digits depend only on the scalars, not the group.
+	wDec := curve.DecomposeScalars(witness, curve.MSMWindowSize(len(witness)))
+
 	// A = α + Σ wⱼ·[uⱼ(τ)]₁ + r·δ
-	aJac := curve.MultiExpG1(pk.A, witness)
+	aJac := curve.MultiExpG1Decomposed(pk.A, wDec)
 	var term curve.G1Jac
 	var aAlpha curve.G1Jac
 	aAlpha.FromAffine(&pk.AlphaG1)
@@ -257,7 +270,7 @@ func Prove(sys *r1cs.System, pk *ProvingKey, witness []fr.Element, rng io.Reader
 	aJac.AddAssign(&term)
 
 	// B2 = β + Σ wⱼ·[vⱼ(τ)]₂ + s·δ  (and its G1 shadow for C).
-	b2Jac := curve.MultiExpG2(pk.B2, witness)
+	b2Jac := curve.MultiExpG2Decomposed(pk.B2, wDec)
 	var b2Beta curve.G2Jac
 	b2Beta.FromAffine(&pk.BetaG2)
 	b2Jac.AddAssign(&b2Beta)
@@ -266,7 +279,7 @@ func Prove(sys *r1cs.System, pk *ProvingKey, witness []fr.Element, rng io.Reader
 	term2.ScalarMul(&term2, &sScalar)
 	b2Jac.AddAssign(&term2)
 
-	b1Jac := curve.MultiExpG1(pk.B1, witness)
+	b1Jac := curve.MultiExpG1Decomposed(pk.B1, wDec)
 	var b1Beta curve.G1Jac
 	b1Beta.FromAffine(&pk.BetaG1)
 	b1Jac.AddAssign(&b1Beta)
@@ -427,13 +440,24 @@ func Verify(vk *VerifyingKey, proof *Proof, publicInputs []fr.Element) error {
 	var accAff curve.G1Affine
 	accAff.FromJacobian(&acc)
 
-	// e(-A, B) · e(α, β) · e(acc, γ) · e(C, δ) == 1
+	// e(-A, B) · e(α, β) · e(acc, γ) · e(C, δ) == 1. With e(α, β) cached
+	// on the key, its Miller loop is replaced by one GT multiplication
+	// and the check needs 3 pairings instead of 4.
 	var negA curve.G1Affine
 	negA.Neg(&proof.Ar)
-	ok := pairing.PairingCheck(
-		[]*curve.G1Affine{&negA, &vk.AlphaG1, &accAff, &proof.Krs},
-		[]*curve.G2Affine{&proof.Bs, &vk.BetaG2, &vk.GammaG2, &vk.DeltaG2},
-	)
+	var ok bool
+	if !vk.AlphaBeta.IsZero() {
+		ok = pairing.PairingCheckMul(
+			[]*curve.G1Affine{&negA, &accAff, &proof.Krs},
+			[]*curve.G2Affine{&proof.Bs, &vk.GammaG2, &vk.DeltaG2},
+			&vk.AlphaBeta,
+		)
+	} else {
+		ok = pairing.PairingCheck(
+			[]*curve.G1Affine{&negA, &vk.AlphaG1, &accAff, &proof.Krs},
+			[]*curve.G2Affine{&proof.Bs, &vk.BetaG2, &vk.GammaG2, &vk.DeltaG2},
+		)
+	}
 	if !ok {
 		return errors.New("groth16: invalid proof")
 	}
@@ -458,8 +482,14 @@ func randFr(rng io.Reader) (fr.Element, error) {
 // cache e(α, β).
 type GTElement = ext.E12
 
-// PrecomputeAlphaBeta returns e(α, β) for verifiers that amortize this
-// pairing across many proofs of the same circuit.
+// PrecomputeAlphaBeta returns e(α, β), caching it on the key so
+// subsequent Verify/BatchVerify calls take the 3-pairing fast path.
+// Keys produced by Setup or deserialized by ReadFrom arrive with the
+// cache already populated; call this (before sharing the key across
+// goroutines) for keys assembled by hand.
 func PrecomputeAlphaBeta(vk *VerifyingKey) GTElement {
-	return pairing.Pair(&vk.AlphaG1, &vk.BetaG2)
+	if vk.AlphaBeta.IsZero() {
+		vk.AlphaBeta = pairing.Pair(&vk.AlphaG1, &vk.BetaG2)
+	}
+	return vk.AlphaBeta
 }

@@ -92,6 +92,69 @@ func TestProveVerifyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAlphaBetaCache checks the cached-e(α,β) verification fast path:
+// Setup populates the cache, the 3-pairing and 4-pairing checks agree
+// on both honest and corrupted proofs, and PrecomputeAlphaBeta restores
+// the cache on a key that lost it.
+func TestAlphaBetaCache(t *testing.T) {
+	sys := cubicSystem()
+	rng := rand.New(rand.NewSource(71))
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vk.AlphaBeta.IsZero() {
+		t.Fatal("Setup did not populate the e(α,β) cache")
+	}
+	w := cubicWitness(4)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := w[1:sys.NbPublic]
+	if err := Verify(vk, proof, public); err != nil {
+		t.Fatalf("cached-path verify rejected honest proof: %v", err)
+	}
+
+	// Strip the cache: the 4-pairing fallback must agree.
+	var stripped VerifyingKey
+	stripped = *vk
+	stripped.AlphaBeta.SetZero()
+	if err := Verify(&stripped, proof, public); err != nil {
+		t.Fatalf("fallback verify rejected honest proof: %v", err)
+	}
+	got := PrecomputeAlphaBeta(&stripped)
+	if got.IsZero() || !stripped.AlphaBeta.Equal(&vk.AlphaBeta) {
+		t.Fatal("PrecomputeAlphaBeta did not restore the cache")
+	}
+
+	// Both paths must still reject corruption.
+	bad := *proof
+	bad.Ar.Neg(&bad.Ar)
+	if err := Verify(vk, &bad, public); err == nil {
+		t.Fatal("cached path accepted corrupted proof")
+	}
+	if err := Verify(&stripped, &bad, public); err == nil {
+		t.Fatal("fallback path accepted corrupted proof")
+	}
+
+	// A deserialized key re-derives the cache from its points.
+	var buf bytes.Buffer
+	if _, err := vk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var vk2 VerifyingKey
+	if _, err := vk2.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if vk2.AlphaBeta.IsZero() || !vk2.AlphaBeta.Equal(&vk.AlphaBeta) {
+		t.Fatal("ReadFrom did not repopulate the e(α,β) cache")
+	}
+	if err := Verify(&vk2, proof, public); err != nil {
+		t.Fatalf("deserialized key rejected honest proof: %v", err)
+	}
+}
+
 func TestVerifyRejectsWrongPublicInput(t *testing.T) {
 	sys := cubicSystem()
 	rng := rand.New(rand.NewSource(71))

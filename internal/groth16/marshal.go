@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"zkrownn/internal/bn254/curve"
+	"zkrownn/internal/bn254/pairing"
 )
 
 // Binary framing: a 4-byte magic, a format version, then length-prefixed
@@ -231,6 +232,10 @@ func (vk *VerifyingKey) ReadFrom(r io.Reader) (int64, error) {
 		return 0, err
 	}
 	vk.IC = ic
+	// Re-derive the cached e(α, β) (it is not serialized — the points
+	// are the authoritative material) so deserialized keys verify on the
+	// 3-pairing fast path.
+	vk.AlphaBeta = pairing.Pair(&vk.AlphaG1, &vk.BetaG2)
 	return 0, nil
 }
 

@@ -1,16 +1,29 @@
-// Package par provides the tiny data-parallel helper shared by the
+// Package par provides the tiny data-parallel helpers shared by the
 // multi-exponentiation, FFT, and prover hot loops.
 package par
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// Workers is the parallelism used by Range and Each: GOMAXPROCS,
+// capped at the physical CPU count — oversubscribing CPU-bound field
+// arithmetic only adds scheduler churn. Callers sizing their own work
+// decomposition (the MSM's chunk count) should use it too.
+func Workers() int {
+	workers := runtime.GOMAXPROCS(0)
+	if ncpu := runtime.NumCPU(); workers > ncpu {
+		workers = ncpu
+	}
+	return workers
+}
 
 // Range splits [0, n) into contiguous chunks executed concurrently on up
 // to GOMAXPROCS goroutines. f must be safe for disjoint index ranges.
 func Range(n int, f func(start, end int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := Workers()
 	if workers > n {
 		workers = n
 	}
@@ -34,6 +47,41 @@ func Range(n int, f func(start, end int)) {
 			defer wg.Done()
 			f(s, e)
 		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Each runs f(i) for every i in [0, n) on up to GOMAXPROCS goroutines,
+// pulling indices from a shared atomic counter so long tasks don't
+// stall short ones. Unlike Range it parallelizes even tiny n: it is
+// meant for coarse-grained tasks (an MSM chunk×window cell, a whole
+// bucket reduction) whose body dwarfs the scheduling cost. For fine
+// per-element loops use Range.
+func Each(n int, f func(i int)) {
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -32,3 +32,23 @@ func TestRangeZero(t *testing.T) {
 		t.Fatal("Range(0) must not produce non-empty chunks")
 	}
 }
+
+func TestEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 63, 256, 1000} {
+		seen := make([]int32, n)
+		Each(n, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestEachZero(t *testing.T) {
+	Each(0, func(i int) {
+		t.Fatalf("Each(0) called f(%d)", i)
+	})
+}
