@@ -1,0 +1,411 @@
+// Package client is the Go client for the ZKROWNN proof service
+// (cmd/zkrownn-server): programmatic registration of ownership
+// circuits, async proof jobs, and over-the-wire verification.
+//
+// A model owner registers once, then proves on demand:
+//
+//	c, _ := client.New("http://localhost:8080")
+//	reg, _ := c.RegisterModel(ctx, model, key, client.RegisterOptions{})
+//	ticket, _ := c.SubmitProve(ctx, reg.ModelID, nil)
+//	job, _ := c.WaitForProof(ctx, ticket.JobID)
+//
+// Any third party holding only the model ID verifies remotely:
+//
+//	verdict, _ := c.Verify(ctx, reg.ModelID, job.Proof, job.PublicInputs)
+//
+// The wire types mirror the server's JSON API (internal/service); the
+// end-to-end test at the repository root keeps the two in lockstep.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"zkrownn"
+)
+
+// ErrQueueFull is wrapped by SubmitProve when the server sheds load
+// (HTTP 429); callers should back off and retry.
+var ErrQueueFull = errors.New("client: prove queue full")
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("proof service: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Client talks to one proof service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the service at baseURL
+// (e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	if baseURL == "" {
+		return nil, errors.New("client: empty base URL")
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// RegisterOptions mirrors the circuit parameters of registration.
+type RegisterOptions struct {
+	// Name is an optional operator-facing label.
+	Name string
+	// FracBits selects the fixed-point format (0 → server default, 16).
+	FracBits int
+	// MaxErrors is the BER tolerance θ·N.
+	MaxErrors int
+	// Committed selects the committed-model circuit variant.
+	Committed bool
+}
+
+// Registration reports a registered circuit.
+type Registration struct {
+	ModelID           string                `json:"model_id"`
+	Name              string                `json:"name,omitempty"`
+	AlreadyRegistered bool                  `json:"already_registered,omitempty"`
+	SetupCached       bool                  `json:"setup_cached"`
+	Constraints       int                   `json:"constraints"`
+	PublicInputs      int                   `json:"public_inputs"`
+	Committed         bool                  `json:"committed,omitempty"`
+	VK                *zkrownn.VerifyingKey `json:"vk"`
+}
+
+// ModelInfo describes one registry entry.
+type ModelInfo struct {
+	ModelID      string `json:"model_id"`
+	Name         string `json:"name,omitempty"`
+	Committed    bool   `json:"committed,omitempty"`
+	FracBits     int    `json:"frac_bits"`
+	MaxErrors    int    `json:"max_errors"`
+	Constraints  int    `json:"constraints"`
+	PublicInputs int    `json:"public_inputs"`
+	CreatedAt    string `json:"created_at"`
+	CanProve     bool   `json:"can_prove"`
+}
+
+// ModelDetail is a registry entry plus its verifying key.
+type ModelDetail struct {
+	ModelInfo
+	VK *zkrownn.VerifyingKey `json:"vk"`
+}
+
+// ProveTicket acknowledges a queued prove job.
+type ProveTicket struct {
+	JobID      string `json:"job_id"`
+	ModelID    string `json:"model_id"`
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// JobStatus reports a prove job; Proof and PublicInputs are set once
+// Status is "done".
+type JobStatus struct {
+	JobID        string           `json:"job_id"`
+	ModelID      string           `json:"model_id"`
+	Status       string           `json:"status"`
+	Error        string           `json:"error,omitempty"`
+	SetupCached  bool             `json:"setup_cached,omitempty"`
+	QueuedMS     float64          `json:"queued_ms,omitempty"`
+	ProveMS      float64          `json:"prove_ms,omitempty"`
+	Proof        *zkrownn.Proof   `json:"proof,omitempty"`
+	PublicInputs zkrownn.Instance `json:"public_inputs,omitempty"`
+}
+
+// Job states, mirroring the server.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// VerifyResult reports an over-the-wire verification.
+type VerifyResult struct {
+	Valid     bool   `json:"valid"`
+	Claim     bool   `json:"claim"`
+	BatchSize int    `json:"batch_size"`
+	Error     string `json:"error,omitempty"`
+}
+
+// EngineStats mirrors the engine half of /v1/stats.
+type EngineStats struct {
+	Setups   uint64  `json:"setups"`
+	MemHits  uint64  `json:"mem_hits"`
+	DiskHits uint64  `json:"disk_hits"`
+	Proves   uint64  `json:"proves"`
+	Verifies uint64  `json:"verifies"`
+	SetupMS  float64 `json:"setup_ms"`
+	ProveMS  float64 `json:"prove_ms"`
+	VerifyMS float64 `json:"verify_ms"`
+}
+
+// ServiceStats mirrors the queue/batcher half of /v1/stats.
+type ServiceStats struct {
+	Models                int    `json:"models"`
+	JobsSubmitted         uint64 `json:"jobs_submitted"`
+	JobsRejected          uint64 `json:"jobs_rejected"`
+	JobsCompleted         uint64 `json:"jobs_completed"`
+	JobsFailed            uint64 `json:"jobs_failed"`
+	QueueDepth            int    `json:"queue_depth"`
+	QueueCapacity         int    `json:"queue_capacity"`
+	VerifyRequests        uint64 `json:"verify_requests"`
+	VerifyBatchCalls      uint64 `json:"verify_batch_calls"`
+	VerifyBatchedRequests uint64 `json:"verify_batched_requests"`
+	VerifyMaxBatch        uint64 `json:"verify_max_batch"`
+	VerifyFallbacks       uint64 `json:"verify_fallbacks"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Engine  EngineStats  `json:"engine"`
+	Service ServiceStats `json:"service"`
+}
+
+// Health pings /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return err
+	}
+	if out.Status != "ok" {
+		return fmt.Errorf("client: unhealthy service: %q", out.Status)
+	}
+	return nil
+}
+
+// Stats fetches engine + service counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	out := new(Stats)
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RegisterModel registers an ownership circuit: the server compiles
+// Algorithm 1 for the model + watermark key, runs (or reuses) trusted
+// setup, and returns the digest-keyed model ID with the verifying key.
+func (c *Client) RegisterModel(ctx context.Context, model *zkrownn.Model, key *zkrownn.WatermarkKey, opts RegisterOptions) (*Registration, error) {
+	modelJSON, err := encodeModel(model)
+	if err != nil {
+		return nil, err
+	}
+	keyJSON, err := json.Marshal(key)
+	if err != nil {
+		return nil, err
+	}
+	req := struct {
+		Name      string          `json:"name,omitempty"`
+		Model     json.RawMessage `json:"model"`
+		Key       json.RawMessage `json:"key"`
+		FracBits  int             `json:"frac_bits,omitempty"`
+		MaxErrors int             `json:"max_errors,omitempty"`
+		Committed bool            `json:"committed,omitempty"`
+	}{opts.Name, modelJSON, keyJSON, opts.FracBits, opts.MaxErrors, opts.Committed}
+	out := new(Registration)
+	if err := c.do(ctx, http.MethodPost, "/v1/models", req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Models lists the registry.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var out []ModelInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Model fetches one registry entry with its verifying key.
+func (c *Client) Model(ctx context.Context, modelID string) (*ModelDetail, error) {
+	out := new(ModelDetail)
+	if err := c.do(ctx, http.MethodGet, "/v1/models/"+modelID, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitProve queues an async ownership-proof job. suspect, when
+// non-nil, is the model to prove against (it must share the registered
+// architecture); nil proves the registered model. A load-shedding 429
+// surfaces as an error wrapping ErrQueueFull.
+func (c *Client) SubmitProve(ctx context.Context, modelID string, suspect *zkrownn.Model) (*ProveTicket, error) {
+	req := struct {
+		SuspectModel json.RawMessage `json:"suspect_model,omitempty"`
+	}{}
+	if suspect != nil {
+		m, err := encodeModel(suspect)
+		if err != nil {
+			return nil, err
+		}
+		req.SuspectModel = m
+	}
+	out := new(ProveTicket)
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+modelID+"/prove", req, out)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		return nil, fmt.Errorf("%w: %s", ErrQueueFull, apiErr.Message)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job polls one prove job.
+func (c *Client) Job(ctx context.Context, jobID string) (*JobStatus, error) {
+	out := new(JobStatus)
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WaitForProof polls a job until it reaches a terminal state (or ctx
+// expires). A failed job returns an error carrying the server's reason.
+func (c *Client) WaitForProof(ctx context.Context, jobID string) (*JobStatus, error) {
+	const poll = 50 * time.Millisecond
+	for {
+		js, err := c.Job(ctx, jobID)
+		if err != nil {
+			return nil, err
+		}
+		switch js.Status {
+		case JobDone:
+			return js, nil
+		case JobFailed:
+			return js, fmt.Errorf("client: job %s failed: %s", jobID, js.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// FetchProofBinary downloads the finished proof in the compact binary
+// encoding (the 128-byte artifact a dispute transcript files).
+func (c *Client) FetchProofBinary(ctx context.Context, jobID string) (*zkrownn.Proof, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/proof", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	proof := new(zkrownn.Proof)
+	if _, err := proof.ReadFrom(resp.Body); err != nil {
+		return nil, fmt.Errorf("client: bad proof payload: %w", err)
+	}
+	return proof, nil
+}
+
+// Verify checks an ownership proof over the wire. Concurrent calls for
+// one model coalesce server-side into a single batched pairing product;
+// VerifyResult.BatchSize reports the fold.
+func (c *Client) Verify(ctx context.Context, modelID string, proof *zkrownn.Proof, public zkrownn.Instance) (*VerifyResult, error) {
+	req := struct {
+		Proof        *zkrownn.Proof   `json:"proof"`
+		PublicInputs zkrownn.Instance `json:"public_inputs"`
+	}{proof, public}
+	out := new(VerifyResult)
+	if err := c.do(ctx, http.MethodPost, "/v1/models/"+modelID+"/verify", req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- plumbing ---
+
+func encodeModel(m *zkrownn.Model) (json.RawMessage, error) {
+	if m == nil {
+		return nil, errors.New("client: nil model")
+	}
+	var buf bytes.Buffer
+	if err := zkrownn.SaveModel(m, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}

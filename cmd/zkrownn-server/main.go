@@ -1,0 +1,115 @@
+// Command zkrownn-server runs the ZKROWNN proof service: an HTTP JSON
+// API exposing the prover engine as an online ownership-proof endpoint.
+//
+//	zkrownn-server -addr :8080 -registry registry -keycache keys
+//
+// Endpoints (see README "Running the proof service" for the full API):
+//
+//	GET  /healthz                  liveness
+//	GET  /v1/stats                 engine + queue + batcher counters
+//	POST /v1/models                register an ownership circuit
+//	GET  /v1/models                list the registry
+//	GET  /v1/models/{id}           one entry + verifying key
+//	POST /v1/models/{id}/prove     submit an async proof job (202/429)
+//	GET  /v1/jobs/{id}             poll a job
+//	GET  /v1/jobs/{id}/proof       fetch the finished proof (binary)
+//	POST /v1/models/{id}/verify    verify a proof (micro-batched)
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight HTTP requests and
+// prove jobs finish, queued jobs are failed with a shutdown error, and
+// the engine flushes its disk-cache writes before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zkrownn/internal/engine"
+	"zkrownn/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	registryDir := flag.String("registry", "", "directory persisting verifying keys + model metadata across restarts (empty: memory only)")
+	keyCache := flag.String("keycache", "", "prover-engine key cache directory (empty: memory only)")
+	cacheEntries := flag.Int("cache-entries", 16, "in-memory key cache entries (negative: unbounded)")
+	workers := flag.Int("workers", 0, "prover worker pool size (0: GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "async prove queue depth (overflow answers 429)")
+	proveBatch := flag.Int("prove-batch", 8, "max queued jobs folded into one ProveMany batch")
+	verifyWindow := flag.Duration("verify-window", 2*time.Millisecond, "micro-batch window for concurrent verifications")
+	verifyBatch := flag.Int("verify-batch", 32, "max verifications folded into one BatchVerify")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	quiet := flag.Bool("quiet", false, "suppress per-event logging")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := service.New(service.Options{
+		EngineOptions: engine.Options{
+			CacheDir:     *keyCache,
+			CacheEntries: *cacheEntries,
+			Workers:      *workers,
+		},
+		RegistryDir:  *registryDir,
+		QueueDepth:   *queueDepth,
+		ProveBatch:   *proveBatch,
+		VerifyWindow: *verifyWindow,
+		VerifyBatch:  *verifyBatch,
+		Logf:         logf,
+	})
+	if err != nil {
+		log.Fatalf("zkrownn-server: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("zkrownn-server: %v", err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Serve returns ErrServerClosed as soon as Shutdown is *called*, so
+	// main must wait for Shutdown to *finish* draining in-flight
+	// requests before tearing down the job queue and engine behind them.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		logf("zkrownn-server: shutdown signal, draining (budget %s)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logf("zkrownn-server: http shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("zkrownn-server: proof service listening on %s\n", ln.Addr())
+	err = httpSrv.Serve(ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("zkrownn-server: %v", err)
+	}
+	stop() // unblock the shutdown goroutine if Serve ended on its own
+	<-shutdownDone
+	// In-flight HTTP work is done; drain the job queue and the engine.
+	if err := srv.Close(); err != nil {
+		log.Fatalf("zkrownn-server: close: %v", err)
+	}
+	logf("zkrownn-server: drained, bye")
+}

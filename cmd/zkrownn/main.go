@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +26,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"zkrownn/client"
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/core"
 	"zkrownn/internal/dataset"
@@ -245,6 +248,7 @@ func cmdProve(args []string) error {
 	fracBits := fs.Int("frac-bits", 16, "fixed-point fraction bits")
 	committed := fs.Bool("committed", false, "use the committed-model circuit (constant-size VK; weights bound by digest instead of public inputs)")
 	keyCache := fs.String("keycache", "", "key-cache directory: reuse trusted-setup keys across runs for the same circuit architecture")
+	server := fs.String("server", "", "proof-service URL: register + prove remotely (zkrownn-server) instead of proving in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,6 +260,15 @@ func cmdProve(args []string) error {
 	key, err := loadKey(*keyPath)
 	if err != nil {
 		return err
+	}
+	if *server != "" {
+		if *savePK {
+			fmt.Fprintln(os.Stderr, "warning: -save-pk is ignored with -server (the service keeps proving keys)")
+		}
+		if *keyCache != "" {
+			fmt.Fprintln(os.Stderr, "warning: -keycache is ignored with -server (configure the server's -keycache instead)")
+		}
+		return remoteProve(*server, net, key, *outDir, *maxErrors, *fracBits, *committed)
 	}
 	p := fixpoint.Params{FracBits: *fracBits, MagBits: 44}
 	q, err := nn.Quantize(net, p)
@@ -331,19 +344,89 @@ func cmdProve(args []string) error {
 	return nil
 }
 
-// proveMeta records which circuit variant produced the artifacts.
+// proveMeta records which circuit variant produced the artifacts and,
+// for remote proves, the proof-service model ID.
 type proveMeta struct {
-	Committed  bool `json:"committed"`
-	LayerIndex int  `json:"layer_index"`
-	FracBits   int  `json:"frac_bits"`
+	Committed  bool   `json:"committed"`
+	LayerIndex int    `json:"layer_index"`
+	FracBits   int    `json:"frac_bits"`
+	ModelID    string `json:"model_id,omitempty"`
+}
+
+// remoteProve registers the model + key with a running proof service
+// and runs the ownership proof there, writing the same artifact set as
+// a local prove (vk.bin, proof.bin, public.json, meta.json).
+func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir string, maxErrors, fracBits int, committed bool) error {
+	ctx := context.Background()
+	c, err := client.New(serverURL)
+	if err != nil {
+		return err
+	}
+	if err := c.Health(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("registering circuit with %s...\n", serverURL)
+	reg, err := c.RegisterModel(ctx, net, key, client.RegisterOptions{
+		FracBits: fracBits, MaxErrors: maxErrors, Committed: committed,
+	})
+	if err != nil {
+		return err
+	}
+	state := "setup executed"
+	if reg.SetupCached {
+		state = "setup cached"
+	}
+	fmt.Printf("model %s registered (%d constraints, %s)\n", reg.ModelID[:12], reg.Constraints, state)
+
+	ticket, err := c.SubmitProve(ctx, reg.ModelID, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s queued, polling...\n", ticket.JobID)
+	job, err := c.WaitForProof(ctx, ticket.JobID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prove:  %.2fs server-side (proof %d B, setup cache hit %v)\n",
+		job.ProveMS/1e3, job.Proof.PayloadSize(), job.SetupCached)
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFileWith(filepath.Join(outDir, "vk.bin"), func(w io.Writer) error {
+		_, err := reg.VK.WriteTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeFileWith(filepath.Join(outDir, "proof.bin"), func(w io.Writer) error {
+		_, err := job.Proof.WriteTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(outDir, "public.json"), encodePublic(job.PublicInputs)); err != nil {
+		return err
+	}
+	meta := proveMeta{Committed: committed, LayerIndex: key.LayerIndex, FracBits: fracBits, ModelID: reg.ModelID}
+	if err := writeJSON(filepath.Join(outDir, "meta.json"), meta); err != nil {
+		return err
+	}
+	fmt.Printf("artifacts written to %s/ (vk.bin, proof.bin, public.json)\n", outDir)
+	return nil
 }
 
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("dir", "ownership", "artifact directory (vk.bin, proof.bin, public.json)")
 	modelPath := fs.String("model", "model-wm.json", "public suspect model (needed for committed-mode digest checks)")
+	server := fs.String("server", "", "proof-service URL: verify remotely against the service's registered verifying key")
+	modelID := fs.String("model-id", "", "proof-service model ID (default: meta.json of -dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *server != "" {
+		return remoteVerify(*server, *dir, *modelID)
 	}
 
 	var vk groth16.VerifyingKey
@@ -404,6 +487,56 @@ func cmdVerify(args []string) error {
 		os.Exit(1)
 	}
 	fmt.Printf("ownership VERIFIED in %.1fms\n", float64(elapsed.Microseconds())/1e3)
+	return nil
+}
+
+// remoteVerify submits local proof artifacts to a running proof
+// service, which checks them against its registered verifying key
+// (micro-batching concurrent requests server-side).
+func remoteVerify(serverURL, dir, modelID string) error {
+	if modelID == "" {
+		var meta proveMeta
+		if err := readJSON(filepath.Join(dir, "meta.json"), &meta); err != nil || meta.ModelID == "" {
+			return fmt.Errorf("no -model-id given and %s/meta.json has none (was the proof made with prove -server?)", dir)
+		}
+		modelID = meta.ModelID
+	}
+	var proof groth16.Proof
+	if err := readFileWith(filepath.Join(dir, "proof.bin"), func(f io.Reader) error {
+		_, err := proof.ReadFrom(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	var hexPub []string
+	if err := readJSON(filepath.Join(dir, "public.json"), &hexPub); err != nil {
+		return err
+	}
+	public, err := decodePublic(hexPub)
+	if err != nil {
+		return err
+	}
+
+	c, err := client.New(serverURL)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	verdict, err := c.Verify(context.Background(), modelID, &proof, public)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	switch {
+	case !verdict.Valid:
+		fmt.Printf("verification FAILED in %.1fms: %s\n", float64(elapsed.Microseconds())/1e3, verdict.Error)
+		os.Exit(1)
+	case !verdict.Claim:
+		fmt.Printf("proof valid but ownership claim is 0 (watermark did not extract)\n")
+		os.Exit(1)
+	}
+	fmt.Printf("ownership VERIFIED in %.1fms over the wire (server batch size %d)\n",
+		float64(elapsed.Microseconds())/1e3, verdict.BatchSize)
 	return nil
 }
 
@@ -478,11 +611,11 @@ func encodePublic(pub []fr.Element) []string {
 	return out
 }
 
-func decodePublic(hex []string) ([]fr.Element, error) {
-	out := make([]fr.Element, len(hex))
-	for i, h := range hex {
-		var raw []byte
-		if _, err := fmt.Sscanf(h, "%x", &raw); err != nil {
+func decodePublic(hexPub []string) ([]fr.Element, error) {
+	out := make([]fr.Element, len(hexPub))
+	for i, h := range hexPub {
+		raw, err := hex.DecodeString(h)
+		if err != nil {
 			return nil, fmt.Errorf("public input %d: %w", i, err)
 		}
 		if err := out[i].SetBytesCanonical(raw); err != nil {

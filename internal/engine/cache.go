@@ -158,19 +158,22 @@ func (c *keyCache) storeDisk(digest string, keys *KeyPair) error {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return err
 	}
-	if err := atomicWrite(c.pkPath(digest), func(w io.Writer) error {
+	if err := AtomicWriteFile(c.pkPath(digest), func(w io.Writer) error {
 		_, err := keys.PK.WriteRawTo(w)
 		return err
 	}); err != nil {
 		return err
 	}
-	return atomicWrite(c.vkPath(digest), func(w io.Writer) error {
+	return AtomicWriteFile(c.vkPath(digest), func(w io.Writer) error {
 		_, err := keys.VK.WriteTo(w)
 		return err
 	})
 }
 
-func atomicWrite(path string, fn func(io.Writer) error) error {
+// AtomicWriteFile writes path via temp-file rename so a crash mid-write
+// never leaves a truncated artifact that a later run would trust. Shared
+// by the key cache and the proof service's model registry.
+func AtomicWriteFile(path string, fn func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return err

@@ -94,10 +94,27 @@ type Stats struct {
 	VerifyTime time.Duration
 }
 
+// ErrClosed is returned by every Engine entry point after Close: the
+// sentinel a service front-end turns into a "shutting down" response.
+var ErrClosed = errors.New("engine: engine is closed")
+
 // Engine is safe for concurrent use by multiple goroutines.
+//
+// All Stats counters are atomics and may be read (via Stats) at any
+// time, including while proves and verifies are running on other
+// goroutines; the snapshot is per-counter atomic, not a globally
+// consistent cut, which is fine for monitoring.
 type Engine struct {
 	opts  Options
 	cache *keyCache
+
+	// lifecycle serializes Close against in-flight work: every public
+	// entry point holds a read lock for its whole duration, so Close
+	// (the sole writer) blocks until in-flight proves and their disk
+	// cache writes have drained, and every later acquisition fails with
+	// ErrClosed.
+	lifecycle sync.RWMutex
+	closed    bool
 
 	// inflight deduplicates concurrent setups per digest.
 	inflightMu sync.Mutex
@@ -136,11 +153,43 @@ func New(opts Options) *Engine {
 	}
 }
 
+// acquire registers one unit of in-flight work against Close. It fails
+// with ErrClosed once Close has run (or is waiting: a pending writer
+// blocks new readers, so requests arriving during a drain are rejected
+// as soon as it completes).
+func (e *Engine) acquire() error {
+	e.lifecycle.RLock()
+	if e.closed {
+		e.lifecycle.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+func (e *Engine) release() { e.lifecycle.RUnlock() }
+
+// Close shuts the engine down gracefully: it waits for in-flight work —
+// proves, setups, and their write-through disk cache persistence, all of
+// which run under a lifecycle read lock — to drain, then marks the
+// engine closed so every subsequent call fails with ErrClosed. The key
+// caches (memory and disk) are left intact. Close is idempotent and safe
+// to call concurrently.
+func (e *Engine) Close() error {
+	e.lifecycle.Lock()
+	defer e.lifecycle.Unlock()
+	e.closed = true
+	return nil
+}
+
 // Keys returns the Groth16 key pair for a constraint system, running the
 // trusted setup only when no cache tier holds the digest. The bool
 // reports whether setup was skipped. Concurrent callers with the same
 // digest share one setup execution.
 func (e *Engine) Keys(sys *r1cs.System, rng io.Reader) (*KeyPair, bool, error) {
+	if err := e.acquire(); err != nil {
+		return nil, false, err
+	}
+	defer e.release()
 	keys, hit, _, _, err := e.keys(sys, rng)
 	return keys, hit, err
 }
@@ -215,6 +264,10 @@ func (e *Engine) keys(sys *r1cs.System, rng io.Reader) (keys *KeyPair, hit bool,
 // and then the Groth16 prover. The returned Result always has Err nil —
 // errors are returned — but shares its layout with ProveMany results.
 func (e *Engine) Prove(req Request) (*Result, error) {
+	if err := e.acquire(); err != nil {
+		return nil, err
+	}
+	defer e.release()
 	res := e.prove(req)
 	if res.Err != nil {
 		return nil, res.Err
@@ -261,6 +314,13 @@ func (e *Engine) prove(req Request) *Result {
 // the rest of the batch completes.
 func (e *Engine) ProveMany(reqs []Request) []*Result {
 	results := make([]*Result, len(reqs))
+	if err := e.acquire(); err != nil {
+		for i := range reqs {
+			results[i] = &Result{Name: reqs[i].Name, Err: err}
+		}
+		return results
+	}
+	defer e.release()
 	workers := e.opts.Workers
 	if workers > len(reqs) {
 		workers = len(reqs)
@@ -292,6 +352,10 @@ func (e *Engine) ProveMany(reqs []Request) []*Result {
 
 // Verify checks one proof against its public inputs.
 func (e *Engine) Verify(vk *groth16.VerifyingKey, proof *groth16.Proof, public []fr.Element) error {
+	if err := e.acquire(); err != nil {
+		return err
+	}
+	defer e.release()
 	start := time.Now()
 	err := groth16.Verify(vk, proof, public)
 	e.verifies.Add(1)
@@ -303,6 +367,10 @@ func (e *Engine) Verify(vk *groth16.VerifyingKey, proof *groth16.Proof, public [
 // combined pairing product (groth16.BatchVerify) — the verifier-side
 // analogue of ProveMany.
 func (e *Engine) VerifyMany(vk *groth16.VerifyingKey, proofs []*groth16.Proof, publicInputs [][]fr.Element) error {
+	if err := e.acquire(); err != nil {
+		return err
+	}
+	defer e.release()
 	start := time.Now()
 	err := groth16.BatchVerify(vk, proofs, publicInputs, e.requestRand(nil))
 	e.verifies.Add(uint64(len(proofs)))

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"zkrownn/internal/bn254/fr"
@@ -207,5 +209,126 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if r.CacheHit || e.Stats().Setups != before+1 {
 		t.Fatal("evicted digest must re-run setup")
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(7)), Workers: 4})
+
+	// In-flight work started before Close must complete; Close blocks
+	// until it has drained.
+	const jobs = 4
+	reqs := make([]Request, jobs)
+	for i := range reqs {
+		reqs[i] = Request{System: cubicSystem(5), Witness: cubicWitness(5, uint64(i+2))}
+	}
+	var results []*Result
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		results = e.ProveMany(reqs)
+	}()
+	<-done // simplest deterministic ordering: drain, then close
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("pre-close request %d failed: %v", i, r.Err)
+		}
+	}
+
+	// Every entry point must reject with the sentinel after Close.
+	if _, err := e.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Prove after Close: err = %v, want ErrClosed", err)
+	}
+	if _, _, err := e.Keys(cubicSystem(5), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Keys after Close: err = %v, want ErrClosed", err)
+	}
+	vk := results[0].Keys.VK
+	if err := e.Verify(vk, results[0].Proof, publicOf(cubicWitness(5, 2))); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Verify after Close: err = %v, want ErrClosed", err)
+	}
+	post := e.ProveMany(reqs[:1])
+	if !errors.Is(post[0].Err, ErrClosed) {
+		t.Fatalf("ProveMany after Close: err = %v, want ErrClosed", post[0].Err)
+	}
+	// Idempotent.
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The caches survive Close (Close is a request barrier, not a purge).
+	if e.CachedKeys() == 0 {
+		t.Fatal("Close must not drop cached keys")
+	}
+}
+
+// TestStatsRaceUnderLoad hammers Stats/CachedKeys from many readers
+// while proves and verifies run — the access pattern a service /stats
+// endpoint produces. Run under -race (CI does) to audit counter
+// atomicity; all Stats counters must be atomics.
+func TestStatsRaceUnderLoad(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(8)), Workers: 4})
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = e.Stats()
+					_ = e.CachedKeys()
+				}
+			}
+		}()
+	}
+
+	const jobs = 6
+	reqs := make([]Request, jobs)
+	publics := make([][]fr.Element, jobs)
+	for i := range reqs {
+		w := cubicWitness(5, uint64(i+2))
+		reqs[i] = Request{System: cubicSystem(5), Witness: w}
+		publics[i] = publicOf(w)
+	}
+	results := e.ProveMany(reqs)
+	proofs := make([]*groth16.Proof, jobs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		proofs[i] = r.Proof
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := e.Verify(results[0].Keys.VK, proofs[i], publics[i]); err != nil {
+				t.Errorf("verify %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := e.VerifyMany(results[0].Keys.VK, proofs, publics); err != nil {
+			t.Errorf("batch verify: %v", err)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := e.Stats()
+	if st.Proves != jobs || st.Setups != 1 {
+		t.Fatalf("stats = %+v, want %d proves and 1 setup", st, jobs)
+	}
+	if st.Verifies != jobs*2 {
+		t.Fatalf("verifies = %d, want %d", st.Verifies, jobs*2)
 	}
 }

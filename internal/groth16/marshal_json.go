@@ -1,0 +1,157 @@
+package groth16
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// JSON wire envelopes. API payloads wrap the canonical binary encodings
+// (WriteTo/ReadFrom, which carry their own magic + format-version
+// header) in base64 inside a small versioned JSON object, so the shape
+// of a proof or key on the wire is stable across releases: old clients
+// reject newer envelope versions with a clear error instead of
+// misparsing bytes.
+//
+//	{"format": 1, "data": "<base64 of the binary encoding>"}
+//
+// Public inputs use hex field elements instead of an opaque blob —
+// they are the part of a payload humans and dispute transcripts need
+// to read:
+//
+//	{"format": 1, "elements": ["00..01", ...]}
+
+// jsonEnvelopeVersion is the wire-envelope version byte. Bump it when
+// the envelope structure (not the inner binary format, which has its
+// own version) changes incompatibly.
+const jsonEnvelopeVersion = 1
+
+type jsonEnvelope struct {
+	Format int    `json:"format"`
+	Data   string `json:"data"`
+}
+
+func marshalEnvelope(writeTo func(*bytes.Buffer) error) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeTo(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonEnvelope{
+		Format: jsonEnvelopeVersion,
+		Data:   base64.StdEncoding.EncodeToString(buf.Bytes()),
+	})
+}
+
+func unmarshalEnvelope(b []byte, what string, readFrom func(*bytes.Reader) error) error {
+	var env jsonEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return fmt.Errorf("groth16: %s envelope: %w", what, err)
+	}
+	if env.Format != jsonEnvelopeVersion {
+		return fmt.Errorf("groth16: unsupported %s envelope version %d (want %d)",
+			what, env.Format, jsonEnvelopeVersion)
+	}
+	raw, err := base64.StdEncoding.DecodeString(env.Data)
+	if err != nil {
+		return fmt.Errorf("groth16: %s envelope: %w", what, err)
+	}
+	r := bytes.NewReader(raw)
+	if err := readFrom(r); err != nil {
+		return fmt.Errorf("groth16: %s envelope: %w", what, err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("groth16: %s envelope has %d trailing bytes", what, r.Len())
+	}
+	return nil
+}
+
+// MarshalJSON encodes the proof as a versioned base64 envelope of its
+// binary WriteTo encoding.
+func (p *Proof) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(func(buf *bytes.Buffer) error {
+		_, err := p.WriteTo(buf)
+		return err
+	})
+}
+
+// UnmarshalJSON decodes a proof envelope, running the full ReadFrom
+// validation (curve and subgroup membership of every point): a
+// tampered proof fails here, before any verifier work.
+func (p *Proof) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, "proof", func(r *bytes.Reader) error {
+		_, err := p.ReadFrom(r)
+		return err
+	})
+}
+
+// MarshalJSON encodes the verifying key as a versioned base64 envelope
+// of its binary WriteTo encoding.
+func (vk *VerifyingKey) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(func(buf *bytes.Buffer) error {
+		_, err := vk.WriteTo(buf)
+		return err
+	})
+}
+
+// UnmarshalJSON decodes a verifying key envelope (full ReadFrom
+// validation, including the e(α,β) re-derivation).
+func (vk *VerifyingKey) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, "verifying key", func(r *bytes.Reader) error {
+		_, err := vk.ReadFrom(r)
+		return err
+	})
+}
+
+// PublicInputs is a JSON-marshalable public-input vector: the instance
+// part of an API payload. Elements travel as 32-byte big-endian hex in
+// a versioned envelope.
+type PublicInputs []fr.Element
+
+type publicInputsEnvelope struct {
+	Format   int      `json:"format"`
+	Elements []string `json:"elements"`
+}
+
+// MarshalJSON encodes the vector as versioned hex field elements.
+func (pi PublicInputs) MarshalJSON() ([]byte, error) {
+	env := publicInputsEnvelope{
+		Format:   jsonEnvelopeVersion,
+		Elements: make([]string, len(pi)),
+	}
+	for i := range pi {
+		b := pi[i].Bytes()
+		env.Elements[i] = fmt.Sprintf("%x", b[:])
+	}
+	return json.Marshal(env)
+}
+
+// UnmarshalJSON decodes a public-input envelope, rejecting
+// non-canonical (≥ modulus) elements.
+func (pi *PublicInputs) UnmarshalJSON(b []byte) error {
+	var env publicInputsEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return fmt.Errorf("groth16: public inputs envelope: %w", err)
+	}
+	if env.Format != jsonEnvelopeVersion {
+		return fmt.Errorf("groth16: unsupported public inputs envelope version %d (want %d)",
+			env.Format, jsonEnvelopeVersion)
+	}
+	out := make([]fr.Element, len(env.Elements))
+	for i, h := range env.Elements {
+		// hex.DecodeString is strict (Sscanf %x would silently stop at
+		// the first non-hex rune and accept a trailing-garbage payload).
+		raw, err := hex.DecodeString(h)
+		if err != nil {
+			return fmt.Errorf("groth16: public input %d: %w", i, err)
+		}
+		if err := out[i].SetBytesCanonical(raw); err != nil {
+			return fmt.Errorf("groth16: public input %d: %w", i, err)
+		}
+	}
+	*pi = out
+	return nil
+}

@@ -1,0 +1,143 @@
+package groth16
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestProofJSONRoundTrip(t *testing.T) {
+	_, vk, proof := marshalFixture(t)
+
+	b, err := json.Marshal(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Proof
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Ar.Equal(&proof.Ar) || !got.Bs.Equal(&proof.Bs) || !got.Krs.Equal(&proof.Krs) {
+		t.Fatal("proof points differ after JSON round trip")
+	}
+
+	public := cubicWitness(3)[1:cubicSystem().NbPublic]
+	if err := Verify(vk, &got, public); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+}
+
+func TestVerifyingKeyJSONRoundTrip(t *testing.T) {
+	_, vk, proof := marshalFixture(t)
+
+	b, err := json.Marshal(vk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got VerifyingKey
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.AlphaBeta.IsZero() {
+		t.Fatal("e(α,β) cache not re-derived from JSON envelope")
+	}
+	public := cubicWitness(3)[1:cubicSystem().NbPublic]
+	if err := Verify(&got, proof, public); err != nil {
+		t.Fatalf("proof rejected under round-tripped vk: %v", err)
+	}
+}
+
+func TestPublicInputsJSONRoundTrip(t *testing.T) {
+	public := PublicInputs(cubicWitness(3)[1:cubicSystem().NbPublic])
+	b, err := json.Marshal(public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PublicInputs
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(public) {
+		t.Fatalf("length %d != %d", len(got), len(public))
+	}
+	for i := range got {
+		if !got[i].Equal(&public[i]) {
+			t.Fatalf("element %d differs after round trip", i)
+		}
+	}
+}
+
+func TestProofJSONRejectsTampering(t *testing.T) {
+	_, _, proof := marshalFixture(t)
+	b, err := json.Marshal(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte of cryptographic material inside the base64 blob:
+	// the decoded point must fail curve/subgroup validation.
+	var env jsonEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := base64.StdEncoding.DecodeString(env.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	env.Data = base64.StdEncoding.EncodeToString(raw)
+	tampered, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Proof
+	if err := json.Unmarshal(tampered, &got); err == nil {
+		t.Fatal("tampered proof envelope accepted")
+	}
+
+	// Truncated payload.
+	env.Data = base64.StdEncoding.EncodeToString(raw[:len(raw)-4])
+	truncated, _ := json.Marshal(env)
+	if err := json.Unmarshal(truncated, &got); err == nil {
+		t.Fatal("truncated proof envelope accepted")
+	}
+
+	// Unknown envelope version.
+	versioned := strings.Replace(string(b), `"format":1`, `"format":9`, 1)
+	if err := json.Unmarshal([]byte(versioned), &got); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("future envelope version not rejected: %v", err)
+	}
+
+	// Trailing garbage after the binary encoding.
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = base64.StdEncoding.DecodeString(env.Data)
+	env.Data = base64.StdEncoding.EncodeToString(append(raw, 0xaa))
+	trailing, _ := json.Marshal(env)
+	if err := json.Unmarshal(trailing, &got); err == nil {
+		t.Fatal("proof envelope with trailing bytes accepted")
+	}
+}
+
+func TestPublicInputsJSONRejectsNonCanonical(t *testing.T) {
+	// r (the field modulus) is not a canonical encoding of any element.
+	over := `{"format":1,"elements":["30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001"]}`
+	var got PublicInputs
+	if err := json.Unmarshal([]byte(over), &got); err == nil {
+		t.Fatal("non-canonical field element accepted")
+	}
+	// A valid 64-digit prefix followed by garbage must be rejected, not
+	// silently truncated at the first non-hex rune.
+	trailing := `{"format":1,"elements":["0000000000000000000000000000000000000000000000000000000000000001ZZ"]}`
+	if err := json.Unmarshal([]byte(trailing), &got); err == nil {
+		t.Fatal("hex element with trailing garbage accepted")
+	}
+	// Odd-length hex is malformed.
+	odd := `{"format":1,"elements":["abc"]}`
+	if err := json.Unmarshal([]byte(odd), &got); err == nil {
+		t.Fatal("odd-length hex element accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/groth16"
+)
+
+// verifyBatcher coalesces concurrent verification requests that target
+// the same verifying key into one groth16.BatchVerify pairing product.
+//
+// The first request for a key becomes the window leader: it waits
+// Options.VerifyWindow collecting followers, then flushes the whole
+// batch in a single combined check (k+3 Miller loops instead of 4k
+// pairings — the α-β folding from the batch verifier pays off exactly
+// here). A failed batch is re-checked proof-by-proof so one bad proof
+// 400s its own request, not its neighbors'.
+type verifyBatcher struct {
+	srv    *Server
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	pending map[string]*pendingBatch // keyed by model ID
+}
+
+type pendingBatch struct {
+	items []*verifyItem
+}
+
+type verifyItem struct {
+	proof  *groth16.Proof
+	public []fr.Element
+	done   chan verifyOutcome
+}
+
+type verifyOutcome struct {
+	err       error // nil: the Groth16 check passed
+	batchSize int
+}
+
+func newVerifyBatcher(srv *Server, window time.Duration, max int) *verifyBatcher {
+	return &verifyBatcher{
+		srv:     srv,
+		window:  window,
+		max:     max,
+		pending: make(map[string]*pendingBatch),
+	}
+}
+
+// verify runs one request through the batcher, blocking until its
+// window flushes. The returned batch size reports how many requests
+// shared the pairing product.
+func (b *verifyBatcher) verify(rec *modelRecord, proof *groth16.Proof, public []fr.Element) (error, int) {
+	item := &verifyItem{proof: proof, public: public, done: make(chan verifyOutcome, 1)}
+
+	b.mu.Lock()
+	if pb, ok := b.pending[rec.ID]; ok && len(pb.items) < b.max {
+		// Follower: ride the open window.
+		pb.items = append(pb.items, item)
+		b.mu.Unlock()
+		out := <-item.done
+		return out.err, out.batchSize
+	}
+	// Leader: open a window (also taken when the open window is full —
+	// the full window's leader still flushes it on schedule).
+	pb := &pendingBatch{items: []*verifyItem{item}}
+	b.pending[rec.ID] = pb
+	b.mu.Unlock()
+
+	time.Sleep(b.window)
+
+	b.mu.Lock()
+	if b.pending[rec.ID] == pb {
+		delete(b.pending, rec.ID)
+	}
+	items := pb.items
+	b.mu.Unlock()
+
+	b.flush(rec, items)
+	out := <-item.done
+	return out.err, out.batchSize
+}
+
+func (b *verifyBatcher) flush(rec *modelRecord, items []*verifyItem) {
+	n := len(items)
+	if n == 1 {
+		err := b.srv.eng.Verify(rec.VK, items[0].proof, items[0].public)
+		items[0].done <- verifyOutcome{err: err, batchSize: 1}
+		return
+	}
+
+	proofs := make([]*groth16.Proof, n)
+	publics := make([][]fr.Element, n)
+	for i, it := range items {
+		proofs[i] = it.proof
+		publics[i] = it.public
+	}
+	b.srv.verifyBatchCalls.Add(1)
+	b.srv.verifyBatchedRequests.Add(uint64(n))
+	maxUpdate(&b.srv.verifyMaxBatch, uint64(n))
+
+	err := b.srv.eng.VerifyMany(rec.VK, proofs, publics)
+	if err == nil {
+		for _, it := range items {
+			it.done <- verifyOutcome{batchSize: n}
+		}
+		return
+	}
+	// The combined product rejected: at least one member is invalid (or
+	// the engine is closing). Attribute per-request with individual
+	// checks.
+	b.srv.verifyFallbacks.Add(1)
+	for _, it := range items {
+		it.done <- verifyOutcome{
+			err:       b.srv.eng.Verify(rec.VK, it.proof, it.public),
+			batchSize: n,
+		}
+	}
+}

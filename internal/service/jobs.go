@@ -1,0 +1,277 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkrownn/internal/engine"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/nn"
+)
+
+// Queue sentinels, surfaced by the HTTP layer as 429 and 503.
+var (
+	errQueueFull = errors.New("service: prove queue full")
+	errShutdown  = errors.New("service: shutting down")
+)
+
+// job is one async ownership-proof request.
+type job struct {
+	id        string
+	rec       *modelRecord
+	suspect   *nn.Network // nil: prove the registered model
+	submitted time.Time
+
+	mu          sync.Mutex
+	status      string
+	errMsg      string
+	setupCached bool
+	queuedFor   time.Duration
+	proveTime   time.Duration
+	proof       *groth16.Proof
+	public      groth16.PublicInputs
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		JobID:        j.id,
+		ModelID:      j.rec.ID,
+		Status:       j.status,
+		Error:        j.errMsg,
+		SetupCached:  j.setupCached,
+		QueuedMS:     float64(j.queuedFor.Microseconds()) / 1e3,
+		ProveMS:      float64(j.proveTime.Microseconds()) / 1e3,
+		Proof:        j.proof,
+		PublicInputs: j.public,
+	}
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.status = JobFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+}
+
+// jobQueue is the bounded async prove queue. Submissions land in a
+// buffered channel (backpressure: a full channel rejects with
+// errQueueFull → HTTP 429); a single dispatcher goroutine drains it in
+// batches of up to batch jobs and fans each batch into
+// Engine.ProveMany, so queued neighbors share the engine's worker pool
+// and per-digest setup singleflight.
+type jobQueue struct {
+	srv       *Server
+	batch     int
+	retention int
+
+	ch   chan *job
+	quit chan struct{}
+	done chan struct{}
+
+	// closeMu serializes submissions against close: submit holds a read
+	// lock across its closing-check *and* channel send, so once close
+	// has taken the write lock and set closing, no job can slip into the
+	// channel behind the dispatcher's final drain (which would strand it
+	// in "queued" forever).
+	closeMu sync.RWMutex
+	closing bool
+
+	mu       sync.RWMutex
+	byID     map[string]*job
+	finished []string // terminal job IDs, oldest first, for eviction
+	seq      atomic.Uint64
+}
+
+func newJobQueue(srv *Server, depth, batch, retention int) *jobQueue {
+	q := &jobQueue{
+		srv:       srv,
+		batch:     batch,
+		retention: retention,
+		ch:        make(chan *job, depth),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		byID:      make(map[string]*job),
+	}
+	go q.dispatch()
+	return q
+}
+
+func (q *jobQueue) submit(rec *modelRecord, suspect *nn.Network) (*job, error) {
+	q.closeMu.RLock()
+	defer q.closeMu.RUnlock()
+	if q.closing {
+		return nil, errShutdown
+	}
+	j := &job{
+		id:        fmt.Sprintf("job-%d", q.seq.Add(1)),
+		rec:       rec,
+		suspect:   suspect,
+		submitted: time.Now(),
+		status:    JobQueued,
+	}
+	q.mu.Lock()
+	q.byID[j.id] = j
+	q.mu.Unlock()
+
+	select {
+	case q.ch <- j:
+		return j, nil
+	default:
+		q.forget(j.id)
+		return nil, errQueueFull
+	}
+}
+
+func (q *jobQueue) forget(id string) {
+	q.mu.Lock()
+	delete(q.byID, id)
+	q.mu.Unlock()
+}
+
+func (q *jobQueue) get(id string) (*job, bool) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	j, ok := q.byID[id]
+	return j, ok
+}
+
+// depth reports the number of jobs waiting in the channel (not the one
+// batch currently proving).
+func (q *jobQueue) depth() int { return len(q.ch) }
+
+// retire records a job's terminal state and evicts the oldest finished
+// jobs beyond the retention cap, bounding long-run memory: without it a
+// busy server accumulates every proof (and job bookkeeping) forever.
+func (q *jobQueue) retire(id string) {
+	if q.retention <= 0 {
+		return
+	}
+	q.mu.Lock()
+	q.finished = append(q.finished, id)
+	for len(q.finished) > q.retention {
+		delete(q.byID, q.finished[0])
+		q.finished = q.finished[1:]
+	}
+	q.mu.Unlock()
+}
+
+// close stops the dispatcher: the in-flight batch finishes, jobs still
+// queued are failed with the shutdown sentinel, new submissions are
+// rejected. Idempotent via sync.Once in Server.Close.
+func (q *jobQueue) close() {
+	q.closeMu.Lock()
+	q.closing = true
+	q.closeMu.Unlock()
+	close(q.quit)
+	<-q.done
+}
+
+func (q *jobQueue) dispatch() {
+	defer close(q.done)
+	for {
+		var first *job
+		select {
+		case first = <-q.ch:
+		case <-q.quit:
+			// Fail whatever is still queued so pollers see a terminal
+			// state instead of "queued" forever.
+			for {
+				select {
+				case j := <-q.ch:
+					j.fail(errShutdown)
+					q.srv.jobsFailed.Add(1)
+					q.retire(j.id)
+				default:
+					return
+				}
+			}
+		}
+		batch := []*job{first}
+		for len(batch) < q.batch {
+			select {
+			case j := <-q.ch:
+				batch = append(batch, j)
+			default:
+				goto run
+			}
+		}
+	run:
+		q.run(batch)
+	}
+}
+
+// run compiles each job's circuit and proves the batch on the engine's
+// worker pool. Compile failures fail the individual job; the rest of
+// the batch proceeds.
+func (q *jobQueue) run(batch []*job) {
+	if q.srv.testJobStall != nil {
+		q.srv.testJobStall()
+	}
+	reqs := make([]engine.Request, 0, len(batch))
+	live := make([]*job, 0, len(batch))
+	for _, j := range batch {
+		j.mu.Lock()
+		j.status = JobRunning
+		j.queuedFor = time.Since(j.submitted)
+		j.mu.Unlock()
+
+		art, err := j.rec.buildArtifact(j.suspect)
+		j.suspect = nil // the artifact owns the job's working set now
+		if err != nil {
+			j.fail(err)
+			q.srv.jobsFailed.Add(1)
+			q.retire(j.id)
+			continue
+		}
+		if got := art.System.DigestHex(); got != j.rec.ID {
+			if j.rec.Committed {
+				// Committed circuits bake ρ = H(weights) into the
+				// constraint coefficients, so ANY weight change moves the
+				// circuit digest: committed proofs are bound to the
+				// registered model by construction.
+				j.fail(fmt.Errorf("committed circuits are bound to the registered model; register the suspect model itself (circuit digest %s != %s)", got[:12], j.rec.ID[:12]))
+			} else {
+				j.fail(fmt.Errorf("suspect model compiles to circuit digest %s, registered circuit is %s: architecture mismatch", got[:12], j.rec.ID[:12]))
+			}
+			q.srv.jobsFailed.Add(1)
+			q.retire(j.id)
+			continue
+		}
+		req := art.Request(nil)
+		req.Name = j.id
+		reqs = append(reqs, req)
+		live = append(live, j)
+
+		// The public inputs are fixed by the artifact; capture them now
+		// so the proof response is self-contained.
+		j.mu.Lock()
+		j.public = art.PublicInputs()
+		j.mu.Unlock()
+	}
+	if len(live) == 0 {
+		return
+	}
+	results := q.srv.eng.ProveMany(reqs)
+	for i, res := range results {
+		j := live[i]
+		if res.Err != nil {
+			j.fail(res.Err)
+			q.srv.jobsFailed.Add(1)
+			q.retire(j.id)
+			continue
+		}
+		j.mu.Lock()
+		j.status = JobDone
+		j.setupCached = res.CacheHit
+		j.proveTime = res.ProveTime
+		j.proof = res.Proof
+		j.mu.Unlock()
+		q.srv.jobsCompleted.Add(1)
+		q.retire(j.id)
+	}
+}

@@ -1,0 +1,274 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"zkrownn/internal/core"
+	"zkrownn/internal/engine"
+	"zkrownn/internal/fixpoint"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/nn"
+	"zkrownn/internal/watermark"
+)
+
+// modelRecord is one registered ownership circuit. The verifying key
+// and public metadata persist to the registry directory; the prove
+// material (the owner's model and watermark key) lives in memory only —
+// after a restart the record still serves verification but needs
+// re-registration before it can prove again.
+type modelRecord struct {
+	ID           string
+	Name         string
+	Committed    bool
+	FracBits     int
+	MaxErrors    int
+	LayerIndex   int
+	Constraints  int
+	PublicInputs int
+	CreatedAt    time.Time
+	// CommittedDigest is the hex Fiat-Shamir digest binding committed-
+	// mode proofs to the registered model. Persisted with the metadata so
+	// the binding check survives restarts (the model itself does not).
+	CommittedDigest string
+
+	VK *groth16.VerifyingKey
+
+	// Prove material; nil on records restored from disk.
+	model *nn.Network
+	key   *watermark.Key
+	quant *nn.QuantizedNetwork
+	// art caches the registered model's compiled circuit so prove jobs
+	// for it (the common case) skip re-running Algorithm-1 synthesis on
+	// the single-threaded dispatcher. groth16.Setup/Prove treat the
+	// system and witness as read-only, so sharing it across concurrent
+	// jobs is safe.
+	art *core.Artifact
+}
+
+func (rec *modelRecord) canProve() bool { return rec.model != nil && rec.key != nil }
+
+func (rec *modelRecord) params() fixpoint.Params {
+	return fixpoint.Params{FracBits: rec.FracBits, MagBits: 44}
+}
+
+// buildArtifact compiles the record's extraction circuit against a
+// suspect model (the registered model when nil). The caller must check
+// the resulting digest against rec.ID: a suspect with a different
+// architecture compiles to a different circuit whose proof the
+// registered verifying key would reject.
+func (rec *modelRecord) buildArtifact(suspect *nn.Network) (*core.Artifact, error) {
+	if !rec.canProve() {
+		return nil, fmt.Errorf("model %s has no prove material (registered before a restart?); re-register it", rec.ID)
+	}
+	if suspect == nil && rec.art != nil {
+		return rec.art, nil
+	}
+	q := rec.quant
+	if suspect != nil || q == nil {
+		net := suspect
+		if net == nil {
+			net = rec.model
+		}
+		var err error
+		if q, err = nn.Quantize(net, rec.params()); err != nil {
+			return nil, err
+		}
+	}
+	ck := core.QuantizeKey(rec.key, rec.params())
+	if rec.Committed {
+		return core.CommittedExtractionCircuit(q, ck, rec.MaxErrors)
+	}
+	return core.ExtractionCircuit(q, ck, rec.MaxErrors)
+}
+
+func (rec *modelRecord) info() ModelInfo {
+	return ModelInfo{
+		ModelID:      rec.ID,
+		Name:         rec.Name,
+		Committed:    rec.Committed,
+		FracBits:     rec.FracBits,
+		MaxErrors:    rec.MaxErrors,
+		Constraints:  rec.Constraints,
+		PublicInputs: rec.PublicInputs,
+		CreatedAt:    rec.CreatedAt.UTC().Format(time.RFC3339),
+		CanProve:     rec.canProve(),
+	}
+}
+
+// recordMeta is the persisted (public) half of a record.
+type recordMeta struct {
+	ID              string    `json:"id"`
+	Name            string    `json:"name,omitempty"`
+	Committed       bool      `json:"committed,omitempty"`
+	CommittedDigest string    `json:"committed_digest,omitempty"`
+	FracBits        int       `json:"frac_bits"`
+	MaxErrors       int       `json:"max_errors"`
+	LayerIndex      int       `json:"layer_index"`
+	Constraints     int       `json:"constraints"`
+	PublicInputs    int       `json:"public_inputs"`
+	CreatedAt       time.Time `json:"created_at"`
+}
+
+// registry maps circuit digests to registered models. When dir is
+// non-empty, verifying keys (binary WriteTo format, <id>.vk) and
+// metadata (<id>.json) write through to disk and are restored on
+// startup.
+type registry struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	mu      sync.RWMutex
+	records map[string]*modelRecord
+}
+
+func newRegistry(dir string, logf func(string, ...any)) (*registry, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := &registry{dir: dir, logf: logf, records: make(map[string]*modelRecord)}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: registry dir: %w", err)
+	}
+	if err := r.restore(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// restore loads every persisted record. Corrupt entries are skipped
+// (they only cost a re-registration), not fatal — but loudly: a
+// vanished record means 404s for verifiers who relied on the
+// persisted VK, so the operator must hear about it.
+func (r *registry) restore() error {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("service: registry dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		rec, err := r.loadRecord(id)
+		if err != nil {
+			r.logf("service: registry: skipping corrupt record %s: %v", id, err)
+			continue
+		}
+		r.records[rec.ID] = rec
+	}
+	return nil
+}
+
+func (r *registry) loadRecord(id string) (*modelRecord, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(r.dir, id+".json"))
+	if err != nil {
+		return nil, err
+	}
+	var meta recordMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, err
+	}
+	if meta.ID != id {
+		return nil, fmt.Errorf("service: registry meta %s names id %s", id, meta.ID)
+	}
+	f, err := os.Open(filepath.Join(r.dir, id+".vk"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	vk := new(groth16.VerifyingKey)
+	if _, err := vk.ReadFrom(bufio.NewReader(f)); err != nil {
+		return nil, err
+	}
+	return &modelRecord{
+		ID:              meta.ID,
+		Name:            meta.Name,
+		Committed:       meta.Committed,
+		CommittedDigest: meta.CommittedDigest,
+		FracBits:        meta.FracBits,
+		MaxErrors:       meta.MaxErrors,
+		LayerIndex:      meta.LayerIndex,
+		Constraints:     meta.Constraints,
+		PublicInputs:    meta.PublicInputs,
+		CreatedAt:       meta.CreatedAt,
+		VK:              vk,
+	}, nil
+}
+
+// put registers (or refreshes) a record, persisting the verifying key
+// and metadata when a directory is configured. It reports whether the
+// digest was already present.
+func (r *registry) put(rec *modelRecord) (existed bool, err error) {
+	r.mu.Lock()
+	_, existed = r.records[rec.ID]
+	r.records[rec.ID] = rec
+	r.mu.Unlock()
+
+	if r.dir == "" {
+		return existed, nil
+	}
+	if err := engine.AtomicWriteFile(filepath.Join(r.dir, rec.ID+".vk"), func(w io.Writer) error {
+		_, err := rec.VK.WriteTo(w)
+		return err
+	}); err != nil {
+		return existed, fmt.Errorf("service: persist vk: %w", err)
+	}
+	meta := recordMeta{
+		ID:              rec.ID,
+		Name:            rec.Name,
+		Committed:       rec.Committed,
+		CommittedDigest: rec.CommittedDigest,
+		FracBits:        rec.FracBits,
+		MaxErrors:       rec.MaxErrors,
+		LayerIndex:      rec.LayerIndex,
+		Constraints:     rec.Constraints,
+		PublicInputs:    rec.PublicInputs,
+		CreatedAt:       rec.CreatedAt,
+	}
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return existed, err
+	}
+	if err := engine.AtomicWriteFile(filepath.Join(r.dir, rec.ID+".json"), func(w io.Writer) error {
+		_, err := w.Write(metaBytes)
+		return err
+	}); err != nil {
+		return existed, fmt.Errorf("service: persist meta: %w", err)
+	}
+	return existed, nil
+}
+
+func (r *registry) get(id string) (*modelRecord, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec, ok := r.records[id]
+	return rec, ok
+}
+
+func (r *registry) list() []*modelRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*modelRecord, 0, len(r.records))
+	for _, rec := range r.records {
+		out = append(out, rec)
+	}
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records)
+}

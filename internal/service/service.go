@@ -1,0 +1,543 @@
+// Package service is the ZKROWNN proof service: an HTTP JSON API that
+// puts the prover engine to work as an online ownership-proof endpoint,
+// the deployment shape the paper's dispute story implies (a model
+// registry or auditor that third parties query over the wire).
+//
+// Three request families wrap engine.Engine:
+//
+//   - Registry: POST /v1/models registers an ownership circuit (model +
+//     watermark key + parameters); the server compiles Algorithm 1, runs
+//     — or reuses — trusted setup, and files the verifying key under the
+//     circuit digest. Digest-keyed IDs make registration idempotent, and
+//     VKs persist to the registry directory across restarts.
+//
+//   - Async proving: POST /v1/models/{id}/prove enqueues a job on a
+//     bounded queue (a full queue answers 429) and returns a job ID;
+//     GET /v1/jobs/{id} polls status; the finished job carries the proof
+//     and public inputs, also available raw at GET /v1/jobs/{id}/proof.
+//     A dispatcher drains the queue in batches through Engine.ProveMany.
+//
+//   - Batched verification: POST /v1/models/{id}/verify micro-batches
+//     concurrent requests into single groth16.BatchVerify windows.
+//
+// GET /healthz and GET /v1/stats (engine + queue + batcher counters)
+// round out the operational surface.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/core"
+	"zkrownn/internal/engine"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/nn"
+	"zkrownn/internal/watermark"
+)
+
+// Options configures a Server. The zero value is usable: an in-memory
+// registry, a fresh engine with default options, a 64-deep prove queue
+// and a 2 ms verify window.
+type Options struct {
+	// Engine, when non-nil, is used (and NOT closed by Server.Close —
+	// the caller owns its lifecycle). Otherwise the server builds its
+	// own from EngineOptions and closes it on shutdown.
+	Engine *engine.Engine
+	// EngineOptions configures the server-owned engine (ignored when
+	// Engine is set). Set EngineOptions.CacheDir to persist trusted-
+	// setup keys across restarts.
+	EngineOptions engine.Options
+	// RegistryDir, when non-empty, persists verifying keys and model
+	// metadata across restarts.
+	RegistryDir string
+	// QueueDepth bounds the async prove queue (default 64). Submissions
+	// beyond it are rejected with 429.
+	QueueDepth int
+	// ProveBatch caps how many queued jobs one dispatcher pass fans
+	// into Engine.ProveMany (default 8).
+	ProveBatch int
+	// JobRetention caps how many finished (done or failed) jobs remain
+	// pollable; the oldest are evicted beyond it so a long-running
+	// server's job table — proofs included — stays bounded (default
+	// 1024; negative disables eviction).
+	JobRetention int
+	// VerifyWindow is how long the first verification request for a key
+	// waits for concurrent neighbors before flushing the batch
+	// (default 2ms).
+	VerifyWindow time.Duration
+	// VerifyBatch caps requests folded into one BatchVerify (default 32).
+	VerifyBatch int
+	// MaxBodyBytes bounds request bodies (default 64 MiB — model JSON
+	// can be large).
+	MaxBodyBytes int64
+	// Logf, when set, receives one line per significant event.
+	Logf func(format string, args ...any)
+}
+
+// Server implements http.Handler for the proof-service API.
+type Server struct {
+	opts       Options
+	eng        *engine.Engine
+	ownsEngine bool
+	reg        *registry
+	queue      *jobQueue
+	batcher    *verifyBatcher
+	mux        *http.ServeMux
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+
+	jobsSubmitted, jobsRejected             atomic.Uint64
+	jobsCompleted, jobsFailed               atomic.Uint64
+	verifyRequests                          atomic.Uint64
+	verifyBatchCalls, verifyBatchedRequests atomic.Uint64
+	verifyMaxBatch, verifyFallbacks         atomic.Uint64
+
+	// testJobStall, when set by tests, runs at the head of every
+	// dispatcher batch — a hook to hold the queue busy deterministically.
+	testJobStall func()
+}
+
+// New builds a Server and starts its job dispatcher.
+func New(opts Options) (*Server, error) {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.ProveBatch <= 0 {
+		opts.ProveBatch = 8
+	}
+	if opts.JobRetention == 0 {
+		opts.JobRetention = 1024
+	}
+	if opts.VerifyWindow <= 0 {
+		opts.VerifyWindow = 2 * time.Millisecond
+	}
+	if opts.VerifyBatch <= 0 {
+		opts.VerifyBatch = 32
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	reg, err := newRegistry(opts.RegistryDir, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, reg: reg}
+	if opts.Engine != nil {
+		s.eng = opts.Engine
+	} else {
+		s.eng = engine.New(opts.EngineOptions)
+		s.ownsEngine = true
+	}
+	s.queue = newJobQueue(s, opts.QueueDepth, opts.ProveBatch, opts.JobRetention)
+	s.batcher = newVerifyBatcher(s, opts.VerifyWindow, opts.VerifyBatch)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/models", s.handleRegister)
+	mux.HandleFunc("GET /v1/models", s.handleListModels)
+	mux.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
+	mux.HandleFunc("POST /v1/models/{id}/prove", s.handleProve)
+	mux.HandleFunc("POST /v1/models/{id}/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleJobProof)
+	s.mux = mux
+	if n := reg.len(); n > 0 {
+		s.logf("service: restored %d model(s) from %s", n, opts.RegistryDir)
+	}
+	return s, nil
+}
+
+// Engine exposes the backing prover engine (for embedders that want to
+// share it or inspect raw stats).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close shuts the service down gracefully: new requests are answered
+// 503, the job dispatcher finishes its in-flight batch and fails
+// whatever is still queued, and — when the server owns its engine — the
+// engine drains in-flight provers and flushes its disk cache writes
+// before rejecting further work with engine.ErrClosed. Idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.queue.close()
+		if s.ownsEngine {
+			err = s.eng.Close()
+		}
+	})
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	es := s.eng.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engine: EngineStatsWire{
+			Setups:   es.Setups,
+			MemHits:  es.MemHits,
+			DiskHits: es.DiskHits,
+			Proves:   es.Proves,
+			Verifies: es.Verifies,
+			SetupMS:  float64(es.SetupTime.Microseconds()) / 1e3,
+			ProveMS:  float64(es.ProveTime.Microseconds()) / 1e3,
+			VerifyMS: float64(es.VerifyTime.Microseconds()) / 1e3,
+		},
+		Service: ServiceStats{
+			Models:                s.reg.len(),
+			JobsSubmitted:         s.jobsSubmitted.Load(),
+			JobsRejected:          s.jobsRejected.Load(),
+			JobsCompleted:         s.jobsCompleted.Load(),
+			JobsFailed:            s.jobsFailed.Load(),
+			QueueDepth:            s.queue.depth(),
+			QueueCapacity:         s.opts.QueueDepth,
+			VerifyRequests:        s.verifyRequests.Load(),
+			VerifyBatchCalls:      s.verifyBatchCalls.Load(),
+			VerifyBatchedRequests: s.verifyBatchedRequests.Load(),
+			VerifyMaxBatch:        s.verifyMaxBatch.Load(),
+			VerifyFallbacks:       s.verifyFallbacks.Load(),
+		},
+	})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed register request: "+err.Error())
+		return
+	}
+	if len(req.Model) == 0 || len(req.Key) == 0 {
+		writeError(w, http.StatusBadRequest, "register request needs both model and key")
+		return
+	}
+	net, err := nn.Load(bytes.NewReader(req.Model))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad model: "+err.Error())
+		return
+	}
+	var key watermark.Key
+	if err := json.Unmarshal(req.Key, &key); err != nil {
+		writeError(w, http.StatusBadRequest, "bad watermark key: "+err.Error())
+		return
+	}
+	if err := key.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.FracBits <= 0 {
+		req.FracBits = 16
+	}
+	if req.MaxErrors < 0 {
+		writeError(w, http.StatusBadRequest, "max_errors must be >= 0")
+		return
+	}
+
+	rec := &modelRecord{
+		Name:       req.Name,
+		Committed:  req.Committed,
+		FracBits:   req.FracBits,
+		MaxErrors:  req.MaxErrors,
+		LayerIndex: key.LayerIndex,
+		CreatedAt:  time.Now(),
+		model:      net,
+		key:        &key,
+	}
+	// frac_bits is remote input: an out-of-range value would silently
+	// produce a degenerate quantization (2^64 scale wraps to 0), so run
+	// the format validator the local pipelines get via their flags.
+	if err := rec.params().Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := nn.Quantize(net, rec.params())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "quantization failed: "+err.Error())
+		return
+	}
+	rec.quant = q
+	if rec.Committed {
+		// Pin the Fiat-Shamir digest binding committed proofs to this
+		// model; it persists with the metadata so the binding check
+		// survives restarts that drop the model itself.
+		_, digest, derr := core.ModelDigest(q, rec.LayerIndex)
+		if derr != nil {
+			writeError(w, http.StatusBadRequest, "model digest failed: "+derr.Error())
+			return
+		}
+		db := digest.Bytes()
+		rec.CommittedDigest = fmt.Sprintf("%x", db[:])
+	}
+	art, err := rec.buildArtifact(nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "circuit compilation failed: "+err.Error())
+		return
+	}
+	rec.art = art // prove jobs for the registered model reuse this
+	rec.ID = art.System.DigestHex()
+	rec.Constraints = art.System.NbConstraints()
+	rec.PublicInputs = art.System.NbPublic - 1
+
+	// Eager setup: registration pays the trusted-setup cost once so
+	// prove jobs hit the key cache. Same-digest re-registration reuses
+	// the cached keys and therefore returns the identical VK.
+	keys, cached, err := s.eng.Keys(art.System, nil)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "trusted setup failed: "+err.Error())
+		return
+	}
+	rec.VK = keys.VK
+
+	existed, err := s.reg.put(rec)
+	if err != nil {
+		// The record is registered in memory; persistence is best-effort
+		// but surfaced, matching the engine's PersistErr contract.
+		s.logf("service: %v", err)
+	}
+	s.logf("service: registered model %s (%d constraints, cached=%v, already=%v)",
+		rec.ID[:12], rec.Constraints, cached, existed)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		ModelID:           rec.ID,
+		Name:              rec.Name,
+		AlreadyRegistered: existed,
+		SetupCached:       cached,
+		Constraints:       rec.Constraints,
+		PublicInputs:      rec.PublicInputs,
+		Committed:         rec.Committed,
+		VK:                rec.VK,
+	})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	recs := s.reg.list()
+	infos := make([]ModelInfo, len(recs))
+	for i, rec := range recs {
+		infos[i] = rec.info()
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model")
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelResponse{ModelInfo: rec.info(), VK: rec.VK})
+}
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model")
+		return
+	}
+	if !rec.canProve() {
+		writeError(w, http.StatusConflict,
+			"model has no prove material (registered before a restart?); re-register it")
+		return
+	}
+	var req ProveRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed prove request: "+err.Error())
+			return
+		}
+	}
+	var suspect *nn.Network
+	if len(req.SuspectModel) > 0 {
+		net, err := nn.Load(bytes.NewReader(req.SuspectModel))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad suspect model: "+err.Error())
+			return
+		}
+		suspect = net
+	}
+
+	j, err := s.queue.submit(rec, suspect)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.jobsRejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "prove queue full, retry later")
+		return
+	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, ProveAccepted{
+		JobID:      j.id,
+		ModelID:    rec.ID,
+		Status:     JobQueued,
+		QueueDepth: s.queue.depth(),
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobProof streams the finished proof in the compact binary
+// encoding — the 128-byte artifact a dispute transcript files.
+func (s *Server) handleJobProof(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	snap := j.snapshot()
+	switch snap.Status {
+	case JobDone:
+	case JobFailed:
+		writeError(w, http.StatusConflict, "job failed: "+snap.Error)
+		return
+	default:
+		writeError(w, http.StatusConflict, "job not finished (status "+snap.Status+")")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := snap.Proof.WriteTo(w); err != nil {
+		s.logf("service: proof stream: %v", err)
+	}
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model")
+		return
+	}
+	var req VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Malformed or tampered material (a proof point off the curve or
+		// outside its subgroup fails here, in the envelope decoder) is a
+		// client error, not a server one.
+		writeError(w, http.StatusBadRequest, "malformed verify request: "+err.Error())
+		return
+	}
+	if req.Proof == nil {
+		writeError(w, http.StatusBadRequest, "verify request needs a proof")
+		return
+	}
+	if got, want := len(req.PublicInputs), len(rec.VK.IC)-1; got != want {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("expected %d public inputs, got %d", want, got))
+		return
+	}
+	s.verifyRequests.Add(1)
+
+	err, batchSize := s.batcher.verify(rec, req.Proof, req.PublicInputs)
+	if errors.Is(err, engine.ErrClosed) {
+		writeError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	}
+	resp := VerifyResponse{BatchSize: batchSize}
+	if err != nil {
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Valid = true
+	resp.Claim = claimBit(req.PublicInputs)
+	if rec.Committed {
+		// Committed-model proofs additionally bind the registered model
+		// through the Fiat-Shamir digest in the instance (public input
+		// 0). The expected digest was pinned at registration and
+		// persists with the record, so this check also holds on records
+		// restored after a restart. A proof for a different model — even
+		// one sharing the architecture — fails here by construction.
+		if derr := checkCommittedDigest(rec, req.PublicInputs); derr != nil {
+			resp.Valid = false
+			resp.Claim = false
+			resp.Error = derr.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func checkCommittedDigest(rec *modelRecord, public groth16.PublicInputs) error {
+	if rec.CommittedDigest == "" {
+		return errors.New("registered record carries no committed digest; re-register the model")
+	}
+	if len(public) == 0 {
+		return errors.New("committed proof has no public inputs")
+	}
+	db := public[0].Bytes()
+	if fmt.Sprintf("%x", db[:]) != rec.CommittedDigest {
+		return errors.New("model digest mismatch: proof is not about the registered model")
+	}
+	return nil
+}
+
+// claimBit reports whether the instance's trailing ownership-claim
+// wire is 1.
+func claimBit(public groth16.PublicInputs) bool {
+	if len(public) == 0 {
+		return false
+	}
+	var one fr.Element
+	one.SetOne()
+	return public[len(public)-1].Equal(&one)
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// maxUpdate lifts v into the atomic maximum.
+func maxUpdate(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,739 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/dataset"
+	"zkrownn/internal/engine"
+	"zkrownn/internal/groth16"
+	"zkrownn/internal/nn"
+	"zkrownn/internal/watermark"
+)
+
+// testFixture builds a tiny untrained MLP and a matching watermark key.
+// MaxErrors is set to the full signature width in registration, so the
+// ownership claim bit is 1 without any (slow) embedding fine-tuning —
+// the service mechanics, not watermark fidelity, are under test.
+func testFixture(t *testing.T) (modelJSON, keyJSON []byte) {
+	return testFixtureSeed(t, 1)
+}
+
+// testFixtureSeed varies the model weights while keeping the
+// architecture AND the watermark key fixed — the key's signature enters
+// the circuit as constants, so only a fixed key keeps the circuit
+// digest stable across seeds.
+func testFixtureSeed(t *testing.T, seed int64) (modelJSON, keyJSON []byte) {
+	t.Helper()
+	modelRng := rand.New(rand.NewSource(seed))
+	keyRng := rand.New(rand.NewSource(1000))
+	ds, err := dataset.Generate(dataset.Config{
+		Samples: 30, Dim: 6, Classes: 2, ClusterStd: 0.3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewMLP(nn.MLPConfig{In: 6, Hidden: []int{4}, Classes: 2}, modelRng)
+	key, err := watermark.GenerateKey(keyRng, 1, 0, net.Layers[1].OutputSize(), 4, 2, ds.OfClass(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	keyJSON, err = json.Marshal(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), keyJSON
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp
+}
+
+func register(t *testing.T, baseURL string, maxErrors int) RegisterResponse {
+	t.Helper()
+	modelJSON, keyJSON := testFixture(t)
+	resp, data := postJSON(t, baseURL+"/v1/models", RegisterRequest{
+		Name:      "test-mlp",
+		Model:     modelJSON,
+		Key:       keyJSON,
+		MaxErrors: maxErrors,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, data)
+	}
+	var reg RegisterResponse
+	if err := json.Unmarshal(data, &reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func waitJob(t *testing.T, baseURL, jobID string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var js JobStatus
+		resp := getJSON(t, baseURL+"/v1/jobs/"+jobID, &js)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job poll: status %d", resp.StatusCode)
+		}
+		switch js.Status {
+		case JobDone, JobFailed:
+			return js
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", jobID, js.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestEndToEndOverTheWire(t *testing.T) {
+	srv, ts := newTestServer(t, Options{VerifyWindow: 300 * time.Millisecond})
+
+	// Register: circuit compiled, setup run, VK returned.
+	reg := register(t, ts.URL, 4)
+	if reg.ModelID == "" || reg.VK == nil {
+		t.Fatalf("register response incomplete: %+v", reg)
+	}
+	if reg.Constraints == 0 || reg.PublicInputs == 0 {
+		t.Fatalf("register reported empty circuit: %+v", reg)
+	}
+
+	// Registry endpoints.
+	var info ModelResponse
+	if resp := getJSON(t, ts.URL+"/v1/models/"+reg.ModelID, &info); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get model: %d", resp.StatusCode)
+	}
+	if !info.CanProve || info.ModelID != reg.ModelID {
+		t.Fatalf("model info wrong: %+v", info.ModelInfo)
+	}
+
+	// Async prove: submit, poll to completion.
+	resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove submit: status %d: %s", resp.StatusCode, data)
+	}
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	js := waitJob(t, ts.URL, acc.JobID)
+	if js.Status != JobDone {
+		t.Fatalf("job failed: %s", js.Error)
+	}
+	if js.Proof == nil || len(js.PublicInputs) == 0 {
+		t.Fatal("finished job has no proof/public inputs")
+	}
+	// Registration already ran setup for this digest → the job must hit
+	// the key cache.
+	if !js.SetupCached {
+		t.Fatal("prove job re-ran trusted setup despite registration warm-up")
+	}
+
+	// Raw binary proof fetch must agree with the JSON envelope.
+	rawResp, err := http.Get(ts.URL + "/v1/jobs/" + acc.JobID + "/proof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawResp.Body.Close()
+	if rawResp.StatusCode != http.StatusOK {
+		t.Fatalf("proof fetch: %d", rawResp.StatusCode)
+	}
+	var rawProof groth16.Proof
+	if _, err := rawProof.ReadFrom(rawResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !rawProof.Ar.Equal(&js.Proof.Ar) || !rawProof.Bs.Equal(&js.Proof.Bs) || !rawProof.Krs.Equal(&js.Proof.Krs) {
+		t.Fatal("binary proof differs from JSON proof")
+	}
+
+	// Verify over the wire, concurrently: the micro-batcher must fold
+	// the requests into one BatchVerify pairing product.
+	const verifiers = 4
+	results := make([]VerifyResponse, verifiers)
+	var wg sync.WaitGroup
+	for i := 0; i < verifiers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+				Proof:        js.Proof,
+				PublicInputs: js.PublicInputs,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("verify %d: status %d: %s", i, resp.StatusCode, data)
+				return
+			}
+			if err := json.Unmarshal(data, &results[i]); err != nil {
+				t.Errorf("verify %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	coalesced := 0
+	for i, vr := range results {
+		if !vr.Valid || !vr.Claim {
+			t.Fatalf("verify %d rejected honest proof: %+v", i, vr)
+		}
+		if vr.BatchSize >= 2 {
+			coalesced++
+		}
+	}
+	if coalesced == 0 {
+		t.Fatal("no verify request reported a coalesced batch")
+	}
+
+	// /stats must corroborate: at least one BatchVerify call folded ≥ 2
+	// requests, and the engine/queue counters add up.
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Service.VerifyBatchCalls < 1 {
+		t.Fatalf("stats report no batch-verify calls: %+v", stats.Service)
+	}
+	if stats.Service.VerifyMaxBatch < 2 {
+		t.Fatalf("stats max batch %d, want >= 2", stats.Service.VerifyMaxBatch)
+	}
+	if stats.Service.VerifyRequests != verifiers {
+		t.Fatalf("stats count %d verify requests, want %d", stats.Service.VerifyRequests, verifiers)
+	}
+	if stats.Engine.Setups != 1 || stats.Engine.Proves != 1 {
+		t.Fatalf("engine stats: %+v, want 1 setup and 1 prove", stats.Engine)
+	}
+	if stats.Service.JobsCompleted != 1 || stats.Service.JobsFailed != 0 {
+		t.Fatalf("job stats: %+v", stats.Service)
+	}
+
+	// Idempotent re-registration: same digest, same VK, no new setup.
+	reg2 := register(t, ts.URL, 4)
+	if reg2.ModelID != reg.ModelID || !reg2.AlreadyRegistered || !reg2.SetupCached {
+		t.Fatalf("re-registration not idempotent: %+v", reg2)
+	}
+
+	// Health.
+	var health HealthResponse
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+	_ = srv
+}
+
+func TestVerifyRejectsMalformedAndTampered(t *testing.T) {
+	_, ts := newTestServer(t, Options{VerifyWindow: time.Millisecond})
+	reg := register(t, ts.URL, 4)
+
+	resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove: %d %s", resp.StatusCode, data)
+	}
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	js := waitJob(t, ts.URL, acc.JobID)
+	if js.Status != JobDone {
+		t.Fatalf("job failed: %s", js.Error)
+	}
+
+	// Tampered proof bytes: the envelope decoder's subgroup check must
+	// surface as 400, not 500.
+	proofJSON, err := json.Marshal(js.Proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Format int    `json:"format"`
+		Data   string `json:"data"`
+	}
+	if err := json.Unmarshal(proofJSON, &env); err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(fmt.Sprintf(
+		`{"proof":{"format":%d,"data":"%s"},"public_inputs":%s}`,
+		env.Format, "AAAA"+env.Data[4:], mustJSON(t, js.PublicInputs)))
+	hresp, err := http.Post(ts.URL+"/v1/models/"+reg.ModelID+"/verify", "application/json", bytes.NewReader(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tampered proof: status %d (%s), want 400", hresp.StatusCode, body)
+	}
+
+	// Plain garbage body.
+	hresp, err = http.Post(ts.URL+"/v1/models/"+reg.ModelID+"/verify", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", hresp.StatusCode)
+	}
+
+	// Wrong public-input arity.
+	resp, data = postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+		Proof:        js.Proof,
+		PublicInputs: js.PublicInputs[:1],
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short public inputs: status %d (%s), want 400", resp.StatusCode, data)
+	}
+
+	// A well-formed proof that fails verification (wrong instance) is
+	// NOT a client error: 200 with valid=false.
+	wrong := append(groth16.PublicInputs(nil), js.PublicInputs...)
+	wrong[0].SetUint64(987654321)
+	resp, data = postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+		Proof:        js.Proof,
+		PublicInputs: wrong,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wrong-instance verify: status %d (%s), want 200", resp.StatusCode, data)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(data, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Valid {
+		t.Fatal("proof accepted under tampered public inputs")
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestQueueOverflowBackpressure(t *testing.T) {
+	srv, ts := newTestServer(t, Options{QueueDepth: 1, ProveBatch: 1})
+
+	var once sync.Once
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.testJobStall = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	reg := register(t, ts.URL, 4)
+	proveURL := ts.URL + "/v1/models/" + reg.ModelID + "/prove"
+
+	// First job: picked up by the dispatcher, which stalls on the hook.
+	resp, data := postJSON(t, proveURL, ProveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: %d %s", resp.StatusCode, data)
+	}
+	<-entered
+
+	// Second job parks in the (depth-1) queue.
+	resp, data = postJSON(t, proveURL, ProveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: %d %s", resp.StatusCode, data)
+	}
+
+	// Third job must bounce with 429.
+	resp, data = postJSON(t, proveURL, ProveRequest{})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d (%s), want 429", resp.StatusCode, data)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Service.JobsRejected != 1 {
+		t.Fatalf("jobs_rejected = %d, want 1", stats.Service.JobsRejected)
+	}
+
+	// Release the dispatcher: both accepted jobs must finish.
+	close(release)
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err == nil && acc.JobID != "" {
+		t.Fatal("rejected job must not carry a job id")
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats) // refresh after release
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/stats", &stats)
+		if stats.Service.JobsCompleted == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accepted jobs did not finish: %+v", stats.Service)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	reg := register(t, ts.URL, 4)
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All routes answer 503 after Close, including verifies and proves.
+	resp, _ := http.Get(ts.URL + "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after close: %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+	presp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if presp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("prove after close: %d (%s), want 503", presp.StatusCode, data)
+	}
+	// The server-owned engine is closed too: even an empty request is
+	// rejected with the lifecycle sentinel before content validation.
+	if _, perr := srv.Engine().Prove(engine.Request{}); !errors.Is(perr, engine.ErrClosed) {
+		t.Fatalf("engine after service Close: err = %v, want engine.ErrClosed", perr)
+	}
+	// Idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1, err := New(Options{RegistryDir: dir, VerifyWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	reg := register(t, ts1.URL, 4)
+	resp, data := postJSON(t, ts1.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove: %d %s", resp.StatusCode, data)
+	}
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	js := waitJob(t, ts1.URL, acc.JobID)
+	if js.Status != JobDone {
+		t.Fatalf("job failed: %s", js.Error)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	// Restart over the same registry directory: the record (and VK)
+	// must be restored; verification works, proving needs re-registration.
+	srv2, err := New(Options{RegistryDir: dir, VerifyWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+
+	var info ModelResponse
+	if resp := getJSON(t, ts2.URL+"/v1/models/"+reg.ModelID, &info); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored model missing: %d", resp.StatusCode)
+	}
+	if info.CanProve {
+		t.Fatal("restored record must not claim prove material")
+	}
+	resp, data = postJSON(t, ts2.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("prove on restored record: %d (%s), want 409", resp.StatusCode, data)
+	}
+	resp, data = postJSON(t, ts2.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+		Proof:        js.Proof,
+		PublicInputs: js.PublicInputs,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify on restored record: %d (%s)", resp.StatusCode, data)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(data, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Valid || !vr.Claim {
+		t.Fatalf("restored VK rejected honest proof: %+v", vr)
+	}
+}
+
+// registerSeed registers the seeded fixture in committed mode.
+func registerCommitted(t *testing.T, baseURL string, seed int64) RegisterResponse {
+	t.Helper()
+	modelJSON, keyJSON := testFixtureSeed(t, seed)
+	resp, data := postJSON(t, baseURL+"/v1/models", RegisterRequest{
+		Model: modelJSON, Key: keyJSON, MaxErrors: 4, Committed: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register committed: status %d: %s", resp.StatusCode, data)
+	}
+	var reg RegisterResponse
+	if err := json.Unmarshal(data, &reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestCommittedDigestBinding exercises the committed-model variant: the
+// proof's public digest must bind the registered model, the binding
+// must survive a server restart (it persists with the metadata, not the
+// model), and a proof for a *different* same-architecture model must be
+// rejected by the digest check even though the Groth16 equation holds.
+func TestCommittedDigestBinding(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := New(Options{RegistryDir: dir, VerifyWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+
+	reg := registerCommitted(t, ts1.URL, 1)
+	if !reg.Committed {
+		t.Fatalf("registration lost committed flag: %+v", reg)
+	}
+	resp, data := postJSON(t, ts1.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove: %d %s", resp.StatusCode, data)
+	}
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	js := waitJob(t, ts1.URL, acc.JobID)
+	if js.Status != JobDone {
+		t.Fatalf("job failed: %s", js.Error)
+	}
+	verify := func(ts *httptest.Server) VerifyResponse {
+		resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+			Proof: js.Proof, PublicInputs: js.PublicInputs,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify: %d %s", resp.StatusCode, data)
+		}
+		var vr VerifyResponse
+		if err := json.Unmarshal(data, &vr); err != nil {
+			t.Fatal(err)
+		}
+		return vr
+	}
+	if vr := verify(ts1); !vr.Valid || !vr.Claim {
+		t.Fatalf("committed verify rejected honest proof: %+v", vr)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	// Restart: the record is verify-only, but the digest binding must
+	// still be enforced (it was persisted alongside the VK).
+	srv2, err := New(Options{RegistryDir: dir, VerifyWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	if vr := verify(ts2); !vr.Valid || !vr.Claim {
+		t.Fatalf("restored committed verify rejected honest proof: %+v", vr)
+	}
+
+	// A different model of the same architecture gets a *different*
+	// committed circuit: ρ = H(weights) is baked into the constraint
+	// coefficients, so committed model IDs are per-model, not
+	// per-architecture — two registrations must not collide.
+	reg2 := registerCommitted(t, ts2.URL, 99)
+	if reg2.ModelID == reg.ModelID {
+		t.Fatal("different committed models must not share a circuit digest")
+	}
+
+	// An instance naming a different digest must be rejected.
+	wrong := append(groth16.PublicInputs(nil), js.PublicInputs...)
+	wrong[0].SetUint64(42)
+	resp, data = postJSON(t, ts2.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+		Proof: js.Proof, PublicInputs: wrong,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("digest-tampered verify: %d %s", resp.StatusCode, data)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(data, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Valid {
+		t.Fatalf("instance with a foreign digest accepted: %+v", vr)
+	}
+}
+
+// TestCheckCommittedDigest pins the binding helper itself: the branch
+// that guards proofs which satisfy the Groth16 equation under the
+// registered VK but name a different model digest in the instance.
+func TestCheckCommittedDigest(t *testing.T) {
+	var d fr.Element
+	d.SetUint64(7)
+	db := d.Bytes()
+	rec := &modelRecord{CommittedDigest: fmt.Sprintf("%x", db[:])}
+
+	var claim fr.Element
+	claim.SetOne()
+	if err := checkCommittedDigest(rec, groth16.PublicInputs{d, claim}); err != nil {
+		t.Fatalf("matching digest rejected: %v", err)
+	}
+	var other fr.Element
+	other.SetUint64(8)
+	if err := checkCommittedDigest(rec, groth16.PublicInputs{other, claim}); err == nil {
+		t.Fatal("mismatched digest accepted")
+	}
+	if err := checkCommittedDigest(&modelRecord{}, groth16.PublicInputs{d, claim}); err == nil {
+		t.Fatal("record without a pinned digest accepted")
+	}
+	if err := checkCommittedDigest(rec, nil); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+}
+
+// TestConcurrentClients races registration, proving, verification, and
+// stats polling from many goroutines — run under -race in CI.
+func TestConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t, Options{VerifyWindow: 5 * time.Millisecond, QueueDepth: 64})
+	reg := register(t, ts.URL, 4)
+
+	// One finished proof to verify against.
+	resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove: %d %s", resp.StatusCode, data)
+	}
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	js := waitJob(t, ts.URL, acc.JobID)
+	if js.Status != JobDone {
+		t.Fatalf("job failed: %s", js.Error)
+	}
+
+	var wg sync.WaitGroup
+	jobIDs := make(chan string, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+			if resp.StatusCode == http.StatusAccepted {
+				var a ProveAccepted
+				if err := json.Unmarshal(data, &a); err == nil {
+					jobIDs <- a.JobID
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+				Proof:        js.Proof,
+				PublicInputs: js.PublicInputs,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("verify: %d %s", resp.StatusCode, data)
+				return
+			}
+			var vr VerifyResponse
+			if err := json.Unmarshal(data, &vr); err != nil || !vr.Valid {
+				t.Errorf("concurrent verify rejected: %+v (%v)", vr, err)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var stats StatsResponse
+			getJSON(t, ts.URL+"/v1/stats", &stats)
+			var infos []ModelInfo
+			getJSON(t, ts.URL+"/v1/models", &infos)
+		}()
+	}
+	wg.Wait()
+	close(jobIDs)
+	for id := range jobIDs {
+		if js := waitJob(t, ts.URL, id); js.Status != JobDone {
+			t.Fatalf("concurrent job %s failed: %s", id, js.Error)
+		}
+	}
+}

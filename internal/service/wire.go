@@ -1,0 +1,188 @@
+package service
+
+import (
+	"encoding/json"
+
+	"zkrownn/internal/groth16"
+)
+
+// Wire DTOs of the proof-service JSON API. The package-level client
+// (zkrownn/client) mirrors these shapes for external consumers; the
+// cross-package end-to-end test at the repository root keeps the two in
+// sync.
+
+// RegisterRequest registers one ownership circuit: the owner's model,
+// their (private) watermark key, and the circuit parameters. The server
+// quantizes the model, compiles Algorithm 1, runs (or reuses) trusted
+// setup, and persists the verifying key under the circuit digest.
+type RegisterRequest struct {
+	// Name is an optional operator-facing label.
+	Name string `json:"name,omitempty"`
+	// Model is the nn.Network JSON encoding (zkrownn.SaveModel output).
+	Model json.RawMessage `json:"model"`
+	// Key is the watermark.Key JSON encoding.
+	Key json.RawMessage `json:"key"`
+	// FracBits selects the fixed-point format (default 16).
+	FracBits int `json:"frac_bits,omitempty"`
+	// MaxErrors is the BER tolerance θ·N (default 0: exact match).
+	MaxErrors int `json:"max_errors,omitempty"`
+	// Committed selects the committed-model circuit variant
+	// (constant-size VK, weights bound by digest).
+	Committed bool `json:"committed,omitempty"`
+}
+
+// RegisterResponse reports the registered circuit and its verifying
+// key envelope.
+type RegisterResponse struct {
+	// ModelID is the circuit-digest-keyed registry ID.
+	ModelID string `json:"model_id"`
+	Name    string `json:"name,omitempty"`
+	// AlreadyRegistered is true when the digest was present; the existing
+	// verifying key is returned and the prove material is refreshed.
+	AlreadyRegistered bool `json:"already_registered,omitempty"`
+	// SetupCached is true when trusted setup was skipped (engine cache).
+	SetupCached  bool                  `json:"setup_cached"`
+	Constraints  int                   `json:"constraints"`
+	PublicInputs int                   `json:"public_inputs"`
+	Committed    bool                  `json:"committed,omitempty"`
+	VK           *groth16.VerifyingKey `json:"vk"`
+}
+
+// ModelInfo describes one registry entry.
+type ModelInfo struct {
+	ModelID      string `json:"model_id"`
+	Name         string `json:"name,omitempty"`
+	Committed    bool   `json:"committed,omitempty"`
+	FracBits     int    `json:"frac_bits"`
+	MaxErrors    int    `json:"max_errors"`
+	Constraints  int    `json:"constraints"`
+	PublicInputs int    `json:"public_inputs"`
+	CreatedAt    string `json:"created_at"`
+	// CanProve is false for registry entries restored from disk after a
+	// restart: the verifying key persists, the private prove material
+	// (model + watermark key) does not and needs re-registration.
+	CanProve bool `json:"can_prove"`
+}
+
+// ModelResponse is one registry entry plus its verifying key.
+type ModelResponse struct {
+	ModelInfo
+	VK *groth16.VerifyingKey `json:"vk"`
+}
+
+// ProveRequest submits an async ownership-proof job for a registered
+// circuit.
+type ProveRequest struct {
+	// SuspectModel optionally substitutes the model to prove against
+	// (nn.Network JSON). It must share the registered architecture —
+	// the job fails if its circuit digest differs. Committed circuits
+	// bind the registered model itself (ρ = H(weights) is baked into
+	// the constraints), so a committed suspect must be registered in
+	// its own right instead. When absent, the registered model is
+	// proved.
+	SuspectModel json.RawMessage `json:"suspect_model,omitempty"`
+}
+
+// ProveAccepted acknowledges a queued prove job.
+type ProveAccepted struct {
+	JobID      string `json:"job_id"`
+	ModelID    string `json:"model_id"`
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus reports a prove job. Proof and PublicInputs are set once
+// Status is "done".
+type JobStatus struct {
+	JobID   string `json:"job_id"`
+	ModelID string `json:"model_id"`
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
+	// SetupCached reports whether the job's trusted setup was served
+	// from the engine's key cache (it should be, after registration).
+	SetupCached  bool                 `json:"setup_cached,omitempty"`
+	QueuedMS     float64              `json:"queued_ms,omitempty"`
+	ProveMS      float64              `json:"prove_ms,omitempty"`
+	Proof        *groth16.Proof       `json:"proof,omitempty"`
+	PublicInputs groth16.PublicInputs `json:"public_inputs,omitempty"`
+}
+
+// VerifyRequest checks one ownership proof against a registered
+// circuit's verifying key.
+type VerifyRequest struct {
+	Proof        *groth16.Proof       `json:"proof"`
+	PublicInputs groth16.PublicInputs `json:"public_inputs"`
+}
+
+// VerifyResponse reports the verdict. Valid means the Groth16 proof
+// verified; Claim means the public ownership-claim bit is 1 — both must
+// hold for the ownership claim to stand. BatchSize reports how many
+// concurrent requests shared the pairing product that checked this
+// proof (> 1 when micro-batching coalesced neighbors).
+type VerifyResponse struct {
+	Valid     bool   `json:"valid"`
+	Claim     bool   `json:"claim"`
+	BatchSize int    `json:"batch_size"`
+	Error     string `json:"error,omitempty"`
+}
+
+// EngineStatsWire mirrors engine.Stats with wall-clock totals in
+// milliseconds.
+type EngineStatsWire struct {
+	Setups   uint64  `json:"setups"`
+	MemHits  uint64  `json:"mem_hits"`
+	DiskHits uint64  `json:"disk_hits"`
+	Proves   uint64  `json:"proves"`
+	Verifies uint64  `json:"verifies"`
+	SetupMS  float64 `json:"setup_ms"`
+	ProveMS  float64 `json:"prove_ms"`
+	VerifyMS float64 `json:"verify_ms"`
+}
+
+// ServiceStats surfaces queue and batcher counters.
+type ServiceStats struct {
+	Models        int    `json:"models"`
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	// VerifyRequests counts verification requests accepted by the
+	// batcher (well-formed, correct input length).
+	VerifyRequests uint64 `json:"verify_requests"`
+	// VerifyBatchCalls counts BatchVerify invocations that folded ≥ 2
+	// requests into one pairing product.
+	VerifyBatchCalls uint64 `json:"verify_batch_calls"`
+	// VerifyBatchedRequests counts requests served by those calls.
+	VerifyBatchedRequests uint64 `json:"verify_batched_requests"`
+	// VerifyMaxBatch is the largest batch folded so far.
+	VerifyMaxBatch uint64 `json:"verify_max_batch"`
+	// VerifyFallbacks counts batches that failed as a whole and were
+	// re-checked proof-by-proof to attribute the failure.
+	VerifyFallbacks uint64 `json:"verify_fallbacks"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	Engine  EngineStatsWire `json:"engine"`
+	Service ServiceStats    `json:"service"`
+}
+
+// ErrorResponse is the uniform error payload.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status string `json:"status"`
+}

@@ -1,0 +1,144 @@
+package zkrownn_test
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"zkrownn"
+	"zkrownn/client"
+)
+
+// TestProofServiceEndToEnd drives the whole networked flow through the
+// public surface only — zkrownn.NewProofService on the server side, the
+// zkrownn/client package on the wire — which pins the client DTOs to
+// the server's JSON API. Owner registers + proves; a third party
+// verifies concurrently and the verifies must coalesce into one
+// batched pairing product (asserted via /v1/stats).
+func TestProofServiceEndToEnd(t *testing.T) {
+	srv, err := zkrownn.NewProofService(zkrownn.ProofServiceOptions{
+		VerifyWindow: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rng := rand.New(rand.NewSource(11))
+	ds, err := zkrownn.SyntheticMNIST(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := zkrownn.NewMLP(ds.Dim, []int{4}, ds.Classes, rng)
+	key, err := zkrownn.GenerateKey(model, ds, zkrownn.KeyOptions{Bits: 4, Triggers: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner: register once (trusted setup happens here)...
+	reg, err := c.RegisterModel(ctx, model, key, client.RegisterOptions{
+		Name: "e2e-mlp", MaxErrors: len(key.Signature),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.ModelID == "" || reg.VK == nil || reg.Constraints == 0 {
+		t.Fatalf("registration incomplete: %+v", reg)
+	}
+
+	// ...then prove asynchronously. Setup must come from the key cache.
+	ticket, err := c.SubmitProve(ctx, reg.ModelID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.WaitForProof(ctx, ticket.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.SetupCached {
+		t.Fatal("prove job missed the key cache despite registration")
+	}
+	if job.Proof == nil || len(job.PublicInputs) == 0 {
+		t.Fatal("job finished without proof material")
+	}
+
+	// The binary download must match the JSON envelope.
+	raw, err := c.FetchProofBinary(ctx, ticket.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raw.Ar.Equal(&job.Proof.Ar) || !raw.Bs.Equal(&job.Proof.Bs) || !raw.Krs.Equal(&job.Proof.Krs) {
+		t.Fatal("binary proof differs from JSON proof")
+	}
+
+	// Third party: concurrent verifications, which must micro-batch.
+	const verifiers = 3
+	verdicts := make([]*client.VerifyResult, verifiers)
+	var wg sync.WaitGroup
+	for i := 0; i < verifiers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Verify(ctx, reg.ModelID, job.Proof, job.PublicInputs)
+			if err != nil {
+				t.Errorf("verify %d: %v", i, err)
+				return
+			}
+			verdicts[i] = v
+		}(i)
+	}
+	wg.Wait()
+	coalesced := false
+	for i, v := range verdicts {
+		if v == nil {
+			t.Fatalf("verifier %d got no verdict", i)
+		}
+		if !v.Valid || !v.Claim {
+			t.Fatalf("verifier %d rejected honest proof: %+v", i, v)
+		}
+		if v.BatchSize >= 2 {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Fatal("concurrent verifies did not coalesce")
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Service.VerifyBatchCalls < 1 || stats.Service.VerifyMaxBatch < 2 {
+		t.Fatalf("stats show no batched verification: %+v", stats.Service)
+	}
+	if stats.Engine.Setups != 1 {
+		t.Fatalf("engine ran %d setups, want exactly 1 (registration)", stats.Engine.Setups)
+	}
+
+	// Queue-full surfaces as the typed sentinel. Depth is generous here,
+	// so just check the registry listing instead of forcing a 429.
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].ModelID != reg.ModelID || !models[0].CanProve {
+		t.Fatalf("registry listing wrong: %+v", models)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
+	"zkrownn/internal/service"
 	"zkrownn/internal/watermark"
 )
 
@@ -59,6 +60,9 @@ type (
 	// VerifyingKey is the public verification material any third party
 	// needs to check ownership proofs.
 	VerifyingKey = groth16.VerifyingKey
+	// Instance is a JSON-marshalable public-input vector (versioned hex
+	// envelope) — the instance half of a proof-service API payload.
+	Instance = groth16.PublicInputs
 	// Circuit is a finalized extraction circuit plus its witness.
 	Circuit = core.Artifact
 	// Dataset is a labelled sample collection.
@@ -337,6 +341,33 @@ func ProveOwnershipMany(e *Engine, circuits []*Circuit) []*ProveResult {
 		reqs[i] = c.Request(nil)
 	}
 	return e.ProveMany(reqs)
+}
+
+// ErrEngineClosed is the sentinel every Engine entry point returns
+// after Close — the signal a service front-end maps to "shutting down".
+var ErrEngineClosed = engine.ErrClosed
+
+// --- Proof service ---
+//
+// The proof service puts the engine on the network: an HTTP JSON API
+// with a digest-keyed model/VK registry, an async prove-job queue with
+// backpressure, and micro-batched verification. cmd/zkrownn-server is
+// the standalone binary; zkrownn/client is the Go client;
+// examples/proof_service shows the full owner → verifier round trip.
+
+type (
+	// ProofService is the HTTP ownership-proof server (an http.Handler).
+	ProofService = service.Server
+	// ProofServiceOptions configures NewProofService (registry
+	// directory, queue depth, verify batching window, engine options).
+	ProofServiceOptions = service.Options
+)
+
+// NewProofService builds a proof service and starts its job
+// dispatcher. Mount it on any mux / http.Server and remember to call
+// Close for a graceful drain.
+func NewProofService(opts ProofServiceOptions) (*ProofService, error) {
+	return service.New(opts)
 }
 
 // BatchVerifyOwnership verifies many proofs under one verifying key with
