@@ -127,12 +127,15 @@ type ProveTicket struct {
 // JobStatus reports a prove job; Proof and PublicInputs are set once
 // Status is "done".
 type JobStatus struct {
-	JobID        string           `json:"job_id"`
-	ModelID      string           `json:"model_id"`
-	Status       string           `json:"status"`
-	Error        string           `json:"error,omitempty"`
-	SetupCached  bool             `json:"setup_cached,omitempty"`
-	QueuedMS     float64          `json:"queued_ms,omitempty"`
+	JobID       string  `json:"job_id"`
+	ModelID     string  `json:"model_id"`
+	Status      string  `json:"status"`
+	Error       string  `json:"error,omitempty"`
+	SetupCached bool    `json:"setup_cached,omitempty"`
+	QueuedMS    float64 `json:"queued_ms,omitempty"`
+	// SolveMS is the per-job witness generation (solver-program replay
+	// over the circuit compiled at registration).
+	SolveMS      float64          `json:"solve_ms,omitempty"`
 	ProveMS      float64          `json:"prove_ms,omitempty"`
 	Proof        *zkrownn.Proof   `json:"proof,omitempty"`
 	PublicInputs zkrownn.Instance `json:"public_inputs,omitempty"`
@@ -159,16 +162,21 @@ type EngineStats struct {
 	Setups   uint64  `json:"setups"`
 	MemHits  uint64  `json:"mem_hits"`
 	DiskHits uint64  `json:"disk_hits"`
+	Solves   uint64  `json:"solves"`
 	Proves   uint64  `json:"proves"`
 	Verifies uint64  `json:"verifies"`
 	SetupMS  float64 `json:"setup_ms"`
+	SolveMS  float64 `json:"solve_ms"`
 	ProveMS  float64 `json:"prove_ms"`
 	VerifyMS float64 `json:"verify_ms"`
 }
 
 // ServiceStats mirrors the queue/batcher half of /v1/stats.
 type ServiceStats struct {
-	Models                int    `json:"models"`
+	Models int `json:"models"`
+	// CircuitsCompiled counts server-side Algorithm-1 compilations —
+	// flat at one per registered architecture however many jobs run.
+	CircuitsCompiled      uint64 `json:"circuits_compiled"`
 	JobsSubmitted         uint64 `json:"jobs_submitted"`
 	JobsRejected          uint64 `json:"jobs_rejected"`
 	JobsCompleted         uint64 `json:"jobs_completed"`

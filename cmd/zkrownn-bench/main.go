@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"zkrownn/internal/core"
 	"zkrownn/internal/engine"
@@ -180,7 +181,13 @@ func main() {
 				continue
 			}
 			rng := rand.New(rand.NewSource(*seed))
+			// Compile once per row; every repeat reuses the compiled
+			// system and re-derives its witness with the recorded solver
+			// program (solve_ms), so the JSON records both halves of the
+			// compile-once / solve-many split.
+			compileStart := time.Now()
 			art, err := spec.build(p, rng)
+			compileTime := time.Since(compileStart)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: build: %v\n", spec.name, err)
 				os.Exit(1)
@@ -191,6 +198,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
 					os.Exit(1)
 				}
+				pl.Metrics.CompileTime = compileTime
 				fmt.Println(pl.Metrics.String())
 				rec := recordOf(&pl.Metrics)
 				rec.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -241,11 +249,17 @@ type benchReport struct {
 }
 
 type benchRecord struct {
-	Name          string  `json:"name"`
-	Constraints   int     `json:"constraints"`
-	NbPublic      int     `json:"nb_public"`
-	NbPrivate     int     `json:"nb_private"`
-	GoMaxProcs    int     `json:"gomaxprocs"`
+	Name        string `json:"name"`
+	Constraints int    `json:"constraints"`
+	NbPublic    int    `json:"nb_public"`
+	NbPrivate   int    `json:"nb_private"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	// CompileMS is the one-time circuit-synthesis cost (builder →
+	// CompiledSystem) of the row, paid once per architecture; SolveMS is
+	// the per-proof witness generation (solver-program replay). The
+	// compile-once / solve-many split shows as solve_ms ≪ compile_ms.
+	CompileMS     float64 `json:"compile_ms"`
+	SolveMS       float64 `json:"solve_ms"`
 	SetupSeconds  float64 `json:"setup_seconds"`
 	SetupCached   bool    `json:"setup_cached"`
 	ProveSeconds  float64 `json:"prove_seconds"`
@@ -261,6 +275,8 @@ func recordOf(m *core.Metrics) benchRecord {
 		Constraints:   m.NbConstraints,
 		NbPublic:      m.NbPublic,
 		NbPrivate:     m.NbPrivate,
+		CompileMS:     float64(m.CompileTime.Microseconds()) / 1e3,
+		SolveMS:       float64(m.SolveTime.Microseconds()) / 1e3,
 		SetupSeconds:  m.SetupTime.Seconds(),
 		SetupCached:   m.SetupCached,
 		ProveSeconds:  m.ProveTime.Seconds(),

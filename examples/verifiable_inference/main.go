@@ -110,14 +110,22 @@ func main() {
 	claimed := c.B.PublicInput("class", fixpoint.ToField(int64(label)))
 	c.B.AssertEqual(claimed, c.B.ConstUint64(uint64(label)))
 
-	sys, witness, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys := res.System
 	fmt.Printf("inference circuit: %d constraints\n", sys.NbConstraints())
 
 	start := time.Now()
 	pk, vk, err := groth16.Setup(sys, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Compile-once / solve-many: the witness is re-derived from the
+	// recorded inputs by the solver program — the same call a server
+	// would make per request with fresh private inputs.
+	witness, err := sys.SolveAssignment(res.Assignment)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,7 +135,7 @@ func main() {
 	}
 	fmt.Printf("setup+prove: %.1fs, proof %d B\n", time.Since(start).Seconds(), proof.PayloadSize())
 
-	public := frontend.PublicValues(sys, witness)
+	public := sys.PublicValues(witness)
 	start = time.Now()
 	if err := groth16.Verify(vk, proof, public); err != nil {
 		log.Fatal(err)

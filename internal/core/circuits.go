@@ -49,17 +49,39 @@ func QuantizeKey(k *watermark.Key, p fixpoint.Params) *CircuitKey {
 	return ck
 }
 
-// Artifact is a finalized circuit plus its witness, ready for the
-// Groth16 pipeline.
+// Artifact is a compiled circuit plus the input assignment recorded at
+// build time, ready for the Groth16 pipeline. The compiled system is the
+// reusable half (one per architecture — cache it, set up keys for it,
+// solve it against many assignments); the assignment and eager witness
+// are the build-time instance.
 type Artifact struct {
-	Name    string
-	System  *r1cs.System
+	Name   string
+	System *r1cs.CompiledSystem
+	// Assignment binds the circuit's declared inputs to the values the
+	// circuit was built with. Repeat proofs rebind inputs (e.g. suspect
+	// weights via BindSuspectInputs) instead of recompiling.
+	Assignment r1cs.Assignment
+	// Witness is the eager witness the builder computed during
+	// compilation — identical to System.Solve(Assignment). Long-lived
+	// holders that only re-solve (the proof service) may nil it out to
+	// reclaim NbWires×32 bytes per pinned circuit.
 	Witness []fr.Element
+
+	// arch pins the layer shapes and fixed-point format the extraction
+	// circuit was compiled for, so BindSuspectInputs can enforce full
+	// architecture equality. Nil for non-extraction artifacts.
+	arch       []layerShape
+	archParams fixpoint.Params
+}
+
+// newArtifact wraps a frontend compile result.
+func newArtifact(name string, res *frontend.CompileResult) *Artifact {
+	return &Artifact{Name: name, System: res.System, Assignment: res.Assignment, Witness: res.Witness}
 }
 
 // PublicInputs returns the instance for Verify.
 func (a *Artifact) PublicInputs() []fr.Element {
-	return frontend.PublicValues(a.System, a.Witness)
+	return a.System.PublicValues(a.Witness)
 }
 
 // secretVec declares a vector of private inputs.
@@ -81,12 +103,12 @@ func publicVec(c *gadgets.Ctx, name string, vs []int64) []frontend.Variable {
 }
 
 // publishOutputs exposes circuit outputs as public wires (the Table I
-// standalone convention "private inputs, public outputs").
+// standalone convention "private inputs, public outputs"). Outputs are
+// *computed* publics: the solver program re-derives them per assignment,
+// so solve-time callers only supply true inputs.
 func publishOutputs(c *gadgets.Ctx, name string, outs []frontend.Variable) {
 	for i := range outs {
-		v := outs[i].Value()
-		pub := c.B.PublicInput(name, v)
-		c.B.AssertEqual(outs[i], pub)
+		c.B.PublicOutput(name, outs[i])
 	}
 }
 
@@ -104,9 +126,7 @@ func publishChecksum(c *gadgets.Ctx, name string, outs []frontend.Variable) {
 		cur.Mul(&cur, &rho)
 	}
 	sum := c.B.Sum(terms...)
-	v := sum.Value()
-	pub := c.B.PublicInput(name, v)
-	c.B.AssertEqual(sum, pub)
+	c.B.PublicOutput(name, sum)
 }
 
 // randMatrix draws an n×m matrix of small fixed-point values.
@@ -139,11 +159,11 @@ func MatMultCircuit(p fixpoint.Params, n int, rng *rand.Rand) (*Artifact, error)
 		flat = append(flat, out[i]...)
 	}
 	publishChecksum(c, "c_checksum", flat)
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: fmt.Sprintf("MatMult-%dx%d", n, n), System: sys, Witness: w}, nil
+	return newArtifact(fmt.Sprintf("MatMult-%dx%d", n, n), res), nil
 }
 
 // Conv3DCircuit builds the Table I Conv3D benchmark (32×32×3 input, 32
@@ -186,12 +206,12 @@ func Conv3DCircuit(p fixpoint.Params, shape gadgets.Conv3DShape, rng *rand.Rand)
 		}
 	}
 	publishChecksum(c, "conv_checksum", flat)
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
 	name := fmt.Sprintf("Conv3D-%dx%dx%d-o%d-k%d-s%d", shape.InC, shape.InH, shape.InW, shape.OutC, shape.K, shape.S)
-	return &Artifact{Name: name, System: sys, Witness: w}, nil
+	return newArtifact(name, res), nil
 }
 
 // ReLUCircuit builds the Table I ReLU benchmark: length-n private
@@ -205,11 +225,11 @@ func ReLUCircuit(p fixpoint.Params, n int, rng *rand.Rand) (*Artifact, error) {
 	xs := secretVec(c, in)
 	outs := c.ReLUVec(xs, p.MagBits)
 	publishOutputs(c, "relu_out", outs)
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: fmt.Sprintf("ReLU-%d", n), System: sys, Witness: w}, nil
+	return newArtifact(fmt.Sprintf("ReLU-%d", n), res), nil
 }
 
 // Average2DCircuit builds the Table I Average2D benchmark: n×n private
@@ -226,11 +246,11 @@ func Average2DCircuit(p fixpoint.Params, n int, rng *rand.Rand) (*Artifact, erro
 	}
 	outs := c.AverageRows(rows, p.MagBits)
 	publishOutputs(c, "avg_out", outs)
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: fmt.Sprintf("Average2D-%dx%d", n, n), System: sys, Witness: w}, nil
+	return newArtifact(fmt.Sprintf("Average2D-%dx%d", n, n), res), nil
 }
 
 // SigmoidCircuit builds the Table I Sigmoid benchmark: length-n private
@@ -244,11 +264,11 @@ func SigmoidCircuit(p fixpoint.Params, n int, rng *rand.Rand) (*Artifact, error)
 	xs := secretVec(c, in)
 	outs := c.SigmoidVec(xs, p.MagBits)
 	publishOutputs(c, "sigmoid_out", outs)
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: fmt.Sprintf("Sigmoid-%d", n), System: sys, Witness: w}, nil
+	return newArtifact(fmt.Sprintf("Sigmoid-%d", n), res), nil
 }
 
 // HardThresholdingCircuit builds the Table I HardThresholding benchmark
@@ -262,11 +282,11 @@ func HardThresholdingCircuit(p fixpoint.Params, n int, rng *rand.Rand) (*Artifac
 	xs := secretVec(c, in)
 	outs := c.HardThresholdVec(xs, p.Encode(0.5), p.MagBits)
 	publishOutputs(c, "threshold_out", outs)
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: fmt.Sprintf("HardThresholding-%d", n), System: sys, Witness: w}, nil
+	return newArtifact(fmt.Sprintf("HardThresholding-%d", n), res), nil
 }
 
 // BERCircuit builds the Table I BER benchmark: two private n-bit strings
@@ -294,11 +314,11 @@ func BERCircuit(p fixpoint.Params, n, maxErrors int, rng *rand.Rand) (*Artifact,
 	}
 	valid := c.BER(av, bv, maxErrors)
 	publishOutputs(c, "ber_valid", []frontend.Variable{valid})
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: fmt.Sprintf("BER-%d", n), System: sys, Witness: w}, nil
+	return newArtifact(fmt.Sprintf("BER-%d", n), res), nil
 }
 
 // ExtractionCircuit builds the end-to-end Algorithm 1 circuit for a
@@ -420,16 +440,18 @@ func ExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*
 	valid := c.BER(wmVars, wmHat, maxErrors)
 
 	// Public claim: check ∧ valid_BER (check is the constant 1 of
-	// Algorithm 1; the conjunction is simply the verdict wire).
-	vv := valid.Value()
-	claim := c.B.PublicInput("claim", vv)
-	c.B.AssertEqual(valid, claim)
+	// Algorithm 1; the conjunction is simply the verdict wire). The claim
+	// is a computed public output — the solver derives it per assignment.
+	c.B.PublicOutput("claim", valid)
 
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: "WatermarkExtraction", System: sys, Witness: w}, nil
+	art := newArtifact("WatermarkExtraction", res)
+	art.arch = archShapes(q, ck.LayerIndex)
+	art.archParams = q.Params
+	return art, nil
 }
 
 // reshapeVolume views a flat activation as [c][h][w].

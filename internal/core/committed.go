@@ -136,9 +136,13 @@ func CommittedExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxError
 	}
 
 	// Bind: Σ ρ^(i+1)·wᵢ == public digest (one constraint; the sum is
-	// linear).
-	digestVar := c.B.PublicInput("model_digest", digest)
-	c.B.AssertEqual(c.B.Sum(digestTerms...), digestVar)
+	// linear). The digest is a computed public output re-derived by the
+	// solver from the private weight wires.
+	inDigest := c.B.Sum(digestTerms...)
+	if dv := inDigest.Value(); !dv.Equal(&digest) {
+		return nil, fmt.Errorf("core: in-circuit model digest does not match ModelDigest")
+	}
+	c.B.PublicOutput("model_digest", inDigest)
 
 	// The remainder is Algorithm 1, identical to ExtractionCircuit.
 	acts := make([][]frontend.Variable, len(ck.Triggers))
@@ -218,15 +222,13 @@ func CommittedExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxError
 	wmVars := secretVec(c, wmBits)
 	valid := c.BER(wmVars, wmHat, maxErrors)
 
-	vv := valid.Value()
-	claim := c.B.PublicInput("claim", vv)
-	c.B.AssertEqual(valid, claim)
+	c.B.PublicOutput("claim", valid)
 
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{Name: "CommittedWatermarkExtraction", System: sys, Witness: w}, nil
+	return newArtifact("CommittedWatermarkExtraction", res), nil
 }
 
 // VerifyCommittedPublicInputs checks that a committed-extraction proof's

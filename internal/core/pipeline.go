@@ -8,24 +8,32 @@ import (
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
+	"zkrownn/internal/r1cs"
 )
 
 // Metrics mirrors the columns of the paper's Table I for one circuit,
-// plus the engine's cache verdict.
+// plus the engine's cache verdict and the compile/solve split timings.
 type Metrics struct {
 	Name          string
 	NbConstraints int
 	NbPublic      int
 	NbPrivate     int
-	SetupTime     time.Duration
+	// CompileTime is the one-time circuit synthesis cost (builder →
+	// CompiledSystem); zero when the caller didn't measure it.
+	CompileTime time.Duration
+	SetupTime   time.Duration
 	// SetupCached is true when the prover engine served the keys from
 	// its digest-keyed cache instead of running trusted setup.
 	SetupCached bool
 	PKSize      int64
-	ProveTime   time.Duration
-	ProofSize   int
-	VKSize      int64
-	VerifyTime  time.Duration
+	// SolveTime is the per-proof witness generation (solver-program
+	// replay) — the recurring cost the compile-once split amortizes
+	// against.
+	SolveTime  time.Duration
+	ProveTime  time.Duration
+	ProofSize  int
+	VKSize     int64
+	VerifyTime time.Duration
 }
 
 // String renders one Table I row.
@@ -34,17 +42,18 @@ func (m *Metrics) String() string {
 	if m.SetupCached {
 		setup = fmt.Sprintf("%13s", "(cached)")
 	}
-	return fmt.Sprintf("%-24s %10d %s %10.2fMB %12.4fs %8dB %10.3fKB %10.3fms",
+	return fmt.Sprintf("%-24s %10d %s %10.2fMB %10.2fms %12.4fs %8dB %10.3fKB %10.3fms",
 		m.Name, m.NbConstraints,
 		setup, float64(m.PKSize)/1e6,
+		float64(m.SolveTime.Microseconds())/1e3,
 		m.ProveTime.Seconds(), m.ProofSize,
 		float64(m.VKSize)/1e3, float64(m.VerifyTime.Microseconds())/1e3)
 }
 
 // Header returns the Table I column header.
 func Header() string {
-	return fmt.Sprintf("%-24s %10s %13s %12s %13s %9s %12s %12s",
-		"Benchmark", "#Constr", "Setup(s)", "PK(MB)", "Prove(s)", "Proof", "VK(KB)", "Verify(ms)")
+	return fmt.Sprintf("%-24s %10s %13s %12s %12s %13s %9s %12s %12s",
+		"Benchmark", "#Constr", "Setup(s)", "PK(MB)", "Solve(ms)", "Prove(s)", "Proof", "VK(KB)", "Verify(ms)")
 }
 
 // Pipeline bundles the Groth16 artifacts of one circuit.
@@ -56,9 +65,31 @@ type Pipeline struct {
 	Metrics  Metrics
 }
 
-// Request converts the artifact into a prover-engine request.
+// Request converts the artifact into a prover-engine request carrying
+// the input assignment: the engine replays the compiled circuit's
+// solver program per job (solve-many), rather than reusing the
+// build-time witness.
 func (a *Artifact) Request(rng io.Reader) engine.Request {
-	return engine.Request{Name: a.Name, System: a.System, Witness: a.Witness, Rand: rng}
+	return engine.Request{
+		Name:   a.Name,
+		System: a.System,
+		Public: a.Assignment.Public,
+		Secret: a.Assignment.Secret,
+		Rand:   rng,
+	}
+}
+
+// RequestFor is Request with the inputs rebound to a different
+// assignment — the solve-many entry point for proving one compiled
+// architecture against many instances.
+func (a *Artifact) RequestFor(asg r1cs.Assignment, rng io.Reader) engine.Request {
+	return engine.Request{
+		Name:   a.Name,
+		System: a.System,
+		Public: asg.Public,
+		Secret: asg.Secret,
+		Rand:   rng,
+	}
 }
 
 // defaultEngine backs RunPipeline so that repeated runs of the same
@@ -100,12 +131,13 @@ func RunPipelineWith(eng *engine.Engine, art *Artifact, rng io.Reader) (*Pipelin
 	pl.Proof = res.Proof
 	pl.Metrics.SetupTime = res.SetupTime
 	pl.Metrics.SetupCached = res.CacheHit
+	pl.Metrics.SolveTime = res.SolveTime
 	pl.Metrics.ProveTime = res.ProveTime
 	pl.Metrics.PKSize = pl.PK.SizeBytes()
 	pl.Metrics.VKSize = pl.VK.SizeBytes()
 	pl.Metrics.ProofSize = res.Proof.PayloadSize()
 
-	public := art.PublicInputs()
+	public := art.System.PublicValues(res.Witness)
 	start := time.Now()
 	if err := eng.Verify(pl.VK, pl.Proof, public); err != nil {
 		return nil, fmt.Errorf("core: verify: %w", err)

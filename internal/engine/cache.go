@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"zkrownn/internal/groth16"
+	"zkrownn/internal/r1cs"
 )
 
 // KeyPair bundles the Groth16 keys produced by one trusted setup.
@@ -24,6 +25,13 @@ type KeyPair struct {
 // entry count and the disk tier — when enabled — survives process
 // restarts, letting a redeployed prover service skip every trusted setup
 // it has ever run.
+//
+// Each entry also retains the compiled constraint system the keys were
+// set up for: key and circuit share a lifetime (both are functions of
+// the digest), so solve-many callers can address the circuit by digest
+// without re-sending the CSR matrices. The circuit is memory-only — the
+// disk tier persists keys, and a disk hit re-attaches whatever compiled
+// system the triggering request carried.
 type keyCache struct {
 	mu      sync.Mutex
 	maxSize int
@@ -35,6 +43,7 @@ type keyCache struct {
 type cacheEntry struct {
 	digest string
 	keys   *KeyPair
+	cs     *r1cs.CompiledSystem
 }
 
 func newKeyCache(maxSize int, dir string) *keyCache {
@@ -46,13 +55,33 @@ func newKeyCache(maxSize int, dir string) *keyCache {
 	}
 }
 
-// getMem returns the key pair for a digest from the in-memory LRU.
-func (c *keyCache) getMem(digest string) (*KeyPair, bool) {
+// getMem returns the key pair for a digest from the in-memory LRU,
+// attaching cs (when non-nil) to the entry so later digest-only
+// requests can find the circuit.
+func (c *keyCache) getMem(digest string, cs *r1cs.CompiledSystem) (*KeyPair, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[digest]; ok {
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).keys, true
+		entry := el.Value.(*cacheEntry)
+		if entry.cs == nil {
+			entry.cs = cs
+		}
+		return entry.keys, true
+	}
+	return nil, false
+}
+
+// circuit returns the compiled system cached beside the keys for a
+// digest, without disturbing the LRU order more than a lookup must.
+func (c *keyCache) circuit(digest string) (*r1cs.CompiledSystem, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		c.order.MoveToFront(el)
+		if cs := el.Value.(*cacheEntry).cs; cs != nil {
+			return cs, true
+		}
 	}
 	return nil, false
 }
@@ -60,7 +89,7 @@ func (c *keyCache) getMem(digest string) (*KeyPair, bool) {
 // getDisk loads a key pair from the disk tier (if configured) and
 // promotes it to memory. Callers are expected to hold the engine's
 // per-digest singleflight so a cold burst deserializes a key file once.
-func (c *keyCache) getDisk(digest string) (*KeyPair, bool) {
+func (c *keyCache) getDisk(digest string, cs *r1cs.CompiledSystem) (*KeyPair, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
@@ -68,7 +97,7 @@ func (c *keyCache) getDisk(digest string) (*KeyPair, bool) {
 	if err != nil {
 		return nil, false
 	}
-	c.putMem(digest, keys)
+	c.putMem(digest, keys, cs)
 	return keys, true
 }
 
@@ -76,23 +105,27 @@ func (c *keyCache) getDisk(digest string) (*KeyPair, bool) {
 // configured, on disk. Disk write failures are returned but leave the
 // memory tier populated — the engine keeps working, just without
 // persistence.
-func (c *keyCache) put(digest string, keys *KeyPair) error {
-	c.putMem(digest, keys)
+func (c *keyCache) put(digest string, keys *KeyPair, cs *r1cs.CompiledSystem) error {
+	c.putMem(digest, keys, cs)
 	if c.dir == "" {
 		return nil
 	}
 	return c.storeDisk(digest, keys)
 }
 
-func (c *keyCache) putMem(digest string, keys *KeyPair) {
+func (c *keyCache) putMem(digest string, keys *KeyPair, cs *r1cs.CompiledSystem) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[digest]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).keys = keys
+		entry := el.Value.(*cacheEntry)
+		entry.keys = keys
+		if cs != nil {
+			entry.cs = cs
+		}
 		return
 	}
-	el := c.order.PushFront(&cacheEntry{digest: digest, keys: keys})
+	el := c.order.PushFront(&cacheEntry{digest: digest, keys: keys, cs: cs})
 	c.entries[digest] = el
 	for c.maxSize > 0 && c.order.Len() > c.maxSize {
 		oldest := c.order.Back()

@@ -2,14 +2,23 @@
 // subsystem that owns the Groth16 setup → prove → verify lifecycle for
 // many requests.
 //
-// The engine keys trusted setup on the circuit digest (r1cs.System
-// .Digest): two requests for the same circuit *architecture* — the
-// common shape of ownership disputes, where one model family is proved
-// over and over against different suspect weights — share one setup.
-// Keys live in a bounded in-memory LRU with an optional on-disk tier
-// (the groth16 WriteTo/ReadFrom encoding), so a restarted service skips
-// every setup it has ever run. Concurrent requests for the same digest
-// are deduplicated: one goroutine runs setup, the rest wait for it.
+// The engine keys trusted setup on the circuit digest
+// (r1cs.CompiledSystem.Digest): two requests for the same circuit
+// *architecture* — the common shape of ownership disputes, where one
+// model family is proved over and over against different suspect
+// weights — share one setup. Keys live in a bounded in-memory LRU with
+// an optional on-disk tier (the groth16 WriteTo/ReadFrom encoding), so
+// a restarted service skips every setup it has ever run; the compiled
+// system itself is cached beside the keys, so solve-many requests may
+// name the circuit by digest instead of re-sending it. Concurrent
+// requests for the same digest are deduplicated: one goroutine runs
+// setup, the rest wait for it.
+//
+// Requests carry input assignments rather than full witnesses by
+// default: the engine replays the circuit's recorded solver program
+// (CompiledSystem.Solve) per job — the compile-once / solve-many split
+// that keeps multi-million-constraint circuits from being rebuilt on
+// every proof.
 //
 // ProveMany fans requests across a worker pool; VerifyMany folds many
 // proofs under one verifying key into a single batched pairing product.
@@ -49,12 +58,28 @@ type Options struct {
 	Rand io.Reader
 }
 
-// Request is one proving job: a finalized constraint system plus its
-// witness.
+// Request is one proving job. The compile-once / solve-many shape is
+// the default: carry the compiled system (or the digest of one the
+// engine has already seen) plus the per-proof input assignment, and the
+// engine replays the circuit's solver program to rebuild the witness.
+// Callers that already hold a full witness may pass it instead.
 type Request struct {
-	Name    string
-	System  *r1cs.System
+	Name string
+	// System is the compiled circuit. It may be nil when Digest names a
+	// circuit the engine has cached from an earlier request.
+	System *r1cs.CompiledSystem
+	// Digest optionally identifies a cached circuit (hex, as returned in
+	// Result.Digest) so solve-many callers don't re-send the system.
+	// Ignored when System is set.
+	Digest string
+	// Witness, when non-nil, is used as the full wire assignment and
+	// Public/Secret are ignored. Otherwise the engine solves the witness
+	// from the input assignment (Result.SolveTime reports the cost).
 	Witness []fr.Element
+	// Public and Secret bind the circuit's declared inputs, in
+	// declaration order (r1cs.Assignment halves).
+	Public []fr.Element
+	Secret []fr.Element
 	// Rand overrides the engine's randomness source for this request
 	// (useful for deterministic tests). The engine serializes reads from
 	// a per-request source, so a plain math/rand Reader is safe.
@@ -67,9 +92,17 @@ type Result struct {
 	Digest string
 	Keys   *KeyPair
 	Proof  *groth16.Proof
+	// Witness is the full wire assignment the proof was produced from —
+	// the solved witness when the request carried an input assignment,
+	// or the request's own witness. Callers extract public inputs from
+	// it via CompiledSystem.PublicValues.
+	Witness []fr.Element
 	// SetupTime is the wall-clock cost of obtaining keys. On a cache hit
 	// it is the lookup cost — effectively zero next to a real setup.
 	SetupTime time.Duration
+	// SolveTime is the witness-generation cost (zero when the request
+	// supplied a witness).
+	SolveTime time.Duration
 	ProveTime time.Duration
 	// CacheHit is true when setup was skipped (memory or disk tier).
 	CacheHit bool
@@ -87,9 +120,11 @@ type Stats struct {
 	Setups     uint64 // trusted setups actually executed
 	MemHits    uint64 // key lookups served from the in-memory LRU
 	DiskHits   uint64 // key lookups served from the disk tier
+	Solves     uint64 // witnesses generated by solver-program replay
 	Proves     uint64
 	Verifies   uint64 // individual + batched verification calls
 	SetupTime  time.Duration
+	SolveTime  time.Duration
 	ProveTime  time.Duration
 	VerifyTime time.Duration
 }
@@ -120,9 +155,9 @@ type Engine struct {
 	inflightMu sync.Mutex
 	inflight   map[string]*setupCall
 
-	setups, memHits, diskHits  atomic.Uint64
-	proves, verifies           atomic.Uint64
-	setupNs, proveNs, verifyNs atomic.Int64
+	setups, memHits, diskHits           atomic.Uint64
+	solves, proves, verifies            atomic.Uint64
+	setupNs, solveNs, proveNs, verifyNs atomic.Int64
 }
 
 type setupCall struct {
@@ -181,11 +216,13 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// Keys returns the Groth16 key pair for a constraint system, running the
+// Keys returns the Groth16 key pair for a compiled system, running the
 // trusted setup only when no cache tier holds the digest. The bool
 // reports whether setup was skipped. Concurrent callers with the same
-// digest share one setup execution.
-func (e *Engine) Keys(sys *r1cs.System, rng io.Reader) (*KeyPair, bool, error) {
+// digest share one setup execution. The compiled system is retained
+// beside the keys (same LRU entry), so later requests may reference it
+// by digest alone.
+func (e *Engine) Keys(sys *r1cs.CompiledSystem, rng io.Reader) (*KeyPair, bool, error) {
 	if err := e.acquire(); err != nil {
 		return nil, false, err
 	}
@@ -194,9 +231,15 @@ func (e *Engine) Keys(sys *r1cs.System, rng io.Reader) (*KeyPair, bool, error) {
 	return keys, hit, err
 }
 
-func (e *Engine) keys(sys *r1cs.System, rng io.Reader) (keys *KeyPair, hit bool, digest string, persistErr error, err error) {
+// Circuit returns the compiled system cached beside the keys for a
+// digest, if the entry is still resident in the memory tier.
+func (e *Engine) Circuit(digest string) (*r1cs.CompiledSystem, bool) {
+	return e.cache.circuit(digest)
+}
+
+func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader) (keys *KeyPair, hit bool, digest string, persistErr error, err error) {
 	digest = sys.DigestHex()
-	if keys, ok := e.cache.getMem(digest); ok {
+	if keys, ok := e.cache.getMem(digest, sys); ok {
 		e.memHits.Add(1)
 		return keys, true, digest, nil, nil
 	}
@@ -216,7 +259,7 @@ func (e *Engine) keys(sys *r1cs.System, rng io.Reader) (keys *KeyPair, hit bool,
 	// Re-check the memory tier under inflightMu: another goroutine may
 	// have finished setup and deregistered between our miss above and
 	// taking the lock — without this, that window runs a redundant setup.
-	if keys, ok := e.cache.getMem(digest); ok {
+	if keys, ok := e.cache.getMem(digest, sys); ok {
 		e.inflightMu.Unlock()
 		e.memHits.Add(1)
 		return keys, true, digest, nil, nil
@@ -229,7 +272,7 @@ func (e *Engine) keys(sys *r1cs.System, rng io.Reader) (keys *KeyPair, hit bool,
 	// of same-digest requests deserializes the (potentially huge) key
 	// file once, not once per worker.
 	diskHit := false
-	if keys, ok := e.cache.getDisk(digest); ok {
+	if keys, ok := e.cache.getDisk(digest, sys); ok {
 		e.diskHits.Add(1)
 		call.keys = keys
 		diskHit = true
@@ -244,7 +287,7 @@ func (e *Engine) keys(sys *r1cs.System, rng io.Reader) (keys *KeyPair, hit bool,
 			// Persistence is best-effort; a disk-tier write failure
 			// leaves the keys cached in memory and the engine fully
 			// functional.
-			call.persistErr = e.cache.put(digest, call.keys)
+			call.persistErr = e.cache.put(digest, call.keys, sys)
 		}
 		call.err = serr
 	}
@@ -277,13 +320,22 @@ func (e *Engine) Prove(req Request) (*Result, error) {
 
 func (e *Engine) prove(req Request) *Result {
 	res := &Result{Name: req.Name}
-	if req.System == nil {
-		res.Err = errors.New("engine: request has no constraint system")
-		return res
+	sys := req.System
+	if sys == nil {
+		if req.Digest == "" {
+			res.Err = errors.New("engine: request has no constraint system")
+			return res
+		}
+		cached, ok := e.cache.circuit(req.Digest)
+		if !ok {
+			res.Err = fmt.Errorf("engine: no cached circuit for digest %s (resend the compiled system)", req.Digest)
+			return res
+		}
+		sys = cached
 	}
 
 	start := time.Now()
-	keys, hit, digest, persistErr, err := e.keys(req.System, req.Rand)
+	keys, hit, digest, persistErr, err := e.keys(sys, req.Rand)
 	res.SetupTime = time.Since(start)
 	res.Digest = digest
 	res.CacheHit = hit
@@ -294,8 +346,22 @@ func (e *Engine) prove(req Request) *Result {
 	}
 	res.Keys = keys
 
+	witness := req.Witness
+	if witness == nil {
+		start = time.Now()
+		witness, err = sys.Solve(req.Public, req.Secret)
+		res.SolveTime = time.Since(start)
+		if err != nil {
+			res.Err = fmt.Errorf("engine: solve: %w", err)
+			return res
+		}
+		e.solves.Add(1)
+		e.solveNs.Add(int64(res.SolveTime))
+	}
+	res.Witness = witness
+
 	start = time.Now()
-	proof, err := groth16.Prove(req.System, keys.PK, req.Witness, e.requestRand(req.Rand))
+	proof, err := groth16.Prove(sys, keys.PK, witness, e.requestRand(req.Rand))
 	res.ProveTime = time.Since(start)
 	if err != nil {
 		res.Err = fmt.Errorf("engine: prove: %w", err)
@@ -384,9 +450,11 @@ func (e *Engine) Stats() Stats {
 		Setups:     e.setups.Load(),
 		MemHits:    e.memHits.Load(),
 		DiskHits:   e.diskHits.Load(),
+		Solves:     e.solves.Load(),
 		Proves:     e.proves.Load(),
 		Verifies:   e.verifies.Load(),
 		SetupTime:  time.Duration(e.setupNs.Load()),
+		SolveTime:  time.Duration(e.solveNs.Load()),
 		ProveTime:  time.Duration(e.proveNs.Load()),
 		VerifyTime: time.Duration(e.verifyNs.Load()),
 	}

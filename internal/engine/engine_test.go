@@ -12,9 +12,18 @@ import (
 )
 
 // cubicSystem builds x³ + x + k = out (out public) — the standard toy
-// circuit. Different k values produce different constraint coefficients
-// and therefore different circuit digests.
-func cubicSystem(k uint64) *r1cs.System {
+// circuit, compiled through the FromSystem adapter. Different k values
+// produce different constraint coefficients and therefore different
+// circuit digests.
+func cubicSystem(k uint64) *r1cs.CompiledSystem {
+	cs, err := r1cs.FromSystem(cubicEager(k))
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+func cubicEager(k uint64) *r1cs.System {
 	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
 	kEl := func() fr.Element { var e fr.Element; e.SetUint64(k); return e }
 	lc := func(terms ...r1cs.Term) r1cs.LinearCombination { return terms }
@@ -330,5 +339,59 @@ func TestStatsRaceUnderLoad(t *testing.T) {
 	}
 	if st.Verifies != jobs*2 {
 		t.Fatalf("verifies = %d, want %d", st.Verifies, jobs*2)
+	}
+}
+
+// TestSolveManyRequests drives the compile-once / solve-many request
+// shape: one system, many input assignments, witnesses generated by the
+// engine; later requests address the circuit by digest alone.
+func TestSolveManyRequests(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(9))})
+	sys := cubicSystem(5)
+
+	// First request carries the system and an assignment (no witness).
+	w1 := cubicWitness(5, 3)
+	asg1 := sys.WitnessAssignment(w1)
+	r1, err := e.Prove(Request{Name: "solve-1", System: sys, Public: asg1.Public, Secret: asg1.Secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Witness == nil {
+		t.Fatal("result carries no witness")
+	}
+	for i := range w1 {
+		if !r1.Witness[i].Equal(&w1[i]) {
+			t.Fatalf("solved wire %d mismatch", i)
+		}
+	}
+	if err := e.Verify(r1.Keys.VK, r1.Proof, publicOf(w1)); err != nil {
+		t.Fatalf("solved proof rejected: %v", err)
+	}
+
+	// The circuit is cached beside the keys: digest-only request.
+	if _, ok := e.Circuit(r1.Digest); !ok {
+		t.Fatal("compiled system not cached beside the keys")
+	}
+	w2 := cubicWitness(5, 8)
+	asg2 := sys.WitnessAssignment(w2)
+	r2, err := e.Prove(Request{Name: "solve-2", Digest: r1.Digest, Public: asg2.Public, Secret: asg2.Secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("digest-only request missed the key cache")
+	}
+	if err := e.Verify(r2.Keys.VK, r2.Proof, publicOf(w2)); err != nil {
+		t.Fatalf("digest-only proof rejected: %v", err)
+	}
+
+	st := e.Stats()
+	if st.Solves != 2 {
+		t.Fatalf("want 2 solves, got %d", st.Solves)
+	}
+
+	// Unknown digest fails fast.
+	if _, err := e.Prove(Request{Digest: "feedface"}); err == nil {
+		t.Fatal("unknown digest accepted")
 	}
 }

@@ -1,14 +1,18 @@
 // Package frontend provides the circuit-construction API that replaces
-// xJsnark in this reproduction: an *eager* builder that simultaneously
-// emits R1CS constraints and solves the witness, in the style of
-// xJsnark's circuit generator.
+// xJsnark in this reproduction: a builder that simultaneously emits R1CS
+// constraints, solves the witness eagerly (in the style of xJsnark's
+// circuit generator), and records a solver program so the compiled
+// circuit can re-derive witnesses from fresh inputs without being
+// rebuilt.
 //
 // Design contract: circuit code must be data-oblivious — the sequence of
 // builder calls may not depend on input *values* (only on static shapes
 // and parameters). Under that contract, running the same circuit
 // function with dummy inputs (for Setup) and with real inputs (for
-// Prove) yields the identical constraint system, which is what makes the
-// one-time trusted setup of ZKROWNN sound.
+// Prove) yields the identical constraint system, which is what makes
+// both the one-time trusted setup of ZKROWNN and the compile-once /
+// solve-many split sound: Compile once per architecture, then
+// CompiledSystem.Solve per proof.
 //
 // Variables carry sparse linear combinations over wires, so Add, Sub,
 // and multiplication by constants are free; only Mul between two
@@ -19,7 +23,6 @@ package frontend
 import (
 	"fmt"
 	"math/big"
-	"sort"
 
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/r1cs"
@@ -27,6 +30,10 @@ import (
 
 // Variable is a value in the circuit: a linear combination of wires plus
 // its concrete value under the current input assignment.
+//
+// Linear combinations are immutable once built — every builder operation
+// allocates fresh term slices and Compile copies (never mutates) them —
+// so variables may be freely shared between constraints.
 type Variable struct {
 	lc  r1cs.LinearCombination
 	val fr.Element
@@ -36,24 +43,36 @@ type Variable struct {
 // assignment (useful for debugging and for gadget-internal witnesses).
 func (v *Variable) Value() fr.Element { return v.val }
 
-// wireKind distinguishes the constant wire, public inputs, and private
-// wires (inputs and internal).
+// wireKind distinguishes the constant wire, declared inputs (bound at
+// solve time), and computed wires (re-derived by the solver program).
 type wireKind uint8
 
 const (
 	kindOne wireKind = iota
-	kindPublic
-	kindPrivate
+	kindPublicInput
+	kindPublicOutput
+	kindSecretInput
+	kindInternal
 )
 
-// Builder accumulates constraints and wire values.
+// tapeInstr is one recorded solver step, in pre-permutation wire ids.
+// The linear combinations alias variable LCs (safe: LCs are immutable).
+type tapeInstr struct {
+	op   r1cs.OpCode
+	out  int // first output wire
+	nOut int
+	a, b r1cs.LinearCombination
+}
+
+// Builder accumulates constraints, wire values, and the solver tape.
 type Builder struct {
 	constraints []r1cs.Constraint
 	values      []fr.Element
 	kinds       []wireKind
 	names       []string // parallel to values; "" for unnamed
 
-	publicOrder []int // wire ids of public inputs, in declaration order
+	publicOrder []int // wire ids of public wires, in declaration order
+	tape        []tapeInstr
 	finalized   bool
 }
 
@@ -74,10 +93,15 @@ func (b *Builder) newWire(v fr.Element, k wireKind, name string) int {
 	b.values = append(b.values, v)
 	b.kinds = append(b.kinds, k)
 	b.names = append(b.names, name)
-	if k == kindPublic {
+	if k == kindPublicInput || k == kindPublicOutput {
 		b.publicOrder = append(b.publicOrder, id)
 	}
 	return id
+}
+
+// record appends one solver instruction to the tape.
+func (b *Builder) record(op r1cs.OpCode, out, nOut int, a, bb r1cs.LinearCombination) {
+	b.tape = append(b.tape, tapeInstr{op: op, out: out, nOut: nOut, a: a, b: bb})
 }
 
 // single returns a variable referencing exactly one wire.
@@ -90,14 +114,32 @@ func (b *Builder) single(wire int) Variable {
 	}
 }
 
-// PublicInput declares a named public input with the given value.
+// PublicInput declares a named public input with the given value. The
+// value is rebound per solve; the name groups inputs for rebinding (all
+// wires declared under one name form an ordered vector).
 func (b *Builder) PublicInput(name string, v fr.Element) Variable {
-	return b.single(b.newWire(v, kindPublic, name))
+	return b.single(b.newWire(v, kindPublicInput, name))
 }
 
 // SecretInput declares a private input with the given value.
 func (b *Builder) SecretInput(name string, v fr.Element) Variable {
-	return b.single(b.newWire(v, kindPrivate, name))
+	return b.single(b.newWire(v, kindSecretInput, name))
+}
+
+// PublicOutput exposes x as a named public wire constrained to equal it
+// (one constraint). Unlike PublicInput the wire is *computed*: the
+// solver program re-derives it from the inputs, so callers of
+// CompiledSystem.Solve never supply output values.
+func (b *Builder) PublicOutput(name string, x Variable) Variable {
+	w := b.newWire(x.val, kindPublicOutput, name)
+	out := b.single(w)
+	b.record(r1cs.OpLC, w, 1, x.lc, nil)
+	b.constraints = append(b.constraints, r1cs.Constraint{
+		A: x.lc,
+		B: b.One().lc,
+		C: out.lc,
+	})
+	return out
 }
 
 // Constant returns a variable fixed to the field element c (a multiple
@@ -147,28 +189,143 @@ func isConstant(v *Variable) (fr.Element, bool) {
 }
 
 // mergeLC combines linear combinations, summing coefficients per wire
-// and dropping zeros. Inputs are not modified.
+// and dropping zeros. Inputs are not modified. Every builder-produced LC
+// is sorted by wire with unique wires, so this is a k-way sorted merge —
+// the compile-path hot spot, kept free of the map+sort of the naive
+// implementation (two-pointer for the dominant pairwise case, a small
+// binary heap of cursors for wide Sums).
 func mergeLC(lcs ...r1cs.LinearCombination) r1cs.LinearCombination {
-	total := 0
+	k, total := 0, 0
 	for _, lc := range lcs {
-		total += len(lc)
-	}
-	acc := make(map[int]fr.Element, total)
-	for _, lc := range lcs {
-		for _, t := range lc {
-			cur := acc[t.Wire]
-			cur.Add(&cur, &t.Coeff)
-			acc[t.Wire] = cur
+		if len(lc) > 0 {
+			lcs[k] = lc
+			k++
+			total += len(lc)
 		}
 	}
-	out := make(r1cs.LinearCombination, 0, len(acc))
-	for w, c := range acc {
-		if c.IsZero() {
-			continue
-		}
-		out = append(out, r1cs.Term{Wire: w, Coeff: c})
+	lcs = lcs[:k]
+	switch k {
+	case 0:
+		return nil
+	case 1:
+		return dropZeros(lcs[0])
+	case 2:
+		return merge2(lcs[0], lcs[1])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Wire < out[j].Wire })
+	return mergeK(lcs, total)
+}
+
+// dropZeros returns lc without zero-coefficient terms, aliasing the
+// input when nothing is dropped (LCs are immutable, so sharing is safe).
+func dropZeros(lc r1cs.LinearCombination) r1cs.LinearCombination {
+	for i := range lc {
+		if lc[i].Coeff.IsZero() {
+			out := make(r1cs.LinearCombination, i, len(lc)-1)
+			copy(out, lc[:i])
+			for _, t := range lc[i+1:] {
+				if !t.Coeff.IsZero() {
+					out = append(out, t)
+				}
+			}
+			return out
+		}
+	}
+	return lc
+}
+
+// merge2 merges two sorted LCs with one linear pass.
+func merge2(a, b r1cs.LinearCombination) r1cs.LinearCombination {
+	out := make(r1cs.LinearCombination, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Wire < b[j].Wire:
+			if !a[i].Coeff.IsZero() {
+				out = append(out, a[i])
+			}
+			i++
+		case a[i].Wire > b[j].Wire:
+			if !b[j].Coeff.IsZero() {
+				out = append(out, b[j])
+			}
+			j++
+		default:
+			var c fr.Element
+			c.Add(&a[i].Coeff, &b[j].Coeff)
+			if !c.IsZero() {
+				out = append(out, r1cs.Term{Wire: a[i].Wire, Coeff: c})
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		if !a[i].Coeff.IsZero() {
+			out = append(out, a[i])
+		}
+	}
+	for ; j < len(b); j++ {
+		if !b[j].Coeff.IsZero() {
+			out = append(out, b[j])
+		}
+	}
+	return out
+}
+
+// mergeK merges k ≥ 3 sorted LCs through a binary min-heap of cursors
+// keyed by each LC's current wire: O(total·log k) with three
+// allocations (positions, heap, output).
+func mergeK(lcs []r1cs.LinearCombination, total int) r1cs.LinearCombination {
+	k := len(lcs)
+	pos := make([]int, k)
+	heap := make([]int, k)
+	wireAt := func(li int) int { return lcs[li][pos[li]].Wire }
+	less := func(x, y int) bool { return wireAt(heap[x]) < wireAt(heap[y]) }
+	siftDown := func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < n && less(l, min) {
+				min = l
+			}
+			if r < n && less(r, min) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	for i := range heap {
+		heap[i] = i
+	}
+	n := k
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+
+	out := make(r1cs.LinearCombination, 0, total)
+	for n > 0 {
+		w := wireAt(heap[0])
+		var c fr.Element
+		for n > 0 && wireAt(heap[0]) == w {
+			li := heap[0]
+			c.Add(&c, &lcs[li][pos[li]].Coeff)
+			pos[li]++
+			if pos[li] == len(lcs[li]) {
+				heap[0] = heap[n-1]
+				n--
+			}
+			if n > 0 {
+				siftDown(0, n)
+			}
+		}
+		if !c.IsZero() {
+			out = append(out, r1cs.Term{Wire: w, Coeff: c})
+		}
+	}
 	return out
 }
 
@@ -241,12 +398,13 @@ func (b *Builder) Mul(x, y Variable) Variable {
 	}
 	var val fr.Element
 	val.Mul(&x.val, &y.val)
-	w := b.newWire(val, kindPrivate, "")
+	w := b.newWire(val, kindInternal, "")
 	out := b.single(w)
+	b.record(r1cs.OpMul, w, 1, x.lc, y.lc)
 	b.constraints = append(b.constraints, r1cs.Constraint{
-		A: x.lc.Clone(),
-		B: y.lc.Clone(),
-		C: out.lc.Clone(),
+		A: x.lc,
+		B: y.lc,
+		C: out.lc,
 	})
 	return out
 }
@@ -261,12 +419,13 @@ func (b *Builder) Reduce(x Variable) Variable {
 	if len(x.lc) <= 1 {
 		return x
 	}
-	w := b.newWire(x.val, kindPrivate, "")
+	w := b.newWire(x.val, kindInternal, "")
 	out := b.single(w)
+	b.record(r1cs.OpLC, w, 1, x.lc, nil)
 	b.constraints = append(b.constraints, r1cs.Constraint{
-		A: x.lc.Clone(),
+		A: x.lc,
 		B: b.One().lc,
-		C: out.lc.Clone(),
+		C: out.lc,
 	})
 	return out
 }
@@ -274,9 +433,9 @@ func (b *Builder) Reduce(x Variable) Variable {
 // AssertEqual enforces a == b (one constraint).
 func (b *Builder) AssertEqual(x, y Variable) {
 	b.constraints = append(b.constraints, r1cs.Constraint{
-		A: x.lc.Clone(),
+		A: x.lc,
 		B: b.One().lc,
-		C: y.lc.Clone(),
+		C: y.lc,
 	})
 }
 
@@ -284,7 +443,7 @@ func (b *Builder) AssertEqual(x, y Variable) {
 func (b *Builder) AssertBoolean(x Variable) {
 	am1 := b.Sub(x, b.One())
 	b.constraints = append(b.constraints, r1cs.Constraint{
-		A: x.lc.Clone(),
+		A: x.lc,
 		B: am1.lc,
 		C: nil,
 	})
@@ -295,11 +454,12 @@ func (b *Builder) AssertBoolean(x Variable) {
 func (b *Builder) Inverse(x Variable) Variable {
 	var inv fr.Element
 	inv.Inverse(&x.val) // 0 for x == 0; constraint then unsatisfiable, as intended
-	w := b.newWire(inv, kindPrivate, "")
+	w := b.newWire(inv, kindInternal, "")
 	out := b.single(w)
+	b.record(r1cs.OpInv, w, 1, x.lc, nil)
 	b.constraints = append(b.constraints, r1cs.Constraint{
-		A: x.lc.Clone(),
-		B: out.lc.Clone(),
+		A: x.lc,
+		B: out.lc,
 		C: b.One().lc,
 	})
 	return out
@@ -316,27 +476,29 @@ func (b *Builder) IsZero(x Variable) Variable {
 	// out = 1 - x·inv ;  x·out = 0
 	var invVal fr.Element
 	invVal.Inverse(&x.val)
-	invW := b.newWire(invVal, kindPrivate, "")
+	invW := b.newWire(invVal, kindInternal, "")
 	inv := b.single(invW)
+	b.record(r1cs.OpInv, invW, 1, x.lc, nil)
 
 	var outVal fr.Element
 	if x.val.IsZero() {
 		outVal.SetOne()
 	}
-	outW := b.newWire(outVal, kindPrivate, "")
+	outW := b.newWire(outVal, kindInternal, "")
 	out := b.single(outW)
+	b.record(r1cs.OpIsZero, outW, 1, x.lc, nil)
 
 	// x·inv = 1 - out
 	oneMinusOut := b.Sub(b.One(), out)
 	b.constraints = append(b.constraints, r1cs.Constraint{
-		A: x.lc.Clone(),
-		B: inv.lc.Clone(),
+		A: x.lc,
+		B: inv.lc,
 		C: oneMinusOut.lc,
 	})
 	// x·out = 0
 	b.constraints = append(b.constraints, r1cs.Constraint{
-		A: x.lc.Clone(),
-		B: out.lc.Clone(),
+		A: x.lc,
+		B: out.lc,
 		C: nil,
 	})
 	return out
@@ -357,13 +519,19 @@ func (b *Builder) Select(cond, x, y Variable) Variable {
 func (b *Builder) ToBinary(x Variable, nbBits int) []Variable {
 	val := x.val.ToBigInt()
 	bits := make([]Variable, nbBits)
+	// The bit wires are allocated as one contiguous block so the solver
+	// tape covers them with a single bit-decompose instruction.
+	first := len(b.values)
 	for i := 0; i < nbBits; i++ {
 		var bitVal fr.Element
 		if val.Bit(i) == 1 {
 			bitVal.SetOne()
 		}
-		w := b.newWire(bitVal, kindPrivate, "")
+		w := b.newWire(bitVal, kindInternal, "")
 		bits[i] = b.single(w)
+	}
+	b.record(r1cs.OpBits, first, nbBits, x.lc, nil)
+	for i := 0; i < nbBits; i++ {
 		b.AssertBoolean(bits[i])
 	}
 	recomposed := b.FromBinary(bits)
@@ -390,26 +558,40 @@ func (b *Builder) NbConstraints() int { return len(b.constraints) }
 // NbWires returns the number of wires allocated so far.
 func (b *Builder) NbWires() int { return len(b.values) }
 
-// Finalize freezes the circuit: wires are permuted so the statement
-// (constant wire, then public inputs in declaration order) occupies the
-// leading indices required by Groth16, and the full witness vector is
-// produced. The builder must not be used afterwards.
-func (b *Builder) Finalize() (*r1cs.System, []fr.Element, error) {
+// CompileResult is the output of Compile: the reusable compiled system,
+// the input assignment recorded at build time, and the eager witness the
+// builder computed along the way (identical to what Solve(Assignment)
+// returns — the oracle the solver tests check against).
+type CompileResult struct {
+	System     *r1cs.CompiledSystem
+	Assignment r1cs.Assignment
+	Witness    []fr.Element
+}
+
+// Compile freezes the circuit into a CompiledSystem: wires are permuted
+// so the statement (constant wire, then public wires in declaration
+// order) occupies the leading indices required by Groth16, the
+// constraints are laid out as CSR matrices, and the recorded solver tape
+// is leveled for parallel replay. Nothing in the builder is mutated in
+// place — the result owns fresh arrays. The builder must not be used
+// afterwards.
+func (b *Builder) Compile() (*CompileResult, error) {
 	if b.finalized {
-		return nil, nil, fmt.Errorf("frontend: builder already finalized")
+		return nil, fmt.Errorf("frontend: builder already finalized")
 	}
 	b.finalized = true
 
 	m := len(b.values)
-	perm := make([]int, m) // old wire -> new wire
+	perm := make([]uint32, m) // old wire -> new wire
 	perm[0] = 0
-	next := 1
+	next := uint32(1)
 	for _, w := range b.publicOrder {
 		perm[w] = next
 		next++
 	}
 	for w := 1; w < m; w++ {
-		if b.kinds[w] != kindPublic {
+		k := b.kinds[w]
+		if k != kindPublicInput && k != kindPublicOutput {
 			perm[w] = next
 			next++
 		}
@@ -420,32 +602,179 @@ func (b *Builder) Finalize() (*r1cs.System, []fr.Element, error) {
 	names[0] = "one"
 	for w := 0; w < m; w++ {
 		witness[perm[w]] = b.values[w]
-		if b.kinds[w] == kindPublic {
+		if k := b.kinds[w]; k == kindPublicInput || k == kindPublicOutput {
 			names[perm[w]] = b.names[w]
 		}
 	}
 
-	remap := func(lc r1cs.LinearCombination) r1cs.LinearCombination {
-		for i := range lc {
-			lc[i].Wire = perm[lc[i].Wire]
-		}
-		return lc
-	}
-	cons := make([]r1cs.Constraint, len(b.constraints))
-	for i, c := range b.constraints {
-		cons[i] = r1cs.Constraint{A: remap(c.A), B: remap(c.B), C: remap(c.C)}
-	}
-
-	sys := &r1cs.System{
-		Constraints: cons,
+	cs := &r1cs.CompiledSystem{
 		NbPublic:    1 + len(b.publicOrder),
 		NbWires:     m,
 		PublicNames: names,
 	}
-	if err := sys.Validate(); err != nil {
+
+	// CSR matrices: one count pass, one remapped fill pass per matrix.
+	// Term order within a row is the LC's (old-wire sorted) order —
+	// identical to the eager Finalize layout, so digests agree.
+	fill := func(sel func(*r1cs.Constraint) r1cs.LinearCombination) r1cs.Matrix {
+		n := len(b.constraints)
+		offs := make([]uint32, n+1)
+		total := 0
+		for i := range b.constraints {
+			total += len(sel(&b.constraints[i]))
+			offs[i+1] = uint32(total)
+		}
+		mx := r1cs.Matrix{RowOffs: offs, Wires: make([]uint32, total), Coeffs: make([]fr.Element, total)}
+		k := 0
+		for i := range b.constraints {
+			for _, t := range sel(&b.constraints[i]) {
+				mx.Wires[k] = perm[t.Wire]
+				mx.Coeffs[k] = t.Coeff
+				k++
+			}
+		}
+		return mx
+	}
+	cs.A = fill(func(c *r1cs.Constraint) r1cs.LinearCombination { return c.A })
+	cs.B = fill(func(c *r1cs.Constraint) r1cs.LinearCombination { return c.B })
+	cs.C = fill(func(c *r1cs.Constraint) r1cs.LinearCombination { return c.C })
+
+	// Input-binding layout and the recorded assignment, in declaration
+	// order (pre-permutation wire order).
+	asg := r1cs.Assignment{}
+	for _, w := range b.publicOrder {
+		if b.kinds[w] == kindPublicInput {
+			cs.PubInputs = append(cs.PubInputs, perm[w])
+			cs.PubInputNames = append(cs.PubInputNames, b.names[w])
+			asg.Public = append(asg.Public, b.values[w])
+		}
+	}
+	for w := 1; w < m; w++ {
+		if b.kinds[w] == kindSecretInput {
+			cs.SecretInputs = append(cs.SecretInputs, perm[w])
+			asg.Secret = append(asg.Secret, b.values[w])
+		}
+	}
+
+	prog, err := b.compileTape(perm)
+	if err != nil {
+		return nil, err
+	}
+	cs.Program = prog
+
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	return &CompileResult{System: cs, Assignment: asg, Witness: witness}, nil
+}
+
+// compileTape remaps the recorded tape onto post-permutation wires,
+// copies the LC spans into shared pools, and partitions the
+// instructions into dependency levels for parallel replay.
+func (b *Builder) compileTape(perm []uint32) (r1cs.Program, error) {
+	m := len(b.values)
+	nbInstrs := len(b.tape)
+
+	// Dependency level per (pre-permutation) wire: inputs are level 0;
+	// an instruction lives one level above the deepest wire it reads,
+	// and its outputs inherit that level.
+	wireLevel := make([]int32, m)
+	instrLevel := make([]int32, nbInstrs)
+	maxLevel := int32(0)
+	lcLevel := func(lc r1cs.LinearCombination) int32 {
+		lvl := int32(0)
+		for _, t := range lc {
+			if l := wireLevel[t.Wire]; l > lvl {
+				lvl = l
+			}
+		}
+		return lvl
+	}
+	totalTerms := 0
+	for i := range b.tape {
+		in := &b.tape[i]
+		lvl := lcLevel(in.a)
+		totalTerms += len(in.a)
+		if in.op == r1cs.OpMul {
+			if l := lcLevel(in.b); l > lvl {
+				lvl = l
+			}
+			totalTerms += len(in.b)
+		}
+		lvl++
+		instrLevel[i] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+		for j := 0; j < in.nOut; j++ {
+			wireLevel[in.out+j] = lvl
+		}
+	}
+
+	prog := r1cs.Program{
+		Instrs: make([]r1cs.Instr, nbInstrs),
+		Wires:  make([]uint32, 0, totalTerms),
+		Coeffs: make([]fr.Element, 0, totalTerms),
+		Levels: make([]uint32, maxLevel+1),
+	}
+	if nbInstrs == 0 {
+		prog.Levels = []uint32{0}
+		return prog, nil
+	}
+
+	// Counting sort by level (stable): Levels[l] is where level l+1's
+	// instructions start.
+	counts := make([]uint32, maxLevel+1)
+	for _, lvl := range instrLevel {
+		counts[lvl]++ // levels are 1-based; counts[0] stays 0
+	}
+	for l := int32(1); l <= maxLevel; l++ {
+		prog.Levels[l] = prog.Levels[l-1] + counts[l]
+	}
+	cursor := make([]uint32, maxLevel+1)
+	copy(cursor[1:], prog.Levels[:maxLevel])
+
+	emitLC := func(lc r1cs.LinearCombination) (uint32, uint32) {
+		off := uint32(len(prog.Wires))
+		for _, t := range lc {
+			prog.Wires = append(prog.Wires, perm[t.Wire])
+			prog.Coeffs = append(prog.Coeffs, t.Coeff)
+		}
+		return off, uint32(len(prog.Wires))
+	}
+	for i := range b.tape {
+		in := &b.tape[i]
+		slot := cursor[instrLevel[i]]
+		cursor[instrLevel[i]]++
+		out := perm[in.out]
+		// Multi-output instructions rely on their block staying
+		// contiguous after permutation; non-public wires keep relative
+		// order, so this only fails on a (mis-)recorded public block.
+		for j := 1; j < in.nOut; j++ {
+			if perm[in.out+j] != out+uint32(j) {
+				return r1cs.Program{}, fmt.Errorf("frontend: tape output block %d..%d not contiguous after permutation", in.out, in.out+in.nOut-1)
+			}
+		}
+		ins := r1cs.Instr{Op: in.op, Out: out, NOut: uint32(in.nOut)}
+		ins.AOff, ins.AEnd = emitLC(in.a)
+		if in.op == r1cs.OpMul {
+			ins.BOff, ins.BEnd = emitLC(in.b)
+		}
+		prog.Instrs[slot] = ins
+	}
+	return prog, nil
+}
+
+// Finalize freezes the circuit into the legacy eager representation:
+// the materialized System plus the full witness vector. It is a thin
+// shim over Compile retained for existing call sites; new code should
+// use Compile and keep the CompiledSystem for repeated solving.
+func (b *Builder) Finalize() (*r1cs.System, []fr.Element, error) {
+	res, err := b.Compile()
+	if err != nil {
 		return nil, nil, err
 	}
-	return sys, witness, nil
+	return res.System.ToSystem(), res.Witness, nil
 }
 
 // PublicValues extracts the public-input section (excluding the constant

@@ -275,9 +275,10 @@ func TestDoubleFinalizeFails(t *testing.T) {
 }
 
 // TestEndToEndWithGroth16 wires the frontend into the proof system: the
-// cubic demo circuit built through the builder, proven and verified.
+// cubic demo circuit built through the builder, compiled, proven and
+// verified.
 func TestEndToEndWithGroth16(t *testing.T) {
-	build := func(xVal, outVal fr.Element) (*r1cs.System, []fr.Element, error) {
+	build := func(xVal, outVal fr.Element) (*CompileResult, error) {
 		b := NewBuilder()
 		out := b.PublicInput("out", outVal)
 		x := b.SecretInput("x", xVal)
@@ -285,13 +286,14 @@ func TestEndToEndWithGroth16(t *testing.T) {
 		x3 := b.Mul(x2, x)
 		sum := b.Add(b.Add(x3, x), b.ConstUint64(5))
 		b.AssertEqual(sum, out)
-		return b.Finalize()
+		return b.Compile()
 	}
 
-	sys, w, err := build(frOf(3), frOf(35))
+	res, err := build(frOf(3), frOf(35))
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys, w := res.System, res.Witness
 	rng := rand.New(rand.NewSource(81))
 	pk, vk, err := groth16.Setup(sys, rng)
 	if err != nil {
@@ -301,29 +303,36 @@ func TestEndToEndWithGroth16(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := groth16.Verify(vk, proof, PublicValues(sys, w)); err != nil {
+	if err := groth16.Verify(vk, proof, sys.PublicValues(w)); err != nil {
 		t.Fatal(err)
 	}
 
 	// The setup/prove split: constraints built from dummy inputs must be
-	// identical, and a proof from the real witness must verify against
-	// the dummy-built system's keys.
-	sysDummy, _, err := build(fr.Element{}, fr.Element{})
+	// identical (same digest), and a proof from the real witness must
+	// verify against the dummy-built system's keys.
+	resDummy, err := build(fr.Element{}, fr.Element{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sysDummy.NbConstraints() != sys.NbConstraints() || sysDummy.NbWires != sys.NbWires {
+	sysDummy := resDummy.System
+	if sysDummy.DigestHex() != sys.DigestHex() {
 		t.Fatal("circuit is not data-oblivious")
 	}
 	pk2, vk2, err := groth16.Setup(sysDummy, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof2, err := groth16.Prove(sys, pk2, w, rng)
+	// Solve-many against the dummy-compiled system: rebind the real
+	// inputs and let the solver program rebuild the witness.
+	w2, err := sysDummy.SolveAssignment(res.Assignment)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := groth16.Verify(vk2, proof2, PublicValues(sys, w)); err != nil {
+	proof2, err := groth16.Prove(sysDummy, pk2, w2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := groth16.Verify(vk2, proof2, sys.PublicValues(w)); err != nil {
 		t.Fatal("proof against dummy-setup keys rejected:", err)
 	}
 }

@@ -422,15 +422,14 @@ func TestGadgetProveVerify(t *testing.T) {
 	// standalone-circuit convention).
 	for i := range out {
 		for j := range out[i] {
-			e := out[i][j].Value()
-			pub := c.B.PublicInput("out", e)
-			c.B.AssertEqual(out[i][j], pub)
+			c.B.PublicOutput("out", out[i][j])
 		}
 	}
-	sys, w, err := c.B.Finalize()
+	res, err := c.B.Compile()
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys, w := res.System, res.Witness
 	pk, vk, err := groth16.Setup(sys, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -439,7 +438,7 @@ func TestGadgetProveVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub := frontend.PublicValues(sys, w)
+	pub := sys.PublicValues(w)
 	if err := groth16.Verify(vk, proof, pub); err != nil {
 		t.Fatal(err)
 	}

@@ -73,11 +73,12 @@ type Proof struct {
 	Krs curve.G1Affine
 }
 
-// Setup runs the trusted setup for the given constraint system. rng
-// supplies toxic-waste randomness (crypto/rand if nil). The returned
-// keys are circuit-specific; re-run Setup whenever the circuit changes
-// (in ZKROWNN the circuit is static, so this cost is paid once).
-func Setup(sys *r1cs.System, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
+// Setup runs the trusted setup for the given compiled constraint
+// system. rng supplies toxic-waste randomness (crypto/rand if nil). The
+// returned keys are circuit-specific; re-run Setup whenever the circuit
+// changes (in ZKROWNN the circuit is static, so this cost is paid once
+// per architecture and shared by every solve-many proof).
+func Setup(sys *r1cs.CompiledSystem, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
@@ -115,10 +116,11 @@ func Setup(sys *r1cs.System, rng io.Reader) (*ProvingKey, *VerifyingKey, error) 
 	}
 
 	// QAP polynomials evaluated at τ via the Lagrange basis. The
-	// per-constraint loop accumulates into per-wire slots, so it is
-	// transposed first: wireIndex buckets every (constraint, coeff) term
-	// by wire, and the field multiplications then parallelize over
-	// disjoint wire ranges with no locking and no redundant scans.
+	// per-constraint accumulation lands in per-wire slots, so each CSR
+	// matrix is transposed first: wireIndex buckets every (constraint,
+	// coeff) term by wire, and the field multiplications then parallelize
+	// over disjoint wire ranges with no locking and no redundant scans.
+	// The transposes walk the flat CSR arrays directly.
 	lag := domain.LagrangeBasisAt(&tau)
 	m := sys.NbWires
 	var uIdx, vIdx, wIdx wireIndex
@@ -126,15 +128,15 @@ func Setup(sys *r1cs.System, rng io.Reader) (*ProvingKey, *VerifyingKey, error) 
 	idxWg.Add(3)
 	go func() {
 		defer idxWg.Done()
-		uIdx = buildWireIndex(sys.Constraints, m, func(c *r1cs.Constraint) r1cs.LinearCombination { return c.A })
+		uIdx = buildWireIndex(&sys.A, m)
 	}()
 	go func() {
 		defer idxWg.Done()
-		vIdx = buildWireIndex(sys.Constraints, m, func(c *r1cs.Constraint) r1cs.LinearCombination { return c.B })
+		vIdx = buildWireIndex(&sys.B, m)
 	}()
 	go func() {
 		defer idxWg.Done()
-		wIdx = buildWireIndex(sys.Constraints, m, func(c *r1cs.Constraint) r1cs.LinearCombination { return c.C })
+		wIdx = buildWireIndex(&sys.C, m)
 	}()
 	idxWg.Wait()
 
@@ -233,8 +235,9 @@ func Setup(sys *r1cs.System, rng io.Reader) (*ProvingKey, *VerifyingKey, error) 
 
 // Prove produces a proof that the witness satisfies the system. The
 // witness is the full wire assignment (constant wire first); callers
-// normally obtain it from frontend.Builder.
-func Prove(sys *r1cs.System, pk *ProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
+// normally obtain it from CompiledSystem.Solve (or the frontend's eager
+// compile result).
+func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
@@ -332,14 +335,12 @@ type wireIndex struct {
 	coef []fr.Element
 }
 
-// buildWireIndex transposes the selected linear combinations in two
-// O(#terms) passes (count + fill).
-func buildWireIndex(constraints []r1cs.Constraint, m int, sel func(*r1cs.Constraint) r1cs.LinearCombination) wireIndex {
+// buildWireIndex transposes one CSR matrix in two O(#terms) passes
+// (count + fill) over its flat term arrays.
+func buildWireIndex(mx *r1cs.Matrix, m int) wireIndex {
 	offs := make([]uint32, m+1)
-	for i := range constraints {
-		for _, t := range sel(&constraints[i]) {
-			offs[t.Wire+1]++
-		}
+	for _, w := range mx.Wires {
+		offs[w+1]++
 	}
 	for w := 0; w < m; w++ {
 		offs[w+1] += offs[w]
@@ -351,12 +352,13 @@ func buildWireIndex(constraints []r1cs.Constraint, m int, sel func(*r1cs.Constra
 	}
 	cursor := make([]uint32, m)
 	copy(cursor, offs[:m])
-	for i := range constraints {
-		for _, t := range sel(&constraints[i]) {
-			k := cursor[t.Wire]
-			cursor[t.Wire]++
-			idx.cons[k] = uint32(i)
-			idx.coef[k] = t.Coeff
+	for i := 0; i < mx.NbRows(); i++ {
+		for k := mx.RowOffs[i]; k < mx.RowOffs[i+1]; k++ {
+			w := mx.Wires[k]
+			c := cursor[w]
+			cursor[w]++
+			idx.cons[c] = uint32(i)
+			idx.coef[c] = mx.Coeffs[k]
 		}
 	}
 	return idx
@@ -375,8 +377,10 @@ func (x *wireIndex) accumulate(lo, hi int, lag, dst []fr.Element) {
 }
 
 // quotient computes the coefficients of h(X) = (A(X)·B(X) - C(X))/Z(X),
-// returning n-1 coefficients.
-func quotient(sys *r1cs.System, domainSize uint64, witness []fr.Element) ([]fr.Element, error) {
+// returning n-1 coefficients. Constraint evaluations stream through the
+// flat CSR arrays — contiguous loads instead of per-constraint slice
+// headers.
+func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) ([]fr.Element, error) {
 	domain, err := poly.NewDomain(domainSize)
 	if err != nil {
 		return nil, err
@@ -388,12 +392,11 @@ func quotient(sys *r1cs.System, domainSize uint64, witness []fr.Element) ([]fr.E
 	a := make([]fr.Element, n)
 	b := make([]fr.Element, n)
 	c := make([]fr.Element, n)
-	par.Range(len(sys.Constraints), func(start, end int) {
+	par.Range(sys.NbConstraints(), func(start, end int) {
 		for i := start; i < end; i++ {
-			cons := &sys.Constraints[i]
-			a[i] = cons.A.Eval(witness)
-			b[i] = cons.B.Eval(witness)
-			c[i] = cons.C.Eval(witness)
+			a[i] = sys.A.RowEval(i, witness)
+			b[i] = sys.B.RowEval(i, witness)
+			c[i] = sys.C.RowEval(i, witness)
 		}
 	})
 

@@ -10,10 +10,19 @@ import (
 )
 
 // cubicSystem builds the classic toy circuit: prove knowledge of x with
-// x³ + x + 5 = out, out public.
+// x³ + x + 5 = out, out public — hand-built as an eager System, then
+// compiled to CSR through the FromSystem adapter.
 //
 // Wires: 0 = one, 1 = out (public), 2 = x, 3 = x², 4 = x³.
-func cubicSystem() *r1cs.System {
+func cubicSystem() *r1cs.CompiledSystem {
+	cs, err := r1cs.FromSystem(cubicEager())
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+func cubicEager() *r1cs.System {
 	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
 	five := func() fr.Element { var e fr.Element; e.SetUint64(5); return e }
 	lc := func(terms ...r1cs.Term) r1cs.LinearCombination { return terms }

@@ -10,7 +10,15 @@ import (
 )
 
 // squareSystem: x² = out (public out).
-func squareSystem() *r1cs.System {
+func squareSystem() *r1cs.CompiledSystem {
+	cs, err := r1cs.FromSystem(squareEager())
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+func squareEager() *r1cs.System {
 	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
 	return &r1cs.System{
 		NbPublic: 2,
@@ -152,13 +160,22 @@ func TestZeroKnowledgePublicOnly(t *testing.T) {
 // TestSetupValidation covers malformed-system rejection.
 func TestSetupValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(704))
-	if _, _, err := Setup(&r1cs.System{NbPublic: 1, NbWires: 1}, rng); err == nil {
+	empty, err := r1cs.FromSystem(&r1cs.System{NbPublic: 1, NbWires: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Setup(empty, rng); err == nil {
 		t.Fatal("empty system accepted")
 	}
+	badEager := squareEager()
+	badEager.Constraints[0].A[0].Wire = 99
+	if _, err := r1cs.FromSystem(badEager); err == nil {
+		t.Fatal("invalid wire index accepted by the compile adapter")
+	}
 	bad := squareSystem()
-	bad.Constraints[0].A[0].Wire = 99
+	bad.A.Wires[0] = 99
 	if _, _, err := Setup(bad, rng); err == nil {
-		t.Fatal("invalid wire index accepted")
+		t.Fatal("invalid wire index accepted by Setup")
 	}
 }
 

@@ -1,0 +1,548 @@
+package r1cs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/par"
+)
+
+// This file defines the compile-once representation of a constraint
+// system: the three R1CS matrices in CSR form plus a recorded solver
+// program. Compilation (circuit synthesis, linear-combination merging,
+// wire permutation) happens once per architecture; every subsequent
+// proof replays the solver program against fresh inputs — orders of
+// magnitude cheaper than re-running the circuit builder.
+
+// Matrix is one R1CS matrix (A, B, or C) in compressed sparse row form:
+// row i's terms are Wires[RowOffs[i]:RowOffs[i+1]] with matching Coeffs.
+// The flat layout replaces the per-constraint []Term slices of the eager
+// System, so QAP accumulation and witness checks walk two contiguous
+// arrays instead of pointer-chasing per-constraint allocations.
+type Matrix struct {
+	RowOffs []uint32 // len nbConstraints+1
+	Wires   []uint32
+	Coeffs  []fr.Element
+}
+
+// NbRows returns the number of constraint rows.
+func (m *Matrix) NbRows() int { return len(m.RowOffs) - 1 }
+
+// RowEval computes ⟨row i, w⟩.
+func (m *Matrix) RowEval(i int, w []fr.Element) fr.Element {
+	var acc, t fr.Element
+	for k := m.RowOffs[i]; k < m.RowOffs[i+1]; k++ {
+		t.Mul(&m.Coeffs[k], &w[m.Wires[k]])
+		acc.Add(&acc, &t)
+	}
+	return acc
+}
+
+// OpCode enumerates solver-program instructions. Every non-input wire of
+// a compiled circuit is produced by exactly one instruction; the set
+// mirrors the frontend operations that allocate wires.
+type OpCode uint8
+
+const (
+	// OpLC writes the evaluation of linear combination A (Reduce and
+	// public outputs).
+	OpLC OpCode = iota
+	// OpMul writes eval(A)·eval(B).
+	OpMul
+	// OpInv writes eval(A)⁻¹, with 0⁻¹ = 0 (the Inverse and IsZero
+	// auxiliary-wire convention; an actual zero input then fails the
+	// corresponding constraint, as intended).
+	OpInv
+	// OpIsZero writes 1 when eval(A) is zero, else 0 (a solver hint —
+	// the booleanity is enforced by the accompanying constraints).
+	OpIsZero
+	// OpBits writes the NOut little-endian bits of eval(A) into wires
+	// Out..Out+NOut-1 (bit decomposition).
+	OpBits
+)
+
+// Instr is one solver instruction. Linear combinations are spans into
+// the Program's shared term pools.
+type Instr struct {
+	Op         OpCode
+	Out        uint32 // first output wire
+	NOut       uint32 // number of output wires (1 except OpBits)
+	AOff, AEnd uint32
+	BOff, BEnd uint32 // OpMul only
+}
+
+// Program is the recorded witness solver: an instruction tape that
+// recomputes every internal wire from the input wires alone. Levels
+// partitions the tape into dependency levels — Instrs[Levels[l]:
+// Levels[l+1]] only read wires written before level l — so Solve can
+// evaluate each level in parallel.
+type Program struct {
+	Instrs []Instr
+	Wires  []uint32
+	Coeffs []fr.Element
+	Levels []uint32
+}
+
+// NbInstrs returns the instruction count.
+func (p *Program) NbInstrs() int { return len(p.Instrs) }
+
+// NbLevels returns the number of dependency levels.
+func (p *Program) NbLevels() int {
+	if len(p.Levels) == 0 {
+		return 0
+	}
+	return len(p.Levels) - 1
+}
+
+func (p *Program) evalLC(off, end uint32, w []fr.Element) fr.Element {
+	var acc, t fr.Element
+	for k := off; k < end; k++ {
+		t.Mul(&p.Coeffs[k], &w[p.Wires[k]])
+		acc.Add(&acc, &t)
+	}
+	return acc
+}
+
+// exec evaluates one instruction against the (partially solved) witness.
+func (p *Program) exec(in *Instr, w []fr.Element) {
+	a := p.evalLC(in.AOff, in.AEnd, w)
+	switch in.Op {
+	case OpLC:
+		w[in.Out] = a
+	case OpMul:
+		b := p.evalLC(in.BOff, in.BEnd, w)
+		w[in.Out].Mul(&a, &b)
+	case OpInv:
+		w[in.Out].Inverse(&a)
+	case OpIsZero:
+		if a.IsZero() {
+			w[in.Out].SetOne()
+		} else {
+			w[in.Out] = fr.Element{}
+		}
+	case OpBits:
+		v := a.ToBigInt()
+		for i := uint32(0); i < in.NOut; i++ {
+			if v.Bit(int(i)) == 1 {
+				w[in.Out+i].SetOne()
+			} else {
+				w[in.Out+i] = fr.Element{}
+			}
+		}
+	}
+}
+
+// Assignment binds concrete values to a compiled system's declared
+// inputs, in declaration order. It is the per-proof half of the
+// compile-once / solve-many split: one CompiledSystem serves many
+// Assignments.
+type Assignment struct {
+	// Public values for CompiledSystem.PubInputs (public *inputs* only —
+	// public outputs are computed by the solver program).
+	Public []fr.Element
+	// Secret values for CompiledSystem.SecretInputs.
+	Secret []fr.Element
+}
+
+// CompiledSystem is a constraint system compiled for repeated proving:
+// CSR matrices for the Groth16 backend, an input-binding layout, and the
+// recorded solver program that rebuilds the full witness from inputs.
+// It is immutable after compilation and safe for concurrent use — many
+// goroutines may Solve distinct assignments against one instance.
+type CompiledSystem struct {
+	A, B, C Matrix
+
+	// NbPublic counts the constant-one wire plus all public wires
+	// (inputs and computed outputs); wires 0..NbPublic-1 are the
+	// statement.
+	NbPublic int
+	NbWires  int
+	// PublicNames labels the public wires (index 0 is "one").
+	PublicNames []string
+
+	// PubInputs lists the public wires whose values the caller provides
+	// at solve time, in declaration order; PubInputNames labels them
+	// (used to rebind inputs — e.g. suspect-model weights — by name).
+	PubInputs     []uint32
+	PubInputNames []string
+	// SecretInputs lists the private input wires, in declaration order.
+	SecretInputs []uint32
+
+	Program Program
+
+	digestOnce sync.Once
+	digest     [32]byte
+}
+
+// NbPrivate returns the number of private witness wires.
+func (cs *CompiledSystem) NbPrivate() int { return cs.NbWires - cs.NbPublic }
+
+// NbConstraints returns the number of constraints.
+func (cs *CompiledSystem) NbConstraints() int { return cs.A.NbRows() }
+
+// Solve replays the solver program: it scatters the assignment onto the
+// input wires and evaluates the tape level by level (instructions within
+// a level are independent and run in parallel), returning the full wire
+// assignment. It never mutates the system and allocates a fresh witness,
+// so concurrent calls with distinct inputs are safe.
+func (cs *CompiledSystem) Solve(public, secret []fr.Element) ([]fr.Element, error) {
+	if len(public) != len(cs.PubInputs) {
+		return nil, fmt.Errorf("r1cs: solve: got %d public inputs, circuit expects %d", len(public), len(cs.PubInputs))
+	}
+	if len(secret) != len(cs.SecretInputs) {
+		return nil, fmt.Errorf("r1cs: solve: got %d secret inputs, circuit expects %d", len(secret), len(cs.SecretInputs))
+	}
+	w := make([]fr.Element, cs.NbWires)
+	w[0].SetOne()
+	for i, wi := range cs.PubInputs {
+		w[wi] = public[i]
+	}
+	for i, wi := range cs.SecretInputs {
+		w[wi] = secret[i]
+	}
+	p := &cs.Program
+	for l := 0; l+1 < len(p.Levels); l++ {
+		lo, hi := int(p.Levels[l]), int(p.Levels[l+1])
+		par.Range(hi-lo, func(s, e int) {
+			for k := lo + s; k < lo+e; k++ {
+				p.exec(&p.Instrs[k], w)
+			}
+		})
+	}
+	return w, nil
+}
+
+// SolveAssignment is Solve over an Assignment value.
+func (cs *CompiledSystem) SolveAssignment(asg Assignment) ([]fr.Element, error) {
+	return cs.Solve(asg.Public, asg.Secret)
+}
+
+// PublicValues extracts the instance (public wires, excluding the
+// constant wire) from a solved witness, in the order Verify expects.
+func (cs *CompiledSystem) PublicValues(witness []fr.Element) []fr.Element {
+	out := make([]fr.Element, cs.NbPublic-1)
+	copy(out, witness[1:cs.NbPublic])
+	return out
+}
+
+// IsSatisfied reports whether the witness satisfies every constraint,
+// checking rows in parallel over the flat CSR arrays; on failure it
+// returns the index of the first violated constraint.
+func (cs *CompiledSystem) IsSatisfied(w []fr.Element) (bool, int) {
+	if len(w) != cs.NbWires {
+		return false, -1
+	}
+	if !w[0].IsOne() {
+		return false, -1
+	}
+	n := cs.NbConstraints()
+	var bad atomic.Int64
+	bad.Store(int64(n))
+	par.Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := cs.A.RowEval(i, w)
+			b := cs.B.RowEval(i, w)
+			c := cs.C.RowEval(i, w)
+			var ab fr.Element
+			ab.Mul(&a, &b)
+			if !ab.Equal(&c) {
+				// Chunks scan ascending, so the chunk's first violation is
+				// its minimum; the atomic min across chunks is global.
+				for {
+					cur := bad.Load()
+					if int64(i) >= cur || bad.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+				return
+			}
+		}
+	})
+	if v := bad.Load(); v < int64(n) {
+		return false, int(v)
+	}
+	return true, 0
+}
+
+// Digest returns the SHA-256 digest of the system's structure. The byte
+// stream is identical to System.Digest for the same circuit, so a
+// compiled system and its eager materialization share cache keys (the
+// prover engine's key cache, the proof service's model IDs). The result
+// is computed once and cached; concurrent calls are safe.
+func (cs *CompiledSystem) Digest() [32]byte {
+	cs.digestOnce.Do(func() {
+		h := sha256.New()
+		var buf [4]byte
+		writeU32 := func(vs ...uint32) {
+			for _, v := range vs {
+				binary.LittleEndian.PutUint32(buf[:], v)
+				h.Write(buf[:])
+			}
+		}
+		h.Write([]byte("zkrownn/r1cs/v1"))
+		n := cs.NbConstraints()
+		writeU32(uint32(cs.NbPublic), uint32(cs.NbWires), uint32(n))
+		writeRow := func(m *Matrix, i int) {
+			lo, hi := m.RowOffs[i], m.RowOffs[i+1]
+			writeU32(hi - lo)
+			for k := lo; k < hi; k++ {
+				b := m.Coeffs[k].Bytes()
+				binary.LittleEndian.PutUint32(buf[:], m.Wires[k])
+				h.Write(buf[:])
+				h.Write(b[:])
+			}
+		}
+		for i := 0; i < n; i++ {
+			writeRow(&cs.A, i)
+			writeRow(&cs.B, i)
+			writeRow(&cs.C, i)
+		}
+		h.Sum(cs.digest[:0])
+	})
+	return cs.digest
+}
+
+// DigestHex returns Digest as a lowercase hex string.
+func (cs *CompiledSystem) DigestHex() string {
+	d := cs.Digest()
+	return hex.EncodeToString(d[:])
+}
+
+// Validate checks structural invariants: matching row counts, wire
+// indices in range, a well-formed public prefix, inputs inside the wire
+// space, and solver-program coverage (every non-input wire written by
+// exactly one instruction, reading only wires of earlier levels or
+// inputs).
+func (cs *CompiledSystem) Validate() error {
+	if cs.NbPublic < 1 {
+		return fmt.Errorf("r1cs: NbPublic must include the constant wire (got %d)", cs.NbPublic)
+	}
+	if cs.NbWires < cs.NbPublic {
+		return fmt.Errorf("r1cs: NbWires %d < NbPublic %d", cs.NbWires, cs.NbPublic)
+	}
+	n := cs.A.NbRows()
+	if cs.B.NbRows() != n || cs.C.NbRows() != n {
+		return fmt.Errorf("r1cs: matrix row counts differ (A=%d B=%d C=%d)", n, cs.B.NbRows(), cs.C.NbRows())
+	}
+	checkMatrix := func(name string, m *Matrix) error {
+		if len(m.Wires) != len(m.Coeffs) {
+			return fmt.Errorf("r1cs: matrix %s has %d wires but %d coeffs", name, len(m.Wires), len(m.Coeffs))
+		}
+		if int(m.RowOffs[len(m.RowOffs)-1]) != len(m.Wires) {
+			return fmt.Errorf("r1cs: matrix %s row offsets end at %d, have %d terms", name, m.RowOffs[len(m.RowOffs)-1], len(m.Wires))
+		}
+		for _, wi := range m.Wires {
+			if int(wi) >= cs.NbWires {
+				return fmt.Errorf("r1cs: matrix %s wire index %d out of range [0,%d)", name, wi, cs.NbWires)
+			}
+		}
+		return nil
+	}
+	if err := checkMatrix("A", &cs.A); err != nil {
+		return err
+	}
+	if err := checkMatrix("B", &cs.B); err != nil {
+		return err
+	}
+	if err := checkMatrix("C", &cs.C); err != nil {
+		return err
+	}
+	if len(cs.PubInputs) != len(cs.PubInputNames) {
+		return fmt.Errorf("r1cs: %d public input wires but %d names", len(cs.PubInputs), len(cs.PubInputNames))
+	}
+
+	// Input / program coverage.
+	written := make([]uint8, cs.NbWires)
+	written[0] = 1
+	mark := func(wi uint32, what string) error {
+		if int(wi) >= cs.NbWires {
+			return fmt.Errorf("r1cs: %s wire %d out of range [0,%d)", what, wi, cs.NbWires)
+		}
+		if written[wi] != 0 {
+			return fmt.Errorf("r1cs: wire %d assigned more than once (%s)", wi, what)
+		}
+		written[wi] = 1
+		return nil
+	}
+	for _, wi := range cs.PubInputs {
+		if int(wi) >= cs.NbPublic {
+			return fmt.Errorf("r1cs: public input wire %d outside public prefix [1,%d)", wi, cs.NbPublic)
+		}
+		if err := mark(wi, "public input"); err != nil {
+			return err
+		}
+	}
+	for _, wi := range cs.SecretInputs {
+		if int(wi) < cs.NbPublic {
+			return fmt.Errorf("r1cs: secret input wire %d inside public prefix", wi)
+		}
+		if err := mark(wi, "secret input"); err != nil {
+			return err
+		}
+	}
+	p := &cs.Program
+	if len(p.Levels) > 0 {
+		if p.Levels[0] != 0 || int(p.Levels[len(p.Levels)-1]) != len(p.Instrs) {
+			return fmt.Errorf("r1cs: program levels do not cover the tape")
+		}
+	} else if len(p.Instrs) > 0 {
+		return fmt.Errorf("r1cs: program has instructions but no levels")
+	}
+	checkSpan := func(off, end uint32) error {
+		if off > end || int(end) > len(p.Wires) {
+			return fmt.Errorf("r1cs: program LC span [%d,%d) out of pool range %d", off, end, len(p.Wires))
+		}
+		for k := off; k < end; k++ {
+			if written[p.Wires[k]] == 0 {
+				return fmt.Errorf("r1cs: program reads wire %d before it is written", p.Wires[k])
+			}
+		}
+		return nil
+	}
+	for l := 0; l+1 < len(p.Levels); l++ {
+		lo, hi := p.Levels[l], p.Levels[l+1]
+		// Reads check against wires written strictly before this level,
+		// then the level's outputs are marked — matching Solve's
+		// parallel-within-level execution model.
+		for k := lo; k < hi; k++ {
+			in := &p.Instrs[k]
+			if err := checkSpan(in.AOff, in.AEnd); err != nil {
+				return err
+			}
+			if in.Op == OpMul {
+				if err := checkSpan(in.BOff, in.BEnd); err != nil {
+					return err
+				}
+			}
+		}
+		for k := lo; k < hi; k++ {
+			in := &p.Instrs[k]
+			if in.NOut == 0 {
+				return fmt.Errorf("r1cs: instruction %d writes no wires", k)
+			}
+			for i := uint32(0); i < in.NOut; i++ {
+				if err := mark(in.Out+i, "program output"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for wi := 0; wi < cs.NbWires; wi++ {
+		if written[wi] == 0 {
+			return fmt.Errorf("r1cs: wire %d is neither an input nor computed by the program", wi)
+		}
+	}
+	return nil
+}
+
+// Stats computes summary statistics.
+func (cs *CompiledSystem) Stats() Stats {
+	return Stats{
+		NbConstraints: cs.NbConstraints(),
+		NbWires:       cs.NbWires,
+		NbPublic:      cs.NbPublic,
+		NbPrivate:     cs.NbPrivate(),
+		NbTerms:       len(cs.A.Wires) + len(cs.B.Wires) + len(cs.C.Wires),
+	}
+}
+
+// ToSystem materializes the legacy eager representation (fresh slices;
+// the compiled system is not aliased). It exists for the Finalize shim
+// and for diagnostics — the Groth16 backend consumes CSR directly.
+func (cs *CompiledSystem) ToSystem() *System {
+	n := cs.NbConstraints()
+	cons := make([]Constraint, n)
+	row := func(m *Matrix, i int) LinearCombination {
+		lo, hi := m.RowOffs[i], m.RowOffs[i+1]
+		if lo == hi {
+			return nil
+		}
+		lc := make(LinearCombination, hi-lo)
+		for k := lo; k < hi; k++ {
+			lc[k-lo] = Term{Wire: int(m.Wires[k]), Coeff: m.Coeffs[k]}
+		}
+		return lc
+	}
+	for i := 0; i < n; i++ {
+		cons[i] = Constraint{A: row(&cs.A, i), B: row(&cs.B, i), C: row(&cs.C, i)}
+	}
+	return &System{
+		Constraints: cons,
+		NbPublic:    cs.NbPublic,
+		NbWires:     cs.NbWires,
+		PublicNames: append([]string(nil), cs.PublicNames...),
+	}
+}
+
+// FromSystem compiles an eager System into CSR form with an empty
+// solver program: every wire becomes an input (publics provided, then
+// privates), so Solve degenerates to scattering a caller-supplied full
+// assignment. It is the adapter for hand-built systems (tests, external
+// tooling); circuits built through the frontend should use
+// Builder.Compile, which records a real solver program.
+func FromSystem(sys *System) (*CompiledSystem, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	cs := &CompiledSystem{
+		NbPublic:    sys.NbPublic,
+		NbWires:     sys.NbWires,
+		PublicNames: append([]string(nil), sys.PublicNames...),
+	}
+	fill := func(sel func(*Constraint) LinearCombination) Matrix {
+		n := len(sys.Constraints)
+		offs := make([]uint32, n+1)
+		total := 0
+		for i := range sys.Constraints {
+			total += len(sel(&sys.Constraints[i]))
+			offs[i+1] = uint32(total)
+		}
+		m := Matrix{RowOffs: offs, Wires: make([]uint32, total), Coeffs: make([]fr.Element, total)}
+		k := 0
+		for i := range sys.Constraints {
+			for _, t := range sel(&sys.Constraints[i]) {
+				m.Wires[k] = uint32(t.Wire)
+				m.Coeffs[k] = t.Coeff
+				k++
+			}
+		}
+		return m
+	}
+	cs.A = fill(func(c *Constraint) LinearCombination { return c.A })
+	cs.B = fill(func(c *Constraint) LinearCombination { return c.B })
+	cs.C = fill(func(c *Constraint) LinearCombination { return c.C })
+	for w := 1; w < sys.NbPublic; w++ {
+		cs.PubInputs = append(cs.PubInputs, uint32(w))
+		name := ""
+		if w < len(sys.PublicNames) {
+			name = sys.PublicNames[w]
+		}
+		cs.PubInputNames = append(cs.PubInputNames, name)
+	}
+	for w := sys.NbPublic; w < sys.NbWires; w++ {
+		cs.SecretInputs = append(cs.SecretInputs, uint32(w))
+	}
+	return cs, nil
+}
+
+// WitnessAssignment splits a full wire assignment into the Assignment a
+// FromSystem-compiled circuit expects (the inverse of Solve for systems
+// without a solver program).
+func (cs *CompiledSystem) WitnessAssignment(witness []fr.Element) Assignment {
+	asg := Assignment{
+		Public: make([]fr.Element, len(cs.PubInputs)),
+		Secret: make([]fr.Element, len(cs.SecretInputs)),
+	}
+	for i, wi := range cs.PubInputs {
+		asg.Public[i] = witness[wi]
+	}
+	for i, wi := range cs.SecretInputs {
+		asg.Secret[i] = witness[wi]
+	}
+	return asg
+}

@@ -1,0 +1,136 @@
+package r1cs
+
+import (
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+func frU(v uint64) fr.Element {
+	var e fr.Element
+	e.SetUint64(v)
+	return e
+}
+
+// testSystem: x·x = y, (y + x)·1 = out with out public.
+// Wires: 0 = one, 1 = out, 2 = x, 3 = y.
+func testSystem() *System {
+	one := frU(1)
+	return &System{
+		NbPublic:    2,
+		NbWires:     4,
+		PublicNames: []string{"one", "out"},
+		Constraints: []Constraint{
+			{
+				A: LinearCombination{{Wire: 2, Coeff: one}},
+				B: LinearCombination{{Wire: 2, Coeff: one}},
+				C: LinearCombination{{Wire: 3, Coeff: one}},
+			},
+			{
+				A: LinearCombination{{Wire: 3, Coeff: one}, {Wire: 2, Coeff: one}},
+				B: LinearCombination{{Wire: 0, Coeff: one}},
+				C: LinearCombination{{Wire: 1, Coeff: one}},
+			},
+		},
+	}
+}
+
+func testWitness(x uint64) []fr.Element {
+	w := make([]fr.Element, 4)
+	w[0].SetOne()
+	w[2].SetUint64(x)
+	w[3].Mul(&w[2], &w[2])
+	w[1].Add(&w[3], &w[2])
+	return w
+}
+
+func TestFromSystemRoundTrip(t *testing.T) {
+	sys := testSystem()
+	cs, err := FromSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cs.NbConstraints() != sys.NbConstraints() || cs.NbWires != sys.NbWires || cs.NbPublic != sys.NbPublic {
+		t.Fatalf("shape mismatch: %+v vs %+v", cs.Stats(), sys.Stats())
+	}
+	if cs.Stats() != sys.Stats() {
+		t.Fatalf("stats mismatch: %+v vs %+v", cs.Stats(), sys.Stats())
+	}
+
+	// The CSR digest must match the eager digest byte for byte, and
+	// survive a materialization round trip.
+	if cs.DigestHex() != sys.DigestHex() {
+		t.Fatal("compiled digest differs from eager digest")
+	}
+	back := cs.ToSystem()
+	if back.DigestHex() != sys.DigestHex() {
+		t.Fatal("ToSystem digest differs")
+	}
+
+	// Satisfaction parity on good and bad witnesses.
+	w := testWitness(5)
+	if ok, bad := cs.IsSatisfied(w); !ok {
+		t.Fatalf("honest witness rejected at %d", bad)
+	}
+	w[3].SetUint64(7)
+	okEager, badEager := sys.IsSatisfied(w)
+	okCSR, badCSR := cs.IsSatisfied(w)
+	if okEager || okCSR {
+		t.Fatal("tampered witness accepted")
+	}
+	if badEager != badCSR {
+		t.Fatalf("violation index mismatch: eager %d, CSR %d", badEager, badCSR)
+	}
+}
+
+func TestFromSystemSolveScatters(t *testing.T) {
+	cs, err := FromSystem(testSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FromSystem circuits have no solver program: every wire is an
+	// input, and WitnessAssignment/Solve must round-trip the witness.
+	w := testWitness(9)
+	asg := cs.WitnessAssignment(w)
+	if len(asg.Public) != 1 || len(asg.Secret) != 2 {
+		t.Fatalf("unexpected input layout: %d public, %d secret", len(asg.Public), len(asg.Secret))
+	}
+	solved, err := cs.SolveAssignment(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if !solved[i].Equal(&w[i]) {
+			t.Fatalf("wire %d: solve %v != witness %v", i, solved[i], w[i])
+		}
+	}
+	if _, err := cs.Solve(nil, asg.Secret); err == nil {
+		t.Fatal("short public assignment accepted")
+	}
+}
+
+func TestFromSystemRejectsInvalid(t *testing.T) {
+	bad := testSystem()
+	bad.Constraints[0].B[0].Wire = 99
+	if _, err := FromSystem(bad); err == nil {
+		t.Fatal("out-of-range wire accepted")
+	}
+}
+
+func TestValidateCatchesBrokenProgram(t *testing.T) {
+	cs, err := FromSystem(testSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A program output colliding with a declared input must fail.
+	cs.Program = Program{
+		Instrs: []Instr{{Op: OpLC, Out: 3, NOut: 1}},
+		Levels: []uint32{0, 1},
+	}
+	if err := cs.Validate(); err == nil {
+		t.Fatal("double-assigned wire accepted")
+	}
+}

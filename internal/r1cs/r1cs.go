@@ -8,6 +8,12 @@
 //	w_{ℓ+1}.. = private witness
 //
 // and constraints ⟨Aᵢ, w⟩ · ⟨Bᵢ, w⟩ = ⟨Cᵢ, w⟩.
+//
+// Two representations coexist: the eager System below (per-constraint
+// []Term slices — convenient to build by hand, kept for tests and
+// diagnostics) and the CompiledSystem in compiled.go (CSR matrices plus
+// a recorded witness solver — what the frontend emits and the Groth16
+// backend consumes). FromSystem/ToSystem convert between them.
 package r1cs
 
 import (

@@ -30,6 +30,7 @@ type job struct {
 	errMsg      string
 	setupCached bool
 	queuedFor   time.Duration
+	solveTime   time.Duration
 	proveTime   time.Duration
 	proof       *groth16.Proof
 	public      groth16.PublicInputs
@@ -45,6 +46,7 @@ func (j *job) snapshot() JobStatus {
 		Error:        j.errMsg,
 		SetupCached:  j.setupCached,
 		QueuedMS:     float64(j.queuedFor.Microseconds()) / 1e3,
+		SolveMS:      float64(j.solveTime.Microseconds()) / 1e3,
 		ProveMS:      float64(j.proveTime.Microseconds()) / 1e3,
 		Proof:        j.proof,
 		PublicInputs: j.public,
@@ -205,9 +207,12 @@ func (q *jobQueue) dispatch() {
 	}
 }
 
-// run compiles each job's circuit and proves the batch on the engine's
-// worker pool. Compile failures fail the individual job; the rest of
-// the batch proceeds.
+// run binds each job's input assignment onto the circuit compiled at
+// registration and proves the batch on the engine's worker pool — the
+// solve-many half of the compile-once split: no job recompiles,
+// suspect-model jobs only rewrite the weight slots of the assignment.
+// Binding failures fail the individual job; the rest of the batch
+// proceeds.
 func (q *jobQueue) run(batch []*job) {
 	if q.srv.testJobStall != nil {
 		q.srv.testJobStall()
@@ -220,38 +225,18 @@ func (q *jobQueue) run(batch []*job) {
 		j.queuedFor = time.Since(j.submitted)
 		j.mu.Unlock()
 
-		art, err := j.rec.buildArtifact(j.suspect)
-		j.suspect = nil // the artifact owns the job's working set now
+		asg, err := j.rec.assignmentFor(j.suspect)
+		j.suspect = nil // the assignment owns the job's working set now
 		if err != nil {
 			j.fail(err)
 			q.srv.jobsFailed.Add(1)
 			q.retire(j.id)
 			continue
 		}
-		if got := art.System.DigestHex(); got != j.rec.ID {
-			if j.rec.Committed {
-				// Committed circuits bake ρ = H(weights) into the
-				// constraint coefficients, so ANY weight change moves the
-				// circuit digest: committed proofs are bound to the
-				// registered model by construction.
-				j.fail(fmt.Errorf("committed circuits are bound to the registered model; register the suspect model itself (circuit digest %s != %s)", got[:12], j.rec.ID[:12]))
-			} else {
-				j.fail(fmt.Errorf("suspect model compiles to circuit digest %s, registered circuit is %s: architecture mismatch", got[:12], j.rec.ID[:12]))
-			}
-			q.srv.jobsFailed.Add(1)
-			q.retire(j.id)
-			continue
-		}
-		req := art.Request(nil)
+		req := j.rec.art.RequestFor(asg, nil)
 		req.Name = j.id
 		reqs = append(reqs, req)
 		live = append(live, j)
-
-		// The public inputs are fixed by the artifact; capture them now
-		// so the proof response is self-contained.
-		j.mu.Lock()
-		j.public = art.PublicInputs()
-		j.mu.Unlock()
 	}
 	if len(live) == 0 {
 		return
@@ -268,8 +253,13 @@ func (q *jobQueue) run(batch []*job) {
 		j.mu.Lock()
 		j.status = JobDone
 		j.setupCached = res.CacheHit
+		j.solveTime = res.SolveTime
 		j.proveTime = res.ProveTime
 		j.proof = res.Proof
+		// The instance — including computed outputs such as the claim
+		// bit — comes from the solved witness, so the proof response is
+		// self-contained.
+		j.public = j.rec.art.System.PublicValues(res.Witness)
 		j.mu.Unlock()
 		q.srv.jobsCompleted.Add(1)
 		q.retire(j.id)

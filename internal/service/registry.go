@@ -16,6 +16,7 @@ import (
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
+	"zkrownn/internal/r1cs"
 	"zkrownn/internal/watermark"
 )
 
@@ -45,48 +46,62 @@ type modelRecord struct {
 	model *nn.Network
 	key   *watermark.Key
 	quant *nn.QuantizedNetwork
-	// art caches the registered model's compiled circuit so prove jobs
-	// for it (the common case) skip re-running Algorithm-1 synthesis on
-	// the single-threaded dispatcher. groth16.Setup/Prove treat the
-	// system and witness as read-only, so sharing it across concurrent
-	// jobs is safe.
+	// art pins the circuit compiled at registration — the compile-once
+	// half of the prove path. Prove jobs (registered model or suspect)
+	// never recompile: they bind an input assignment and replay the
+	// compiled system's solver program. CompiledSystem is immutable, so
+	// sharing it across concurrent jobs is safe.
 	art *core.Artifact
 }
 
-func (rec *modelRecord) canProve() bool { return rec.model != nil && rec.key != nil }
+func (rec *modelRecord) canProve() bool { return rec.model != nil && rec.key != nil && rec.art != nil }
 
 func (rec *modelRecord) params() fixpoint.Params {
 	return fixpoint.Params{FracBits: rec.FracBits, MagBits: 44}
 }
 
-// buildArtifact compiles the record's extraction circuit against a
-// suspect model (the registered model when nil). The caller must check
-// the resulting digest against rec.ID: a suspect with a different
-// architecture compiles to a different circuit whose proof the
-// registered verifying key would reject.
-func (rec *modelRecord) buildArtifact(suspect *nn.Network) (*core.Artifact, error) {
-	if !rec.canProve() {
-		return nil, fmt.Errorf("model %s has no prove material (registered before a restart?); re-register it", rec.ID)
-	}
-	if suspect == nil && rec.art != nil {
-		return rec.art, nil
-	}
-	q := rec.quant
-	if suspect != nil || q == nil {
-		net := suspect
-		if net == nil {
-			net = rec.model
-		}
-		var err error
-		if q, err = nn.Quantize(net, rec.params()); err != nil {
-			return nil, err
-		}
+// compile builds the record's extraction circuit once, at registration
+// time. The resulting artifact's digest becomes the record ID.
+func (rec *modelRecord) compile() (*core.Artifact, error) {
+	if rec.model == nil || rec.key == nil || rec.quant == nil {
+		return nil, fmt.Errorf("model record has no prove material")
 	}
 	ck := core.QuantizeKey(rec.key, rec.params())
 	if rec.Committed {
-		return core.CommittedExtractionCircuit(q, ck, rec.MaxErrors)
+		return core.CommittedExtractionCircuit(rec.quant, ck, rec.MaxErrors)
 	}
-	return core.ExtractionCircuit(q, ck, rec.MaxErrors)
+	return core.ExtractionCircuit(rec.quant, ck, rec.MaxErrors)
+}
+
+// assignmentFor resolves the input assignment for one prove job: the
+// registration-time assignment for the registered model, or the
+// suspect's weights rebound onto the compiled circuit. No compilation
+// happens here — architecture mismatches surface as binding errors.
+func (rec *modelRecord) assignmentFor(suspect *nn.Network) (r1cs.Assignment, error) {
+	if !rec.canProve() {
+		return r1cs.Assignment{}, fmt.Errorf("model %s has no prove material (registered before a restart?); re-register it", rec.ID)
+	}
+	if suspect == nil {
+		return rec.art.Assignment, nil
+	}
+	if rec.Committed {
+		// Committed circuits bake ρ = H(weights) into the constraint
+		// coefficients, so ANY weight change would be a different
+		// circuit: committed proofs are bound to the registered model by
+		// construction.
+		return r1cs.Assignment{}, fmt.Errorf("committed circuits are bound to the registered model; register the suspect model itself (circuit %s)", rec.ID[:12])
+	}
+	qs, err := nn.Quantize(suspect, rec.params())
+	if err != nil {
+		return r1cs.Assignment{}, err
+	}
+	// BindSuspectInputs enforces full architecture equality against the
+	// shapes pinned in the artifact at compile time.
+	asg, err := core.BindSuspectInputs(rec.art, qs)
+	if err != nil {
+		return r1cs.Assignment{}, fmt.Errorf("suspect model rejected for registered circuit %s: %w", rec.ID[:12], err)
+	}
+	return asg, nil
 }
 
 func (rec *modelRecord) info() ModelInfo {

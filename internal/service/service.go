@@ -94,6 +94,7 @@ type Server struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 
+	circuitsCompiled                        atomic.Uint64
 	jobsSubmitted, jobsRejected             atomic.Uint64
 	jobsCompleted, jobsFailed               atomic.Uint64
 	verifyRequests                          atomic.Uint64
@@ -206,14 +207,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Setups:   es.Setups,
 			MemHits:  es.MemHits,
 			DiskHits: es.DiskHits,
+			Solves:   es.Solves,
 			Proves:   es.Proves,
 			Verifies: es.Verifies,
 			SetupMS:  float64(es.SetupTime.Microseconds()) / 1e3,
+			SolveMS:  float64(es.SolveTime.Microseconds()) / 1e3,
 			ProveMS:  float64(es.ProveTime.Microseconds()) / 1e3,
 			VerifyMS: float64(es.VerifyTime.Microseconds()) / 1e3,
 		},
 		Service: ServiceStats{
 			Models:                s.reg.len(),
+			CircuitsCompiled:      s.circuitsCompiled.Load(),
 			JobsSubmitted:         s.jobsSubmitted.Load(),
 			JobsRejected:          s.jobsRejected.Load(),
 			JobsCompleted:         s.jobsCompleted.Load(),
@@ -296,12 +300,20 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		db := digest.Bytes()
 		rec.CommittedDigest = fmt.Sprintf("%x", db[:])
 	}
-	art, err := rec.buildArtifact(nil)
+	// Compile once: the circuit is pinned to the record and every prove
+	// job — registered model or same-architecture suspect — only binds
+	// inputs and replays the solver program.
+	art, err := rec.compile()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "circuit compilation failed: "+err.Error())
 		return
 	}
-	rec.art = art // prove jobs for the registered model reuse this
+	s.circuitsCompiled.Add(1)
+	// Prove jobs re-solve witnesses from the assignment; the build-time
+	// eager witness (NbWires × 32 B per model, for the life of the
+	// record) is dead weight here.
+	art.Witness = nil
+	rec.art = art
 	rec.ID = art.System.DigestHex()
 	rec.Constraints = art.System.NbConstraints()
 	rec.PublicInputs = art.System.NbPublic - 1

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -735,5 +736,132 @@ func TestConcurrentClients(t *testing.T) {
 		if js := waitJob(t, ts.URL, id); js.Status != JobDone {
 			t.Fatalf("concurrent job %s failed: %s", id, js.Error)
 		}
+	}
+}
+
+// TestCompileOnceSolveMany is the compile-once / solve-many acceptance
+// check at the service level: one registration compiles the circuit
+// exactly once, and N prove jobs — including suspect-model jobs — only
+// rebind inputs and replay the solver program (engine solves == N,
+// circuits_compiled == 1).
+func TestCompileOnceSolveMany(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	reg := register(t, ts.URL, 4)
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Service.CircuitsCompiled != 1 {
+		t.Fatalf("registration compiled %d circuits, want 1", st.Service.CircuitsCompiled)
+	}
+
+	// A different model with the SAME architecture (and the same fixed
+	// key): proving it must reuse the registered compiled circuit.
+	suspectJSON, _ := testFixtureSeed(t, 77)
+
+	const jobs = 4
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		body := ProveRequest{}
+		if i == jobs-1 {
+			body.SuspectModel = suspectJSON
+		}
+		resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("prove %d: %d %s", i, resp.StatusCode, data)
+		}
+		var acc ProveAccepted
+		if err := json.Unmarshal(data, &acc); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, acc.JobID)
+	}
+
+	var registeredPub, suspectPub groth16.PublicInputs
+	for i, id := range ids {
+		js := waitJob(t, ts.URL, id)
+		if js.Status != JobDone {
+			t.Fatalf("job %s: %s (%s)", id, js.Status, js.Error)
+		}
+		if js.SolveMS <= 0 {
+			t.Fatalf("job %s reports no solve time", id)
+		}
+		switch i {
+		case 0:
+			registeredPub = js.PublicInputs
+		case jobs - 1:
+			suspectPub = js.PublicInputs
+		}
+		// Every proof must verify against the registered key.
+		resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/verify", VerifyRequest{
+			Proof: js.Proof, PublicInputs: js.PublicInputs,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify %s: %d %s", id, resp.StatusCode, data)
+		}
+		var vr VerifyResponse
+		if err := json.Unmarshal(data, &vr); err != nil {
+			t.Fatal(err)
+		}
+		if !vr.Valid {
+			t.Fatalf("job %s proof rejected: %s", id, vr.Error)
+		}
+	}
+
+	// The suspect instance must actually carry the suspect's weights.
+	same := true
+	for i := range registeredPub {
+		if !registeredPub[i].Equal(&suspectPub[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("suspect job proved the registered weights")
+	}
+
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Service.CircuitsCompiled != 1 {
+		t.Fatalf("after %d jobs the service compiled %d circuits, want exactly 1", jobs, st.Service.CircuitsCompiled)
+	}
+	if st.Engine.Solves != jobs {
+		t.Fatalf("engine ran %d solves, want %d", st.Engine.Solves, jobs)
+	}
+	if st.Engine.Setups != 1 {
+		t.Fatalf("engine ran %d setups, want 1", st.Engine.Setups)
+	}
+}
+
+// TestSuspectArchitectureMismatchFails: a suspect whose shape differs
+// from the registered architecture is rejected at input-binding time
+// (no recompilation happens to discover this).
+func TestSuspectArchitectureMismatchFails(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	reg := register(t, ts.URL, 4)
+
+	wide := nn.NewMLP(nn.MLPConfig{In: 6, Hidden: []int{5}, Classes: 2}, rand.New(rand.NewSource(5)))
+	var buf bytes.Buffer
+	if err := wide.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{SuspectModel: buf.Bytes()})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove: %d %s", resp.StatusCode, data)
+	}
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	js := waitJob(t, ts.URL, acc.JobID)
+	if js.Status != JobFailed {
+		t.Fatalf("mismatched suspect job finished as %s", js.Status)
+	}
+	if !strings.Contains(js.Error, "architecture mismatch") {
+		t.Fatalf("unexpected error: %s", js.Error)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Service.CircuitsCompiled != 1 {
+		t.Fatalf("mismatch handling compiled circuits: %d", st.Service.CircuitsCompiled)
 	}
 }

@@ -74,12 +74,13 @@ type ModelResponse struct {
 // circuit.
 type ProveRequest struct {
 	// SuspectModel optionally substitutes the model to prove against
-	// (nn.Network JSON). It must share the registered architecture —
-	// the job fails if its circuit digest differs. Committed circuits
-	// bind the registered model itself (ρ = H(weights) is baked into
-	// the constraints), so a committed suspect must be registered in
-	// its own right instead. When absent, the registered model is
-	// proved.
+	// (nn.Network JSON). It must share the registered architecture: the
+	// job rebinds the suspect's weights onto the circuit compiled at
+	// registration (no recompilation) and fails on any shape mismatch.
+	// Committed circuits bind the registered model itself (ρ = H(weights)
+	// is baked into the constraints), so a committed suspect must be
+	// registered in its own right instead. When absent, the registered
+	// model is proved.
 	SuspectModel json.RawMessage `json:"suspect_model,omitempty"`
 }
 
@@ -108,8 +109,12 @@ type JobStatus struct {
 	Error   string `json:"error,omitempty"`
 	// SetupCached reports whether the job's trusted setup was served
 	// from the engine's key cache (it should be, after registration).
-	SetupCached  bool                 `json:"setup_cached,omitempty"`
-	QueuedMS     float64              `json:"queued_ms,omitempty"`
+	SetupCached bool    `json:"setup_cached,omitempty"`
+	QueuedMS    float64 `json:"queued_ms,omitempty"`
+	// SolveMS is the per-job witness generation time (solver-program
+	// replay over the circuit compiled at registration — jobs never
+	// recompile).
+	SolveMS      float64              `json:"solve_ms,omitempty"`
 	ProveMS      float64              `json:"prove_ms,omitempty"`
 	Proof        *groth16.Proof       `json:"proof,omitempty"`
 	PublicInputs groth16.PublicInputs `json:"public_inputs,omitempty"`
@@ -140,22 +145,29 @@ type EngineStatsWire struct {
 	Setups   uint64  `json:"setups"`
 	MemHits  uint64  `json:"mem_hits"`
 	DiskHits uint64  `json:"disk_hits"`
+	Solves   uint64  `json:"solves"`
 	Proves   uint64  `json:"proves"`
 	Verifies uint64  `json:"verifies"`
 	SetupMS  float64 `json:"setup_ms"`
+	SolveMS  float64 `json:"solve_ms"`
 	ProveMS  float64 `json:"prove_ms"`
 	VerifyMS float64 `json:"verify_ms"`
 }
 
 // ServiceStats surfaces queue and batcher counters.
 type ServiceStats struct {
-	Models        int    `json:"models"`
-	JobsSubmitted uint64 `json:"jobs_submitted"`
-	JobsRejected  uint64 `json:"jobs_rejected"`
-	JobsCompleted uint64 `json:"jobs_completed"`
-	JobsFailed    uint64 `json:"jobs_failed"`
-	QueueDepth    int    `json:"queue_depth"`
-	QueueCapacity int    `json:"queue_capacity"`
+	Models int `json:"models"`
+	// CircuitsCompiled counts Algorithm-1 circuit compilations. Circuits
+	// compile once at registration and are pinned to the record; prove
+	// jobs — including suspect-model jobs — only rebind inputs and
+	// solve, so this stays flat however many jobs run.
+	CircuitsCompiled uint64 `json:"circuits_compiled"`
+	JobsSubmitted    uint64 `json:"jobs_submitted"`
+	JobsRejected     uint64 `json:"jobs_rejected"`
+	JobsCompleted    uint64 `json:"jobs_completed"`
+	JobsFailed       uint64 `json:"jobs_failed"`
+	QueueDepth       int    `json:"queue_depth"`
+	QueueCapacity    int    `json:"queue_capacity"`
 	// VerifyRequests counts verification requests accepted by the
 	// batcher (well-formed, correct input length).
 	VerifyRequests uint64 `json:"verify_requests"`

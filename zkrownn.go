@@ -63,7 +63,9 @@ type (
 	// Instance is a JSON-marshalable public-input vector (versioned hex
 	// envelope) — the instance half of a proof-service API payload.
 	Instance = groth16.PublicInputs
-	// Circuit is a finalized extraction circuit plus its witness.
+	// Circuit is a compiled extraction circuit (CSR constraint matrices
+	// plus a recorded witness solver) together with its build-time input
+	// assignment and witness. Compile once per architecture; prove many.
 	Circuit = core.Artifact
 	// Dataset is a labelled sample collection.
 	Dataset = dataset.Dataset
@@ -193,9 +195,29 @@ func Quantize(m *Model, p FixedPoint) (*QuantizedModel, error) {
 // model and key. maxErrors is the BER tolerance θ·N (0 demands an exact
 // watermark match). The suspect model's weights become public inputs;
 // the key material stays private.
+//
+// Compilation happens once per architecture: the returned Circuit holds
+// a compiled constraint system (CSR matrices plus a recorded witness
+// solver) that can be proven repeatedly — against the build-time inputs
+// or, via BindSuspectModel, against other models of the same
+// architecture — without being rebuilt.
 func BuildOwnershipCircuit(q *QuantizedModel, key *WatermarkKey, maxErrors int) (*Circuit, error) {
 	ck := core.QuantizeKey(key, q.Params)
 	return core.ExtractionCircuit(q, ck, maxErrors)
+}
+
+// BindSuspectModel rebinds a compiled (non-committed) ownership
+// circuit's public weight inputs to a suspect model of the same
+// architecture, returning an engine request that re-derives the witness
+// with the circuit's recorded solver program and proves it — the
+// solve-many path: no circuit recompilation, however many suspects are
+// proved. rng overrides the engine's randomness (nil for the default).
+func BindSuspectModel(c *Circuit, q *QuantizedModel, rng io.Reader) (ProveRequest, error) {
+	asg, err := core.BindSuspectInputs(c, q)
+	if err != nil {
+		return ProveRequest{}, err
+	}
+	return c.RequestFor(asg, rng), nil
 }
 
 // Setup runs the one-time Groth16 trusted setup for a circuit.
