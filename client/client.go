@@ -83,6 +83,11 @@ type RegisterOptions struct {
 	MaxErrors int
 	// Committed selects the committed-model circuit variant.
 	Committed bool
+	// BundleSlots registers a batched extraction circuit with this many
+	// suspect-model claim slots (0/1 → single). A K-slot registration
+	// proves K ownership claims with one proof per SubmitProveBundle
+	// job. Incompatible with Committed.
+	BundleSlots int
 }
 
 // Registration reports a registered circuit.
@@ -94,6 +99,7 @@ type Registration struct {
 	Constraints       int                   `json:"constraints"`
 	PublicInputs      int                   `json:"public_inputs"`
 	Committed         bool                  `json:"committed,omitempty"`
+	BundleSlots       int                   `json:"bundle_slots,omitempty"`
 	VK                *zkrownn.VerifyingKey `json:"vk"`
 }
 
@@ -102,6 +108,7 @@ type ModelInfo struct {
 	ModelID      string `json:"model_id"`
 	Name         string `json:"name,omitempty"`
 	Committed    bool   `json:"committed,omitempty"`
+	BundleSlots  int    `json:"bundle_slots,omitempty"`
 	FracBits     int    `json:"frac_bits"`
 	MaxErrors    int    `json:"max_errors"`
 	Constraints  int    `json:"constraints"`
@@ -135,8 +142,11 @@ type JobStatus struct {
 	QueuedMS    float64 `json:"queued_ms,omitempty"`
 	// SolveMS is the per-job witness generation (solver-program replay
 	// over the circuit compiled at registration).
-	SolveMS      float64          `json:"solve_ms,omitempty"`
-	ProveMS      float64          `json:"prove_ms,omitempty"`
+	SolveMS float64 `json:"solve_ms,omitempty"`
+	ProveMS float64 `json:"prove_ms,omitempty"`
+	// Claims holds the per-slot ownership verdicts of a bundle job, in
+	// slot order (one entry for single-slot registrations).
+	Claims       []bool           `json:"claims,omitempty"`
 	Proof        *zkrownn.Proof   `json:"proof,omitempty"`
 	PublicInputs zkrownn.Instance `json:"public_inputs,omitempty"`
 }
@@ -149,10 +159,13 @@ const (
 	JobFailed  = "failed"
 )
 
-// VerifyResult reports an over-the-wire verification.
+// VerifyResult reports an over-the-wire verification. Claim is the
+// conjunction of every slot's verdict; Claims lists them per slot for
+// bundle registrations.
 type VerifyResult struct {
 	Valid     bool   `json:"valid"`
 	Claim     bool   `json:"claim"`
+	Claims    []bool `json:"claims,omitempty"`
 	BatchSize int    `json:"batch_size"`
 	Error     string `json:"error,omitempty"`
 }
@@ -232,13 +245,14 @@ func (c *Client) RegisterModel(ctx context.Context, model *zkrownn.Model, key *z
 		return nil, err
 	}
 	req := struct {
-		Name      string          `json:"name,omitempty"`
-		Model     json.RawMessage `json:"model"`
-		Key       json.RawMessage `json:"key"`
-		FracBits  int             `json:"frac_bits,omitempty"`
-		MaxErrors int             `json:"max_errors,omitempty"`
-		Committed bool            `json:"committed,omitempty"`
-	}{opts.Name, modelJSON, keyJSON, opts.FracBits, opts.MaxErrors, opts.Committed}
+		Name        string          `json:"name,omitempty"`
+		Model       json.RawMessage `json:"model"`
+		Key         json.RawMessage `json:"key"`
+		FracBits    int             `json:"frac_bits,omitempty"`
+		MaxErrors   int             `json:"max_errors,omitempty"`
+		Committed   bool            `json:"committed,omitempty"`
+		BundleSlots int             `json:"bundle_slots,omitempty"`
+	}{opts.Name, modelJSON, keyJSON, opts.FracBits, opts.MaxErrors, opts.Committed, opts.BundleSlots}
 	out := new(Registration)
 	if err := c.do(ctx, http.MethodPost, "/v1/models", req, out); err != nil {
 		return nil, err
@@ -278,6 +292,38 @@ func (c *Client) SubmitProve(ctx context.Context, modelID string, suspect *zkrow
 			return nil, err
 		}
 		req.SuspectModel = m
+	}
+	out := new(ProveTicket)
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+modelID+"/prove", req, out)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		return nil, fmt.Errorf("%w: %s", ErrQueueFull, apiErr.Message)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitProveBundle queues one async proof covering every claim slot of
+// a bundle registration: suspects[s] is proved in slot s (nil keeps the
+// registered model there), and len(suspects) must equal the model's
+// BundleSlots. The finished job carries ONE proof plus a per-slot
+// verdict vector (JobStatus.Claims).
+func (c *Client) SubmitProveBundle(ctx context.Context, modelID string, suspects []*zkrownn.Model) (*ProveTicket, error) {
+	req := struct {
+		SuspectModels []json.RawMessage `json:"suspect_models,omitempty"`
+	}{}
+	for _, suspect := range suspects {
+		if suspect == nil {
+			req.SuspectModels = append(req.SuspectModels, json.RawMessage("null"))
+			continue
+		}
+		m, err := encodeModel(suspect)
+		if err != nil {
+			return nil, err
+		}
+		req.SuspectModels = append(req.SuspectModels, m)
 	}
 	out := new(ProveTicket)
 	err := c.do(ctx, http.MethodPost, "/v1/models/"+modelID+"/prove", req, out)

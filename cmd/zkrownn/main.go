@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"zkrownn/client"
@@ -249,6 +250,7 @@ func cmdProve(args []string) error {
 	committed := fs.Bool("committed", false, "use the committed-model circuit (constant-size VK; weights bound by digest instead of public inputs)")
 	keyCache := fs.String("keycache", "", "key-cache directory: reuse trusted-setup keys across runs for the same circuit architecture")
 	server := fs.String("server", "", "proof-service URL: register + prove remotely (zkrownn-server) instead of proving in-process")
+	suspectsFlag := fs.String("suspects", "", `comma-separated suspect model paths: prove one BATCHED claim per suspect with a single proof ("-" keeps the registered model in that slot)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -261,6 +263,10 @@ func cmdProve(args []string) error {
 	if err != nil {
 		return err
 	}
+	suspectPaths := splitSuspects(*suspectsFlag)
+	if len(suspectPaths) > 0 && *committed {
+		return fmt.Errorf("-suspects needs the rebindable circuit; it cannot be combined with -committed")
+	}
 	if *server != "" {
 		if *savePK {
 			fmt.Fprintln(os.Stderr, "warning: -save-pk is ignored with -server (the service keeps proving keys)")
@@ -268,7 +274,7 @@ func cmdProve(args []string) error {
 		if *keyCache != "" {
 			fmt.Fprintln(os.Stderr, "warning: -keycache is ignored with -server (configure the server's -keycache instead)")
 		}
-		return remoteProve(*server, net, key, *outDir, *maxErrors, *fracBits, *committed)
+		return remoteProve(*server, net, key, *outDir, *maxErrors, *fracBits, *committed, suspectPaths)
 	}
 	p := fixpoint.Params{FracBits: *fracBits, MagBits: 44}
 	q, err := nn.Quantize(net, p)
@@ -276,21 +282,43 @@ func cmdProve(args []string) error {
 		return err
 	}
 	ck := core.QuantizeKey(key, p)
+	slots := 1
+	if len(suspectPaths) > 0 {
+		slots = len(suspectPaths)
+	}
 	fmt.Println("building extraction circuit...")
 	var art *core.Artifact
 	if *committed {
 		art, err = core.CommittedExtractionCircuit(q, ck, *maxErrors)
 	} else {
-		art, err = core.ExtractionCircuit(q, ck, *maxErrors)
+		art, err = core.BatchedExtractionCircuit(q, ck, *maxErrors, slots)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("circuit: %d constraints, %d public inputs\n",
-		art.System.NbConstraints(), art.System.NbPublic-1)
+	fmt.Printf("circuit: %d constraints, %d public inputs, %d claim slot(s)\n",
+		art.System.NbConstraints(), art.System.NbPublic-1, art.Slots())
+
+	req := art.Request(nil)
+	if len(suspectPaths) > 0 {
+		suspects, lerr := loadSuspects(suspectPaths, p)
+		if lerr != nil {
+			return lerr
+		}
+		// An all-"-" list degenerates to proving the registered model in
+		// every slot (matching the server's all-null bundle semantics);
+		// binding only happens when at least one real suspect is named.
+		if anySuspect(suspects) {
+			asg, berr := core.BindSuspectSlots(art, suspects)
+			if berr != nil {
+				return berr
+			}
+			req = art.RequestFor(asg, nil)
+		}
+	}
 
 	eng := engine.New(engine.Options{CacheDir: *keyCache})
-	res, err := eng.Prove(art.Request(nil))
+	res, err := eng.Prove(req)
 	if err != nil {
 		return err
 	}
@@ -309,6 +337,13 @@ func cmdProve(args []string) error {
 		}
 	}
 	fmt.Printf("prove:  %.2fs (proof %d B)\n", res.ProveTime.Seconds(), proof.PayloadSize())
+	public := art.System.PublicValues(res.Witness)
+	// Surface the verdicts whenever suspects were bound (a single-slot
+	// suspect prove very plausibly yields claim=0 — say so here, not at
+	// some later verify).
+	if claims, cerr := core.ClaimBits(public, art.Slots()); cerr == nil && (art.Slots() > 1 || len(suspectPaths) > 0) {
+		printClaims(claims, suspectPaths)
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -325,10 +360,10 @@ func cmdProve(args []string) error {
 	}); err != nil {
 		return err
 	}
-	if err := writeJSON(filepath.Join(*outDir, "public.json"), encodePublic(art.PublicInputs())); err != nil {
+	if err := writeJSON(filepath.Join(*outDir, "public.json"), encodePublic(public)); err != nil {
 		return err
 	}
-	meta := proveMeta{Committed: *committed, LayerIndex: key.LayerIndex, FracBits: *fracBits}
+	meta := proveMeta{Committed: *committed, LayerIndex: key.LayerIndex, FracBits: *fracBits, BundleSlots: art.Slots()}
 	if err := writeJSON(filepath.Join(*outDir, "meta.json"), meta); err != nil {
 		return err
 	}
@@ -345,18 +380,85 @@ func cmdProve(args []string) error {
 }
 
 // proveMeta records which circuit variant produced the artifacts and,
-// for remote proves, the proof-service model ID.
+// for remote proves, the proof-service model ID. BundleSlots > 1 marks
+// a batched multi-claim proof.
 type proveMeta struct {
-	Committed  bool   `json:"committed"`
-	LayerIndex int    `json:"layer_index"`
-	FracBits   int    `json:"frac_bits"`
-	ModelID    string `json:"model_id,omitempty"`
+	Committed   bool   `json:"committed"`
+	LayerIndex  int    `json:"layer_index"`
+	FracBits    int    `json:"frac_bits"`
+	BundleSlots int    `json:"bundle_slots,omitempty"`
+	ModelID     string `json:"model_id,omitempty"`
+}
+
+// splitSuspects parses the -suspects flag into per-slot model paths
+// (empty flag → none; "-" keeps the registered model in that slot).
+func splitSuspects(flag string) []string {
+	if flag == "" {
+		return nil
+	}
+	parts := strings.Split(flag, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// anySuspect reports whether at least one slot names a real suspect.
+func anySuspect(suspects []*nn.QuantizedNetwork) bool {
+	for _, s := range suspects {
+		if s != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// loadSuspects loads and quantizes the per-slot suspect models ("-" and
+// "" entries stay nil: registered model).
+func loadSuspects(paths []string, p fixpoint.Params) ([]*nn.QuantizedNetwork, error) {
+	out := make([]*nn.QuantizedNetwork, len(paths))
+	for i, path := range paths {
+		if path == "" || path == "-" {
+			continue
+		}
+		net, err := loadModel(path)
+		if err != nil {
+			return nil, fmt.Errorf("suspect slot %d: %w", i, err)
+		}
+		q, err := nn.Quantize(net, p)
+		if err != nil {
+			return nil, fmt.Errorf("suspect slot %d: %w", i, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// printClaims renders per-slot bundle verdicts. suspectPaths labels the
+// slots when known (the prover side); verifiers pass nil.
+func printClaims(claims []bool, suspectPaths []string) {
+	for s, c := range claims {
+		label := ""
+		if len(suspectPaths) > 0 {
+			label = " registered model"
+			if s < len(suspectPaths) && suspectPaths[s] != "" && suspectPaths[s] != "-" {
+				label = " " + suspectPaths[s]
+			}
+		}
+		verdict := "claim=0 (watermark did not extract)"
+		if c {
+			verdict = "claim=1 (ownership holds)"
+		}
+		fmt.Printf("  slot %d %-28s %s\n", s, label, verdict)
+	}
 }
 
 // remoteProve registers the model + key with a running proof service
 // and runs the ownership proof there, writing the same artifact set as
-// a local prove (vk.bin, proof.bin, public.json, meta.json).
-func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir string, maxErrors, fracBits int, committed bool) error {
+// a local prove (vk.bin, proof.bin, public.json, meta.json). A
+// non-empty suspectPaths registers a batched circuit with one claim
+// slot per suspect and submits the whole bundle as one job.
+func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir string, maxErrors, fracBits int, committed bool, suspectPaths []string) error {
 	ctx := context.Background()
 	c, err := client.New(serverURL)
 	if err != nil {
@@ -365,9 +467,13 @@ func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir s
 	if err := c.Health(ctx); err != nil {
 		return err
 	}
+	slots := 0
+	if len(suspectPaths) > 0 {
+		slots = len(suspectPaths)
+	}
 	fmt.Printf("registering circuit with %s...\n", serverURL)
 	reg, err := c.RegisterModel(ctx, net, key, client.RegisterOptions{
-		FracBits: fracBits, MaxErrors: maxErrors, Committed: committed,
+		FracBits: fracBits, MaxErrors: maxErrors, Committed: committed, BundleSlots: slots,
 	})
 	if err != nil {
 		return err
@@ -376,9 +482,24 @@ func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir s
 	if reg.SetupCached {
 		state = "setup cached"
 	}
-	fmt.Printf("model %s registered (%d constraints, %s)\n", reg.ModelID[:12], reg.Constraints, state)
+	fmt.Printf("model %s registered (%d constraints, %d claim slot(s), %s)\n",
+		reg.ModelID[:12], reg.Constraints, reg.BundleSlots, state)
 
-	ticket, err := c.SubmitProve(ctx, reg.ModelID, nil)
+	var ticket *client.ProveTicket
+	if len(suspectPaths) > 0 {
+		suspects := make([]*nn.Network, len(suspectPaths))
+		for i, path := range suspectPaths {
+			if path == "" || path == "-" {
+				continue
+			}
+			if suspects[i], err = loadModel(path); err != nil {
+				return fmt.Errorf("suspect slot %d: %w", i, err)
+			}
+		}
+		ticket, err = c.SubmitProveBundle(ctx, reg.ModelID, suspects)
+	} else {
+		ticket, err = c.SubmitProve(ctx, reg.ModelID, nil)
+	}
 	if err != nil {
 		return err
 	}
@@ -389,6 +510,9 @@ func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir s
 	}
 	fmt.Printf("prove:  %.2fs server-side (proof %d B, setup cache hit %v)\n",
 		job.ProveMS/1e3, job.Proof.PayloadSize(), job.SetupCached)
+	if len(job.Claims) > 1 || (len(job.Claims) > 0 && len(suspectPaths) > 0) {
+		printClaims(job.Claims, suspectPaths)
+	}
 
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -408,7 +532,7 @@ func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir s
 	if err := writeJSON(filepath.Join(outDir, "public.json"), encodePublic(job.PublicInputs)); err != nil {
 		return err
 	}
-	meta := proveMeta{Committed: committed, LayerIndex: key.LayerIndex, FracBits: fracBits, ModelID: reg.ModelID}
+	meta := proveMeta{Committed: committed, LayerIndex: key.LayerIndex, FracBits: fracBits, BundleSlots: reg.BundleSlots, ModelID: reg.ModelID}
 	if err := writeJSON(filepath.Join(outDir, "meta.json"), meta); err != nil {
 		return err
 	}
@@ -457,7 +581,20 @@ func cmdVerify(args []string) error {
 
 	start := time.Now()
 	var ok bool
-	if meta.Committed {
+	if meta.BundleSlots > 1 {
+		// Batched proof: one Groth16 check, then the per-slot verdicts.
+		if verr := groth16.Verify(&vk, &proof, public); verr != nil {
+			err = verr
+		} else if claims, cerr := core.ClaimBits(public, meta.BundleSlots); cerr != nil {
+			err = cerr
+		} else {
+			ok = true
+			printClaims(claims, nil)
+			for _, c := range claims {
+				ok = ok && c
+			}
+		}
+	} else if meta.Committed {
 		net, lerr := loadModel(*modelPath)
 		if lerr != nil {
 			return fmt.Errorf("committed proof needs the public model: %w", lerr)
@@ -526,6 +663,9 @@ func remoteVerify(serverURL, dir, modelID string) error {
 	elapsed := time.Since(start)
 	if err != nil {
 		return err
+	}
+	if verdict.Valid && len(verdict.Claims) > 1 {
+		printClaims(verdict.Claims, nil)
 	}
 	switch {
 	case !verdict.Valid:

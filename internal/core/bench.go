@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"zkrownn/internal/fixpoint"
@@ -87,6 +88,28 @@ func BenchMLPExtractionCircuit(p fixpoint.Params, in, hidden, bits, triggers int
 		return nil, err
 	}
 	art.Name = "MNIST-MLP"
+	return art, nil
+}
+
+// BenchBatchedMLPExtractionCircuit builds the batched-extraction bench
+// row: the MNIST-MLP architecture of BenchMLPExtractionCircuit with k
+// suspect-model slots sharing one watermark key — one proof, k claims.
+// Identical key/model randomness to the k=1 row, so per-claim costs are
+// directly comparable.
+func BenchBatchedMLPExtractionCircuit(p fixpoint.Params, in, hidden, bits, triggers, k int, rng *rand.Rand) (*Artifact, error) {
+	q := &nn.QuantizedNetwork{
+		Params: p,
+		Layers: []nn.QuantizedLayer{
+			randQuantDense(rng, p, in, hidden),
+			{Kind: "relu", Out: hidden},
+		},
+	}
+	ck := randCircuitKey(rng, p, in, hidden, bits, triggers)
+	art, err := BatchedExtractionCircuit(q, ck, bits, k)
+	if err != nil {
+		return nil, err
+	}
+	art.Name = fmt.Sprintf("batched-extraction-k%d", k)
 	return art, nil
 }
 

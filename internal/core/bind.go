@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/fixpoint"
@@ -89,7 +90,9 @@ func sameLayerShape(want layerShape, got *nn.QuantizedLayer, li int) error {
 // BindSuspectInputs rebinds a compiled extraction circuit's public
 // weight inputs ("w<i>"/"b<i>") to a suspect model's quantized weights,
 // leaving the private key material untouched. The returned assignment
-// drives CompiledSystem.Solve — no circuit recompilation.
+// drives CompiledSystem.Solve — no circuit recompilation. On a batched
+// circuit the same suspect is bound into every slot; use
+// BindSuspectSlots to bind different suspects per slot.
 //
 // The artifact must come from ExtractionCircuit (committed circuits bake
 // the model into constraint coefficients and cannot be rebound; they
@@ -101,18 +104,71 @@ func sameLayerShape(want layerShape, got *nn.QuantizedLayer, li int) error {
 // counts are NOT enough: a 4×3 dense layer and a 6×2 one both carry 12
 // weights but compile to different circuits.
 func BindSuspectInputs(art *Artifact, suspect *nn.QuantizedNetwork) (r1cs.Assignment, error) {
-	if art.arch != nil {
-		if suspect.Params != art.archParams {
-			return r1cs.Assignment{}, fmt.Errorf("core: architecture mismatch: circuit compiled for fixed-point %+v, suspect quantized with %+v", art.archParams, suspect.Params)
+	suspects := make([]*nn.QuantizedNetwork, art.Slots())
+	for i := range suspects {
+		suspects[i] = suspect
+	}
+	return BindSuspectSlots(art, suspects)
+}
+
+// checkSuspectArch rejects a suspect whose architecture or fixed-point
+// format differs from the one the artifact was compiled for.
+func checkSuspectArch(art *Artifact, suspect *nn.QuantizedNetwork) error {
+	if art.arch == nil {
+		return nil
+	}
+	if suspect.Params != art.archParams {
+		return fmt.Errorf("core: architecture mismatch: circuit compiled for fixed-point %+v, suspect quantized with %+v", art.archParams, suspect.Params)
+	}
+	if len(suspect.Layers) <= len(art.arch)-1 {
+		return fmt.Errorf("core: architecture mismatch: circuit evaluates %d layers, suspect has %d", len(art.arch), len(suspect.Layers))
+	}
+	for li, want := range art.arch {
+		if err := sameLayerShape(want, &suspect.Layers[li], li); err != nil {
+			return err
 		}
-		if len(suspect.Layers) <= len(art.arch)-1 {
-			return r1cs.Assignment{}, fmt.Errorf("core: architecture mismatch: circuit evaluates %d layers, suspect has %d", len(art.arch), len(suspect.Layers))
-		}
-		for li, want := range art.arch {
-			if err := sameLayerShape(want, &suspect.Layers[li], li); err != nil {
-				return r1cs.Assignment{}, err
+	}
+	return nil
+}
+
+// splitSlotName resolves a public-input name to its batch slot and base
+// weight name: "s2.w0" → (2, "w0"); unprefixed names ("w0", and every
+// non-weight name) belong to slot 0.
+func splitSlotName(name string) (slot int, base string) {
+	if len(name) > 1 && name[0] == 's' {
+		if dot := strings.IndexByte(name, '.'); dot > 1 {
+			if n, err := strconv.Atoi(name[1:dot]); err == nil && n >= 0 {
+				return n, name[dot+1:]
 			}
 		}
+	}
+	return 0, name
+}
+
+// BindSuspectSlots rebinds a batched extraction circuit's per-slot
+// weight inputs to one suspect model per slot: suspects[s] replaces
+// slot s's weights, a nil entry keeps the weights the circuit was
+// compiled with (the registered model). len(suspects) must equal
+// art.Slots(), and at least one entry must be non-nil. Every bound
+// suspect must match the compile-time architecture exactly; any
+// mismatch — layer kind, dimensions, quantization format, or weight
+// count — is rejected before anything is bound.
+func BindSuspectSlots(art *Artifact, suspects []*nn.QuantizedNetwork) (r1cs.Assignment, error) {
+	if len(suspects) != art.Slots() {
+		return r1cs.Assignment{}, fmt.Errorf("core: circuit has %d suspect slots, got %d models", art.Slots(), len(suspects))
+	}
+	any := false
+	for s, suspect := range suspects {
+		if suspect == nil {
+			continue
+		}
+		any = true
+		if err := checkSuspectArch(art, suspect); err != nil {
+			return r1cs.Assignment{}, fmt.Errorf("slot %d: %w", s, err)
+		}
+	}
+	if !any {
+		return r1cs.Assignment{}, fmt.Errorf("core: no suspect models to bind (every slot is nil)")
 	}
 	asg := r1cs.Assignment{
 		Public: append([]fr.Element(nil), art.Assignment.Public...),
@@ -120,10 +176,20 @@ func BindSuspectInputs(art *Artifact, suspect *nn.QuantizedNetwork) (r1cs.Assign
 	}
 	bound := false
 	// Per-name cursors: inputs declared under one name form an ordered
-	// vector ("w0" is layer 0's flat weights in declaration order).
+	// vector ("s1.w0" is slot 1, layer 0's flat weights in declaration
+	// order).
 	cursors := make(map[string]int)
+	slotOf := make(map[string]*nn.QuantizedNetwork)
 	for i, name := range art.System.PubInputNames {
-		vec, ok, err := suspectVector(suspect, name)
+		slot, base := splitSlotName(name)
+		if slot >= len(suspects) {
+			return r1cs.Assignment{}, fmt.Errorf("core: weight input %q names slot %d, circuit has %d", name, slot, art.Slots())
+		}
+		suspect := suspects[slot]
+		if suspect == nil {
+			continue // keep the registered weights in this slot
+		}
+		vec, ok, err := suspectVector(suspect, base)
 		if err != nil {
 			return r1cs.Assignment{}, err
 		}
@@ -136,10 +202,12 @@ func BindSuspectInputs(art *Artifact, suspect *nn.QuantizedNetwork) (r1cs.Assign
 		}
 		asg.Public[i] = fixpoint.ToField(vec[j])
 		cursors[name] = j + 1
+		slotOf[name] = suspect
 		bound = true
 	}
 	for name, used := range cursors {
-		vec, _, _ := suspectVector(suspect, name)
+		_, base := splitSlotName(name)
+		vec, _, _ := suspectVector(slotOf[name], base)
 		if used != len(vec) {
 			return r1cs.Assignment{}, fmt.Errorf("core: circuit binds %d of the suspect's %d %q weights: architecture mismatch", used, len(vec), name)
 		}

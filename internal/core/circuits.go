@@ -72,6 +72,39 @@ type Artifact struct {
 	// architecture equality. Nil for non-extraction artifacts.
 	arch       []layerShape
 	archParams fixpoint.Params
+	// slots is the number of suspect-model weight slots a batched
+	// extraction circuit embeds (0 or 1 for everything else).
+	slots int
+}
+
+// Slots returns the number of suspect-model claim slots the circuit
+// carries: K for BatchedExtractionCircuit, 1 otherwise. The last
+// Slots() public inputs of an extraction instance are the per-slot
+// claim bits, in slot order.
+func (a *Artifact) Slots() int {
+	if a.slots < 1 {
+		return 1
+	}
+	return a.slots
+}
+
+// ClaimBits extracts the per-slot ownership verdicts from an extraction
+// instance: batched circuits publish their K claim bits as the last K
+// public inputs, single circuits as the last one.
+func ClaimBits(public []fr.Element, slots int) ([]bool, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("core: claim slots must be >= 1, got %d", slots)
+	}
+	if len(public) < slots {
+		return nil, fmt.Errorf("core: instance has %d public inputs, need at least %d claim bits", len(public), slots)
+	}
+	var one fr.Element
+	one.SetOne()
+	out := make([]bool, slots)
+	for i := range out {
+		out[i] = public[len(public)-slots+i].Equal(&one)
+	}
+	return out, nil
 }
 
 // newArtifact wraps a frontend compile result.
@@ -321,83 +354,122 @@ func BERCircuit(p fixpoint.Params, n, maxErrors int, rng *rand.Rand) (*Artifact,
 	return newArtifact(fmt.Sprintf("BER-%d", n), res), nil
 }
 
-// ExtractionCircuit builds the end-to-end Algorithm 1 circuit for a
-// quantized model and key: public model weights (layers 0..l_wm),
-// private trigger keys / projection / watermark, and a public claim bit
-// that the circuit constrains to the zkBER verdict.
-//
-// maxErrors is the public BER tolerance θ·N. The returned artifact's
-// final public input carries the verdict (1 for a valid ownership
-// claim), so a verifier checks the proof against claim = 1.
-func ExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*Artifact, error) {
-	if len(ck.Triggers) == 0 {
-		return nil, fmt.Errorf("core: no triggers in circuit key")
-	}
-	if ck.LayerIndex >= len(q.Layers) {
-		return nil, fmt.Errorf("core: layer index %d out of range", ck.LayerIndex)
-	}
-	p := q.Params
-	c := gadgets.NewCtx(p)
+// layerVars holds one weight slot's circuit variables for the evaluated
+// model prefix: public inputs in the plain extraction circuit, private
+// digest-bound wires in the committed variant.
+type layerVars struct {
+	w    []frontend.Variable
+	bias []frontend.Variable
+}
 
-	// Public model parameters for layers 0..l_wm (the suspect model M').
-	type layerVars struct {
-		w    []frontend.Variable
-		bias []frontend.Variable
+// slotPrefix names slot s's weight inputs. Single-slot circuits keep
+// the unprefixed "w<li>"/"b<li>" names (layout-compatible with the
+// pre-batching circuits); batched slots are "s<slot>.w<li>".
+func slotPrefix(slot, nbSlots int) string {
+	if nbSlots == 1 {
+		return ""
 	}
-	lv := make([]layerVars, ck.LayerIndex+1)
-	for li := 0; li <= ck.LayerIndex; li++ {
+	return fmt.Sprintf("s%d.", slot)
+}
+
+// claimName names slot s's public claim output ("claim" when single).
+func claimName(slot, nbSlots int) string {
+	if nbSlots == 1 {
+		return "claim"
+	}
+	return fmt.Sprintf("claim%d", slot)
+}
+
+// declareSlotWeights declares one slot's model weights as named public
+// inputs for layers 0..upTo.
+func declareSlotWeights(c *gadgets.Ctx, q *nn.QuantizedNetwork, upTo int, prefix string) []layerVars {
+	lv := make([]layerVars, upTo+1)
+	for li := 0; li <= upTo; li++ {
 		l := &q.Layers[li]
 		switch l.Kind {
 		case "dense", "conv":
-			lv[li].w = publicVec(c, fmt.Sprintf("w%d", li), l.W)
-			lv[li].bias = publicVec(c, fmt.Sprintf("b%d", li), l.B)
+			lv[li].w = publicVec(c, fmt.Sprintf("%sw%d", prefix, li), l.W)
+			lv[li].bias = publicVec(c, fmt.Sprintf("%sb%d", prefix, li), l.B)
 		}
 	}
+	return lv
+}
+
+// forwardPrefix is zkFeedForward: it evaluates layers 0..upTo of the
+// model on cur, using the slot's weight variables.
+func forwardPrefix(c *gadgets.Ctx, q *nn.QuantizedNetwork, lv []layerVars, cur []frontend.Variable, upTo int) ([]frontend.Variable, error) {
+	p := q.Params
+	for li := 0; li <= upTo; li++ {
+		l := &q.Layers[li]
+		switch l.Kind {
+		case "dense":
+			if len(cur) != l.In {
+				return nil, fmt.Errorf("core: dense layer %d expects %d inputs, got %d", li, l.In, len(cur))
+			}
+			wRows := make([][]frontend.Variable, l.Out)
+			for o := 0; o < l.Out; o++ {
+				wRows[o] = lv[li].w[o*l.In : (o+1)*l.In]
+			}
+			cur = c.Dense(wRows, cur, lv[li].bias, true, p.MagBits)
+		case "relu":
+			cur = c.ReLUVec(cur, p.MagBits)
+		case "sigmoid":
+			cur = c.SigmoidVec(cur, p.MagBits)
+		case "conv":
+			shape := gadgets.Conv3DShape{
+				InC: l.InC, InH: l.InH, InW: l.InW,
+				OutC: l.OutC, K: l.K, S: l.S,
+			}
+			vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
+			kv := reshapeKernels(lv[li].w, l.OutC, l.InC, l.K)
+			out := c.Conv3D(shape, vol, kv, lv[li].bias, true, p.MagBits)
+			cur = flattenVolume(out)
+		case "maxpool":
+			oh := (l.InH-l.K)/l.S + 1
+			ow := (l.InW-l.K)/l.S + 1
+			vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
+			var flat []frontend.Variable
+			for ch := 0; ch < l.InC; ch++ {
+				pooled := c.MaxPool2D(vol[ch], l.K, l.S, p.MagBits)
+				for i := 0; i < oh; i++ {
+					flat = append(flat, pooled[i][:ow]...)
+				}
+			}
+			cur = flat
+		default:
+			return nil, fmt.Errorf("core: unsupported layer kind %q", l.Kind)
+		}
+	}
+	return cur, nil
+}
+
+// sharedKeyVars caches the secret watermark-key wires shared by every
+// slot of a batched extraction circuit: the trigger inputs, projection
+// columns, and signature bits are declared once (by the first slot that
+// needs them) and reused, so K claims cost one copy of the key
+// material. Declaration happens lazily at the same builder positions
+// the single-slot circuit uses, keeping the k=1 layout byte-identical.
+type sharedKeyVars struct {
+	trigs  [][]frontend.Variable
+	aCols  [][]frontend.Variable
+	wmVars []frontend.Variable
+}
+
+// extractionSlot runs Algorithm 1's private tail for one weight slot:
+// zkFeedForward per trigger → zkAverage → projection + zkSigmoid →
+// zkHardThresholding → zkBER, returning the slot's verdict wire.
+func extractionSlot(c *gadgets.Ctx, q *nn.QuantizedNetwork, ck *CircuitKey, lv []layerVars, kv *sharedKeyVars, maxErrors int) (frontend.Variable, error) {
+	p := q.Params
 
 	// zkFeedForward per trigger, collecting l_wm activations.
 	acts := make([][]frontend.Variable, len(ck.Triggers))
 	for t, trig := range ck.Triggers {
-		cur := secretVec(c, trig)
-		for li := 0; li <= ck.LayerIndex; li++ {
-			l := &q.Layers[li]
-			switch l.Kind {
-			case "dense":
-				if len(cur) != l.In {
-					return nil, fmt.Errorf("core: dense layer %d expects %d inputs, got %d", li, l.In, len(cur))
-				}
-				wRows := make([][]frontend.Variable, l.Out)
-				for o := 0; o < l.Out; o++ {
-					wRows[o] = lv[li].w[o*l.In : (o+1)*l.In]
-				}
-				cur = c.Dense(wRows, cur, lv[li].bias, true, p.MagBits)
-			case "relu":
-				cur = c.ReLUVec(cur, p.MagBits)
-			case "sigmoid":
-				cur = c.SigmoidVec(cur, p.MagBits)
-			case "conv":
-				shape := gadgets.Conv3DShape{
-					InC: l.InC, InH: l.InH, InW: l.InW,
-					OutC: l.OutC, K: l.K, S: l.S,
-				}
-				vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
-				kv := reshapeKernels(lv[li].w, l.OutC, l.InC, l.K)
-				out := c.Conv3D(shape, vol, kv, lv[li].bias, true, p.MagBits)
-				cur = flattenVolume(out)
-			case "maxpool":
-				oh := (l.InH-l.K)/l.S + 1
-				ow := (l.InW-l.K)/l.S + 1
-				vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
-				var flat []frontend.Variable
-				for ch := 0; ch < l.InC; ch++ {
-					pooled := c.MaxPool2D(vol[ch], l.K, l.S, p.MagBits)
-					for i := 0; i < oh; i++ {
-						flat = append(flat, pooled[i][:ow]...)
-					}
-				}
-				cur = flat
-			default:
-				return nil, fmt.Errorf("core: unsupported layer kind %q", l.Kind)
-			}
+		if t == len(kv.trigs) {
+			kv.trigs = append(kv.trigs, secretVec(c, trig))
+		}
+		cur, err := forwardPrefix(c, q, lv, kv.trigs[t], ck.LayerIndex)
+		if err != nil {
+			return frontend.Variable{}, err
 		}
 		acts[t] = cur
 	}
@@ -408,22 +480,24 @@ func ExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*
 	// Private projection and zkSigmoid.
 	m := len(mu)
 	if len(ck.A) < m {
-		return nil, fmt.Errorf("core: projection has %d rows, activations have %d", len(ck.A), m)
+		return frontend.Variable{}, fmt.Errorf("core: projection has %d rows, activations have %d", len(ck.A), m)
 	}
 	nbits := len(ck.Signature)
-	g := make([]frontend.Variable, nbits)
-	aCols := make([][]frontend.Variable, nbits)
-	for j := 0; j < nbits; j++ {
-		aCols[j] = make([]frontend.Variable, m)
-	}
-	for i := 0; i < m; i++ {
-		rowVars := secretVec(c, ck.A[i][:nbits])
+	if kv.aCols == nil {
+		kv.aCols = make([][]frontend.Variable, nbits)
 		for j := 0; j < nbits; j++ {
-			aCols[j][i] = rowVars[j]
+			kv.aCols[j] = make([]frontend.Variable, m)
+		}
+		for i := 0; i < m; i++ {
+			rowVars := secretVec(c, ck.A[i][:nbits])
+			for j := 0; j < nbits; j++ {
+				kv.aCols[j][i] = rowVars[j]
+			}
 		}
 	}
+	g := make([]frontend.Variable, nbits)
 	for j := 0; j < nbits; j++ {
-		z := c.InnerProduct(mu, aCols[j])
+		z := c.InnerProduct(mu, kv.aCols[j])
 		z = c.Rescale(z, p.MagBits)
 		g[j] = c.Sigmoid(z, p.MagBits)
 	}
@@ -432,25 +506,85 @@ func ExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*
 	wmHat := c.HardThresholdVec(g, p.Encode(0.5), p.MagBits)
 
 	// zkBER against the private signature.
-	wmBits := make([]int64, nbits)
-	for j, b := range ck.Signature {
-		wmBits[j] = int64(b)
+	if kv.wmVars == nil {
+		wmBits := make([]int64, nbits)
+		for j, b := range ck.Signature {
+			wmBits[j] = int64(b)
+		}
+		kv.wmVars = secretVec(c, wmBits)
 	}
-	wmVars := secretVec(c, wmBits)
-	valid := c.BER(wmVars, wmHat, maxErrors)
+	return c.BER(kv.wmVars, wmHat, maxErrors), nil
+}
 
-	// Public claim: check ∧ valid_BER (check is the constant 1 of
-	// Algorithm 1; the conjunction is simply the verdict wire). The claim
-	// is a computed public output — the solver derives it per assignment.
-	c.B.PublicOutput("claim", valid)
+// ExtractionCircuit builds the end-to-end Algorithm 1 circuit for a
+// quantized model and key: public model weights (layers 0..l_wm),
+// private trigger keys / projection / watermark, and a public claim bit
+// that the circuit constrains to the zkBER verdict.
+//
+// maxErrors is the public BER tolerance θ·N. The returned artifact's
+// final public input carries the verdict (1 for a valid ownership
+// claim), so a verifier checks the proof against claim = 1.
+func ExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*Artifact, error) {
+	return BatchedExtractionCircuit(q, ck, maxErrors, 1)
+}
+
+// BatchedExtractionCircuit builds Algorithm 1 with K independent
+// suspect-model weight slots sharing one secret watermark key: one
+// circuit (and therefore one trusted setup and one Groth16 proof)
+// attests ownership claims against a whole batch of suspects. Every
+// slot carries its own public weight inputs ("s<slot>.w<li>" /
+// "s<slot>.b<li>"), evaluated against the shared private triggers,
+// projection, and signature; the last K public inputs are the per-slot
+// claim bits, in slot order (ClaimBits decodes them).
+//
+// All slots are initially bound to q's weights; BindSuspectSlots
+// rebinds individual slots to same-architecture suspect models without
+// recompiling. k = 1 degenerates to exactly ExtractionCircuit (same
+// wire layout, names, and digest).
+func BatchedExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors, k int) (*Artifact, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: batched extraction needs at least one slot, got %d", k)
+	}
+	if len(ck.Triggers) == 0 {
+		return nil, fmt.Errorf("core: no triggers in circuit key")
+	}
+	if ck.LayerIndex >= len(q.Layers) {
+		return nil, fmt.Errorf("core: layer index %d out of range", ck.LayerIndex)
+	}
+	c := gadgets.NewCtx(q.Params)
+
+	kv := &sharedKeyVars{}
+	claims := make([]frontend.Variable, k)
+	for s := 0; s < k; s++ {
+		lv := declareSlotWeights(c, q, ck.LayerIndex, slotPrefix(s, k))
+		valid, err := extractionSlot(c, q, ck, lv, kv, maxErrors)
+		if err != nil {
+			return nil, err
+		}
+		claims[s] = valid
+	}
+
+	// Public claims: check ∧ valid_BER per slot (check is the constant 1
+	// of Algorithm 1; the conjunction is simply the verdict wire). The
+	// claims are computed public outputs — the solver derives them per
+	// assignment — published together so they sit at the tail of the
+	// instance in slot order.
+	for s := 0; s < k; s++ {
+		c.B.PublicOutput(claimName(s, k), claims[s])
+	}
 
 	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	art := newArtifact("WatermarkExtraction", res)
+	name := "WatermarkExtraction"
+	if k > 1 {
+		name = fmt.Sprintf("BatchedExtraction-x%d", k)
+	}
+	art := newArtifact(name, res)
 	art.arch = archShapes(q, ck.LayerIndex)
 	art.archParams = q.Params
+	art.slots = k
 	return art, nil
 }
 

@@ -86,149 +86,119 @@ func ModelDigest(q *nn.QuantizedNetwork, layerIndex int) (rho fr.Element, digest
 	return rho, acc, nil
 }
 
+// digestName names slot s's public model-digest output ("model_digest"
+// when single).
+func digestName(slot, nbSlots int) string {
+	if nbSlots == 1 {
+		return "model_digest"
+	}
+	return fmt.Sprintf("model_digest%d", slot)
+}
+
 // CommittedExtractionCircuit builds Algorithm 1 with *private* model
 // weights bound to the public digest. Public inputs: the model digest
 // and the claim bit — two field elements total, independent of model
 // size.
 func CommittedExtractionCircuit(q *nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*Artifact, error) {
+	return BatchedCommittedExtractionCircuit([]*nn.QuantizedNetwork{q}, ck, maxErrors)
+}
+
+// BatchedCommittedExtractionCircuit is the committed-model analogue of
+// BatchedExtractionCircuit: each slot bakes one model's weights into
+// private wires bound to that model's Fiat-Shamir digest, and the
+// shared watermark key is extracted against every slot. Public inputs
+// are the K per-slot model digests followed by the K claim bits —
+// 2K field elements regardless of model size.
+//
+// Unlike the public-weight batched circuit, the slot models are fixed
+// at compile time (ρ = H(weights) lands in the constraint
+// coefficients), so the batch membership cannot be rebound: proving a
+// different batch means compiling a different circuit. All models must
+// share the architecture of qs[0] through the key's layer index.
+func BatchedCommittedExtractionCircuit(qs []*nn.QuantizedNetwork, ck *CircuitKey, maxErrors int) (*Artifact, error) {
+	k := len(qs)
+	if k < 1 {
+		return nil, fmt.Errorf("core: batched committed extraction needs at least one model")
+	}
 	if len(ck.Triggers) == 0 {
 		return nil, fmt.Errorf("core: no triggers in circuit key")
 	}
-	if ck.LayerIndex >= len(q.Layers) {
+	if ck.LayerIndex >= len(qs[0].Layers) {
 		return nil, fmt.Errorf("core: layer index %d out of range", ck.LayerIndex)
 	}
-	p := q.Params
-	c := gadgets.NewCtx(p)
-
-	rho, digest, err := ModelDigest(q, ck.LayerIndex)
-	if err != nil {
-		return nil, err
-	}
-
-	// Private model parameters, accumulated into the in-circuit digest
-	// in the exact ModelDigest order.
-	type layerVars struct {
-		w    []frontend.Variable
-		bias []frontend.Variable
-	}
-	var digestTerms []frontend.Variable
-	var pow fr.Element
-	pow.Set(&rho)
-	absorb := func(v frontend.Variable) {
-		digestTerms = append(digestTerms, c.B.MulConst(v, pow))
-		pow.Mul(&pow, &rho)
-	}
-
-	lv := make([]layerVars, ck.LayerIndex+1)
-	for li := 0; li <= ck.LayerIndex; li++ {
-		l := &q.Layers[li]
-		switch l.Kind {
-		case "dense", "conv":
-			lv[li].w = secretVec(c, l.W)
-			lv[li].bias = secretVec(c, l.B)
-			for _, v := range lv[li].w {
-				absorb(v)
-			}
-			for _, v := range lv[li].bias {
-				absorb(v)
-			}
+	for s := 1; s < k; s++ {
+		if err := SameArchitecture(qs[0], qs[s], ck.LayerIndex); err != nil {
+			return nil, fmt.Errorf("core: committed batch slot %d: %w", s, err)
 		}
 	}
+	c := gadgets.NewCtx(qs[0].Params)
 
-	// Bind: Σ ρ^(i+1)·wᵢ == public digest (one constraint; the sum is
-	// linear). The digest is a computed public output re-derived by the
-	// solver from the private weight wires.
-	inDigest := c.B.Sum(digestTerms...)
-	if dv := inDigest.Value(); !dv.Equal(&digest) {
-		return nil, fmt.Errorf("core: in-circuit model digest does not match ModelDigest")
-	}
-	c.B.PublicOutput("model_digest", inDigest)
+	kv := &sharedKeyVars{}
+	claims := make([]frontend.Variable, k)
+	for s := 0; s < k; s++ {
+		q := qs[s]
+		rho, digest, err := ModelDigest(q, ck.LayerIndex)
+		if err != nil {
+			return nil, err
+		}
 
-	// The remainder is Algorithm 1, identical to ExtractionCircuit.
-	acts := make([][]frontend.Variable, len(ck.Triggers))
-	for t, trig := range ck.Triggers {
-		cur := secretVec(c, trig)
+		// Private model parameters, accumulated into the in-circuit
+		// digest in the exact ModelDigest order.
+		var digestTerms []frontend.Variable
+		var pow fr.Element
+		pow.Set(&rho)
+		absorb := func(v frontend.Variable) {
+			digestTerms = append(digestTerms, c.B.MulConst(v, pow))
+			pow.Mul(&pow, &rho)
+		}
+		lv := make([]layerVars, ck.LayerIndex+1)
 		for li := 0; li <= ck.LayerIndex; li++ {
 			l := &q.Layers[li]
 			switch l.Kind {
-			case "dense":
-				if len(cur) != l.In {
-					return nil, fmt.Errorf("core: dense layer %d expects %d inputs, got %d", li, l.In, len(cur))
+			case "dense", "conv":
+				lv[li].w = secretVec(c, l.W)
+				lv[li].bias = secretVec(c, l.B)
+				for _, v := range lv[li].w {
+					absorb(v)
 				}
-				wRows := make([][]frontend.Variable, l.Out)
-				for o := 0; o < l.Out; o++ {
-					wRows[o] = lv[li].w[o*l.In : (o+1)*l.In]
+				for _, v := range lv[li].bias {
+					absorb(v)
 				}
-				cur = c.Dense(wRows, cur, lv[li].bias, true, p.MagBits)
-			case "relu":
-				cur = c.ReLUVec(cur, p.MagBits)
-			case "sigmoid":
-				cur = c.SigmoidVec(cur, p.MagBits)
-			case "conv":
-				shape := gadgets.Conv3DShape{
-					InC: l.InC, InH: l.InH, InW: l.InW,
-					OutC: l.OutC, K: l.K, S: l.S,
-				}
-				vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
-				kv := reshapeKernels(lv[li].w, l.OutC, l.InC, l.K)
-				out := c.Conv3D(shape, vol, kv, lv[li].bias, true, p.MagBits)
-				cur = flattenVolume(out)
-			case "maxpool":
-				oh := (l.InH-l.K)/l.S + 1
-				ow := (l.InW-l.K)/l.S + 1
-				vol := reshapeVolume(cur, l.InC, l.InH, l.InW)
-				var flat []frontend.Variable
-				for ch := 0; ch < l.InC; ch++ {
-					pooled := c.MaxPool2D(vol[ch], l.K, l.S, p.MagBits)
-					for i := 0; i < oh; i++ {
-						flat = append(flat, pooled[i][:ow]...)
-					}
-				}
-				cur = flat
-			default:
-				return nil, fmt.Errorf("core: unsupported layer kind %q", l.Kind)
 			}
 		}
-		acts[t] = cur
-	}
 
-	mu := c.AverageCols(acts, p.MagBits)
-	m := len(mu)
-	if len(ck.A) < m {
-		return nil, fmt.Errorf("core: projection has %d rows, activations have %d", len(ck.A), m)
-	}
-	nbits := len(ck.Signature)
-	g := make([]frontend.Variable, nbits)
-	aCols := make([][]frontend.Variable, nbits)
-	for j := 0; j < nbits; j++ {
-		aCols[j] = make([]frontend.Variable, m)
-	}
-	for i := 0; i < m; i++ {
-		rowVars := secretVec(c, ck.A[i][:nbits])
-		for j := 0; j < nbits; j++ {
-			aCols[j][i] = rowVars[j]
+		// Bind: Σ ρ^(i+1)·wᵢ == public digest (one constraint; the sum
+		// is linear). The digest is a computed public output re-derived
+		// by the solver from the private weight wires.
+		inDigest := c.B.Sum(digestTerms...)
+		if dv := inDigest.Value(); !dv.Equal(&digest) {
+			return nil, fmt.Errorf("core: in-circuit model digest does not match ModelDigest")
 		}
-	}
-	for j := 0; j < nbits; j++ {
-		z := c.InnerProduct(mu, aCols[j])
-		z = c.Rescale(z, p.MagBits)
-		g[j] = c.Sigmoid(z, p.MagBits)
-	}
-	wmHat := c.HardThresholdVec(g, p.Encode(0.5), p.MagBits)
-	wmBits := make([]int64, nbits)
-	for j, b := range ck.Signature {
-		wmBits[j] = int64(b)
-	}
-	wmVars := secretVec(c, wmBits)
-	valid := c.BER(wmVars, wmHat, maxErrors)
+		c.B.PublicOutput(digestName(s, k), inDigest)
 
-	c.B.PublicOutput("claim", valid)
+		// The remainder is Algorithm 1, identical to ExtractionCircuit.
+		valid, err := extractionSlot(c, q, ck, lv, kv, maxErrors)
+		if err != nil {
+			return nil, err
+		}
+		claims[s] = valid
+	}
+
+	for s := 0; s < k; s++ {
+		c.B.PublicOutput(claimName(s, k), claims[s])
+	}
 
 	res, err := c.B.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return newArtifact("CommittedWatermarkExtraction", res), nil
+	name := "CommittedWatermarkExtraction"
+	if k > 1 {
+		name = fmt.Sprintf("BatchedCommittedExtraction-x%d", k)
+	}
+	art := newArtifact(name, res)
+	art.slots = k
+	return art, nil
 }
 
 // VerifyCommittedPublicInputs checks that a committed-extraction proof's

@@ -18,6 +18,10 @@ type Metrics struct {
 	NbConstraints int
 	NbPublic      int
 	NbPrivate     int
+	// Slots is the number of ownership-claim slots the circuit carries
+	// (K for batched extraction circuits, 1 otherwise) — the divisor for
+	// per-claim amortized costs.
+	Slots int
 	// CompileTime is the one-time circuit synthesis cost (builder →
 	// CompiledSystem); zero when the caller didn't measure it.
 	CompileTime time.Duration
@@ -122,6 +126,7 @@ func RunPipelineWith(eng *engine.Engine, art *Artifact, rng io.Reader) (*Pipelin
 	pl.Metrics.NbConstraints = art.System.NbConstraints()
 	pl.Metrics.NbPublic = art.System.NbPublic - 1
 	pl.Metrics.NbPrivate = art.System.NbPrivate()
+	pl.Metrics.Slots = art.Slots()
 
 	res, err := eng.Prove(art.Request(rng))
 	if err != nil {

@@ -1,0 +1,167 @@
+package frontend
+
+import (
+	"fmt"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// FuzzSolveOracle drives random small circuits through the recorded
+// solver tape and checks the compile-once / solve-many contract from
+// both directions:
+//
+//  1. Data-obliviousness: building the same op sequence with different
+//     input VALUES must yield the identical compiled system (digest).
+//  2. Solve ≡ eager: replaying circuit A's solver program against
+//     circuit B's inputs must reproduce B's eager witness bit for bit
+//     (and A's own inputs must reproduce A's witness).
+//
+// The op stream exercises every tape opcode: linear ops (free), Mul,
+// Inverse (including 0⁻¹ = 0), IsZero, Select, bit decomposition, wide
+// Sum, and Reduce.
+
+// fuzzRng is a tiny deterministic value generator (an LCG) so input
+// values derive from the fuzz data without the fuzzer having to supply
+// 32-byte field elements.
+type fuzzRng struct{ state uint64 }
+
+func (r *fuzzRng) next() fr.Element {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	var e fr.Element
+	e.SetUint64(r.state >> 16)
+	return e
+}
+
+// buildFuzzCircuit deterministically interprets ops as builder calls
+// over the given input values. The call sequence depends only on ops —
+// never on the values — which is exactly the package's data-oblivious
+// circuit contract.
+func buildFuzzCircuit(ops []byte, pub, sec []fr.Element) (*CompileResult, error) {
+	b := NewBuilder()
+	var pool []Variable
+	for i, v := range pub {
+		pool = append(pool, b.PublicInput(fmt.Sprintf("p%d", i), v))
+	}
+	for _, v := range sec {
+		pool = append(pool, b.SecretInput("", v))
+	}
+	pick := func(k byte) Variable { return pool[int(k)%len(pool)] }
+	nbDecompose := 0
+	for i := 0; i+2 < len(ops) && len(pool) < 96; i += 3 {
+		op, sa, sb := ops[i], ops[i+1], ops[i+2]
+		x, y := pick(sa), pick(sb)
+		var out Variable
+		switch op % 11 {
+		case 0:
+			out = b.Add(x, y)
+		case 1:
+			out = b.Sub(x, y)
+		case 2:
+			out = b.Mul(x, y)
+		case 3:
+			var k fr.Element
+			k.SetUint64(uint64(sb) + 1)
+			out = b.MulConst(x, k)
+		case 4:
+			out = b.Inverse(x) // 0⁻¹ = 0 by the solver convention
+		case 5:
+			out = b.IsZero(x)
+		case 6:
+			out = b.Select(b.IsZero(x), y, x)
+		case 7:
+			// Bit decomposition is the widest tape instruction; cap how
+			// many land in one circuit. Values overflowing 8 bits leave
+			// the recomposition constraint unsatisfied — irrelevant here,
+			// the oracle compares witnesses, not satisfiability.
+			if nbDecompose >= 6 {
+				out = b.Add(x, y)
+				break
+			}
+			nbDecompose++
+			out = b.FromBinary(b.ToBinary(x, 8))
+		case 8:
+			out = b.Sum(x, y, pick(sa^sb), b.One())
+		case 9:
+			out = b.Reduce(b.Sum(x, y, pick(sa+sb)))
+		case 10:
+			out = b.Neg(x)
+		}
+		pool = append(pool, out)
+	}
+	b.PublicOutput("out", pool[len(pool)-1])
+	return b.Compile()
+}
+
+func FuzzSolveOracle(f *testing.F) {
+	f.Add([]byte("\x01\x02\x07\x0b" + "expand the op pool with printable bytes"))
+	f.Add([]byte{2, 1, 0xff, 0x80, 2, 0, 1, 4, 1, 2, 7, 2, 0, 5, 1, 1, 9, 3, 2})
+	f.Add([]byte{0, 0, 0, 0, 7, 0, 0, 7, 1, 1, 6, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		nbPub := 1 + int(data[0]%3)
+		nbSec := 1 + int(data[1]%3)
+		rng := fuzzRng{state: uint64(data[2])<<8 | uint64(data[3])}
+		mkVals := func() (pub, sec []fr.Element) {
+			pub = make([]fr.Element, nbPub)
+			sec = make([]fr.Element, nbSec)
+			for i := range pub {
+				pub[i] = rng.next()
+			}
+			for i := range sec {
+				sec[i] = rng.next()
+			}
+			return pub, sec
+		}
+		ops := data[4:]
+		pub1, sec1 := mkVals()
+		pub2, sec2 := mkVals()
+
+		res1, err := buildFuzzCircuit(ops, pub1, sec1)
+		if err != nil {
+			t.Fatalf("compile #1: %v", err)
+		}
+		res2, err := buildFuzzCircuit(ops, pub2, sec2)
+		if err != nil {
+			t.Fatalf("compile #2: %v", err)
+		}
+		if res1.System.DigestHex() != res2.System.DigestHex() {
+			t.Fatal("same ops, different values → different circuits (data-obliviousness broken)")
+		}
+
+		// Replay circuit 1's tape against BOTH assignments; each must
+		// reproduce the corresponding eager witness exactly.
+		for _, tc := range []struct {
+			name string
+			pub  []fr.Element
+			sec  []fr.Element
+			want []fr.Element
+		}{
+			{"own inputs", pub1, sec1, res1.Witness},
+			{"fresh inputs", pub2, sec2, res2.Witness},
+		} {
+			solved, err := res1.System.Solve(tc.pub, tc.sec)
+			if err != nil {
+				t.Fatalf("solve (%s): %v", tc.name, err)
+			}
+			if len(solved) != len(tc.want) {
+				t.Fatalf("solve (%s): %d wires, eager has %d", tc.name, len(solved), len(tc.want))
+			}
+			for i := range solved {
+				if !solved[i].Equal(&tc.want[i]) {
+					t.Fatalf("solve (%s): wire %d: solver %v != eager %v", tc.name, i, solved[i], tc.want[i])
+				}
+			}
+		}
+
+		// Wrong-arity inputs must be rejected, not mis-scattered.
+		if _, err := res1.System.Solve(pub1[:len(pub1)-1], sec1); err == nil {
+			t.Fatal("short public inputs accepted")
+		}
+		if _, err := res1.System.Solve(pub1, append(sec1, fr.Element{})); err == nil {
+			t.Fatal("long secret inputs accepted")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package groth16
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -176,6 +177,156 @@ func TestSetupValidation(t *testing.T) {
 	bad.A.Wires[0] = 99
 	if _, _, err := Setup(bad, rng); err == nil {
 		t.Fatal("invalid wire index accepted by Setup")
+	}
+}
+
+// twoPublicSystem: private x, publics [x², x² + x] — an asymmetric
+// instance where swapping the two public values changes the statement.
+func twoPublicSystem() *r1cs.CompiledSystem {
+	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
+	sys := &r1cs.System{
+		NbPublic: 3,
+		NbWires:  4,
+		Constraints: []r1cs.Constraint{
+			{ // x·x = pub1
+				A: r1cs.LinearCombination{{Wire: 3, Coeff: one()}},
+				B: r1cs.LinearCombination{{Wire: 3, Coeff: one()}},
+				C: r1cs.LinearCombination{{Wire: 1, Coeff: one()}},
+			},
+			{ // (pub1 + x)·1 = pub2
+				A: r1cs.LinearCombination{{Wire: 1, Coeff: one()}, {Wire: 3, Coeff: one()}},
+				B: r1cs.LinearCombination{{Wire: 0, Coeff: one()}},
+				C: r1cs.LinearCombination{{Wire: 2, Coeff: one()}},
+			},
+		},
+	}
+	cs, err := r1cs.FromSystem(sys)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+func twoPublicWitness(x uint64) []fr.Element {
+	w := make([]fr.Element, 4)
+	w[0].SetOne()
+	w[3].SetUint64(x)
+	w[1].Mul(&w[3], &w[3])
+	w[2].Add(&w[1], &w[3])
+	return w
+}
+
+// TestBitFlippedProofBytesRejected: every single-bit corruption of the
+// 128-byte wire proof must either fail deserialization (point off the
+// curve / outside its subgroup / bad framing) or fail verification —
+// never verify.
+func TestBitFlippedProofBytesRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(710))
+	sys := squareSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := squareWitness(7)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := w[1:2]
+	if err := Verify(vk, proof, public); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := proof.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for bit := 0; bit < len(raw)*8; bit++ {
+		flipped := append([]byte(nil), raw...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		var p Proof
+		if _, err := p.ReadFrom(bytes.NewReader(flipped)); err != nil {
+			continue // rejected at the decoding layer, good
+		}
+		if err := Verify(vk, &p, public); err == nil {
+			t.Fatalf("proof with bit %d flipped passed verification", bit)
+		}
+	}
+}
+
+// TestTruncatedProofStreamRejected: every strict prefix of the wire
+// proof must fail ReadFrom, never decode to a partial proof.
+func TestTruncatedProofStreamRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(711))
+	sys := squareSystem()
+	pk, _, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(sys, pk, squareWitness(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := proof.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 0; n < len(raw); n++ {
+		var p Proof
+		if _, err := p.ReadFrom(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncated proof stream (%d of %d bytes) decoded", n, len(raw))
+		}
+	}
+}
+
+// TestSwappedPublicInputsRejected: reordering public inputs states a
+// different (false) instance and must fail the pairing check.
+func TestSwappedPublicInputsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(712))
+	sys := twoPublicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := twoPublicWitness(5) // publics [25, 30]
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := w[1:3]
+	if err := Verify(vk, proof, public); err != nil {
+		t.Fatal(err)
+	}
+	swapped := []fr.Element{public[1], public[0]}
+	if err := Verify(vk, proof, swapped); err == nil {
+		t.Fatal("swapped public inputs accepted")
+	}
+}
+
+// TestPublicInputArityRejected: truncated or padded instances must be
+// rejected by length, before any curve arithmetic.
+func TestPublicInputArityRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(713))
+	sys := twoPublicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := twoPublicWitness(4)
+	proof, err := Prove(sys, pk, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := w[1:3]
+	if err := Verify(vk, proof, public[:1]); err == nil {
+		t.Fatal("truncated public inputs accepted")
+	}
+	if err := Verify(vk, proof, append(append([]fr.Element(nil), public...), fr.Element{})); err == nil {
+		t.Fatal("padded public inputs accepted")
+	}
+	if err := Verify(vk, proof, nil); err == nil {
+		t.Fatal("empty public inputs accepted")
 	}
 }
 

@@ -1,0 +1,103 @@
+package r1cs
+
+import (
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// FuzzCompiledSystemRoundTrip hammers the eager ↔ CSR adapters with
+// random constraint systems and witnesses:
+//
+//   - FromSystem must accept exactly what Validate accepts, and the CSR
+//     digest must stay byte-compatible with the eager digest (the key
+//     cache / registry-ID contract).
+//   - ToSystem → FromSystem must be lossless (digest fixed point).
+//   - IsSatisfied must agree between the eager walker and the parallel
+//     CSR walker — verdict AND first-violation index.
+//   - WitnessAssignment → Solve must scatter a full witness back
+//     unchanged (adapter circuits have an empty solver program).
+func FuzzCompiledSystemRoundTrip(f *testing.F) {
+	f.Add([]byte("\x02\x03\x02" + "coefficients and wires come from here"))
+	f.Add([]byte{1, 0, 1, 3, 1, 1, 2, 1, 1, 3, 2, 2, 9, 9, 9})
+	f.Add([]byte{3, 5, 4, 0xff, 0x10, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		nbPublic := 1 + int(data[0]%4)
+		nbWires := nbPublic + int(data[1]%6)
+		nbCons := 1 + int(data[2]%6)
+		pos := 3
+		nextByte := func() byte {
+			b := data[pos%len(data)]
+			pos++
+			return b
+		}
+		mkLC := func() LinearCombination {
+			n := int(nextByte()) % 4
+			var lc LinearCombination
+			for i := 0; i < n; i++ {
+				var c fr.Element
+				c.SetUint64(uint64(nextByte()))
+				lc = append(lc, Term{Wire: int(nextByte()) % nbWires, Coeff: c})
+			}
+			return lc
+		}
+		sys := &System{NbPublic: nbPublic, NbWires: nbWires}
+		for i := 0; i < nbCons; i++ {
+			sys.Constraints = append(sys.Constraints, Constraint{A: mkLC(), B: mkLC(), C: mkLC()})
+		}
+		if err := sys.Validate(); err != nil {
+			t.Skip() // wire indices are clamped, so this should not happen
+		}
+
+		cs, err := FromSystem(sys)
+		if err != nil {
+			t.Fatalf("Validate passed but FromSystem rejected: %v", err)
+		}
+		if cs.DigestHex() != sys.DigestHex() {
+			t.Fatal("CSR digest diverges from the eager digest")
+		}
+		back := cs.ToSystem()
+		if err := back.Validate(); err != nil {
+			t.Fatalf("ToSystem produced an invalid system: %v", err)
+		}
+		cs2, err := FromSystem(back)
+		if err != nil {
+			t.Fatalf("round-tripped system rejected: %v", err)
+		}
+		if cs2.DigestHex() != cs.DigestHex() {
+			t.Fatal("encode/decode round trip changed the digest")
+		}
+
+		// Random witness: both satisfaction walkers must agree on the
+		// verdict and on the first violated row.
+		w := make([]fr.Element, nbWires)
+		w[0].SetOne()
+		for i := 1; i < nbWires; i++ {
+			w[i].SetUint64(uint64(nextByte()))
+		}
+		okEager, badEager := sys.IsSatisfied(w)
+		okCSR, badCSR := cs.IsSatisfied(w)
+		if okEager != okCSR {
+			t.Fatalf("IsSatisfied verdicts disagree: eager %v, CSR %v", okEager, okCSR)
+		}
+		if !okEager && badEager != badCSR {
+			t.Fatalf("first-violation index disagrees: eager %d, CSR %d", badEager, badCSR)
+		}
+
+		// Adapter circuits make every wire an input: Solve must scatter
+		// the assignment back to the identical witness.
+		asg := cs.WitnessAssignment(w)
+		solved, err := cs.Solve(asg.Public, asg.Secret)
+		if err != nil {
+			t.Fatalf("scatter solve: %v", err)
+		}
+		for i := range solved {
+			if !solved[i].Equal(&w[i]) {
+				t.Fatalf("wire %d changed through WitnessAssignment→Solve", i)
+			}
+		}
+	})
+}

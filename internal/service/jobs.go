@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zkrownn/internal/core"
 	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
@@ -18,11 +19,14 @@ var (
 	errShutdown  = errors.New("service: shutting down")
 )
 
-// job is one async ownership-proof request.
+// job is one async ownership-proof request — a single claim or a whole
+// bundle (one suspect per slot of a batched registration).
 type job struct {
-	id        string
-	rec       *modelRecord
-	suspect   *nn.Network // nil: prove the registered model
+	id  string
+	rec *modelRecord
+	// suspects holds one model per claim slot (nil entry: registered
+	// model); an empty slice proves the registered model in every slot.
+	suspects  []*nn.Network
 	submitted time.Time
 
 	mu          sync.Mutex
@@ -32,6 +36,7 @@ type job struct {
 	queuedFor   time.Duration
 	solveTime   time.Duration
 	proveTime   time.Duration
+	claims      []bool
 	proof       *groth16.Proof
 	public      groth16.PublicInputs
 }
@@ -48,6 +53,7 @@ func (j *job) snapshot() JobStatus {
 		QueuedMS:     float64(j.queuedFor.Microseconds()) / 1e3,
 		SolveMS:      float64(j.solveTime.Microseconds()) / 1e3,
 		ProveMS:      float64(j.proveTime.Microseconds()) / 1e3,
+		Claims:       j.claims,
 		Proof:        j.proof,
 		PublicInputs: j.public,
 	}
@@ -103,7 +109,7 @@ func newJobQueue(srv *Server, depth, batch, retention int) *jobQueue {
 	return q
 }
 
-func (q *jobQueue) submit(rec *modelRecord, suspect *nn.Network) (*job, error) {
+func (q *jobQueue) submit(rec *modelRecord, suspects []*nn.Network) (*job, error) {
 	q.closeMu.RLock()
 	defer q.closeMu.RUnlock()
 	if q.closing {
@@ -112,7 +118,7 @@ func (q *jobQueue) submit(rec *modelRecord, suspect *nn.Network) (*job, error) {
 	j := &job{
 		id:        fmt.Sprintf("job-%d", q.seq.Add(1)),
 		rec:       rec,
-		suspect:   suspect,
+		suspects:  suspects,
 		submitted: time.Now(),
 		status:    JobQueued,
 	}
@@ -225,8 +231,8 @@ func (q *jobQueue) run(batch []*job) {
 		j.queuedFor = time.Since(j.submitted)
 		j.mu.Unlock()
 
-		asg, err := j.rec.assignmentFor(j.suspect)
-		j.suspect = nil // the assignment owns the job's working set now
+		asg, err := j.rec.assignmentFor(j.suspects)
+		j.suspects = nil // the assignment owns the job's working set now
 		if err != nil {
 			j.fail(err)
 			q.srv.jobsFailed.Add(1)
@@ -250,16 +256,28 @@ func (q *jobQueue) run(batch []*job) {
 			q.retire(j.id)
 			continue
 		}
+		public := j.rec.art.System.PublicValues(res.Witness)
+		// Per-slot verdicts come from the trailing claim bits of the
+		// instance; a decode failure is impossible for circuits the
+		// service itself compiled, but guard anyway.
+		claims, cerr := core.ClaimBits(public, j.rec.slotCount())
+		if cerr != nil {
+			j.fail(cerr)
+			q.srv.jobsFailed.Add(1)
+			q.retire(j.id)
+			continue
+		}
 		j.mu.Lock()
 		j.status = JobDone
 		j.setupCached = res.CacheHit
 		j.solveTime = res.SolveTime
 		j.proveTime = res.ProveTime
 		j.proof = res.Proof
+		j.claims = claims
 		// The instance — including computed outputs such as the claim
-		// bit — comes from the solved witness, so the proof response is
+		// bits — comes from the solved witness, so the proof response is
 		// self-contained.
-		j.public = j.rec.art.System.PublicValues(res.Witness)
+		j.public = public
 		j.mu.Unlock()
 		q.srv.jobsCompleted.Add(1)
 		q.retire(j.id)

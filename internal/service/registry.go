@@ -26,9 +26,13 @@ import (
 // after a restart the record still serves verification but needs
 // re-registration before it can prove again.
 type modelRecord struct {
-	ID           string
-	Name         string
-	Committed    bool
+	ID        string
+	Name      string
+	Committed bool
+	// Slots is the number of suspect-model claim slots the registered
+	// circuit carries (1 for plain registrations; K for bundle_slots=K,
+	// where one prove job attests K claims with one proof).
+	Slots        int
 	FracBits     int
 	MaxErrors    int
 	LayerIndex   int
@@ -56,12 +60,23 @@ type modelRecord struct {
 
 func (rec *modelRecord) canProve() bool { return rec.model != nil && rec.key != nil && rec.art != nil }
 
+// slotCount normalizes the persisted slot field (records written before
+// bundle support carry 0).
+func (rec *modelRecord) slotCount() int {
+	if rec.Slots < 1 {
+		return 1
+	}
+	return rec.Slots
+}
+
 func (rec *modelRecord) params() fixpoint.Params {
 	return fixpoint.Params{FracBits: rec.FracBits, MagBits: 44}
 }
 
 // compile builds the record's extraction circuit once, at registration
-// time. The resulting artifact's digest becomes the record ID.
+// time. The resulting artifact's digest becomes the record ID. A
+// multi-slot record compiles the batched circuit: every bundle job
+// afterwards only rebinds slot inputs and replays the solver program.
 func (rec *modelRecord) compile() (*core.Artifact, error) {
 	if rec.model == nil || rec.key == nil || rec.quant == nil {
 		return nil, fmt.Errorf("model record has no prove material")
@@ -70,18 +85,20 @@ func (rec *modelRecord) compile() (*core.Artifact, error) {
 	if rec.Committed {
 		return core.CommittedExtractionCircuit(rec.quant, ck, rec.MaxErrors)
 	}
-	return core.ExtractionCircuit(rec.quant, ck, rec.MaxErrors)
+	return core.BatchedExtractionCircuit(rec.quant, ck, rec.MaxErrors, rec.slotCount())
 }
 
 // assignmentFor resolves the input assignment for one prove job: the
-// registration-time assignment for the registered model, or the
-// suspect's weights rebound onto the compiled circuit. No compilation
-// happens here — architecture mismatches surface as binding errors.
-func (rec *modelRecord) assignmentFor(suspect *nn.Network) (r1cs.Assignment, error) {
+// registration-time assignment for the registered model (all slots), or
+// the suspects' weights rebound slot-by-slot onto the circuit compiled
+// at registration. A nil entry keeps the registered model in that slot.
+// No compilation happens here — architecture mismatches surface as
+// binding errors.
+func (rec *modelRecord) assignmentFor(suspects []*nn.Network) (r1cs.Assignment, error) {
 	if !rec.canProve() {
 		return r1cs.Assignment{}, fmt.Errorf("model %s has no prove material (registered before a restart?); re-register it", rec.ID)
 	}
-	if suspect == nil {
+	if len(suspects) == 0 {
 		return rec.art.Assignment, nil
 	}
 	if rec.Committed {
@@ -91,13 +108,23 @@ func (rec *modelRecord) assignmentFor(suspect *nn.Network) (r1cs.Assignment, err
 		// construction.
 		return r1cs.Assignment{}, fmt.Errorf("committed circuits are bound to the registered model; register the suspect model itself (circuit %s)", rec.ID[:12])
 	}
-	qs, err := nn.Quantize(suspect, rec.params())
-	if err != nil {
-		return r1cs.Assignment{}, err
+	if len(suspects) != rec.slotCount() {
+		return r1cs.Assignment{}, fmt.Errorf("bundle carries %d suspect models, circuit %s has %d claim slots", len(suspects), rec.ID[:12], rec.slotCount())
 	}
-	// BindSuspectInputs enforces full architecture equality against the
+	qs := make([]*nn.QuantizedNetwork, len(suspects))
+	for i, suspect := range suspects {
+		if suspect == nil {
+			continue
+		}
+		q, err := nn.Quantize(suspect, rec.params())
+		if err != nil {
+			return r1cs.Assignment{}, err
+		}
+		qs[i] = q
+	}
+	// BindSuspectSlots enforces full architecture equality against the
 	// shapes pinned in the artifact at compile time.
-	asg, err := core.BindSuspectInputs(rec.art, qs)
+	asg, err := core.BindSuspectSlots(rec.art, qs)
 	if err != nil {
 		return r1cs.Assignment{}, fmt.Errorf("suspect model rejected for registered circuit %s: %w", rec.ID[:12], err)
 	}
@@ -109,6 +136,7 @@ func (rec *modelRecord) info() ModelInfo {
 		ModelID:      rec.ID,
 		Name:         rec.Name,
 		Committed:    rec.Committed,
+		BundleSlots:  rec.slotCount(),
 		FracBits:     rec.FracBits,
 		MaxErrors:    rec.MaxErrors,
 		Constraints:  rec.Constraints,
@@ -124,6 +152,7 @@ type recordMeta struct {
 	Name            string    `json:"name,omitempty"`
 	Committed       bool      `json:"committed,omitempty"`
 	CommittedDigest string    `json:"committed_digest,omitempty"`
+	BundleSlots     int       `json:"bundle_slots,omitempty"`
 	FracBits        int       `json:"frac_bits"`
 	MaxErrors       int       `json:"max_errors"`
 	LayerIndex      int       `json:"layer_index"`
@@ -212,6 +241,7 @@ func (r *registry) loadRecord(id string) (*modelRecord, error) {
 		Name:            meta.Name,
 		Committed:       meta.Committed,
 		CommittedDigest: meta.CommittedDigest,
+		Slots:           meta.BundleSlots,
 		FracBits:        meta.FracBits,
 		MaxErrors:       meta.MaxErrors,
 		LayerIndex:      meta.LayerIndex,
@@ -245,6 +275,7 @@ func (r *registry) put(rec *modelRecord) (existed bool, err error) {
 		Name:            rec.Name,
 		Committed:       rec.Committed,
 		CommittedDigest: rec.CommittedDigest,
+		BundleSlots:     rec.Slots,
 		FracBits:        rec.FracBits,
 		MaxErrors:       rec.MaxErrors,
 		LayerIndex:      rec.LayerIndex,

@@ -34,7 +34,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/core"
 	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
@@ -264,10 +263,24 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "max_errors must be >= 0")
 		return
 	}
+	if req.BundleSlots == 0 {
+		req.BundleSlots = 1
+	}
+	if req.BundleSlots < 1 || req.BundleSlots > maxBundleSlots {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bundle_slots must be in [1, %d], got %d", maxBundleSlots, req.BundleSlots))
+		return
+	}
+	if req.Committed && req.BundleSlots > 1 {
+		writeError(w, http.StatusBadRequest,
+			"committed circuits bake the model into the constraints and cannot carry suspect bundle slots; use the non-committed variant for bundles")
+		return
+	}
 
 	rec := &modelRecord{
 		Name:       req.Name,
 		Committed:  req.Committed,
+		Slots:      req.BundleSlots,
 		FracBits:   req.FracBits,
 		MaxErrors:  req.MaxErrors,
 		LayerIndex: key.LayerIndex,
@@ -348,6 +361,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Constraints:       rec.Constraints,
 		PublicInputs:      rec.PublicInputs,
 		Committed:         rec.Committed,
+		BundleSlots:       rec.slotCount(),
 		VK:                rec.VK,
 	})
 }
@@ -388,17 +402,42 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	var suspect *nn.Network
-	if len(req.SuspectModel) > 0 {
-		net, err := nn.Load(bytes.NewReader(req.SuspectModel))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad suspect model: "+err.Error())
+	if len(req.SuspectModel) > 0 && len(req.SuspectModels) > 0 {
+		writeError(w, http.StatusBadRequest, "use either suspect_model or suspect_models, not both")
+		return
+	}
+	// Normalize the legacy single-suspect field into a 1-entry bundle.
+	raws := req.SuspectModels
+	if len(raws) == 0 && len(req.SuspectModel) > 0 {
+		raws = []json.RawMessage{req.SuspectModel}
+	}
+	var suspects []*nn.Network
+	if len(raws) > 0 {
+		if len(raws) != rec.slotCount() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bundle carries %d suspect models, model has %d claim slots", len(raws), rec.slotCount()))
 			return
 		}
-		suspect = net
+		suspects = make([]*nn.Network, len(raws))
+		any := false
+		for i, raw := range raws {
+			if len(raw) == 0 || string(raw) == "null" {
+				continue // keep the registered model in this slot
+			}
+			net, err := nn.Load(bytes.NewReader(raw))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad suspect model in slot %d: %v", i, err))
+				return
+			}
+			suspects[i] = net
+			any = true
+		}
+		if !any {
+			suspects = nil // all-null bundle == prove the registered model
+		}
 	}
 
-	j, err := s.queue.submit(rec, suspect)
+	j, err := s.queue.submit(rec, suspects)
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.jobsRejected.Add(1)
@@ -490,7 +529,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Valid = true
-	resp.Claim = claimBit(req.PublicInputs)
+	if claims, cerr := core.ClaimBits(req.PublicInputs, rec.slotCount()); cerr == nil {
+		resp.Claims = claims
+		resp.Claim = true
+		for _, c := range claims {
+			resp.Claim = resp.Claim && c
+		}
+	}
 	if rec.Committed {
 		// Committed-model proofs additionally bind the registered model
 		// through the Fiat-Shamir digest in the instance (public input
@@ -501,6 +546,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		if derr := checkCommittedDigest(rec, req.PublicInputs); derr != nil {
 			resp.Valid = false
 			resp.Claim = false
+			resp.Claims = nil
 			resp.Error = derr.Error()
 		}
 	}
@@ -521,16 +567,10 @@ func checkCommittedDigest(rec *modelRecord, public groth16.PublicInputs) error {
 	return nil
 }
 
-// claimBit reports whether the instance's trailing ownership-claim
-// wire is 1.
-func claimBit(public groth16.PublicInputs) bool {
-	if len(public) == 0 {
-		return false
-	}
-	var one fr.Element
-	one.SetOne()
-	return public[len(public)-1].Equal(&one)
-}
+// maxBundleSlots bounds bundle_slots at registration: a K-slot circuit
+// is ~K times the single circuit, so an unbounded remote K would let one
+// request commission an arbitrarily large compile + trusted setup.
+const maxBundleSlots = 32
 
 // --- helpers ---
 

@@ -29,6 +29,13 @@ type RegisterRequest struct {
 	// Committed selects the committed-model circuit variant
 	// (constant-size VK, weights bound by digest).
 	Committed bool `json:"committed,omitempty"`
+	// BundleSlots compiles a batched extraction circuit with this many
+	// suspect-model slots sharing the watermark key (default 1). A
+	// K-slot registration proves K ownership claims — against up to K
+	// different same-architecture suspects — with ONE Groth16 proof per
+	// bundle job. Mutually exclusive with Committed (committed circuits
+	// bake the model into the constraints and cannot rebind slots).
+	BundleSlots int `json:"bundle_slots,omitempty"`
 }
 
 // RegisterResponse reports the registered circuit and its verifying
@@ -45,14 +52,19 @@ type RegisterResponse struct {
 	Constraints  int                   `json:"constraints"`
 	PublicInputs int                   `json:"public_inputs"`
 	Committed    bool                  `json:"committed,omitempty"`
+	BundleSlots  int                   `json:"bundle_slots,omitempty"`
 	VK           *groth16.VerifyingKey `json:"vk"`
 }
 
 // ModelInfo describes one registry entry.
 type ModelInfo struct {
-	ModelID      string `json:"model_id"`
-	Name         string `json:"name,omitempty"`
-	Committed    bool   `json:"committed,omitempty"`
+	ModelID   string `json:"model_id"`
+	Name      string `json:"name,omitempty"`
+	Committed bool   `json:"committed,omitempty"`
+	// BundleSlots is the number of suspect-model claim slots the
+	// registered circuit carries (1 unless registered with
+	// bundle_slots > 1).
+	BundleSlots  int    `json:"bundle_slots,omitempty"`
 	FracBits     int    `json:"frac_bits"`
 	MaxErrors    int    `json:"max_errors"`
 	Constraints  int    `json:"constraints"`
@@ -82,6 +94,12 @@ type ProveRequest struct {
 	// registered in its own right instead. When absent, the registered
 	// model is proved.
 	SuspectModel json.RawMessage `json:"suspect_model,omitempty"`
+	// SuspectModels is the bundle form for multi-slot registrations: one
+	// entry per claim slot (length must equal the model's bundle_slots),
+	// a null entry keeping the registered model in that slot. The job
+	// produces ONE proof carrying a verdict per slot (JobStatus.Claims).
+	// Mutually exclusive with SuspectModel.
+	SuspectModels []json.RawMessage `json:"suspect_models,omitempty"`
 }
 
 // ProveAccepted acknowledges a queued prove job.
@@ -114,8 +132,12 @@ type JobStatus struct {
 	// SolveMS is the per-job witness generation time (solver-program
 	// replay over the circuit compiled at registration — jobs never
 	// recompile).
-	SolveMS      float64              `json:"solve_ms,omitempty"`
-	ProveMS      float64              `json:"prove_ms,omitempty"`
+	SolveMS float64 `json:"solve_ms,omitempty"`
+	ProveMS float64 `json:"prove_ms,omitempty"`
+	// Claims holds the per-slot ownership verdicts decoded from the
+	// instance (the trailing bundle_slots public inputs), in slot order.
+	// A single-slot job reports one entry.
+	Claims       []bool               `json:"claims,omitempty"`
 	Proof        *groth16.Proof       `json:"proof,omitempty"`
 	PublicInputs groth16.PublicInputs `json:"public_inputs,omitempty"`
 }
@@ -128,13 +150,16 @@ type VerifyRequest struct {
 }
 
 // VerifyResponse reports the verdict. Valid means the Groth16 proof
-// verified; Claim means the public ownership-claim bit is 1 — both must
-// hold for the ownership claim to stand. BatchSize reports how many
-// concurrent requests shared the pairing product that checked this
-// proof (> 1 when micro-batching coalesced neighbors).
+// verified; Claim means every public ownership-claim bit is 1 — both
+// must hold for the (whole) ownership claim to stand. Claims lists the
+// per-slot verdicts for bundle registrations (a single-slot model
+// reports one entry). BatchSize reports how many concurrent requests
+// shared the pairing product that checked this proof (> 1 when
+// micro-batching coalesced neighbors).
 type VerifyResponse struct {
 	Valid     bool   `json:"valid"`
 	Claim     bool   `json:"claim"`
+	Claims    []bool `json:"claims,omitempty"`
 	BatchSize int    `json:"batch_size"`
 	Error     string `json:"error,omitempty"`
 }

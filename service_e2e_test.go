@@ -142,3 +142,85 @@ func TestProofServiceEndToEnd(t *testing.T) {
 		t.Fatalf("registry listing wrong: %+v", models)
 	}
 }
+
+// TestProofServiceBundleEndToEnd pins the bundle wire shapes between
+// zkrownn/client and the server: a K-slot registration, one bundle job
+// carrying distinct suspects, per-slot verdicts in the job status and
+// the verify response — all through the public surface only.
+func TestProofServiceBundleEndToEnd(t *testing.T) {
+	const slots = 2
+	srv, err := zkrownn.NewProofService(zkrownn.ProofServiceOptions{
+		VerifyWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rng := rand.New(rand.NewSource(12))
+	ds, err := zkrownn.SyntheticMNIST(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := zkrownn.NewMLP(ds.Dim, []int{4}, ds.Classes, rng)
+	suspect := zkrownn.NewMLP(ds.Dim, []int{4}, ds.Classes, rng) // same arch, fresh weights
+	key, err := zkrownn.GenerateKey(model, ds, zkrownn.KeyOptions{Bits: 4, Triggers: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := c.RegisterModel(ctx, model, key, client.RegisterOptions{
+		Name: "e2e-bundle", MaxErrors: len(key.Signature), BundleSlots: slots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.BundleSlots != slots {
+		t.Fatalf("registered bundle_slots %d, want %d", reg.BundleSlots, slots)
+	}
+
+	// Slot 0 keeps the registered model, slot 1 gets the suspect.
+	ticket, err := c.SubmitProveBundle(ctx, reg.ModelID, []*zkrownn.Model{nil, suspect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.WaitForProof(ctx, ticket.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Claims) != slots {
+		t.Fatalf("job reports %d claims, want %d", len(job.Claims), slots)
+	}
+	for s, claim := range job.Claims {
+		if !claim {
+			t.Fatalf("slot %d claim 0 under full BER tolerance", s)
+		}
+	}
+
+	v, err := c.Verify(ctx, reg.ModelID, job.Proof, job.PublicInputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Valid || !v.Claim || len(v.Claims) != slots {
+		t.Fatalf("bundle verify verdict wrong: %+v", v)
+	}
+
+	// The whole bundle compiled one circuit and proved once.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Service.CircuitsCompiled != 1 || stats.Engine.Proves != 1 {
+		t.Fatalf("bundle cost: %d compiles / %d proves, want 1 / 1", stats.Service.CircuitsCompiled, stats.Engine.Proves)
+	}
+}

@@ -220,6 +220,50 @@ func BindSuspectModel(c *Circuit, q *QuantizedModel, rng io.Reader) (ProveReques
 	return c.RequestFor(asg, rng), nil
 }
 
+// BuildBatchedOwnershipCircuit compiles Algorithm 1 with `slots`
+// suspect-model weight slots sharing one secret watermark key: ONE
+// Groth16 proof then attests `slots` independent ownership claims. All
+// slots start bound to q's weights; BindSuspectModels rebinds
+// individual slots to same-architecture suspects without recompiling.
+// The last `slots` public inputs are the per-slot claim bits
+// (OwnershipClaims decodes them). slots = 1 is exactly
+// BuildOwnershipCircuit.
+func BuildBatchedOwnershipCircuit(q *QuantizedModel, key *WatermarkKey, maxErrors, slots int) (*Circuit, error) {
+	ck := core.QuantizeKey(key, q.Params)
+	return core.BatchedExtractionCircuit(q, ck, maxErrors, slots)
+}
+
+// BindSuspectModels rebinds a batched ownership circuit's per-slot
+// weight inputs — suspects[s] replaces slot s, nil keeps the model the
+// circuit was compiled with — and returns the engine request proving
+// the whole bundle. len(suspects) must equal c.Slots().
+func BindSuspectModels(c *Circuit, suspects []*QuantizedModel, rng io.Reader) (ProveRequest, error) {
+	asg, err := core.BindSuspectSlots(c, suspects)
+	if err != nil {
+		return ProveRequest{}, err
+	}
+	return c.RequestFor(asg, rng), nil
+}
+
+// OwnershipClaims decodes the per-slot ownership verdicts from a
+// (batched) extraction instance: the trailing c.Slots() public inputs,
+// in slot order.
+func OwnershipClaims(c *Circuit, public []fr.Element) ([]bool, error) {
+	return core.ClaimBits(public, c.Slots())
+}
+
+// VerifyBatchedOwnership checks one proof carrying many ownership
+// claims: the Groth16 verification must pass, and the returned slice
+// reports each slot's claim bit. A nil error with a false entry means
+// "the watermark did not extract from that suspect" — a sound proof of
+// a failed claim, exactly what an arbiter wants for that slot.
+func VerifyBatchedOwnership(vk *VerifyingKey, proof *Proof, public []fr.Element, slots int) ([]bool, error) {
+	if err := groth16.Verify(vk, proof, public); err != nil {
+		return nil, err
+	}
+	return core.ClaimBits(public, slots)
+}
+
 // Setup runs the one-time Groth16 trusted setup for a circuit.
 // rng supplies the toxic-waste randomness (crypto/rand when nil).
 func Setup(c *Circuit, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
