@@ -25,14 +25,17 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"zkrownn/internal/core"
 	"zkrownn/internal/engine"
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/gadgets"
+	"zkrownn/internal/groth16"
 )
 
 type rowSpec struct {
@@ -80,17 +83,19 @@ func scaleSizes(scale string) (sizes, error) {
 
 func main() {
 	var (
-		scale    = flag.String("scale", "default", "benchmark scale: tiny, default, or paper")
-		row      = flag.String("row", "", "run a single Table I row (matmult, conv3d, relu, average2d, sigmoid, threshold, ber, mnist-mlp, cifar10-cnn)")
-		table2   = flag.Bool("table2", false, "print Table II (benchmark architectures) and exit")
-		seed     = flag.Int64("seed", 1, "deterministic workload seed")
-		fracBits = flag.Int("frac-bits", 16, "fixed-point fraction bits")
-		magBits  = flag.Int("mag-bits", 44, "fixed-point magnitude bound bits (range-check width)")
-		triggers = flag.Int("triggers", 0, "override the trigger-set size of the end-to-end rows")
-		repeat   = flag.Int("repeat", 1, "run each row this many times; repeats reuse keys via the engine's digest cache")
-		jsonOut  = flag.String("json", "BENCH_groth16.json", `write machine-readable per-row metrics to this file ("" disables)`)
-		keyCache = flag.String("keycache", "", "key-cache directory shared across bench invocations")
-		procs    = flag.String("procs", "", `comma-separated GOMAXPROCS values to run the whole table at (e.g. "1,4"); empty keeps the ambient setting`)
+		scale     = flag.String("scale", "default", "benchmark scale: tiny, default, or paper")
+		row       = flag.String("row", "", "run a single Table I row (matmult, conv3d, relu, average2d, sigmoid, threshold, ber, mnist-mlp, cifar10-cnn)")
+		table2    = flag.Bool("table2", false, "print Table II (benchmark architectures) and exit")
+		seed      = flag.Int64("seed", 1, "deterministic workload seed")
+		fracBits  = flag.Int("frac-bits", 16, "fixed-point fraction bits")
+		magBits   = flag.Int("mag-bits", 44, "fixed-point magnitude bound bits (range-check width)")
+		triggers  = flag.Int("triggers", 0, "override the trigger-set size of the end-to-end rows")
+		repeat    = flag.Int("repeat", 1, "run each row this many times; repeats reuse keys via the engine's digest cache")
+		jsonOut   = flag.String("json", "BENCH_groth16.json", `write machine-readable per-row metrics to this file ("" disables)`)
+		keyCache  = flag.String("keycache", "", "key-cache directory shared across bench invocations")
+		procs     = flag.String("procs", "", `comma-separated GOMAXPROCS values to run the whole table at (e.g. "1,4"); empty keeps the ambient setting`)
+		stream    = flag.Bool("stream", false, "prove out-of-core: spill proving keys to disk and stream them back in bounded windows (engine memory budget of 1 byte)")
+		memBudget = flag.Int64("mem-budget", 0, "engine per-circuit key memory budget in bytes; circuits whose raw proving key exceeds it stream from disk (0 disables; -stream is shorthand for 1)")
 	)
 	flag.Parse()
 
@@ -172,11 +177,21 @@ func main() {
 	if len(procsList) > 1 {
 		cacheEntries = len(rows)
 	}
-	eng := engine.New(engine.Options{CacheDir: *keyCache, CacheEntries: cacheEntries})
+	budget := *memBudget
+	if *stream && budget <= 0 {
+		budget = 1
+	}
+	eng := engine.New(engine.Options{
+		CacheDir:     *keyCache,
+		CacheEntries: cacheEntries,
+		MemoryBudget: budget,
+	})
+	defer eng.Close()
 	report := benchReport{
 		Scale:      *scale,
 		FracBits:   *fracBits,
 		GoMaxProcs: procsList[0],
+		Streamed:   budget > 0,
 		Rows:       []benchRecord{},
 	}
 	for _, np := range procsList {
@@ -201,8 +216,32 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s: build: %v\n", spec.name, err)
 				os.Exit(1)
 			}
+			pkRaw, err := groth16.RawPKSizeBytes(art.System)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: raw key size: %v\n", spec.name, err)
+				os.Exit(1)
+			}
+			// The pipeline re-solves from the recorded solver program;
+			// the builder's eager witness would only pad peak RSS
+			// (NbWires×32 bytes held across every sampled repeat).
+			art.Witness = nil
 			for r := 0; r < *repeat; r++ {
+				// In streamed mode the disk tier is the authoritative key
+				// store, so evicting the memory tier before sampling costs
+				// only a re-index of the spilled key — and stops an earlier
+				// row's retained compiled system from padding this row's
+				// peak. (In-memory mode keeps the cache: without a disk
+				// tier, eviction would mean re-running trusted setup.)
+				if budget > 0 {
+					eng.DropMemoryCache()
+				}
+				// Return freed pages to the OS so each run's peak-RSS
+				// sample reflects its own allocations, not a previous
+				// row's high-water mark the runtime is still holding.
+				debug.FreeOSMemory()
+				sampler := startRSSSampler()
 				pl, err := core.RunPipelineWith(eng, art, rng)
+				peakRSS := sampler.Stop()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
 					os.Exit(1)
@@ -211,15 +250,18 @@ func main() {
 				fmt.Println(pl.Metrics.String())
 				rec := recordOf(&pl.Metrics)
 				rec.GoMaxProcs = runtime.GOMAXPROCS(0)
+				rec.PKRawBytes = pkRaw
+				rec.PeakRSSBytes = peakRSS
+				rec.Streamed = pl.Metrics.Streamed
 				report.Rows = append(report.Rows, rec)
 			}
 		}
 	}
 
 	st := eng.Stats()
-	fmt.Printf("\nengine: %d setups (%.2fs), %d cache hits (%d mem, %d disk), %d proofs (%.2fs), %d verifies (%.3fs)\n",
+	fmt.Printf("\nengine: %d setups (%.2fs), %d cache hits (%d mem, %d disk), %d proofs (%.2fs, %d streamed), %d verifies (%.3fs)\n",
 		st.Setups, st.SetupTime.Seconds(), st.MemHits+st.DiskHits, st.MemHits, st.DiskHits,
-		st.Proves, st.ProveTime.Seconds(), st.Verifies, st.VerifyTime.Seconds())
+		st.Proves, st.ProveTime.Seconds(), st.StreamProves, st.Verifies, st.VerifyTime.Seconds())
 
 	if *jsonOut != "" {
 		if err := writeReport(*jsonOut, &report); err != nil {
@@ -251,10 +293,13 @@ func parseProcs(s string) ([]int, error) {
 // PRs (BENCH_groth16.json). The top-level gomaxprocs records the first
 // run of a -procs sweep; each row carries the setting it ran at.
 type benchReport struct {
-	Scale      string        `json:"scale"`
-	FracBits   int           `json:"frac_bits"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Rows       []benchRecord `json:"rows"`
+	Scale      string `json:"scale"`
+	FracBits   int    `json:"frac_bits"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Streamed records whether the run had an engine memory budget
+	// (rows whose raw proving key exceeded it proved out-of-core).
+	Streamed bool          `json:"streamed"`
+	Rows     []benchRecord `json:"rows"`
 }
 
 type benchRecord struct {
@@ -282,6 +327,15 @@ type benchRecord struct {
 	PKBytes              int64   `json:"pk_bytes"`
 	VKBytes              int64   `json:"vk_bytes"`
 	ProofBytes           int     `json:"proof_bytes"`
+	// PKRawBytes is the raw uncompressed proving-key encoding size —
+	// the prover's full working set if it held the key in RAM, and the
+	// baseline peak_rss_bytes is judged against in streamed mode.
+	PKRawBytes int64 `json:"pk_raw_bytes"`
+	// PeakRSSBytes is the process's peak resident-set size sampled over
+	// this row's setup+prove+verify run (0 where /proc is unavailable).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	// Streamed marks rows proved out-of-core.
+	Streamed bool `json:"streamed"`
 }
 
 func recordOf(m *core.Metrics) benchRecord {
@@ -306,6 +360,64 @@ func recordOf(m *core.Metrics) benchRecord {
 		VKBytes:              m.VKSize,
 		ProofBytes:           m.ProofSize,
 	}
+}
+
+// rssSampler polls the process resident-set size on a short tick while
+// one benchmark row runs, tracking the high-water mark. Sampling reads
+// /proc/self/statm (resident pages × page size) — the streamed prover
+// deliberately reads key files with pread rather than mmap so that key
+// bytes flow through the kernel page cache without counting against the
+// process RSS this sampler measures.
+type rssSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Int64
+}
+
+func startRSSSampler() *rssSampler {
+	s := &rssSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if r := currentRSS(); r > s.peak.Load() {
+				s.peak.Store(r)
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts sampling (taking one final sample) and returns the peak
+// observed RSS in bytes.
+func (s *rssSampler) Stop() int64 {
+	close(s.stop)
+	<-s.done
+	return s.peak.Load()
+}
+
+// currentRSS returns the resident-set size in bytes, or 0 on platforms
+// without /proc.
+func currentRSS() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
 }
 
 func writeReport(path string, rep *benchReport) error {

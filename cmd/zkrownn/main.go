@@ -323,12 +323,13 @@ func cmdProve(args []string) error {
 		return err
 	}
 	pk, vk, proof := res.Keys.PK, res.Keys.VK, res.Proof
+	pkSize := res.Keys.PKSizeBytes()
 	if res.CacheHit {
 		fmt.Printf("setup:  cache hit %s (keys for digest %s, PK %.1f MB, VK %.1f KB)\n",
-			res.SetupTime, res.Digest[:12], float64(pk.SizeBytes())/1e6, float64(vk.SizeBytes())/1e3)
+			res.SetupTime, res.Digest[:12], float64(pkSize)/1e6, float64(vk.SizeBytes())/1e3)
 	} else {
 		fmt.Printf("setup:  %.2fs (PK %.1f MB, VK %.1f KB)\n",
-			res.SetupTime.Seconds(), float64(pk.SizeBytes())/1e6, float64(vk.SizeBytes())/1e3)
+			res.SetupTime.Seconds(), float64(pkSize)/1e6, float64(vk.SizeBytes())/1e3)
 		switch {
 		case res.PersistErr != nil:
 			fmt.Printf("        warning: key cache write failed: %v\n", res.PersistErr)

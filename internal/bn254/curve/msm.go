@@ -1,6 +1,7 @@
 package curve
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"zkrownn/internal/bn254/fr"
@@ -87,8 +88,12 @@ type ScalarDecomposition struct {
 	// so their digits live in a handful of low windows — the MSM skips
 	// the all-zero rest outright.
 	used int
-	// digits[w*n+i] is scalar i's signed digit for window w, in
-	// [-(2^(c-1)-1), 2^(c-1)].
+	// digits[w*stride+off+i] is scalar i's signed digit for window w, in
+	// [-(2^(c-1)-1), 2^(c-1)]. off/stride exist so a Slice view can
+	// address the digits of a scalar sub-range without copying — the
+	// chunked/streamed MSM walks one full-vector recoding chunk by chunk.
+	off    int
+	stride int
 	digits []int16
 }
 
@@ -98,6 +103,25 @@ func (d *ScalarDecomposition) C() int { return d.c }
 // Len returns the number of scalars in the decomposition.
 func (d *ScalarDecomposition) Len() int { return d.n }
 
+// row returns the digit row of window w for this view.
+func (d *ScalarDecomposition) row(w int) []int16 {
+	base := w*d.stride + d.off
+	return d.digits[base : base+d.n]
+}
+
+// Slice returns a zero-copy view of the decomposition restricted to
+// scalars [start, end). The view shares the underlying digit storage,
+// so one full-vector recoding serves every chunk of a streamed MSM.
+func (d *ScalarDecomposition) Slice(start, end int) *ScalarDecomposition {
+	if start < 0 || end > d.n || start > end {
+		panic("curve: ScalarDecomposition.Slice out of range")
+	}
+	s := *d
+	s.off = d.off + start
+	s.n = end - start
+	return &s
+}
+
 // DecomposeScalars recodes scalars into signed c-bit window digits
 // (2 ≤ c ≤ 15; use MSMWindowSize to pick c for a given size). Each
 // window value v ∈ [0, 2^c] (window bits plus incoming carry) becomes
@@ -106,12 +130,26 @@ func (d *ScalarDecomposition) Len() int { return d.n }
 // final carry; scalars are < 2^254, so recoding always terminates with
 // carry zero.
 func DecomposeScalars(scalars []fr.Element, c int) *ScalarDecomposition {
+	return decomposeScalarsInto(nil, scalars, c)
+}
+
+// decomposeScalarsInto is DecomposeScalars reusing d's digit storage
+// when it is large enough — the streamed MSM recodes thousands of
+// chunks per proof, and a fresh digit table per chunk is pure GC churn.
+// The digits written are identical to a fresh decomposition (recoding
+// is per-scalar and every slot in the reused window rows is
+// overwritten), so results are unchanged. Passing nil allocates.
+func decomposeScalarsInto(d *ScalarDecomposition, scalars []fr.Element, c int) *ScalarDecomposition {
 	if c < 2 || c > 15 {
 		panic("curve: DecomposeScalars window width out of range [2,15]")
 	}
 	n := len(scalars)
 	windows := (fr.Bits+c-1)/c + 1
-	d := &ScalarDecomposition{c: c, windows: windows, n: n, digits: make([]int16, windows*n)}
+	if d == nil || cap(d.digits) < windows*n {
+		d = &ScalarDecomposition{digits: make([]int16, windows*n)}
+	}
+	d.c, d.windows, d.n, d.stride, d.off = c, windows, n, n, 0
+	d.digits = d.digits[:windows*n]
 	half := int64(1) << (c - 1)
 	full := int64(1) << c
 	var maxUsed atomic.Int64
@@ -326,6 +364,34 @@ type msmCurve[A, J any] interface {
 	jacReduce(buckets []J, sum *J)
 	add(dst, src *J)
 	double(dst *J)
+	// scratchPool recycles per-task bucket scratch (one homogeneous
+	// *msmScratch[A, J] pool per curve): a streamed proof runs thousands
+	// of chunk×window-group tasks, and allocating half-MB bucket arrays
+	// per task is the prover's dominant GC churn.
+	scratchPool() *sync.Pool
+}
+
+// msmScratch is the recycled working set of one MSM task. Buckets are
+// re-zeroed on reuse (the zero affine value is infinity, matching a
+// fresh make); idx and pts need no clearing — the batch adder only
+// reads the [0, cnt) prefix it wrote.
+type msmScratch[A, J any] struct {
+	bucketsJ []J
+	bucketsA []A
+	pending  []bool
+	idx      []int32
+	pts      []A
+}
+
+var g1ScratchPool, g2ScratchPool sync.Pool
+
+// grow returns s[:n] with the backing array reallocated when too small,
+// without zeroing retained contents — callers reset what they read.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // msmTask is one cell of the driver's work decomposition: a point chunk
@@ -433,25 +499,36 @@ func multiExp[A, J any, CV msmCurve[A, J]](cv CV, points []A, dec *ScalarDecompo
 			end = n
 		}
 		pointsChunk := points[start:end]
+		sc, _ := cv.scratchPool().Get().(*msmScratch[A, J])
+		if sc == nil {
+			sc = &msmScratch[A, J]{}
+		}
+		defer cv.scratchPool().Put(sc)
 		if !task.affine {
 			w := task.w0
-			buckets := make([]J, numBuckets)
+			sc.bucketsJ = grow(sc.bucketsJ, numBuckets)
+			buckets := sc.bucketsJ
 			for b := range buckets {
 				buckets[b] = cv.infinity()
 			}
-			cv.jacAccumulate(buckets, pointsChunk, dec.digits[w*n+start:w*n+end])
+			cv.jacAccumulate(buckets, pointsChunk, dec.row(w)[start:end])
 			cv.jacReduce(buckets, &partials[task.chunk*numWindows+w])
 			return
 		}
 		g := task.w1 - task.w0
-		buckets := make([]A, g*numBuckets) // zero value is affine infinity
-		pending := make([]bool, g*numBuckets)
-		idx := make([]int32, batch)
-		pts := make([]A, batch)
+		sc.bucketsA = grow(sc.bucketsA, g*numBuckets)
+		buckets := sc.bucketsA
+		clear(buckets) // zero value is affine infinity
+		sc.pending = grow(sc.pending, g*numBuckets)
+		pending := sc.pending
+		clear(pending)
+		sc.idx = grow(sc.idx, batch)
+		sc.pts = grow(sc.pts, batch)
+		idx, pts := sc.idx, sc.pts
 		digitRows := make([][]int16, g)
 		for j := 0; j < g; j++ {
 			w := task.w0 + j
-			digitRows[j] = dec.digits[w*n+start : w*n+end]
+			digitRows[j] = dec.row(w)[start:end]
 		}
 		accumulate := cv.accumulator(batch)
 		side := accumulate(buckets, numBuckets, pointsChunk, digitRows, pending, idx, pts)
@@ -545,6 +622,8 @@ func (g1Msm) jacReduce(buckets []G1Jac, sum *G1Jac) {
 func (g1Msm) add(dst, src *G1Jac) { dst.AddAssign(src) }
 func (g1Msm) double(dst *G1Jac)   { dst.DoubleAssign() }
 
+func (g1Msm) scratchPool() *sync.Pool { return &g1ScratchPool }
+
 type g2Msm struct{}
 
 func (g2Msm) accumulator(batchSize int) func([]G2Affine, int, []G2Affine, [][]int16, []bool, []int32, []G2Affine) []G2Jac {
@@ -598,6 +677,8 @@ func (g2Msm) jacReduce(buckets []G2Jac, sum *G2Jac) {
 
 func (g2Msm) add(dst, src *G2Jac) { dst.AddAssign(src) }
 func (g2Msm) double(dst *G2Jac)   { dst.DoubleAssign() }
+
+func (g2Msm) scratchPool() *sync.Pool { return &g2ScratchPool }
 
 // MultiExpG1 computes Σ scalars[i]·points[i] with the parallel
 // signed-digit Pippenger method. Points and scalars must have equal

@@ -1,0 +1,214 @@
+package curve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// TestStreamMSMMatchesInMemory drives the chunked driver across sizes
+// that straddle every chunk boundary — chunk−1 (single partial chunk),
+// chunk (exactly one), chunk+1 (full chunk plus a 1-point tail),
+// multiples, and non-powers-of-two — and asserts the streamed sum equals
+// the one-shot in-memory MSM on the same witness-shaped inputs.
+func TestStreamMSMMatchesInMemory(t *testing.T) {
+	const chunk = 64
+	rng := rand.New(rand.NewSource(401))
+	for _, n := range []int{1, 2, chunk - 1, chunk, chunk + 1, 2*chunk - 1, 2 * chunk, 3*chunk + 17, 333} {
+		points, scalars := msmTestVectors(rng, n)
+		dec := DecomposeScalars(scalars, StreamWindowSize(n, chunk))
+
+		want := MultiExpG1Decomposed(points, dec)
+		got, err := MultiExpG1Stream(SliceSourceG1(points), dec, chunk)
+		if err != nil {
+			t.Fatalf("n=%d: streamed MSM: %v", n, err)
+		}
+		var wantAff, gotAff G1Affine
+		wantAff.FromJacobian(&want)
+		gotAff.FromJacobian(&got)
+		if !gotAff.Equal(&wantAff) {
+			t.Fatalf("n=%d: streamed G1 MSM diverges from in-memory", n)
+		}
+	}
+}
+
+// TestStreamMSMG2MatchesInMemory mirrors the G1 boundary sweep in G2,
+// deriving points from random scalar multiples of the generator.
+func TestStreamMSMG2MatchesInMemory(t *testing.T) {
+	const chunk = 32
+	rng := rand.New(rand.NewSource(402))
+	gen := G2Generator()
+	for _, n := range []int{chunk - 1, chunk, chunk + 1, 2*chunk + 5, 77} {
+		points := make([]G2Affine, n)
+		scalars := make([]fr.Element, n)
+		for i := range points {
+			var k fr.Element
+			if _, err := k.SetRandom(rng); err != nil {
+				t.Fatal(err)
+			}
+			var j G2Jac
+			j.ScalarMul(&gen, &k)
+			points[i].FromJacobian(&j)
+			if _, err := scalars[i].SetRandom(rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Mix in edge scalars so the recoding's carry paths run.
+		scalars[0].SetZero()
+		if n > 1 {
+			scalars[1].SetOne()
+			scalars[1].Neg(&scalars[1])
+		}
+
+		dec := DecomposeScalars(scalars, StreamWindowSize(n, chunk))
+		want := MultiExpG2Decomposed(points, dec)
+		got, err := MultiExpG2Stream(SliceSourceG2(points), dec, chunk)
+		if err != nil {
+			t.Fatalf("n=%d: streamed MSM: %v", n, err)
+		}
+		var wantAff, gotAff G2Affine
+		wantAff.FromJacobian(&want)
+		gotAff.FromJacobian(&got)
+		if !gotAff.Equal(&wantAff) {
+			t.Fatalf("n=%d: streamed G2 MSM diverges from in-memory", n)
+		}
+	}
+}
+
+// TestStreamMSMRawSource runs the full disk-shaped path: points encoded
+// with BytesRaw into one contiguous section (with a nonzero offset, as
+// in a proving-key file), decoded back through NewG1RawSource chunk by
+// chunk.
+func TestStreamMSMRawSource(t *testing.T) {
+	const chunk = 48
+	rng := rand.New(rand.NewSource(403))
+	n := 3*chunk + 5
+	points, scalars := msmTestVectors(rng, n)
+
+	var buf bytes.Buffer
+	buf.WriteString("hdr-padding") // non-zero section offset
+	off := int64(buf.Len())
+	for i := range points {
+		b := points[i].BytesRaw()
+		buf.Write(b[:])
+	}
+
+	dec := DecomposeScalars(scalars, StreamWindowSize(n, chunk))
+	want := MultiExpG1Decomposed(points, dec)
+	got, err := MultiExpG1Stream(NewG1RawSource(bytes.NewReader(buf.Bytes()), off), dec, chunk)
+	if err != nil {
+		t.Fatalf("raw-source streamed MSM: %v", err)
+	}
+	var wantAff, gotAff G1Affine
+	wantAff.FromJacobian(&want)
+	gotAff.FromJacobian(&got)
+	if !gotAff.Equal(&wantAff) {
+		t.Fatal("raw-source streamed MSM diverges from in-memory")
+	}
+}
+
+// TestStreamMSMWindowWidthIndependence checks the linchpin of the
+// streamed/in-memory proof identity: the group element is the same no
+// matter how the MSM is chunked or which window width recodes the
+// scalars, because affine normalization is canonical.
+func TestStreamMSMWindowWidthIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	n := 150
+	points, scalars := msmTestVectors(rng, n)
+	ref := MultiExpG1(points, scalars)
+	var refAff G1Affine
+	refAff.FromJacobian(&ref)
+
+	for _, c := range []int{3, 7, 11} {
+		for _, chunk := range []int{16, 64, 1024} {
+			dec := DecomposeScalars(scalars, c)
+			got, err := MultiExpG1Stream(SliceSourceG1(points), dec, chunk)
+			if err != nil {
+				t.Fatalf("c=%d chunk=%d: %v", c, chunk, err)
+			}
+			var gotAff G1Affine
+			gotAff.FromJacobian(&got)
+			if !gotAff.Equal(&refAff) {
+				t.Fatalf("c=%d chunk=%d: streamed MSM diverges", c, chunk)
+			}
+		}
+	}
+}
+
+// TestStreamMSMLazyRecodingMatchesEager checks the lazy per-chunk
+// scalar recoding path against both the eager streamed path and the
+// one-shot MSM, in G1 and G2, across chunk-straddling sizes.
+func TestStreamMSMLazyRecodingMatchesEager(t *testing.T) {
+	const chunk = 64
+	rng := rand.New(rand.NewSource(407))
+	for _, n := range []int{1, chunk - 1, chunk, chunk + 1, 3*chunk + 17} {
+		points, scalars := msmTestVectors(rng, n)
+		c := StreamWindowSize(n, chunk)
+		dec := DecomposeScalars(scalars, c)
+
+		eager, err := MultiExpG1Stream(SliceSourceG1(points), dec, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := MultiExpG1StreamScalars(SliceSourceG1(points), scalars, c, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eagerAff, lazyAff G1Affine
+		eagerAff.FromJacobian(&eager)
+		lazyAff.FromJacobian(&lazy)
+		if !lazyAff.Equal(&eagerAff) {
+			t.Fatalf("n=%d: lazy recoding diverges from eager streamed MSM", n)
+		}
+	}
+}
+
+// TestStreamMSMSourceError checks that a failing source surfaces as an
+// error (wrapped with the failing offset) rather than a wrong sum.
+func TestStreamMSMSourceError(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	n := 100
+	points, scalars := msmTestVectors(rng, n)
+	dec := DecomposeScalars(scalars, StreamWindowSize(n, 32))
+
+	boom := errors.New("disk gone")
+	failAt := 64
+	src := func(dst []G1Affine, start int) error {
+		if start >= failAt {
+			return boom
+		}
+		copy(dst, points[start:start+len(dst)])
+		return nil
+	}
+	if _, err := MultiExpG1Stream(src, dec, 32); !errors.Is(err, boom) {
+		t.Fatalf("want wrapped source error, got %v", err)
+	}
+}
+
+// TestScalarDecompositionSlice pins the zero-copy Slice view the chunked
+// driver depends on: digits of a sub-range must match a fresh
+// decomposition of the same sub-slice.
+func TestScalarDecompositionSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	_, scalars := msmTestVectors(rng, 100)
+	const c = 5
+	full := DecomposeScalars(scalars, c)
+	for _, r := range [][2]int{{0, 100}, {0, 1}, {37, 64}, {64, 100}, {99, 100}, {50, 50}} {
+		view := full.Slice(r[0], r[1])
+		fresh := DecomposeScalars(scalars[r[0]:r[1]], c)
+		if view.Len() != fresh.Len() {
+			t.Fatalf("slice [%d:%d): len %d want %d", r[0], r[1], view.Len(), fresh.Len())
+		}
+		for w := 0; w < full.windows; w++ {
+			vr, fr2 := view.row(w), fresh.row(w)
+			for i := range vr {
+				if vr[i] != fr2[i] {
+					t.Fatalf("slice [%d:%d) window %d digit %d: %d want %d", r[0], r[1], w, i, vr[i], fr2[i])
+				}
+			}
+		}
+	}
+}

@@ -38,6 +38,11 @@ type Metrics struct {
 	ProofSize  int
 	VKSize     int64
 	VerifyTime time.Duration
+	// Streamed is true when the proving key stayed on disk and the
+	// prover ran out-of-core (engine memory budget exceeded). PKSize
+	// then reports the raw on-disk encoding rather than the compressed
+	// wire encoding.
+	Streamed bool
 }
 
 // String renders one Table I row.
@@ -60,9 +65,12 @@ func Header() string {
 		"Benchmark", "#Constr", "Setup(s)", "PK(MB)", "Solve(ms)", "Prove(s)", "Proof", "VK(KB)", "Verify(ms)")
 }
 
-// Pipeline bundles the Groth16 artifacts of one circuit.
+// Pipeline bundles the Groth16 artifacts of one circuit. PK is nil
+// when the engine proved out-of-core (Metrics.Streamed); the disk-backed
+// key is then reachable via Keys.Stream.
 type Pipeline struct {
 	Artifact *Artifact
+	Keys     *engine.KeyPair
 	PK       *groth16.ProvingKey
 	VK       *groth16.VerifyingKey
 	Proof    *groth16.Proof
@@ -132,15 +140,17 @@ func RunPipelineWith(eng *engine.Engine, art *Artifact, rng io.Reader) (*Pipelin
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	pl.Keys = res.Keys
 	pl.PK, pl.VK = res.Keys.PK, res.Keys.VK
 	pl.Proof = res.Proof
 	pl.Metrics.SetupTime = res.SetupTime
 	pl.Metrics.SetupCached = res.CacheHit
 	pl.Metrics.SolveTime = res.SolveTime
 	pl.Metrics.ProveTime = res.ProveTime
-	pl.Metrics.PKSize = pl.PK.SizeBytes()
+	pl.Metrics.PKSize = res.Keys.PKSizeBytes()
 	pl.Metrics.VKSize = pl.VK.SizeBytes()
 	pl.Metrics.ProofSize = res.Proof.PayloadSize()
+	pl.Metrics.Streamed = res.Keys.Streamed()
 
 	public := art.System.PublicValues(res.Witness)
 	start := time.Now()

@@ -13,10 +13,32 @@ import (
 	"zkrownn/internal/r1cs"
 )
 
-// KeyPair bundles the Groth16 keys produced by one trusted setup.
+// KeyPair bundles the Groth16 keys produced by one trusted setup. In
+// in-memory mode PK is populated; in streamed (out-of-core) mode PK is
+// nil and Stream serves the same material from disk. Exactly one of the
+// two is non-nil; VK is always resident.
 type KeyPair struct {
 	PK *groth16.ProvingKey
 	VK *groth16.VerifyingKey
+	// Stream is the disk-backed proving key used when the engine's
+	// memory budget ruled out materializing PK.
+	Stream *groth16.StreamedProvingKey
+}
+
+// Streamed reports whether the proving key is disk-backed.
+func (kp *KeyPair) Streamed() bool { return kp.Stream != nil }
+
+// PKSizeBytes returns the serialized size of the proving key in
+// whichever backend holds it: the compressed WriteTo size for an
+// in-memory key, the raw on-disk size for a streamed one.
+func (kp *KeyPair) PKSizeBytes() int64 {
+	switch {
+	case kp.PK != nil:
+		return kp.PK.SizeBytes()
+	case kp.Stream != nil:
+		return kp.Stream.SizeBytes()
+	}
+	return 0
 }
 
 // keyCache is a circuit-digest-keyed LRU of Groth16 key pairs with
@@ -157,47 +179,47 @@ func (c *keyCache) vkPath(digest string) string {
 	return filepath.Join(c.dir, digest+".vk")
 }
 
-// loadDisk reads a cached key pair. The proving key uses the raw
-// (uncompressed) encoding: loading it costs a linear pass of cheap
-// field decodings instead of one modular square root per point, which
-// would otherwise make a disk hit slower than re-running setup for
-// small circuits. The directory is the operator's own material, so the
-// weaker G2 checks of the raw format are acceptable.
+// loadDisk reads a cached key pair, validating each file's integrity
+// frame before trusting it — a truncated or corrupted file surfaces
+// here as an error, which getDisk turns into a miss. The proving key
+// uses the raw (uncompressed) encoding: loading it costs a linear pass
+// of cheap field decodings instead of one modular square root per
+// point, which would otherwise make a disk hit slower than re-running
+// setup for small circuits. The directory is the operator's own
+// material, so the weaker G2 checks of the raw format are acceptable.
 func (c *keyCache) loadDisk(digest string) (*KeyPair, error) {
-	pkf, err := os.Open(c.pkPath(digest))
+	pkf, pkr, err := openFramed(c.pkPath(digest))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("engine: cached proving key %s: %w", digest, err)
 	}
 	defer pkf.Close()
-	vkf, err := os.Open(c.vkPath(digest))
+	vkf, vkr, err := openFramed(c.vkPath(digest))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("engine: cached verifying key %s: %w", digest, err)
 	}
 	defer vkf.Close()
 
 	keys := &KeyPair{PK: new(groth16.ProvingKey), VK: new(groth16.VerifyingKey)}
-	if _, err := keys.PK.ReadRawFrom(bufio.NewReaderSize(pkf, 1<<20)); err != nil {
+	if _, err := keys.PK.ReadRawFrom(bufio.NewReaderSize(pkr, 1<<20)); err != nil {
 		return nil, fmt.Errorf("engine: corrupt cached proving key %s: %w", digest, err)
 	}
-	if _, err := keys.VK.ReadFrom(bufio.NewReader(vkf)); err != nil {
+	if _, err := keys.VK.ReadFrom(bufio.NewReader(vkr)); err != nil {
 		return nil, fmt.Errorf("engine: corrupt cached verifying key %s: %w", digest, err)
 	}
 	return keys, nil
 }
 
-// storeDisk writes both keys via temp-file rename so a crash mid-write
-// never leaves a truncated key that a later run would trust.
+// storeDisk writes both keys framed (size + checksum header) via
+// temp-file rename, so a crash mid-write never publishes a partial key
+// and a later corruption is caught at load time.
 func (c *keyCache) storeDisk(digest string, keys *KeyPair) error {
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return err
-	}
-	if err := AtomicWriteFile(c.pkPath(digest), func(w io.Writer) error {
+	if err := writeFramedFile(c.pkPath(digest), func(w io.Writer) error {
 		_, err := keys.PK.WriteRawTo(w)
 		return err
 	}); err != nil {
 		return err
 	}
-	return AtomicWriteFile(c.vkPath(digest), func(w io.Writer) error {
+	return writeFramedFile(c.vkPath(digest), func(w io.Writer) error {
 		_, err := keys.VK.WriteTo(w)
 		return err
 	})

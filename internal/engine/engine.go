@@ -27,11 +27,15 @@
 package engine
 
 import (
+	"bufio"
 	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +60,22 @@ type Options struct {
 	// It must be safe for concurrent use; the engine serializes setup
 	// internally but proves concurrently.
 	Rand io.Reader
+	// MemoryBudget, when > 0, is a per-circuit ceiling in bytes on key
+	// material held in RAM: circuits whose raw proving-key encoding
+	// (groth16.RawPKSizeBytes) exceeds it are set up and proved
+	// out-of-core — setup spills the key straight to disk and every
+	// prove streams it back in bounded windows, so peak prover memory
+	// stays independent of key size. Keys under the budget use the
+	// ordinary in-memory path. Set it to 1 to force streaming for every
+	// circuit. Streamed keys spill into CacheDir when configured (the
+	// spill file doubles as the cache entry), otherwise into a
+	// temporary directory removed on Close.
+	MemoryBudget int64
+	// StreamChunk overrides the number of points per streamed-MSM
+	// window (default curve.DefaultStreamChunk). Peak per-MSM point
+	// memory in streamed mode is roughly three chunks of decoded
+	// affine points (double buffering plus the active Pippenger pass).
+	StreamChunk int
 }
 
 // Request is one proving job. The compile-once / solve-many shape is
@@ -117,16 +137,17 @@ type Result struct {
 
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
-	Setups     uint64 // trusted setups actually executed
-	MemHits    uint64 // key lookups served from the in-memory LRU
-	DiskHits   uint64 // key lookups served from the disk tier
-	Solves     uint64 // witnesses generated by solver-program replay
-	Proves     uint64
-	Verifies   uint64 // individual + batched verification calls
-	SetupTime  time.Duration
-	SolveTime  time.Duration
-	ProveTime  time.Duration
-	VerifyTime time.Duration
+	Setups       uint64 // trusted setups actually executed
+	MemHits      uint64 // key lookups served from the in-memory LRU
+	DiskHits     uint64 // key lookups served from the disk tier
+	Solves       uint64 // witnesses generated by solver-program replay
+	Proves       uint64
+	StreamProves uint64 // subset of Proves served by the out-of-core backend
+	Verifies     uint64 // individual + batched verification calls
+	SetupTime    time.Duration
+	SolveTime    time.Duration
+	ProveTime    time.Duration
+	VerifyTime   time.Duration
 }
 
 // ErrClosed is returned by every Engine entry point after Close: the
@@ -155,8 +176,14 @@ type Engine struct {
 	inflightMu sync.Mutex
 	inflight   map[string]*setupCall
 
+	// streamDir is the lazily created spill directory for streamed keys
+	// when no CacheDir is configured; Close removes it.
+	streamMu  sync.Mutex
+	streamDir string
+
 	setups, memHits, diskHits           atomic.Uint64
-	solves, proves, verifies            atomic.Uint64
+	solves, proves, streamProves        atomic.Uint64
+	verifies                            atomic.Uint64
 	setupNs, solveNs, proveNs, verifyNs atomic.Int64
 }
 
@@ -213,7 +240,133 @@ func (e *Engine) Close() error {
 	e.lifecycle.Lock()
 	defer e.lifecycle.Unlock()
 	e.closed = true
+	// Remove the temporary spill directory, if one was created. Open
+	// streamed-key handles stay readable until released (POSIX unlink
+	// semantics), but no new work can reach them past this point.
+	e.streamMu.Lock()
+	if e.streamDir != "" {
+		os.RemoveAll(e.streamDir)
+		e.streamDir = ""
+	}
+	e.streamMu.Unlock()
 	return nil
+}
+
+// shouldStream decides the proving-key backend for a system under the
+// configured memory budget.
+func (e *Engine) shouldStream(sys *r1cs.CompiledSystem) bool {
+	if e.opts.MemoryBudget <= 0 {
+		return false
+	}
+	raw, err := groth16.RawPKSizeBytes(sys)
+	if err != nil {
+		return false // setup will surface the real error
+	}
+	return raw > e.opts.MemoryBudget
+}
+
+// streamKeyDir resolves (creating if needed) the directory streamed
+// keys spill into: the configured CacheDir, where the spill file
+// doubles as the disk cache entry, or a process-lifetime temp dir.
+func (e *Engine) streamKeyDir() (string, error) {
+	if e.opts.CacheDir != "" {
+		return e.opts.CacheDir, os.MkdirAll(e.opts.CacheDir, 0o755)
+	}
+	e.streamMu.Lock()
+	defer e.streamMu.Unlock()
+	if e.streamDir == "" {
+		dir, err := os.MkdirTemp("", "zkrownn-stream-*")
+		if err != nil {
+			return "", err
+		}
+		e.streamDir = dir
+	}
+	return e.streamDir, nil
+}
+
+// existingStreamDir returns the spill directory only if one may already
+// hold keys (never creates).
+func (e *Engine) existingStreamDir() (string, bool) {
+	if e.opts.CacheDir != "" {
+		return e.opts.CacheDir, true
+	}
+	e.streamMu.Lock()
+	defer e.streamMu.Unlock()
+	return e.streamDir, e.streamDir != ""
+}
+
+// streamFromDisk opens a previously spilled streamed key for a digest.
+// Any integrity or parse failure is a miss — the caller re-runs setup
+// and overwrites the bad file.
+func (e *Engine) streamFromDisk(digest string) (*KeyPair, bool) {
+	dir, ok := e.existingStreamDir()
+	if !ok {
+		return nil, false
+	}
+	pkF, pkr, err := openFramed(filepath.Join(dir, digest+".pk"))
+	if err != nil {
+		return nil, false
+	}
+	spk, err := groth16.OpenStreamedProvingKey(pkr)
+	if err != nil {
+		pkF.Close()
+		return nil, false
+	}
+	spk.Chunk = e.opts.StreamChunk
+	spk.SpillDir = dir
+	vkF, vkr, err := openFramed(filepath.Join(dir, digest+".vk"))
+	if err != nil {
+		pkF.Close()
+		return nil, false
+	}
+	vk := new(groth16.VerifyingKey)
+	_, err = vk.ReadFrom(bufio.NewReader(vkr))
+	vkF.Close()
+	if err != nil {
+		pkF.Close()
+		return nil, false
+	}
+	// pkF stays open for the key's lifetime: the StreamedProvingKey
+	// reads through it on every prove. Its descriptor is reclaimed by
+	// the runtime finalizer once the cache entry is evicted and
+	// collected.
+	return &KeyPair{VK: vk, Stream: spk}, true
+}
+
+// setupStreamed runs trusted setup in out-of-core mode: the proving key
+// is spilled straight to a framed file (never materialized in RAM) and
+// reopened as a StreamedProvingKey. persistErr carries a best-effort
+// verifying-key persistence failure; err is fatal.
+func (e *Engine) setupStreamed(sys *r1cs.CompiledSystem, digest string, rng io.Reader) (kp *KeyPair, persistErr, err error) {
+	dir, err := e.streamKeyDir()
+	if err != nil {
+		return nil, nil, err
+	}
+	var vk *groth16.VerifyingKey
+	pkPath := filepath.Join(dir, digest+".pk")
+	if err := writeFramedFile(pkPath, func(w io.Writer) error {
+		var serr error
+		vk, serr = groth16.SetupStreamed(sys, rng, w)
+		return serr
+	}); err != nil {
+		return nil, nil, fmt.Errorf("engine: streamed setup: %w", err)
+	}
+	pkF, pkr, err := openFramed(pkPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: reopen spilled proving key: %w", err)
+	}
+	spk, err := groth16.OpenStreamedProvingKey(pkr)
+	if err != nil {
+		pkF.Close()
+		return nil, nil, fmt.Errorf("engine: spilled proving key: %w", err)
+	}
+	spk.Chunk = e.opts.StreamChunk
+	spk.SpillDir = dir
+	persistErr = writeFramedFile(filepath.Join(dir, digest+".vk"), func(w io.Writer) error {
+		_, werr := vk.WriteTo(w)
+		return werr
+	})
+	return &KeyPair{VK: vk, Stream: spk}, persistErr, nil
 }
 
 // Keys returns the Groth16 key pair for a compiled system, running the
@@ -235,6 +388,16 @@ func (e *Engine) Keys(sys *r1cs.CompiledSystem, rng io.Reader) (*KeyPair, bool, 
 // digest, if the entry is still resident in the memory tier.
 func (e *Engine) Circuit(digest string) (*r1cs.CompiledSystem, bool) {
 	return e.cache.circuit(digest)
+}
+
+// DropMemoryCache empties the in-memory key/circuit cache; the disk
+// tier is untouched, so later requests for a persisted digest pay a
+// disk load (or, for streamed keys, a cheap re-index of the spilled
+// file) instead of a re-setup. For operators this is the response to
+// memory pressure; benchmarks use it so one circuit's measurement
+// doesn't retain another's compiled system.
+func (e *Engine) DropMemoryCache() {
+	e.cache.clear()
 }
 
 func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader) (keys *KeyPair, hit bool, digest string, persistErr error, err error) {
@@ -269,13 +432,38 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader) (keys *KeyPair, h
 	e.inflightMu.Unlock()
 
 	// The disk load sits inside the singleflight so a cold-memory burst
-	// of same-digest requests deserializes the (potentially huge) key
-	// file once, not once per worker.
+	// of same-digest requests deserializes (or indexes) the key file
+	// once, not once per worker.
 	diskHit := false
-	if keys, ok := e.cache.getDisk(digest, sys); ok {
+	stream := e.shouldStream(sys)
+	var fromDisk *KeyPair
+	var ok bool
+	if stream {
+		// In streamed mode the disk tier is the authoritative key
+		// store; a hit costs one integrity pass plus section indexing,
+		// never a full materialization.
+		if fromDisk, ok = e.streamFromDisk(digest); ok {
+			e.cache.putMem(digest, fromDisk, sys)
+		}
+	} else {
+		fromDisk, ok = e.cache.getDisk(digest, sys)
+	}
+	if ok {
 		e.diskHits.Add(1)
-		call.keys = keys
+		call.keys = fromDisk
 		diskHit = true
+	} else if stream {
+		start := time.Now()
+		kp, perr, serr := e.setupStreamed(sys, digest, e.requestRand(rng))
+		elapsed := time.Since(start)
+		if serr == nil {
+			call.keys = kp
+			e.setups.Add(1)
+			e.setupNs.Add(int64(elapsed))
+			e.cache.putMem(digest, kp, sys)
+			call.persistErr = perr
+		}
+		call.err = serr
 	} else {
 		start := time.Now()
 		pk, vk, serr := groth16.Setup(sys, e.requestRand(rng))
@@ -361,13 +549,26 @@ func (e *Engine) prove(req Request) *Result {
 	res.Witness = witness
 
 	start = time.Now()
-	proof, err := groth16.Prove(sys, keys.PK, witness, e.requestRand(req.Rand))
+	var proof *groth16.Proof
+	if keys.Stream != nil {
+		// The caller chose streaming to bound resident memory; collect
+		// the setup/solve phases' garbage and return the freed pages
+		// before entering the bounded-memory prove, so its footprint is
+		// the pipeline's, not the allocator's leftovers.
+		debug.FreeOSMemory()
+		proof, err = groth16.ProveStreamed(sys, keys.Stream, witness, e.requestRand(req.Rand))
+	} else {
+		proof, err = groth16.Prove(sys, keys.PK, witness, e.requestRand(req.Rand))
+	}
 	res.ProveTime = time.Since(start)
 	if err != nil {
 		res.Err = fmt.Errorf("engine: prove: %w", err)
 		return res
 	}
 	e.proves.Add(1)
+	if keys.Stream != nil {
+		e.streamProves.Add(1)
+	}
 	e.proveNs.Add(int64(res.ProveTime))
 	res.Proof = proof
 	return res
@@ -447,16 +648,17 @@ func (e *Engine) VerifyMany(vk *groth16.VerifyingKey, proofs []*groth16.Proof, p
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Setups:     e.setups.Load(),
-		MemHits:    e.memHits.Load(),
-		DiskHits:   e.diskHits.Load(),
-		Solves:     e.solves.Load(),
-		Proves:     e.proves.Load(),
-		Verifies:   e.verifies.Load(),
-		SetupTime:  time.Duration(e.setupNs.Load()),
-		SolveTime:  time.Duration(e.solveNs.Load()),
-		ProveTime:  time.Duration(e.proveNs.Load()),
-		VerifyTime: time.Duration(e.verifyNs.Load()),
+		Setups:       e.setups.Load(),
+		MemHits:      e.memHits.Load(),
+		DiskHits:     e.diskHits.Load(),
+		Solves:       e.solves.Load(),
+		Proves:       e.proves.Load(),
+		StreamProves: e.streamProves.Load(),
+		Verifies:     e.verifies.Load(),
+		SetupTime:    time.Duration(e.setupNs.Load()),
+		SolveTime:    time.Duration(e.solveNs.Load()),
+		ProveTime:    time.Duration(e.proveNs.Load()),
+		VerifyTime:   time.Duration(e.verifyNs.Load()),
 	}
 }
 

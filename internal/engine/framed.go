@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Cache files carry a 16-byte integrity frame so truncation or
+// corruption — a crash mid-rename, a bit flip on a long-lived cache
+// volume — is detected at open time and degrades to a cache miss
+// (re-run trusted setup) instead of feeding the prover garbage points
+// or failing hard. The streamed prover in particular reads key sections
+// lazily over many proofs, so validating the whole file once at open is
+// what lets every later read skip per-chunk verification.
+//
+// Layout:
+//
+//	offset 0   magic "ZKF1"            (4 bytes)
+//	offset 4   payload length, uint64  (8 bytes, little-endian)
+//	offset 12  CRC-32C of the payload  (4 bytes, little-endian)
+//	offset 16  payload
+var framedMagic = [4]byte{'Z', 'K', 'F', '1'}
+
+const framedHeaderSize = 16
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errBadFrame marks an integrity failure; cache lookups translate it
+// into a miss.
+var errBadFrame = errors.New("engine: cache file failed integrity check")
+
+type byteCounter struct{ n uint64 }
+
+func (b *byteCounter) Write(p []byte) (int, error) {
+	b.n += uint64(len(p))
+	return len(p), nil
+}
+
+// writeFramedFile writes path atomically (temp file + rename) with the
+// integrity frame. fn streams the payload without knowing its size —
+// the header is patched in after the payload completes, before the
+// rename publishes the file.
+func writeFramedFile(path string, fn func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var zero [framedHeaderSize]byte
+	if _, err := tmp.Write(zero[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	crc := crc32.New(crcTable)
+	cnt := &byteCounter{}
+	if err := fn(io.MultiWriter(bw, crc, cnt)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	var hdr [framedHeaderSize]byte
+	copy(hdr[0:4], framedMagic[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], cnt.n)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc.Sum32())
+	if _, err := tmp.WriteAt(hdr[:], 0); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// openFramed opens a framed cache file and fully validates it — magic,
+// recorded payload length against the on-disk size, and the payload
+// CRC (one sequential pass). On success it returns the open file and a
+// SectionReader over the payload; the caller owns the file's lifetime
+// (the SectionReader reads through it). Any failure returns an error
+// the cache layer treats as a miss.
+func openFramed(path string) (*os.File, *io.SectionReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sr, err := validateFrame(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, sr, nil
+}
+
+func validateFrame(f *os.File) (*io.SectionReader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < framedHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the frame header", errBadFrame, st.Size())
+	}
+	var hdr [framedHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[0:4]) != framedMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", errBadFrame, hdr[0:4])
+	}
+	payloadLen := binary.LittleEndian.Uint64(hdr[4:12])
+	if got := uint64(st.Size() - framedHeaderSize); payloadLen != got {
+		return nil, fmt.Errorf("%w: header records %d payload bytes, file holds %d", errBadFrame, payloadLen, got)
+	}
+	crc := crc32.New(crcTable)
+	if _, err := io.Copy(crc, io.NewSectionReader(f, framedHeaderSize, int64(payloadLen))); err != nil {
+		return nil, err
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(hdr[12:16]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", errBadFrame)
+	}
+	return io.NewSectionReader(f, framedHeaderSize, int64(payloadLen)), nil
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cachedPKPath returns the framed proving-key file the disk tier wrote
+// for the given digest.
+func cachedPKPath(t *testing.T, dir, digest string) string {
+	t.Helper()
+	p := filepath.Join(dir, digest+".pk")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("expected cached proving key at %s: %v", p, err)
+	}
+	return p
+}
+
+// TestDiskCacheRejectsTruncatedKey corrupts the cached proving key by
+// cutting it short; a fresh engine must treat that as a cache miss and
+// re-run setup rather than proving with a mangled key or hard-failing.
+func TestDiskCacheRejectsTruncatedKey(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(31))
+
+	e1 := New(Options{CacheDir: dir, Rand: rng})
+	r1, err := e1.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkPath := cachedPKPath(t, dir, r1.Digest)
+	info, err := os.Stat(pkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(pkPath, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(Options{CacheDir: dir, Rand: rng})
+	r2, err := e2.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 4)})
+	if err != nil {
+		t.Fatalf("prove over truncated cache file: %v", err)
+	}
+	if r2.CacheHit {
+		t.Fatal("truncated key file must not count as a cache hit")
+	}
+	st := e2.Stats()
+	if st.Setups != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats = %+v, want 1 setup and 0 disk hits after truncation", st)
+	}
+	if err := e2.Verify(r2.Keys.VK, r2.Proof, publicOf(cubicWitness(5, 4))); err != nil {
+		t.Fatalf("re-setup proof rejected: %v", err)
+	}
+	// The repaired entry must have been rewritten: a third engine now
+	// hits disk again.
+	e3 := New(Options{CacheDir: dir, Rand: rng})
+	r3, err := e3.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit || e3.Stats().DiskHits != 1 {
+		t.Fatalf("rewritten cache entry not served from disk (hit=%v, stats=%+v)", r3.CacheHit, e3.Stats())
+	}
+}
+
+// TestDiskCacheRejectsBitFlip flips one payload byte inside the frame;
+// the CRC must catch it at open time and force a re-setup.
+func TestDiskCacheRejectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(32))
+
+	e1 := New(Options{CacheDir: dir, Rand: rng})
+	r1, err := e1.Prove(Request{System: cubicSystem(7), Witness: cubicWitness(7, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkPath := cachedPKPath(t, dir, r1.Digest)
+	raw, err := os.ReadFile(pkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(pkPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(Options{CacheDir: dir, Rand: rng})
+	r2, err := e2.Prove(Request{System: cubicSystem(7), Witness: cubicWitness(7, 4)})
+	if err != nil {
+		t.Fatalf("prove over corrupted cache file: %v", err)
+	}
+	if r2.CacheHit || e2.Stats().Setups != 1 {
+		t.Fatalf("bit-flipped key served from cache (hit=%v, stats=%+v)", r2.CacheHit, e2.Stats())
+	}
+	if err := e2.Verify(r2.Keys.VK, r2.Proof, publicOf(cubicWitness(7, 4))); err != nil {
+		t.Fatalf("re-setup proof rejected: %v", err)
+	}
+}
+
+// TestStreamedEngineRoundTrip forces out-of-core mode with a 1-byte
+// memory budget and checks the whole lifecycle: spilled setup, streamed
+// prove, in-memory reuse, and a disk hit after restart.
+func TestStreamedEngineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(33))
+
+	e1 := New(Options{CacheDir: dir, MemoryBudget: 1, Rand: rng})
+	defer e1.Close()
+	r1, err := e1.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Keys.Stream == nil || !r1.Keys.Streamed() {
+		t.Fatal("1-byte budget must force a streamed proving key")
+	}
+	if r1.Keys.PK != nil {
+		t.Fatal("streamed key pair must not hold the in-memory proving key")
+	}
+	if r1.Keys.PKSizeBytes() <= 0 {
+		t.Fatal("streamed key pair must report its raw on-disk size")
+	}
+	if err := e1.Verify(r1.Keys.VK, r1.Proof, publicOf(cubicWitness(5, 3))); err != nil {
+		t.Fatalf("streamed proof rejected: %v", err)
+	}
+
+	// Same digest again: the open streamed key is reused from memory.
+	r2, err := e1.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second streamed prove must hit the in-memory key cache")
+	}
+	st := e1.Stats()
+	if st.Setups != 1 || st.StreamProves != 2 {
+		t.Fatalf("stats = %+v, want 1 setup and 2 streamed proves", st)
+	}
+
+	// Restart: the spilled raw key in CacheDir serves a cold engine.
+	e2 := New(Options{CacheDir: dir, MemoryBudget: 1, Rand: rng})
+	defer e2.Close()
+	r3, err := e2.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit || r3.Keys.Stream == nil {
+		t.Fatalf("restarted streamed engine must stream from the disk cache (hit=%v)", r3.CacheHit)
+	}
+	st2 := e2.Stats()
+	if st2.Setups != 0 || st2.DiskHits != 1 {
+		t.Fatalf("restart stats = %+v, want 0 setups and 1 disk hit", st2)
+	}
+	// Cross-check against the original engine's VK.
+	if err := e2.Verify(r1.Keys.VK, r3.Proof, publicOf(cubicWitness(5, 4))); err != nil {
+		t.Fatalf("streamed proof from restart rejected by original VK: %v", err)
+	}
+}
+
+// TestStreamedProofMatchesInMemoryEngine proves the same circuit with
+// the same engine randomness in both modes and requires identical proof
+// bytes — the engine-level replica of the groth16 oracle.
+func TestStreamedProofMatchesInMemoryEngine(t *testing.T) {
+	sys := cubicSystem(5)
+	w := cubicWitness(5, 3)
+
+	inMem := New(Options{Rand: rand.New(rand.NewSource(34))})
+	rIn, err := inMem.Prove(Request{System: sys, Witness: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := New(Options{CacheDir: t.TempDir(), MemoryBudget: 1, Rand: rand.New(rand.NewSource(34))})
+	defer streamed.Close()
+	rSt, err := streamed.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rSt.Keys.Streamed() {
+		t.Fatal("expected streamed mode")
+	}
+	if !rIn.Proof.Ar.Equal(&rSt.Proof.Ar) || !rIn.Proof.Bs.Equal(&rSt.Proof.Bs) || !rIn.Proof.Krs.Equal(&rSt.Proof.Krs) {
+		t.Fatal("streamed engine proof diverges from in-memory engine proof")
+	}
+}
+
+// TestStreamedEngineTempSpill exercises streaming without a CacheDir:
+// the raw key spills to a temp directory that Close removes.
+func TestStreamedEngineTempSpill(t *testing.T) {
+	e := New(Options{MemoryBudget: 1, Rand: rand.New(rand.NewSource(35))})
+	r1, err := e.Prove(Request{System: cubicSystem(5), Witness: cubicWitness(5, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Keys.Streamed() {
+		t.Fatal("1-byte budget must stream even without a cache dir")
+	}
+	if err := e.Verify(r1.Keys.VK, r1.Proof, publicOf(cubicWitness(5, 3))); err != nil {
+		t.Fatalf("streamed proof rejected: %v", err)
+	}
+	e.streamMu.Lock()
+	spill := e.streamDir
+	e.streamMu.Unlock()
+	if spill == "" {
+		t.Fatal("expected a temp spill directory")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(spill); !os.IsNotExist(err) {
+		t.Fatalf("Close must remove the temp spill dir %s (stat err: %v)", spill, err)
+	}
+}

@@ -624,15 +624,17 @@ func (b *Builder) Compile() (*CompileResult, error) {
 			total += len(sel(&b.constraints[i]))
 			offs[i+1] = uint32(total)
 		}
-		mx := r1cs.Matrix{RowOffs: offs, Wires: make([]uint32, total), Coeffs: make([]fr.Element, total)}
+		ci := r1cs.NewCoeffInterner()
+		mx := r1cs.Matrix{RowOffs: offs, Wires: make([]uint32, total), CoeffIdx: make([]uint32, total)}
 		k := 0
 		for i := range b.constraints {
 			for _, t := range sel(&b.constraints[i]) {
 				mx.Wires[k] = perm[t.Wire]
-				mx.Coeffs[k] = t.Coeff
+				mx.CoeffIdx[k] = ci.Intern(t.Coeff)
 				k++
 			}
 		}
+		mx.Dict = ci.Dict()
 		return mx
 	}
 	cs.A = fill(func(c *r1cs.Constraint) r1cs.LinearCombination { return c.A })
@@ -712,10 +714,10 @@ func (b *Builder) compileTape(perm []uint32) (r1cs.Program, error) {
 	}
 
 	prog := r1cs.Program{
-		Instrs: make([]r1cs.Instr, nbInstrs),
-		Wires:  make([]uint32, 0, totalTerms),
-		Coeffs: make([]fr.Element, 0, totalTerms),
-		Levels: make([]uint32, maxLevel+1),
+		Instrs:   make([]r1cs.Instr, nbInstrs),
+		Wires:    make([]uint32, 0, totalTerms),
+		CoeffIdx: make([]uint32, 0, totalTerms),
+		Levels:   make([]uint32, maxLevel+1),
 	}
 	if nbInstrs == 0 {
 		prog.Levels = []uint32{0}
@@ -734,11 +736,12 @@ func (b *Builder) compileTape(perm []uint32) (r1cs.Program, error) {
 	cursor := make([]uint32, maxLevel+1)
 	copy(cursor[1:], prog.Levels[:maxLevel])
 
+	interner := r1cs.NewCoeffInterner()
 	emitLC := func(lc r1cs.LinearCombination) (uint32, uint32) {
 		off := uint32(len(prog.Wires))
 		for _, t := range lc {
 			prog.Wires = append(prog.Wires, perm[t.Wire])
-			prog.Coeffs = append(prog.Coeffs, t.Coeff)
+			prog.CoeffIdx = append(prog.CoeffIdx, interner.Intern(t.Coeff))
 		}
 		return off, uint32(len(prog.Wires))
 	}
@@ -762,6 +765,7 @@ func (b *Builder) compileTape(perm []uint32) (r1cs.Program, error) {
 		}
 		prog.Instrs[slot] = ins
 	}
+	prog.Dict = interner.Dict()
 	return prog, nil
 }
 

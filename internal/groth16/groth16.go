@@ -79,40 +79,83 @@ type Proof struct {
 // changes (in ZKROWNN the circuit is static, so this cost is paid once
 // per architecture and shared by every solve-many proof).
 func Setup(sys *r1cs.CompiledSystem, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
-	if rng == nil {
-		rng = rand.Reader
-	}
-	if err := sys.Validate(); err != nil {
-		return nil, nil, err
-	}
-	nbCons := sys.NbConstraints()
-	if nbCons == 0 {
-		return nil, nil, errors.New("groth16: empty constraint system")
-	}
-	domain, err := poly.NewDomain(uint64(nbCons))
+	sc, err := computeSetupScalars(sys, rng)
 	if err != nil {
 		return nil, nil, err
 	}
 
+	// Fixed-base tables amortize the ~4m+n generator multiplications.
+	g1 := curve.G1Generator()
+	g2 := curve.G2Generator()
+	t1 := curve.NewG1FixedBaseTable(&g1)
+	t2 := curve.NewG2FixedBaseTable(&g2)
+
+	pk := &ProvingKey{DomainSize: sc.domain.N}
+	vk := &VerifyingKey{}
+
+	pk.A = t1.MulBatch(sc.uTau)
+	pk.B1 = t1.MulBatch(sc.vTau)
+	pk.B2 = t2.MulBatch(sc.vTau)
+	pk.K = t1.MulBatch(sc.kScalars)
+	pk.Z = t1.MulBatch(sc.zScalars)
+
+	pk.AlphaG1 = singleG1(t1, &sc.alpha)
+	pk.BetaG1 = singleG1(t1, &sc.beta)
+	pk.DeltaG1 = singleG1(t1, &sc.delta)
+	pk.BetaG2 = singleG2(t2, &sc.beta)
+	pk.DeltaG2 = singleG2(t2, &sc.delta)
+	*vk = sc.verifyingKey(t1, t2)
+	return pk, vk, nil
+}
+
+// setupScalars is the scalar half of trusted setup: every query section
+// of the key, still in exponent form. Setup materializes the whole key
+// from it; SetupStreamed spills each section to disk as it multiplies.
+// Both consume identical randomness in identical order, so a seeded rng
+// yields identical key material in either mode.
+type setupScalars struct {
+	domain                    *poly.Domain
+	alpha, beta, gamma, delta fr.Element
+	uTau, vTau                []fr.Element
+	icScalars, kScalars       []fr.Element
+	zScalars                  []fr.Element
+}
+
+func computeSetupScalars(sys *r1cs.CompiledSystem, rng io.Reader) (*setupScalars, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	nbCons := sys.NbConstraints()
+	if nbCons == 0 {
+		return nil, errors.New("groth16: empty constraint system")
+	}
+	domain, err := poly.NewDomain(uint64(nbCons))
+	if err != nil {
+		return nil, err
+	}
+
 	tau, err := randFr(rng)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	alpha, err := randFr(rng)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	beta, err := randFr(rng)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	gamma, err := randFr(rng)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	delta, err := randFr(rng)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// QAP polynomials evaluated at τ via the Lagrange basis. The
@@ -191,46 +234,38 @@ func Setup(sys *r1cs.CompiledSystem, rng io.Reader) (*ProvingKey, *VerifyingKey,
 		}
 	})
 
-	// Fixed-base tables amortize the ~4m+n generator multiplications.
-	g1 := curve.G1Generator()
-	g2 := curve.G2Generator()
-	t1 := curve.NewG1FixedBaseTable(&g1)
-	t2 := curve.NewG2FixedBaseTable(&g2)
+	return &setupScalars{
+		domain: domain,
+		alpha:  alpha, beta: beta, gamma: gamma, delta: delta,
+		uTau: uTau, vTau: vTau,
+		icScalars: icScalars, kScalars: kScalars, zScalars: zScalars,
+	}, nil
+}
 
-	pk := &ProvingKey{DomainSize: n}
-	vk := &VerifyingKey{}
-
-	pk.A = t1.MulBatch(uTau)
-	pk.B1 = t1.MulBatch(vTau)
-	pk.B2 = t2.MulBatch(vTau)
-	pk.K = t1.MulBatch(kScalars)
-	pk.Z = t1.MulBatch(zScalars)
-	vk.IC = t1.MulBatch(icScalars)
-
-	single1 := func(k *fr.Element) curve.G1Affine {
-		j := t1.Mul(k)
-		var a curve.G1Affine
-		a.FromJacobian(&j)
-		return a
-	}
-	single2 := func(k *fr.Element) curve.G2Affine {
-		j := t2.Mul(k)
-		var a curve.G2Affine
-		a.FromJacobian(&j)
-		return a
-	}
-	pk.AlphaG1 = single1(&alpha)
-	pk.BetaG1 = single1(&beta)
-	pk.DeltaG1 = single1(&delta)
-	pk.BetaG2 = single2(&beta)
-	pk.DeltaG2 = single2(&delta)
-	vk.AlphaG1 = pk.AlphaG1
-	vk.BetaG2 = pk.BetaG2
-	vk.GammaG2 = single2(&gamma)
-	vk.DeltaG2 = single2(&delta)
+// verifyingKey assembles the (small) verifying key from the setup
+// scalars.
+func (sc *setupScalars) verifyingKey(t1 *curve.G1FixedBaseTable, t2 *curve.G2FixedBaseTable) VerifyingKey {
+	vk := VerifyingKey{IC: t1.MulBatch(sc.icScalars)}
+	vk.AlphaG1 = singleG1(t1, &sc.alpha)
+	vk.BetaG2 = singleG2(t2, &sc.beta)
+	vk.GammaG2 = singleG2(t2, &sc.gamma)
+	vk.DeltaG2 = singleG2(t2, &sc.delta)
 	vk.AlphaBeta = pairing.Pair(&vk.AlphaG1, &vk.BetaG2)
+	return vk
+}
 
-	return pk, vk, nil
+func singleG1(t *curve.G1FixedBaseTable, k *fr.Element) curve.G1Affine {
+	j := t.Mul(k)
+	var a curve.G1Affine
+	a.FromJacobian(&j)
+	return a
+}
+
+func singleG2(t *curve.G2FixedBaseTable, k *fr.Element) curve.G2Affine {
+	j := t.Mul(k)
+	var a curve.G2Affine
+	a.FromJacobian(&j)
+	return a
 }
 
 // Prove produces a proof that the witness satisfies the system. The
@@ -238,6 +273,114 @@ func Setup(sys *r1cs.CompiledSystem, rng io.Reader) (*ProvingKey, *VerifyingKey,
 // normally obtain it from CompiledSystem.Solve (or the frontend's eager
 // compile result).
 func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
+	return prove(sys, pk, witness, rng)
+}
+
+// pkHeader is the handful of single points every prover backend exposes
+// alongside its query sections.
+type pkHeader struct {
+	AlphaG1, BetaG1, DeltaG1 curve.G1Affine
+	BetaG2, DeltaG2          curve.G2Affine
+	DomainSize               uint64
+}
+
+// proverKey abstracts the structured reference string the prover
+// consumes: the fully in-memory ProvingKey and the disk-backed
+// StreamedProvingKey both implement it, so the two modes share one
+// prove flow and cannot drift. Chunking only changes the order partial
+// sums fold in — MSM linearity plus canonical affine normalization make
+// the resulting proofs byte-identical across backends.
+type proverKey interface {
+	header() pkHeader
+	// checkShape verifies the key's query sections match the system's
+	// dimensions before any randomness is drawn.
+	checkShape(sys *r1cs.CompiledSystem) error
+	// prepWitness binds the witness vector for the three wire-query
+	// MSMs, choosing the backend's recoding strategy.
+	prepWitness(witness []fr.Element) witnessExp
+	expA(w witnessExp) (curve.G1Jac, error)
+	expB1(w witnessExp) (curve.G1Jac, error)
+	expB2(w witnessExp) (curve.G2Jac, error)
+	expK(scalars []fr.Element) (curve.G1Jac, error)
+	// expZQuotient computes h = (A·B - C)/Z and immediately folds it
+	// into the Z-query MSM, choosing the backend's memory strategy: two
+	// resident domain vectors in memory, or the out-of-core pipeline
+	// (disk-resident vectors, bounded-memory FFTs, MSM scalars streamed
+	// from the h file). Field arithmetic is exact and fr encodings are
+	// canonical, so h — and the proof — is bit-equal either way. Fusing
+	// the two steps lets the streamed backend never materialize h.
+	expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) (curve.G1Jac, error)
+}
+
+// witnessExp carries the witness for the A, B1, and B2 queries. The
+// in-memory backend recodes the whole vector once up front (dec is
+// shared across the three MSMs — digits depend only on the scalars, not
+// the group); the streamed backend leaves dec nil and recodes lazily
+// chunk by chunk inside each MSM, keeping resident digit memory at one
+// chunk's worth instead of two bytes per window per wire.
+type witnessExp struct {
+	scalars []fr.Element
+	dec     *curve.ScalarDecomposition
+}
+
+func (pk *ProvingKey) header() pkHeader {
+	return pkHeader{
+		AlphaG1: pk.AlphaG1, BetaG1: pk.BetaG1, DeltaG1: pk.DeltaG1,
+		BetaG2: pk.BetaG2, DeltaG2: pk.DeltaG2,
+		DomainSize: pk.DomainSize,
+	}
+}
+
+func (pk *ProvingKey) checkShape(sys *r1cs.CompiledSystem) error {
+	m := sys.NbWires
+	if len(pk.A) != m || len(pk.B1) != m || len(pk.B2) != m {
+		return fmt.Errorf("groth16: key wire sections sized %d/%d/%d, system has %d wires",
+			len(pk.A), len(pk.B1), len(pk.B2), m)
+	}
+	if len(pk.K) != m-sys.NbPublic {
+		return fmt.Errorf("groth16: key K section sized %d, system has %d private wires",
+			len(pk.K), m-sys.NbPublic)
+	}
+	return nil
+}
+
+func (pk *ProvingKey) prepWitness(witness []fr.Element) witnessExp {
+	return witnessExp{
+		scalars: witness,
+		dec:     curve.DecomposeScalars(witness, curve.MSMWindowSize(len(witness))),
+	}
+}
+
+func (pk *ProvingKey) expA(w witnessExp) (curve.G1Jac, error) {
+	return curve.MultiExpG1Decomposed(pk.A, w.dec), nil
+}
+
+func (pk *ProvingKey) expB1(w witnessExp) (curve.G1Jac, error) {
+	return curve.MultiExpG1Decomposed(pk.B1, w.dec), nil
+}
+
+func (pk *ProvingKey) expB2(w witnessExp) (curve.G2Jac, error) {
+	return curve.MultiExpG2Decomposed(pk.B2, w.dec), nil
+}
+
+func (pk *ProvingKey) expK(scalars []fr.Element) (curve.G1Jac, error) {
+	return curve.MultiExpG1(pk.K, scalars), nil
+}
+
+func (pk *ProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) (curve.G1Jac, error) {
+	h, err := quotient(sys, domainSize, witness)
+	if err != nil {
+		return curve.G1Jac{}, err
+	}
+	res := curve.MultiExpG1(pk.Z, h)
+	releaseQuotient(h)
+	return res, nil
+}
+
+// prove is the backend-agnostic prover core shared by Prove and
+// ProveStreamed. Randomness is drawn in a fixed order (r then s), so a
+// seeded rng yields identical proofs from either backend.
+func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
@@ -247,6 +390,10 @@ func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng i
 	if ok, bad := sys.IsSatisfied(witness); !ok {
 		return nil, fmt.Errorf("groth16: witness does not satisfy constraint %d", bad)
 	}
+	if err := pk.checkShape(sys); err != nil {
+		return nil, err
+	}
+	hdr := pk.header()
 
 	rScalar, err := randFr(rng)
 	if err != nil {
@@ -257,49 +404,56 @@ func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng i
 		return nil, err
 	}
 
-	// The A, B1 (G1) and B2 (G2) queries all multiply the same witness
-	// vector, so its signed-digit recoding is computed once and shared —
-	// digits depend only on the scalars, not the group.
-	wDec := curve.DecomposeScalars(witness, curve.MSMWindowSize(len(witness)))
+	wExp := pk.prepWitness(witness)
 
 	// A = α + Σ wⱼ·[uⱼ(τ)]₁ + r·δ
-	aJac := curve.MultiExpG1Decomposed(pk.A, wDec)
+	aJac, err := pk.expA(wExp)
+	if err != nil {
+		return nil, err
+	}
 	var term curve.G1Jac
 	var aAlpha curve.G1Jac
-	aAlpha.FromAffine(&pk.AlphaG1)
+	aAlpha.FromAffine(&hdr.AlphaG1)
 	aJac.AddAssign(&aAlpha)
-	term.FromAffine(&pk.DeltaG1)
+	term.FromAffine(&hdr.DeltaG1)
 	term.ScalarMul(&term, &rScalar)
 	aJac.AddAssign(&term)
 
 	// B2 = β + Σ wⱼ·[vⱼ(τ)]₂ + s·δ  (and its G1 shadow for C).
-	b2Jac := curve.MultiExpG2Decomposed(pk.B2, wDec)
-	var b2Beta curve.G2Jac
-	b2Beta.FromAffine(&pk.BetaG2)
-	b2Jac.AddAssign(&b2Beta)
-	var term2 curve.G2Jac
-	term2.FromAffine(&pk.DeltaG2)
-	term2.ScalarMul(&term2, &sScalar)
-	b2Jac.AddAssign(&term2)
-
-	b1Jac := curve.MultiExpG1Decomposed(pk.B1, wDec)
-	var b1Beta curve.G1Jac
-	b1Beta.FromAffine(&pk.BetaG1)
-	b1Jac.AddAssign(&b1Beta)
-	term.FromAffine(&pk.DeltaG1)
-	term.ScalarMul(&term, &sScalar)
-	b1Jac.AddAssign(&term)
-
-	// Quotient polynomial h = (A·B - C)/Z via coset FFTs.
-	h, err := quotient(sys, pk.DomainSize, witness)
+	b2Jac, err := pk.expB2(wExp)
 	if err != nil {
 		return nil, err
 	}
+	var b2Beta curve.G2Jac
+	b2Beta.FromAffine(&hdr.BetaG2)
+	b2Jac.AddAssign(&b2Beta)
+	var term2 curve.G2Jac
+	term2.FromAffine(&hdr.DeltaG2)
+	term2.ScalarMul(&term2, &sScalar)
+	b2Jac.AddAssign(&term2)
 
-	// C = Σ_priv wⱼ·Kⱼ + Σ hᵢ·Zᵢ + s·A + r·B1 - r·s·δ
+	b1Jac, err := pk.expB1(wExp)
+	if err != nil {
+		return nil, err
+	}
+	var b1Beta curve.G1Jac
+	b1Beta.FromAffine(&hdr.BetaG1)
+	b1Jac.AddAssign(&b1Beta)
+	term.FromAffine(&hdr.DeltaG1)
+	term.ScalarMul(&term, &sScalar)
+	b1Jac.AddAssign(&term)
+
+	// C = Σ_priv wⱼ·Kⱼ + Σ hᵢ·Zᵢ + s·A + r·B1 - r·s·δ, where h is the
+	// quotient polynomial (A·B - C)/Z computed via coset FFTs.
 	privWitness := witness[sys.NbPublic:]
-	cJac := curve.MultiExpG1(pk.K, privWitness)
-	hMSM := curve.MultiExpG1(pk.Z, h)
+	cJac, err := pk.expK(privWitness)
+	if err != nil {
+		return nil, err
+	}
+	hMSM, err := pk.expZQuotient(sys, hdr.DomainSize, witness)
+	if err != nil {
+		return nil, err
+	}
 	cJac.AddAssign(&hMSM)
 
 	var sA curve.G1Jac
@@ -314,7 +468,7 @@ func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng i
 
 	var rs fr.Element
 	rs.Mul(&rScalar, &sScalar)
-	term.FromAffine(&pk.DeltaG1)
+	term.FromAffine(&hdr.DeltaG1)
 	term.ScalarMul(&term, &rs)
 	term.Neg(&term)
 	cJac.AddAssign(&term)
@@ -328,11 +482,15 @@ func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng i
 
 // wireIndex is the transpose of one R1CS matrix: for each wire, the
 // (constraint, coefficient) terms in which it appears, stored as CSR
-// (offs[w]..offs[w+1] index into cons/coef).
+// (offs[w]..offs[w+1] index into cons/coef). Coefficients stay
+// dictionary-compressed (dict aliases the matrix's dictionary), so the
+// transpose costs 8 bytes per term rather than 36 — it is a transient
+// structure but sits squarely inside setup's peak memory.
 type wireIndex struct {
 	offs []uint32
 	cons []uint32
-	coef []fr.Element
+	coef []uint32
+	dict []fr.Element
 }
 
 // buildWireIndex transposes one CSR matrix in two O(#terms) passes
@@ -348,7 +506,8 @@ func buildWireIndex(mx *r1cs.Matrix, m int) wireIndex {
 	idx := wireIndex{
 		offs: offs,
 		cons: make([]uint32, offs[m]),
-		coef: make([]fr.Element, offs[m]),
+		coef: make([]uint32, offs[m]),
+		dict: mx.Dict,
 	}
 	cursor := make([]uint32, m)
 	copy(cursor, offs[:m])
@@ -358,7 +517,7 @@ func buildWireIndex(mx *r1cs.Matrix, m int) wireIndex {
 			c := cursor[w]
 			cursor[w]++
 			idx.cons[c] = uint32(i)
-			idx.coef[c] = mx.Coeffs[k]
+			idx.coef[c] = mx.CoeffIdx[k]
 		}
 	}
 	return idx
@@ -370,16 +529,33 @@ func (x *wireIndex) accumulate(lo, hi int, lag, dst []fr.Element) {
 	for w := lo; w < hi; w++ {
 		for k := x.offs[w]; k < x.offs[w+1]; k++ {
 			var term fr.Element
-			term.Mul(&x.coef[k], &lag[x.cons[k]])
+			term.Mul(&x.dict[x.coef[k]], &lag[x.cons[k]])
 			dst[w].Add(&dst[w], &term)
 		}
 	}
 }
 
+// quotientVecs recycles the domain-sized working vectors of the
+// quotient pipeline across proofs: a long-lived prover (the engine's
+// worker pool) stops churning multi-MB allocations, and concurrent
+// proofs over the same circuit share a small steady-state set.
+var quotientVecs poly.VecPool
+
+// releaseQuotient returns a quotient coefficient vector obtained from
+// quotient to the pool once its MSM has consumed it.
+func releaseQuotient(h []fr.Element) { quotientVecs.Put(h) }
+
 // quotient computes the coefficients of h(X) = (A(X)·B(X) - C(X))/Z(X),
 // returning n-1 coefficients. Constraint evaluations stream through the
 // flat CSR arrays — contiguous loads instead of per-constraint slice
 // headers.
+//
+// The pipeline is bounded to two domain-sized vectors (both pooled):
+// each of A, B, C is evaluated and transformed to the coset in turn,
+// folding into the accumulator pointwise, instead of materializing all
+// three at once. Every vector undergoes exactly the transform sequence
+// of the naive three-vector form, so the output is bit-identical. The
+// caller must hand the returned slice to releaseQuotient after use.
 func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) ([]fr.Element, error) {
 	domain, err := poly.NewDomain(domainSize)
 	if err != nil {
@@ -389,43 +565,56 @@ func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element)
 		return nil, fmt.Errorf("groth16: domain size %d is not a power of two", domainSize)
 	}
 	n := int(domain.N)
-	a := make([]fr.Element, n)
-	b := make([]fr.Element, n)
-	c := make([]fr.Element, n)
-	par.Range(sys.NbConstraints(), func(start, end int) {
-		for i := start; i < end; i++ {
-			a[i] = sys.A.RowEval(i, witness)
-			b[i] = sys.B.RowEval(i, witness)
-			c[i] = sys.C.RowEval(i, witness)
+	nbCons := sys.NbConstraints()
+	ab := quotientVecs.Get(n)
+	tmp := quotientVecs.Get(n)
+	defer quotientVecs.Put(tmp)
+
+	// cosetEval evaluates one constraint matrix against the witness and
+	// carries it to the coset: dst holds M·w on the coset g·H. Rows
+	// [nbCons, n) stay zero (Get returns zeroed vectors; reuse of tmp
+	// clears the tail explicitly).
+	cosetEval := func(mx *r1cs.Matrix, dst []fr.Element) {
+		par.Range(nbCons, func(start, end int) {
+			for i := start; i < end; i++ {
+				dst[i] = mx.RowEval(i, witness)
+			}
+		})
+		domain.IFFT(dst)
+		domain.FFTCoset(dst)
+	}
+
+	cosetEval(&sys.A, ab)
+	cosetEval(&sys.B, tmp)
+	par.Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ab[i].Mul(&ab[i], &tmp[i])
 		}
 	})
 
-	// To coefficients.
-	domain.IFFT(a)
-	domain.IFFT(b)
-	domain.IFFT(c)
-	// To the coset, where Z is the non-zero constant g^n - 1.
-	domain.FFTCoset(a)
-	domain.FFTCoset(b)
-	domain.FFTCoset(c)
+	// tmp is dense after the FFTs; re-zero the tail the C evaluation
+	// won't overwrite before reusing it.
+	clear(tmp[nbCons:])
+	cosetEval(&sys.C, tmp)
 
+	// On the coset, Z is the non-zero constant g^n - 1.
 	zc := domain.VanishingOnCoset()
 	var zcInv fr.Element
 	zcInv.Inverse(&zc)
 	par.Range(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			a[i].Mul(&a[i], &b[i])
-			a[i].Sub(&a[i], &c[i])
-			a[i].Mul(&a[i], &zcInv)
+			ab[i].Sub(&ab[i], &tmp[i])
+			ab[i].Mul(&ab[i], &zcInv)
 		}
 	})
-	domain.IFFTCoset(a)
+	domain.IFFTCoset(ab)
 
 	// deg h ≤ n-2, so the top coefficient must vanish.
-	if !a[n-1].IsZero() {
+	if !ab[n-1].IsZero() {
+		quotientVecs.Put(ab)
 		return nil, errors.New("groth16: quotient has unexpected degree; witness inconsistent")
 	}
-	return a[:n-1], nil
+	return ab[:n-1], nil
 }
 
 // Verify checks a proof against the public inputs (the instance,

@@ -1,0 +1,129 @@
+package groth16
+
+import (
+	"errors"
+	"fmt"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/poly"
+	"zkrownn/internal/r1cs"
+)
+
+// Out-of-core quotient: the in-memory quotient holds two domain-sized
+// vectors resident (tens of MB each at paper scale). quotientOOC keeps
+// every domain-sized vector in a disk file instead, bounding resident
+// memory to HALF a domain vector (the bounded-memory FFT's scratch)
+// plus fixed streaming windows:
+//
+//	A·w  → file, IFFT, coset FFT            (out-of-core transforms)
+//	B·w  → file, IFFT, coset FFT, fold A·B  (streamed pointwise merge)
+//	C·w  → file, IFFT, coset FFT, fold (AB-C)/Z
+//	IFFT coset → h coefficient file
+//
+// Field arithmetic is exact and fr encodings are canonical, so the h
+// file holds bit for bit the coefficients the in-memory quotient would
+// produce; the Z-section MSM then streams its scalars straight from the
+// file, so h is never resident either.
+func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, dir string) (*poly.VecFile, error) {
+	domain, err := poly.NewDomain(domainSize)
+	if err != nil {
+		return nil, err
+	}
+	if domain.N != domainSize {
+		return nil, fmt.Errorf("groth16: domain size %d is not a power of two", domainSize)
+	}
+	n := int(domain.N)
+	nbCons := sys.NbConstraints()
+	// FFT scratch shared by every transform: a quarter domain peels two
+	// decimation levels out-of-core, quartering the prover's largest
+	// resident vector at the cost of one extra streaming pass.
+	buf := make([]fr.Element, n/4)
+
+	// cosetEval evaluates one constraint matrix against the witness into
+	// a fresh disk vector (rows [nbCons, n) zero) and carries it to the
+	// coset, exactly as the in-memory quotient does.
+	cosetEval := func(mx *r1cs.Matrix) (*poly.VecFile, error) {
+		vf, err := poly.CreateVecFile(dir, n)
+		if err != nil {
+			return nil, err
+		}
+		w := vf.NewWriter()
+		for i := 0; i < nbCons; i++ {
+			e := mx.RowEval(i, witness)
+			w.Append(&e)
+		}
+		var zero fr.Element
+		for i := nbCons; i < n; i++ {
+			w.Append(&zero)
+		}
+		if err := w.Flush(); err != nil {
+			vf.Close()
+			return nil, fmt.Errorf("groth16: quotient eval spill: %w", err)
+		}
+		if err := domain.IFFTFile(vf, buf); err != nil {
+			vf.Close()
+			return nil, err
+		}
+		if err := domain.FFTCosetFile(vf, buf); err != nil {
+			vf.Close()
+			return nil, err
+		}
+		return vf, nil
+	}
+
+	va, err := cosetEval(&sys.A)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*poly.VecFile, error) {
+		va.Close()
+		return nil, err
+	}
+
+	vb, err := cosetEval(&sys.B)
+	if err != nil {
+		return fail(err)
+	}
+	err = va.StreamMerge(vb, func(dst, b []fr.Element) {
+		for i := range dst {
+			dst[i].Mul(&dst[i], &b[i])
+		}
+	})
+	vb.Close()
+	if err != nil {
+		return fail(err)
+	}
+
+	vc, err := cosetEval(&sys.C)
+	if err != nil {
+		return fail(err)
+	}
+	// On the coset, Z is the non-zero constant g^n - 1.
+	zc := domain.VanishingOnCoset()
+	var zcInv fr.Element
+	zcInv.Inverse(&zc)
+	err = va.StreamMerge(vc, func(dst, c []fr.Element) {
+		for i := range dst {
+			dst[i].Sub(&dst[i], &c[i])
+			dst[i].Mul(&dst[i], &zcInv)
+		}
+	})
+	vc.Close()
+	if err != nil {
+		return fail(err)
+	}
+
+	if err := domain.IFFTCosetFile(va, buf); err != nil {
+		return fail(err)
+	}
+
+	// deg h ≤ n-2, so the top coefficient must vanish.
+	var top [1]fr.Element
+	if err := va.ReadAt(top[:], n-1); err != nil {
+		return fail(err)
+	}
+	if !top[0].IsZero() {
+		return fail(errors.New("groth16: quotient has unexpected degree; witness inconsistent"))
+	}
+	return va, nil
+}

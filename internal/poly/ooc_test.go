@@ -1,0 +1,136 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// vecToFile spills v into a fresh disk vector.
+func vecToFile(t *testing.T, v []fr.Element) *VecFile {
+	t.Helper()
+	vf, err := CreateVecFile(t.TempDir(), len(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.WriteAt(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	return vf
+}
+
+// requireFileEquals checks the disk vector matches want bit for bit.
+func requireFileEquals(t *testing.T, vf *VecFile, want []fr.Element) {
+	t.Helper()
+	got := make([]fr.Element, vf.Len())
+	if err := vf.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: disk %s != memory %s", i, got[i].String(), want[i].String())
+		}
+	}
+}
+
+// TestVecFileRoundtrip checks random-offset writes and reads are exact.
+func TestVecFileRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1000
+	v := randPoly(rng, n)
+	vf := vecToFile(t, v)
+	defer vf.Close()
+	for _, span := range [][2]int{{0, n}, {0, 1}, {n - 1, n}, {137, 613}} {
+		got := make([]fr.Element, span[1]-span[0])
+		if err := vf.ReadAt(got, span[0]); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != v[span[0]+i] {
+				t.Fatalf("span %v element %d mismatch", span, i)
+			}
+		}
+	}
+}
+
+// TestFFTFileMatchesMemory checks every out-of-core transform against
+// its in-memory counterpart, element for element, across domain sizes
+// (including the n=1 and n=2 degenerate shapes) and scratch budgets
+// (whole-transform-in-memory down to zero scratch, forcing one, two,
+// and log n out-of-core decimation levels).
+func TestFFTFileMatchesMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []uint64{1, 2, 4, 64, 1 << 10} {
+		d, err := NewDomain(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufLens := []int{int(n), int(n) / 2, int(n) / 4, int(n) / 8}
+		if n <= 64 {
+			// Degenerate budgets force ~log n out-of-core levels; the
+			// file explosion is only affordable on small domains.
+			bufLens = append(bufLens, 1, 0)
+		}
+		for _, bufLen := range bufLens {
+			buf := make([]fr.Element, bufLen)
+			type transform struct {
+				name string
+				mem  func(a []fr.Element)
+				file func(vf *VecFile) error
+			}
+			for _, tr := range []transform{
+				{"FFT", d.FFT, func(vf *VecFile) error { return d.FFTFile(vf, buf) }},
+				{"IFFT", d.IFFT, func(vf *VecFile) error { return d.IFFTFile(vf, buf) }},
+				{"FFTCoset", d.FFTCoset, func(vf *VecFile) error { return d.FFTCosetFile(vf, buf) }},
+				{"IFFTCoset", d.IFFTCoset, func(vf *VecFile) error { return d.IFFTCosetFile(vf, buf) }},
+			} {
+				v := randPoly(rng, int(n))
+				vf := vecToFile(t, v)
+				if err := tr.file(vf); err != nil {
+					t.Fatalf("n=%d buf=%d %s: %v", n, bufLen, tr.name, err)
+				}
+				tr.mem(v)
+				requireFileEquals(t, vf, v)
+				vf.Close()
+			}
+		}
+	}
+}
+
+// TestMulPowersFileMatchesMemory checks the streamed power-scaling pass.
+func TestMulPowersFileMatchesMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Odd length exercises a final partial window.
+	v := randPoly(rng, (1<<15)+7)
+	var s fr.Element
+	s.SetUint64(11)
+	vf := vecToFile(t, v)
+	defer vf.Close()
+	if err := MulPowersFile(vf, &s); err != nil {
+		t.Fatal(err)
+	}
+	mulPowers(v, &s)
+	requireFileEquals(t, vf, v)
+}
+
+// TestStreamMerge checks the two-file pointwise fold.
+func TestStreamMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := (1 << 15) + 3
+	a, b := randPoly(rng, n), randPoly(rng, n)
+	va, vb := vecToFile(t, a), vecToFile(t, b)
+	defer va.Close()
+	defer vb.Close()
+	if err := va.StreamMerge(vb, func(dst, src []fr.Element) {
+		for i := range dst {
+			dst[i].Mul(&dst[i], &src[i])
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		a[i].Mul(&a[i], &b[i])
+	}
+	requireFileEquals(t, va, a)
+}

@@ -1,0 +1,61 @@
+package poly
+
+import (
+	"sync"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// VecPool recycles size-n fr vectors between FFT pipeline stages and
+// across proofs. The quotient pipeline needs a constant number of
+// domain-sized vectors per proof; without reuse each proof allocates
+// (and the GC retires) several multi-MB slices, and the prover's peak
+// heap carries every intermediate at once. The pool is keyed by exact
+// capacity — FFT domains are powers of two, so a long-lived prover sees
+// only a handful of sizes.
+//
+// The zero value is ready to use. Get returns a zeroed vector; Put
+// recycles one (the caller must not retain references to it).
+type VecPool struct {
+	mu    sync.Mutex
+	pools map[int]*sync.Pool
+}
+
+func (p *VecPool) sizePool(n int) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pools == nil {
+		p.pools = make(map[int]*sync.Pool)
+	}
+	sp, ok := p.pools[n]
+	if !ok {
+		sp = &sync.Pool{}
+		p.pools[n] = sp
+	}
+	return sp
+}
+
+// Get returns a zeroed vector of length n, reusing a recycled one when
+// available. Zeroing costs one memclr pass — noise next to the FFT work
+// the vector is destined for, and it lets callers rely on make-like
+// semantics.
+func (p *VecPool) Get(n int) []fr.Element {
+	if v := p.sizePool(n).Get(); v != nil {
+		s := v.([]fr.Element)
+		clear(s)
+		return s
+	}
+	return make([]fr.Element, n)
+}
+
+// Put recycles a vector obtained from Get (or any vector whose capacity
+// equals its intended pool size). The slice is re-extended to its full
+// capacity so sub-sliced views (e.g. a quotient's n-1 coefficients) can
+// be returned directly.
+func (p *VecPool) Put(v []fr.Element) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:cap(v)]
+	p.sizePool(len(v)).Put(v)
+}

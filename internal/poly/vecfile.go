@@ -1,0 +1,238 @@
+package poly
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// Out-of-core vectors: a VecFile is a disk-resident vector of field
+// elements, the storage behind the bounded-memory FFT pipeline. At
+// paper scale one FFT-domain vector is tens of MB; the quotient
+// pipeline needs several of them, and an out-of-core prover cannot
+// afford to keep even one fully resident. Elements are stored as four
+// little-endian limbs with the Montgomery form preserved bit-for-bit,
+// so a spill/load roundtrip is exact and every downstream field
+// operation produces the same bits it would have in RAM.
+
+// VecElemSize is the on-disk footprint of one field element.
+const VecElemSize = 8 * fr.Limbs
+
+// vecIOChunk is the element count of one streaming window (1 MiB).
+const vecIOChunk = 1 << 15
+
+// VecFile is a fixed-length disk-resident vector of fr elements.
+type VecFile struct {
+	f *os.File
+	n int
+}
+
+// CreateVecFile creates an empty (zeroed) disk vector of n elements in
+// dir (the system temp directory when dir is empty). The file is
+// sparse until written.
+func CreateVecFile(dir string, n int) (*VecFile, error) {
+	f, err := os.CreateTemp(dir, "zkrownn-vec-*.ooc")
+	if err != nil {
+		return nil, fmt.Errorf("poly: vec file: %w", err)
+	}
+	if err := f.Truncate(int64(n) * VecElemSize); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("poly: vec file: %w", err)
+	}
+	return &VecFile{f: f, n: n}, nil
+}
+
+// Len returns the vector length in elements.
+func (vf *VecFile) Len() int { return vf.n }
+
+// Close releases and removes the backing file.
+func (vf *VecFile) Close() error {
+	name := vf.f.Name()
+	err := vf.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// encodeElems serializes elements into buf (len(v)*VecElemSize bytes).
+func encodeElems(buf []byte, v []fr.Element) {
+	for i := range v {
+		for l := 0; l < fr.Limbs; l++ {
+			binary.LittleEndian.PutUint64(buf[i*VecElemSize+8*l:], v[i][l])
+		}
+	}
+}
+
+// decodeElems deserializes len(v) elements from buf.
+func decodeElems(v []fr.Element, buf []byte) {
+	for i := range v {
+		for l := 0; l < fr.Limbs; l++ {
+			v[i][l] = binary.LittleEndian.Uint64(buf[i*VecElemSize+8*l:])
+		}
+	}
+}
+
+// The pools below recycle the streaming machinery's fixed-size pieces —
+// 1 MiB codec windows, element windows, bufio writers. They are hot
+// (hundreds of uses per out-of-core quotient) and allocating each use
+// would churn the very GC the pipeline exists to relieve: at one P
+// under a memory limit, tens of MB of transient windows linger as
+// floating garbage and show up in peak RSS.
+var vecBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, vecIOChunk*VecElemSize)
+		return &b
+	},
+}
+
+var vecWinPool = sync.Pool{
+	New: func() any {
+		w := make([]fr.Element, vecIOChunk)
+		return &w
+	},
+}
+
+// getWin borrows one element window; hand the pointer back to
+// putWin when done.
+func getWin() *[]fr.Element  { return vecWinPool.Get().(*[]fr.Element) }
+func putWin(w *[]fr.Element) { vecWinPool.Put(w) }
+
+var vecBWPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, 1<<20) },
+}
+
+// WriteAt stores v at element offset start.
+func (vf *VecFile) WriteAt(v []fr.Element, start int) error {
+	bp := vecBufPool.Get().(*[]byte)
+	defer vecBufPool.Put(bp)
+	buf := *bp
+	for len(v) > 0 {
+		c := len(v)
+		if c > vecIOChunk {
+			c = vecIOChunk
+		}
+		encodeElems(buf[:c*VecElemSize], v[:c])
+		if _, err := vf.f.WriteAt(buf[:c*VecElemSize], int64(start)*VecElemSize); err != nil {
+			return fmt.Errorf("poly: vec write at %d: %w", start, err)
+		}
+		v = v[c:]
+		start += c
+	}
+	return nil
+}
+
+// ReadAt loads len(v) elements from element offset start.
+func (vf *VecFile) ReadAt(v []fr.Element, start int) error {
+	bp := vecBufPool.Get().(*[]byte)
+	defer vecBufPool.Put(bp)
+	buf := *bp
+	for len(v) > 0 {
+		c := len(v)
+		if c > vecIOChunk {
+			c = vecIOChunk
+		}
+		if _, err := vf.f.ReadAt(buf[:c*VecElemSize], int64(start)*VecElemSize); err != nil {
+			return fmt.Errorf("poly: vec read at %d: %w", start, err)
+		}
+		decodeElems(v[:c], buf[:c*VecElemSize])
+		v = v[c:]
+		start += c
+	}
+	return nil
+}
+
+// vecWriter streams sequential element writes through one buffer.
+type vecWriter struct {
+	bw  *bufio.Writer
+	buf [VecElemSize]byte
+}
+
+// NewWriter returns a buffered sequential writer positioned at element
+// 0. Interleaving it with WriteAt/ReadAt on the same VecFile is the
+// caller's responsibility. The writer is single-use: Flush finalizes it
+// and recycles its buffer.
+func (vf *VecFile) NewWriter() *vecWriter {
+	vf.f.Seek(0, io.SeekStart)
+	bw := vecBWPool.Get().(*bufio.Writer)
+	bw.Reset(vf.f)
+	return &vecWriter{bw: bw}
+}
+
+// Append writes one element (bufio errors are sticky; Flush reports).
+func (w *vecWriter) Append(e *fr.Element) {
+	for l := 0; l < fr.Limbs; l++ {
+		binary.LittleEndian.PutUint64(w.buf[8*l:], e[l])
+	}
+	w.bw.Write(w.buf[:]) //nolint:errcheck
+}
+
+// Flush commits buffered writes and retires the writer.
+func (w *vecWriter) Flush() error {
+	err := w.bw.Flush()
+	w.bw.Reset(io.Discard) // drop the file reference before pooling
+	vecBWPool.Put(w.bw)
+	w.bw = nil
+	return err
+}
+
+// StreamUpdate rewrites the vector in place: fn receives each loaded
+// window (element offset start) and mutates it before it is stored
+// back. Peak memory is one window.
+func (vf *VecFile) StreamUpdate(fn func(start int, v []fr.Element)) error {
+	vp := getWin()
+	defer putWin(vp)
+	v := *vp
+	for start := 0; start < vf.n; start += vecIOChunk {
+		end := start + vecIOChunk
+		if end > vf.n {
+			end = vf.n
+		}
+		w := v[:end-start]
+		if err := vf.ReadAt(w, start); err != nil {
+			return err
+		}
+		fn(start, w)
+		if err := vf.WriteAt(w, start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamMerge folds other into vf window by window:
+// fn(dst, src) mutates dst = vf[start:end] given src = other[start:end].
+// Both vectors must have equal length; peak memory is two windows.
+func (vf *VecFile) StreamMerge(other *VecFile, fn func(dst, src []fr.Element)) error {
+	if other.n != vf.n {
+		return fmt.Errorf("poly: vec merge length mismatch %d != %d", other.n, vf.n)
+	}
+	dp, sp := getWin(), getWin()
+	defer putWin(dp)
+	defer putWin(sp)
+	dst, src := *dp, *sp
+	for start := 0; start < vf.n; start += vecIOChunk {
+		end := start + vecIOChunk
+		if end > vf.n {
+			end = vf.n
+		}
+		d, s := dst[:end-start], src[:end-start]
+		if err := vf.ReadAt(d, start); err != nil {
+			return err
+		}
+		if err := other.ReadAt(s, start); err != nil {
+			return err
+		}
+		fn(d, s)
+		if err := vf.WriteAt(d, start); err != nil {
+			return err
+		}
+	}
+	return nil
+}

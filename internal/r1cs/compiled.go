@@ -20,28 +20,69 @@ import (
 // magnitude cheaper than re-running the circuit builder.
 
 // Matrix is one R1CS matrix (A, B, or C) in compressed sparse row form:
-// row i's terms are Wires[RowOffs[i]:RowOffs[i+1]] with matching Coeffs.
-// The flat layout replaces the per-constraint []Term slices of the eager
-// System, so QAP accumulation and witness checks walk two contiguous
-// arrays instead of pointer-chasing per-constraint allocations.
+// row i's terms are Wires[RowOffs[i]:RowOffs[i+1]] with matching
+// coefficients Dict[CoeffIdx[k]]. The flat layout replaces the
+// per-constraint []Term slices of the eager System, so QAP accumulation
+// and witness checks walk contiguous arrays instead of pointer-chasing
+// per-constraint allocations.
+//
+// Coefficients are dictionary-compressed: circuit matrices draw their
+// coefficients from a tiny set (±1, powers of two from bit
+// decompositions, a handful of fixed-point constants — a few hundred
+// distinct values even at paper scale), so storing a uint32 dictionary
+// index per term instead of a 32-byte field element cuts the resident
+// matrix size roughly 4× and is what keeps the compiled system small
+// enough for out-of-core proving's memory budget.
 type Matrix struct {
-	RowOffs []uint32 // len nbConstraints+1
-	Wires   []uint32
-	Coeffs  []fr.Element
+	RowOffs  []uint32 // len nbConstraints+1
+	Wires    []uint32
+	CoeffIdx []uint32     // per-term index into Dict
+	Dict     []fr.Element // distinct coefficients
 }
 
 // NbRows returns the number of constraint rows.
 func (m *Matrix) NbRows() int { return len(m.RowOffs) - 1 }
 
+// Coeff returns term k's coefficient.
+func (m *Matrix) Coeff(k uint32) *fr.Element { return &m.Dict[m.CoeffIdx[k]] }
+
 // RowEval computes ⟨row i, w⟩.
 func (m *Matrix) RowEval(i int, w []fr.Element) fr.Element {
 	var acc, t fr.Element
 	for k := m.RowOffs[i]; k < m.RowOffs[i+1]; k++ {
-		t.Mul(&m.Coeffs[k], &w[m.Wires[k]])
+		t.Mul(&m.Dict[m.CoeffIdx[k]], &w[m.Wires[k]])
 		acc.Add(&acc, &t)
 	}
 	return acc
 }
+
+// CoeffInterner builds a coefficient dictionary during compilation:
+// Intern maps each distinct field element to a stable dense index
+// (first-seen order), and Dict returns the backing table for Matrix or
+// Program.
+type CoeffInterner struct {
+	idx  map[fr.Element]uint32
+	dict []fr.Element
+}
+
+// NewCoeffInterner returns an empty interner.
+func NewCoeffInterner() *CoeffInterner {
+	return &CoeffInterner{idx: make(map[fr.Element]uint32)}
+}
+
+// Intern returns the dictionary index for c, adding it if new.
+func (ci *CoeffInterner) Intern(c fr.Element) uint32 {
+	if i, ok := ci.idx[c]; ok {
+		return i
+	}
+	i := uint32(len(ci.dict))
+	ci.idx[c] = i
+	ci.dict = append(ci.dict, c)
+	return i
+}
+
+// Dict returns the interned coefficient table.
+func (ci *CoeffInterner) Dict() []fr.Element { return ci.dict }
 
 // OpCode enumerates solver-program instructions. Every non-input wire of
 // a compiled circuit is produced by exactly one instruction; the set
@@ -80,12 +121,14 @@ type Instr struct {
 // recomputes every internal wire from the input wires alone. Levels
 // partitions the tape into dependency levels — Instrs[Levels[l]:
 // Levels[l+1]] only read wires written before level l — so Solve can
-// evaluate each level in parallel.
+// evaluate each level in parallel. LC term coefficients are
+// dictionary-compressed exactly like Matrix coefficients.
 type Program struct {
-	Instrs []Instr
-	Wires  []uint32
-	Coeffs []fr.Element
-	Levels []uint32
+	Instrs   []Instr
+	Wires    []uint32
+	CoeffIdx []uint32
+	Dict     []fr.Element
+	Levels   []uint32
 }
 
 // NbInstrs returns the instruction count.
@@ -102,7 +145,7 @@ func (p *Program) NbLevels() int {
 func (p *Program) evalLC(off, end uint32, w []fr.Element) fr.Element {
 	var acc, t fr.Element
 	for k := off; k < end; k++ {
-		t.Mul(&p.Coeffs[k], &w[p.Wires[k]])
+		t.Mul(&p.Dict[p.CoeffIdx[k]], &w[p.Wires[k]])
 		acc.Add(&acc, &t)
 	}
 	return acc
@@ -291,7 +334,7 @@ func (cs *CompiledSystem) Digest() [32]byte {
 			lo, hi := m.RowOffs[i], m.RowOffs[i+1]
 			writeU32(hi - lo)
 			for k := lo; k < hi; k++ {
-				b := m.Coeffs[k].Bytes()
+				b := m.Dict[m.CoeffIdx[k]].Bytes()
 				binary.LittleEndian.PutUint32(buf[:], m.Wires[k])
 				h.Write(buf[:])
 				h.Write(b[:])
@@ -330,8 +373,8 @@ func (cs *CompiledSystem) Validate() error {
 		return fmt.Errorf("r1cs: matrix row counts differ (A=%d B=%d C=%d)", n, cs.B.NbRows(), cs.C.NbRows())
 	}
 	checkMatrix := func(name string, m *Matrix) error {
-		if len(m.Wires) != len(m.Coeffs) {
-			return fmt.Errorf("r1cs: matrix %s has %d wires but %d coeffs", name, len(m.Wires), len(m.Coeffs))
+		if len(m.Wires) != len(m.CoeffIdx) {
+			return fmt.Errorf("r1cs: matrix %s has %d wires but %d coeffs", name, len(m.Wires), len(m.CoeffIdx))
 		}
 		if int(m.RowOffs[len(m.RowOffs)-1]) != len(m.Wires) {
 			return fmt.Errorf("r1cs: matrix %s row offsets end at %d, have %d terms", name, m.RowOffs[len(m.RowOffs)-1], len(m.Wires))
@@ -339,6 +382,11 @@ func (cs *CompiledSystem) Validate() error {
 		for _, wi := range m.Wires {
 			if int(wi) >= cs.NbWires {
 				return fmt.Errorf("r1cs: matrix %s wire index %d out of range [0,%d)", name, wi, cs.NbWires)
+			}
+		}
+		for _, ci := range m.CoeffIdx {
+			if int(ci) >= len(m.Dict) {
+				return fmt.Errorf("r1cs: matrix %s coefficient index %d out of dictionary range [0,%d)", name, ci, len(m.Dict))
 			}
 		}
 		return nil
@@ -392,6 +440,14 @@ func (cs *CompiledSystem) Validate() error {
 		}
 	} else if len(p.Instrs) > 0 {
 		return fmt.Errorf("r1cs: program has instructions but no levels")
+	}
+	if len(p.Wires) != len(p.CoeffIdx) {
+		return fmt.Errorf("r1cs: program has %d term wires but %d coeff indices", len(p.Wires), len(p.CoeffIdx))
+	}
+	for _, ci := range p.CoeffIdx {
+		if int(ci) >= len(p.Dict) {
+			return fmt.Errorf("r1cs: program coefficient index %d out of dictionary range [0,%d)", ci, len(p.Dict))
+		}
 	}
 	checkSpan := func(off, end uint32) error {
 		if off > end || int(end) > len(p.Wires) {
@@ -464,7 +520,7 @@ func (cs *CompiledSystem) ToSystem() *System {
 		}
 		lc := make(LinearCombination, hi-lo)
 		for k := lo; k < hi; k++ {
-			lc[k-lo] = Term{Wire: int(m.Wires[k]), Coeff: m.Coeffs[k]}
+			lc[k-lo] = Term{Wire: int(m.Wires[k]), Coeff: m.Dict[m.CoeffIdx[k]]}
 		}
 		return lc
 	}
@@ -502,15 +558,17 @@ func FromSystem(sys *System) (*CompiledSystem, error) {
 			total += len(sel(&sys.Constraints[i]))
 			offs[i+1] = uint32(total)
 		}
-		m := Matrix{RowOffs: offs, Wires: make([]uint32, total), Coeffs: make([]fr.Element, total)}
+		ci := NewCoeffInterner()
+		m := Matrix{RowOffs: offs, Wires: make([]uint32, total), CoeffIdx: make([]uint32, total)}
 		k := 0
 		for i := range sys.Constraints {
 			for _, t := range sel(&sys.Constraints[i]) {
 				m.Wires[k] = uint32(t.Wire)
-				m.Coeffs[k] = t.Coeff
+				m.CoeffIdx[k] = ci.Intern(t.Coeff)
 				k++
 			}
 		}
+		m.Dict = ci.Dict()
 		return m
 	}
 	cs.A = fill(func(c *Constraint) LinearCombination { return c.A })
