@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/core"
 	"zkrownn/internal/engine"
 	"zkrownn/internal/fixpoint"
@@ -336,6 +337,11 @@ type benchRecord struct {
 	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 	// Streamed marks rows proved out-of-core.
 	Streamed bool `json:"streamed"`
+	// FieldBackend names the scalar-field multiplication backend the row
+	// ran on ("adx" for the amd64 assembly kernels, "generic" for the
+	// portable core) — numbers are only comparable across runs with the
+	// same backend.
+	FieldBackend string `json:"field_backend"`
 }
 
 func recordOf(m *core.Metrics) benchRecord {
@@ -359,6 +365,7 @@ func recordOf(m *core.Metrics) benchRecord {
 		PKBytes:              m.PKSize,
 		VKBytes:              m.VKSize,
 		ProofBytes:           m.ProofSize,
+		FieldBackend:         fr.MulBackend(),
 	}
 }
 

@@ -369,6 +369,10 @@ type msmCurve[A, J any] interface {
 	// of chunk×window-group tasks, and allocating half-MB bucket arrays
 	// per task is the prover's dominant GC churn.
 	scratchPool() *sync.Pool
+	// accelerated routes one pre-decomposed MSM to acc's entry point for
+	// this group — how the streamed driver dispatches each chunk through
+	// the registered Accelerator.
+	accelerated(acc Accelerator, points []A, dec *ScalarDecomposition) J
 }
 
 // msmScratch is the recycled working set of one MSM task. Buckets are
@@ -624,6 +628,10 @@ func (g1Msm) double(dst *G1Jac)   { dst.DoubleAssign() }
 
 func (g1Msm) scratchPool() *sync.Pool { return &g1ScratchPool }
 
+func (g1Msm) accelerated(acc Accelerator, points []G1Affine, dec *ScalarDecomposition) G1Jac {
+	return acc.MultiExpG1Decomposed(points, dec)
+}
+
 type g2Msm struct{}
 
 func (g2Msm) accumulator(batchSize int) func([]G2Affine, int, []G2Affine, [][]int16, []bool, []int32, []G2Affine) []G2Jac {
@@ -680,26 +688,16 @@ func (g2Msm) double(dst *G2Jac)   { dst.DoubleAssign() }
 
 func (g2Msm) scratchPool() *sync.Pool { return &g2ScratchPool }
 
-// MultiExpG1 computes Σ scalars[i]·points[i] with the parallel
-// signed-digit Pippenger method. Points and scalars must have equal
-// length; zero scalars and infinity points are skipped naturally.
+func (g2Msm) accelerated(acc Accelerator, points []G2Affine, dec *ScalarDecomposition) G2Jac {
+	return acc.MultiExpG2Decomposed(points, dec)
+}
+
+// MultiExpG1 computes Σ scalars[i]·points[i] with the registered
+// Accelerator (by default the parallel signed-digit Pippenger method).
+// Points and scalars must have equal length; zero scalars and infinity
+// points are skipped naturally.
 func MultiExpG1(points []G1Affine, scalars []fr.Element) G1Jac {
-	n := len(points)
-	if len(scalars) != n {
-		panic("curve: MultiExpG1 length mismatch")
-	}
-	if n == 1 {
-		var j G1Jac
-		j.FromAffine(&points[0])
-		j.ScalarMul(&j, &scalars[0])
-		return j
-	}
-	if n == 0 {
-		var j G1Jac
-		j.SetInfinity()
-		return j
-	}
-	return MultiExpG1Decomposed(points, DecomposeScalars(scalars, MSMWindowSize(n)))
+	return ActiveAccelerator().MultiExpG1(points, scalars)
 }
 
 // MultiExpG1Decomposed computes the G1 MSM against pre-recoded scalar
@@ -707,33 +705,18 @@ func MultiExpG1(points []G1Affine, scalars []fr.Element) G1Jac {
 // (the Groth16 prover reuses one witness decomposition for the A, B1,
 // and B2 queries).
 func MultiExpG1Decomposed(points []G1Affine, dec *ScalarDecomposition) G1Jac {
-	return multiExp[G1Affine, G1Jac](g1Msm{}, points, dec)
+	return ActiveAccelerator().MultiExpG1Decomposed(points, dec)
 }
 
 // MultiExpG2 computes Σ scalars[i]·points[i] over G2.
 func MultiExpG2(points []G2Affine, scalars []fr.Element) G2Jac {
-	n := len(points)
-	if len(scalars) != n {
-		panic("curve: MultiExpG2 length mismatch")
-	}
-	if n == 1 {
-		var j G2Jac
-		j.FromAffine(&points[0])
-		j.ScalarMul(&j, &scalars[0])
-		return j
-	}
-	if n == 0 {
-		var j G2Jac
-		j.SetInfinity()
-		return j
-	}
-	return MultiExpG2Decomposed(points, DecomposeScalars(scalars, MSMWindowSize(n)))
+	return ActiveAccelerator().MultiExpG2(points, scalars)
 }
 
 // MultiExpG2Decomposed computes the G2 MSM against pre-recoded scalar
 // digits (see MultiExpG1Decomposed).
 func MultiExpG2Decomposed(points []G2Affine, dec *ScalarDecomposition) G2Jac {
-	return multiExp[G2Affine, G2Jac](g2Msm{}, points, dec)
+	return ActiveAccelerator().MultiExpG2Decomposed(points, dec)
 }
 
 // fixedBaseWindow is the window width used by fixed-base tables: 8 bits

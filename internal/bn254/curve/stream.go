@@ -90,7 +90,10 @@ func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start 
 		if f.err != nil {
 			return sum, fmt.Errorf("curve: streamed MSM read at %d: %w", f.start, f.err)
 		}
-		part := multiExp[A, J](cv, f.buf[:f.end-f.start], digits(f.start, f.end))
+		// Each chunk resolves the accelerator at dispatch time, so a
+		// backend registered mid-stream picks up the remaining chunks and
+		// an out-of-process backend serves out-of-core proves unchanged.
+		part := cv.accelerated(ActiveAccelerator(), f.buf[:f.end-f.start], digits(f.start, f.end))
 		free <- f.buf
 		cv.add(&sum, &part)
 	}

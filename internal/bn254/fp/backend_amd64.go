@@ -1,0 +1,66 @@
+//go:build amd64 && !purego
+
+package fp
+
+import "zkrownn/internal/cpu"
+
+// supportAdx gates the hand-written MULX/ADX Montgomery kernels; when
+// the CPU predates ADX+BMI2 every call falls back to the portable
+// generic core. It is a variable rather than a constant so tests can
+// exercise the fallback branch on modern hardware.
+var supportAdx = cpu.X86HasADX
+
+// MulBackend names the multiplication backend selected at startup:
+// "adx" for the MULX/ADCX/ADOX assembly kernels, "generic" for the
+// portable CIOS core (pre-ADX CPUs, non-amd64 targets, or any build
+// with the purego tag).
+func MulBackend() string {
+	if supportAdx {
+		return "adx"
+	}
+	return "generic"
+}
+
+// mul computes z = x·y mod p in Montgomery form (mul_amd64.s).
+// Requires ADX+BMI2.
+//
+//go:noescape
+func mul(z, x, y *Element)
+
+// mulVec computes res[i] = a[i]·b[i] for i < n over contiguous element
+// arrays (mul_amd64.s): one assembly call per vector instead of one
+// CALL per element. res may alias a and/or b. Requires ADX+BMI2.
+//
+//go:noescape
+func mulVec(res, a, b *Element, n uint64)
+
+// Mul sets z = x·y mod p (Montgomery product) and returns z.
+func (z *Element) Mul(x, y *Element) *Element {
+	if supportAdx {
+		mul(z, x, y)
+		return z
+	}
+	mulGeneric(z, x, y)
+	return z
+}
+
+// Square sets z = x² mod p and returns z. The assembly multiplier keeps
+// every operand in registers, so squaring through mul(z, x, x) already
+// beats a separate squaring kernel; the fallback uses the dedicated
+// no-carry squareGeneric.
+func (z *Element) Square(x *Element) *Element {
+	if supportAdx {
+		mul(z, x, x)
+		return z
+	}
+	squareGeneric(z, x)
+	return z
+}
+
+func mulVecBackend(dst, a, b []Element) {
+	if supportAdx {
+		mulVec(&dst[0], &a[0], &b[0], uint64(len(dst)))
+		return
+	}
+	mulVecGeneric(dst, a, b)
+}

@@ -274,109 +274,6 @@ func (z *Element) Neg(x *Element) *Element {
 	return z
 }
 
-// madd0 returns the high word of a*b + c.
-func madd0(a, b, c uint64) uint64 {
-	hi, lo := bits.Mul64(a, b)
-	_, carry := bits.Add64(lo, c, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	return hi
-}
-
-// madd1 returns hi, lo = a*b + t.
-func madd1(a, b, t uint64) (uint64, uint64) {
-	hi, lo := bits.Mul64(a, b)
-	lo, carry := bits.Add64(lo, t, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	return hi, lo
-}
-
-// madd2 returns hi, lo = a*b + c + d.
-func madd2(a, b, c, d uint64) (uint64, uint64) {
-	hi, lo := bits.Mul64(a, b)
-	c, carry := bits.Add64(c, d, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	lo, carry = bits.Add64(lo, c, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	return hi, lo
-}
-
-// madd3 returns hi, lo = a*b + c + d + e<<64.
-func madd3(a, b, c, d, e uint64) (uint64, uint64) {
-	hi, lo := bits.Mul64(a, b)
-	c, carry := bits.Add64(c, d, 0)
-	hi, _ = bits.Add64(hi, 0, carry)
-	lo, carry = bits.Add64(lo, c, 0)
-	hi, _ = bits.Add64(hi, e, carry)
-	return hi, lo
-}
-
-// Mul sets z = x*y mod p (Montgomery product) and returns z.
-// It implements the CIOS algorithm; the "no-carry" shortcut applies
-// because the top limb of p is below 2⁶².
-func (z *Element) Mul(x, y *Element) *Element {
-	var t [4]uint64
-	var c [3]uint64
-	{
-		v := x[0]
-		c[1], c[0] = bits.Mul64(v, y[0])
-		m := c[0] * qInvNeg
-		c[2] = madd0(m, q[0], c[0])
-		c[1], c[0] = madd1(v, y[1], c[1])
-		c[2], t[0] = madd2(m, q[1], c[2], c[0])
-		c[1], c[0] = madd1(v, y[2], c[1])
-		c[2], t[1] = madd2(m, q[2], c[2], c[0])
-		c[1], c[0] = madd1(v, y[3], c[1])
-		t[3], t[2] = madd3(m, q[3], c[0], c[2], c[1])
-	}
-	{
-		v := x[1]
-		c[1], c[0] = madd1(v, y[0], t[0])
-		m := c[0] * qInvNeg
-		c[2] = madd0(m, q[0], c[0])
-		c[1], c[0] = madd2(v, y[1], c[1], t[1])
-		c[2], t[0] = madd2(m, q[1], c[2], c[0])
-		c[1], c[0] = madd2(v, y[2], c[1], t[2])
-		c[2], t[1] = madd2(m, q[2], c[2], c[0])
-		c[1], c[0] = madd2(v, y[3], c[1], t[3])
-		t[3], t[2] = madd3(m, q[3], c[0], c[2], c[1])
-	}
-	{
-		v := x[2]
-		c[1], c[0] = madd1(v, y[0], t[0])
-		m := c[0] * qInvNeg
-		c[2] = madd0(m, q[0], c[0])
-		c[1], c[0] = madd2(v, y[1], c[1], t[1])
-		c[2], t[0] = madd2(m, q[1], c[2], c[0])
-		c[1], c[0] = madd2(v, y[2], c[1], t[2])
-		c[2], t[1] = madd2(m, q[2], c[2], c[0])
-		c[1], c[0] = madd2(v, y[3], c[1], t[3])
-		t[3], t[2] = madd3(m, q[3], c[0], c[2], c[1])
-	}
-	{
-		v := x[3]
-		c[1], c[0] = madd1(v, y[0], t[0])
-		m := c[0] * qInvNeg
-		c[2] = madd0(m, q[0], c[0])
-		c[1], c[0] = madd2(v, y[1], c[1], t[1])
-		c[2], z[0] = madd2(m, q[1], c[2], c[0])
-		c[1], c[0] = madd2(v, y[2], c[1], t[2])
-		c[2], z[1] = madd2(m, q[2], c[2], c[0])
-		c[1], c[0] = madd2(v, y[3], c[1], t[3])
-		z[3], z[2] = madd3(m, q[3], c[0], c[2], c[1])
-	}
-	if !z.smallerThanModulus() {
-		var b uint64
-		z[0], b = bits.Sub64(z[0], q[0], 0)
-		z[1], b = bits.Sub64(z[1], q[1], b)
-		z[2], b = bits.Sub64(z[2], q[2], b)
-		z[3], _ = bits.Sub64(z[3], q[3], b)
-	}
-	return z
-}
-
-// Square sets z = x² mod p and returns z.
-func (z *Element) Square(x *Element) *Element { return z.Mul(x, x) }
-
 // toMont converts z (raw integer limbs) to Montgomery form in place.
 func (z *Element) toMont() *Element { return z.Mul(z, &rSquare) }
 

@@ -1,0 +1,22 @@
+//go:build !amd64 || purego
+
+package fr
+
+// MulBackend names the multiplication backend selected at startup; on
+// this build it is always the portable generic core.
+func MulBackend() string { return "generic" }
+
+// Mul sets z = x·y mod p (Montgomery product) and returns z.
+func (z *Element) Mul(x, y *Element) *Element {
+	mulGeneric(z, x, y)
+	return z
+}
+
+// Square sets z = x² mod p with the dedicated no-carry squaring and
+// returns z.
+func (z *Element) Square(x *Element) *Element {
+	squareGeneric(z, x)
+	return z
+}
+
+func mulVecBackend(dst, a, b []Element) { mulVecGeneric(dst, a, b) }

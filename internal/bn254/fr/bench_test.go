@@ -1,0 +1,70 @@
+package fr
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMul(b *testing.B) {
+	x := MustRandom()
+	y := MustRandom()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Mul(&x, &y)
+	}
+	_ = z
+}
+
+func BenchmarkSquare(b *testing.B) {
+	x := MustRandom()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Square(&x)
+	}
+	_ = z
+}
+
+// benchSizes spans one FFT butterfly's worth (small) up to a streamed
+// MSM chunk's worth of elements.
+var benchSizes = []int{64, 1024, 16384}
+
+func BenchmarkMulVec(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := make([]Element, n)
+			y := make([]Element, n)
+			dst := make([]Element, n)
+			for i := range x {
+				x[i] = MustRandom()
+				y[i] = MustRandom()
+			}
+			b.SetBytes(int64(n * Bytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulVecInto(dst, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkButterfly(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			lo := make([]Element, n)
+			hi := make([]Element, n)
+			tw := make([]Element, n)
+			for i := range lo {
+				lo[i] = MustRandom()
+				hi[i] = MustRandom()
+				tw[i] = MustRandom()
+			}
+			b.SetBytes(int64(n * Bytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				TwiddleButterflyVec(lo, hi, tw)
+			}
+		})
+	}
+}

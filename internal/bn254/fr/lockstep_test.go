@@ -1,0 +1,45 @@
+package fr
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenericCoreLockstep guards the deliberate duplication between the
+// fp and fr arithmetic cores: mul_generic.go must be byte-identical
+// across the two packages after the package clause, and the
+// mul_amd64.s files must match exactly (they reference the enclosing
+// package's ·q/·qInvNeg symbols, so the same text serves both fields).
+// A fix applied to one field therefore cannot silently miss the other.
+func TestGenericCoreLockstep(t *testing.T) {
+	pairs := []struct {
+		name      string
+		skipFirst bool // drop the first line (the package clause)
+	}{
+		{name: "mul_generic.go", skipFirst: true},
+		{name: "mul_amd64.s"},
+	}
+	for _, p := range pairs {
+		frBody := readLockstep(t, filepath.Join(".", p.name), p.skipFirst)
+		fpBody := readLockstep(t, filepath.Join("..", "fp", p.name), p.skipFirst)
+		if !bytes.Equal(frBody, fpBody) {
+			t.Errorf("%s diverges between fp and fr: the arithmetic cores must stay in lock-step; copy the fixed file over (fr needs only the package clause changed)", p.name)
+		}
+	}
+}
+
+func readLockstep(t *testing.T, path string, skipFirst bool) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if skipFirst {
+		if i := bytes.IndexByte(b, '\n'); i >= 0 {
+			b = b[i+1:]
+		}
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package fr
+
+// Slice-level kernels used by the FFT levels and the Groth16 quotient
+// loops. On amd64 with ADX the products dispatch to a single assembly
+// call per vector; elsewhere they loop the generic core. Keeping the
+// loops here (instead of open-coded at every call site) gives the
+// hot paths one place to pick up future vector backends.
+
+// MulVecInto sets dst[i] = a[i]·b[i] for every i. All three slices must
+// have the same length; dst may alias a and/or b element-wise.
+func MulVecInto(dst, a, b []Element) {
+	if len(a) != len(dst) || len(b) != len(dst) {
+		panic("fr.MulVecInto: length mismatch")
+	}
+	if len(dst) == 0 {
+		return
+	}
+	mulVecBackend(dst, a, b)
+}
+
+// ScalarMulVecInto sets dst[i] = a[i]·s for every i. dst may alias a.
+func ScalarMulVecInto(dst, a []Element, s *Element) {
+	if len(a) != len(dst) {
+		panic("fr.ScalarMulVecInto: length mismatch")
+	}
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i].Mul(&a[i], s)
+	}
+}
+
+// SubScalarMulVecInto sets dst[i] = (a[i] − b[i])·s for every i — the
+// fused (A·B − C)·Z⁻¹ step of the quotient pipeline. dst may alias a
+// and/or b element-wise.
+func SubScalarMulVecInto(dst, a, b []Element, s *Element) {
+	if len(a) != len(dst) || len(b) != len(dst) {
+		panic("fr.SubScalarMulVecInto: length mismatch")
+	}
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for i := range dst {
+		var d Element
+		d.Sub(&a[i], &b[i])
+		dst[i].Mul(&d, s)
+	}
+}
+
+// Butterfly sets (a, b) = (a+b, a−b) in place — the radix-2 building
+// block of the FFT levels.
+func Butterfly(a, b *Element) {
+	t := *a
+	a.Add(a, b)
+	b.Sub(&t, b)
+}
+
+// ButterflyVec applies Butterfly pairwise: (a[i], b[i]) =
+// (a[i]+b[i], a[i]−b[i]). The slices must have equal length and must
+// not overlap.
+func ButterflyVec(a, b []Element) {
+	if len(a) != len(b) {
+		panic("fr.ButterflyVec: length mismatch")
+	}
+	b = b[:len(a)]
+	for i := range a {
+		Butterfly(&a[i], &b[i])
+	}
+}
+
+// TwiddleButterflyVec applies the decimation-in-time butterfly with
+// per-lane twiddles: t = b[i]·tw[i]; (a[i], b[i]) = (a[i]+t, a[i]−t).
+// All slices must have equal length; a and b must not overlap.
+func TwiddleButterflyVec(a, b, tw []Element) {
+	if len(a) != len(b) || len(tw) != len(a) {
+		panic("fr.TwiddleButterflyVec: length mismatch")
+	}
+	MulVecInto(b, b, tw)
+	ButterflyVec(a, b)
+}

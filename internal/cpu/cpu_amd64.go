@@ -1,0 +1,27 @@
+//go:build amd64 && !purego
+
+// Package cpu detects the instruction-set extensions the hand-written
+// field-arithmetic kernels need. Detection runs once at package init;
+// the flags are plain bools so hot paths can branch on them without an
+// atomic load.
+package cpu
+
+// cpuidex executes CPUID with the given EAX/ECX inputs (implemented in
+// cpuid_amd64.s).
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// X86HasADX reports whether the CPU supports both the ADX (ADCX/ADOX)
+// and BMI2 (MULX) extensions required by the Montgomery-multiplication
+// assembly. Both arrived together on Broadwell-class cores and later;
+// neither touches extended register state, so no OS-support (XSAVE)
+// check is needed.
+var X86HasADX = func() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, ebx, _, _ := cpuidex(7, 0)
+	const bmi2 = 1 << 8
+	const adx = 1 << 19
+	return ebx&bmi2 != 0 && ebx&adx != 0
+}()

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package cpu
+
+// X86HasADX is false on non-amd64 targets and under the purego build
+// tag: the assembly kernels that need it are not compiled in.
+var X86HasADX = false

@@ -587,9 +587,7 @@ func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element)
 	cosetEval(&sys.A, ab)
 	cosetEval(&sys.B, tmp)
 	par.Range(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ab[i].Mul(&ab[i], &tmp[i])
-		}
+		fr.MulVecInto(ab[lo:hi], ab[lo:hi], tmp[lo:hi])
 	})
 
 	// tmp is dense after the FFTs; re-zero the tail the C evaluation
@@ -602,10 +600,7 @@ func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element)
 	var zcInv fr.Element
 	zcInv.Inverse(&zc)
 	par.Range(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ab[i].Sub(&ab[i], &tmp[i])
-			ab[i].Mul(&ab[i], &zcInv)
-		}
+		fr.SubScalarMulVecInto(ab[lo:hi], ab[lo:hi], tmp[lo:hi], &zcInv)
 	})
 	domain.IFFTCoset(ab)
 

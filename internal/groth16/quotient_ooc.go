@@ -85,9 +85,7 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 		return fail(err)
 	}
 	err = va.StreamMerge(vb, func(dst, b []fr.Element) {
-		for i := range dst {
-			dst[i].Mul(&dst[i], &b[i])
-		}
+		fr.MulVecInto(dst, dst, b)
 	})
 	vb.Close()
 	if err != nil {
@@ -103,10 +101,7 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 	var zcInv fr.Element
 	zcInv.Inverse(&zc)
 	err = va.StreamMerge(vc, func(dst, c []fr.Element) {
-		for i := range dst {
-			dst[i].Sub(&dst[i], &c[i])
-			dst[i].Mul(&dst[i], &zcInv)
-		}
+		fr.SubScalarMulVecInto(dst, dst, c, &zcInv)
 	})
 	vc.Close()
 	if err != nil {

@@ -86,11 +86,46 @@ func bitReverse(a []fr.Element) {
 	}
 }
 
+// twiddlePool recycles the flat twiddle tables between fftInner calls.
+// The out-of-core pipeline runs thousands of tile FFTs of identical
+// size, so the table buffer is hot.
+var twiddlePool VecPool
+
+// fftTwiddles builds the flat twiddle table for an n-point FFT (n ≥ 4,
+// power of two) with the given root of unity. The level with butterfly
+// half-width h occupies tw[h-1 : 2h-1] and holds (root^(n/2h))^j for
+// j < h. Only the top level (h = n/2, the plain powers of root) costs
+// field multiplications; every lower level is a strided gather from it,
+// since its twiddle step is a power of the top level's. The table is
+// keyed off the root argument, not the Domain — the out-of-core tile
+// FFTs run on ad-hoc domains whose only valid field is N.
+func fftTwiddles(n int, root *fr.Element) []fr.Element {
+	tw := twiddlePool.Get(n - 1)
+	top := tw[n/2-1:]
+	par.Range(n/2, func(js, je int) {
+		w := powUint64(*root, uint64(js))
+		for j := js; j < je; j++ {
+			top[j] = w
+			w.Mul(&w, root)
+		}
+	})
+	for half := n / 4; half >= 1; half >>= 1 {
+		level := tw[half-1 : 2*half-1]
+		stride := (n / 2) / half
+		for j := range level {
+			level[j] = top[j*stride]
+		}
+	}
+	return tw
+}
+
 // fftInner runs the iterative Cooley-Tukey butterfly network with the
-// given root of unity (ω for forward, ω⁻¹ for inverse). Every level is
-// data-parallel: early levels have many independent blocks (split across
-// blocks), late levels have few wide blocks (split inside each block,
-// seeding each chunk's twiddle with wlen^j₀).
+// given root of unity (ω for forward, ω⁻¹ for inverse). Twiddles come
+// precomputed from a pooled flat table, so the inner loops are pure
+// vector kernels (fr.TwiddleButterflyVec). Every level is
+// data-parallel: early levels have many independent blocks (split
+// across blocks), late levels have few wide blocks (split inside each
+// block).
 func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
 	n := len(a)
 	if uint64(n) != d.N {
@@ -100,49 +135,38 @@ func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
 		return
 	}
 	bitReverse(a)
-	for length := 2; length <= n; length <<= 1 {
-		// wlen = root^(N/length)
-		var wlen fr.Element
-		wlen.Set(root)
-		for pow := n; pow > length; pow >>= 1 {
-			wlen.Square(&wlen)
+
+	// First level: twiddle ≡ 1, pure add/sub butterflies.
+	par.Range(n/2, func(bs, be int) {
+		for b := bs; b < be; b++ {
+			fr.Butterfly(&a[2*b], &a[2*b+1])
 		}
+	})
+	if n == 2 {
+		return
+	}
+
+	tw := fftTwiddles(n, root)
+	defer twiddlePool.Put(tw)
+	for length := 4; length <= n; length <<= 1 {
 		half := length >> 1
+		level := tw[half-1 : 2*half-1]
 		nbBlocks := n / length
 		if nbBlocks >= half {
 			par.Range(nbBlocks, func(bs, be int) {
 				for b := bs; b < be; b++ {
 					start := b * length
-					var w fr.Element
-					w.SetOne()
-					for j := 0; j < half; j++ {
-						butterfly(a, start+j, start+j+half, &w)
-						w.Mul(&w, &wlen)
-					}
+					fr.TwiddleButterflyVec(a[start:start+half], a[start+half:start+length], level)
 				}
 			})
 		} else {
 			for start := 0; start < n; start += length {
 				par.Range(half, func(js, je int) {
-					w := powUint64(wlen, uint64(js))
-					for j := js; j < je; j++ {
-						butterfly(a, start+j, start+j+half, &w)
-						w.Mul(&w, &wlen)
-					}
+					fr.TwiddleButterflyVec(a[start+js:start+je], a[start+half+js:start+half+je], level[js:je])
 				})
 			}
 		}
 	}
-}
-
-// butterfly applies one Cooley-Tukey butterfly: (a[i], a[k]) becomes
-// (a[i] + w·a[k], a[i] - w·a[k]).
-func butterfly(a []fr.Element, i, k int, w *fr.Element) {
-	u := a[i]
-	var v fr.Element
-	v.Mul(&a[k], w)
-	a[i].Add(&u, &v)
-	a[k].Sub(&u, &v)
 }
 
 // FFT evaluates the coefficient vector a on H in place (natural order:
@@ -153,9 +177,7 @@ func (d *Domain) FFT(a []fr.Element) { d.fftInner(a, &d.Gen) }
 func (d *Domain) IFFT(a []fr.Element) {
 	d.fftInner(a, &d.GenInv)
 	par.Range(len(a), func(start, end int) {
-		for i := start; i < end; i++ {
-			a[i].Mul(&a[i], &d.NInv)
-		}
+		fr.ScalarMulVecInto(a[start:end], a[start:end], &d.NInv)
 	})
 }
 

@@ -80,11 +80,11 @@ func oocSplit(vf *VecFile, dir string) (evens, odds *VecFile, err error) {
 // nil, in which case the first half resides in eBuf instead.
 func oocCombine(vf *VecFile, evens *VecFile, eBuf []fr.Element, odds *VecFile, root *fr.Element) error {
 	half := vf.Len() / 2
-	op, ep, hp := getWin(), getWin(), getWin()
+	op, ep, tp := getWin(), getWin(), getWin()
 	defer putWin(op)
 	defer putWin(ep)
-	defer putWin(hp)
-	ow, ew, hi := *op, *ep, *hp
+	defer putWin(tp)
+	ow, ew, twWin := *op, *ep, *tp
 	for start := 0; start < half; start += vecIOChunk {
 		end := start + vecIOChunk
 		if end > half {
@@ -102,18 +102,21 @@ func oocCombine(vf *VecFile, evens *VecFile, eBuf []fr.Element, odds *VecFile, r
 		} else {
 			e = eBuf[start:end]
 		}
+		tw := twWin[:c]
 		w := powUint64(*root, uint64(start))
-		for i := 0; i < c; i++ {
-			var t fr.Element
-			t.Mul(&ow[i], &w)
-			hi[i].Sub(&e[i], &t)
-			ow[i].Add(&e[i], &t) // reuse ow as the low-half output window
+		for i := range tw {
+			tw[i] = w
 			w.Mul(&w, root)
 		}
-		if err := vf.WriteAt(ow[:c], start); err != nil {
+		// (e, ow) ← (e + ω^k·o, e − ω^k·o) via the vector kernels. e is
+		// a scratch window either way (ew, or a chunk of the caller's
+		// discarded eBuf), so clobbering it in place is fine.
+		fr.MulVecInto(ow[:c], ow[:c], tw)
+		fr.ButterflyVec(e, ow[:c])
+		if err := vf.WriteAt(e, start); err != nil {
 			return err
 		}
-		if err := vf.WriteAt(hi[:c], start+half); err != nil {
+		if err := vf.WriteAt(ow[:c], start+half); err != nil {
 			return err
 		}
 	}
@@ -207,9 +210,7 @@ func (d *Domain) IFFTFile(vf *VecFile, buf []fr.Element) error {
 	}
 	nInv := d.NInv
 	return vf.StreamUpdate(func(_ int, v []fr.Element) {
-		for i := range v {
-			v[i].Mul(&v[i], &nInv)
-		}
+		fr.ScalarMulVecInto(v, v, &nInv)
 	})
 }
 
