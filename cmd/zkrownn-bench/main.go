@@ -37,6 +37,7 @@ import (
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/gadgets"
 	"zkrownn/internal/groth16"
+	"zkrownn/internal/obs"
 )
 
 type rowSpec struct {
@@ -97,6 +98,8 @@ func main() {
 		procs     = flag.String("procs", "", `comma-separated GOMAXPROCS values to run the whole table at (e.g. "1,4"); empty keeps the ambient setting`)
 		stream    = flag.Bool("stream", false, "prove out-of-core: spill proving keys to disk and stream them back in bounded windows (engine memory budget of 1 byte)")
 		memBudget = flag.Int64("mem-budget", 0, "engine per-circuit key memory budget in bytes; circuits whose raw proving key exceeds it stream from disk (0 disables; -stream is shorthand for 1)")
+		phases    = flag.Bool("phases", false, "trace each run and record per-phase prover timings (phase_ms) in the JSON report")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the last sampled run to this file (implies per-run tracing)")
 	)
 	flag.Parse()
 
@@ -195,6 +198,9 @@ func main() {
 		Streamed:   budget > 0,
 		Rows:       []benchRecord{},
 	}
+	// lastTrace keeps the most recent run's span timeline for -trace; each
+	// run records into a fresh trace so phase_ms stays per-run.
+	var lastTrace *obs.Trace
 	for _, np := range procsList {
 		runtime.GOMAXPROCS(np)
 		fmt.Printf("ZKROWNN Table I reproduction — scale=%s, fixed-point f=%d, GOMAXPROCS=%d\n",
@@ -240,8 +246,12 @@ func main() {
 				// sample reflects its own allocations, not a previous
 				// row's high-water mark the runtime is still holding.
 				debug.FreeOSMemory()
+				var tr *obs.Trace
+				if *phases || *traceOut != "" {
+					tr = obs.NewTrace()
+				}
 				sampler := startRSSSampler()
-				pl, err := core.RunPipelineWith(eng, art, rng)
+				pl, err := core.RunPipelineTraced(eng, art, rng, tr)
 				peakRSS := sampler.Stop()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%s: pipeline: %v\n", spec.name, err)
@@ -254,6 +264,10 @@ func main() {
 				rec.PKRawBytes = pkRaw
 				rec.PeakRSSBytes = peakRSS
 				rec.Streamed = pl.Metrics.Streamed
+				if tr != nil {
+					rec.PhaseMS = phaseMS(tr)
+					lastTrace = tr
+				}
 				report.Rows = append(report.Rows, rec)
 			}
 		}
@@ -271,6 +285,45 @@ func main() {
 		}
 		fmt.Printf("metrics written to %s\n", *jsonOut)
 	}
+	if *traceOut != "" {
+		if lastTrace == nil {
+			fmt.Fprintf(os.Stderr, "-trace: no run sampled, nothing to write\n")
+			os.Exit(1)
+		}
+		if err := writeTrace(*traceOut, lastTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (load in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+}
+
+// phaseMS flattens a run's span totals into the phase_ms JSON map,
+// keeping only phase-level spans (at most one '/' in the name — e.g.
+// engine/prove, msm/A, quotient/ifft-a) and dropping the per-window,
+// per-level, and per-chunk task spans, whose lane-parallel durations sum
+// to CPU time rather than wall time.
+func phaseMS(tr *obs.Trace) map[string]float64 {
+	out := make(map[string]float64)
+	for name, d := range tr.Totals() {
+		if strings.Count(name, "/") > 1 {
+			continue
+		}
+		out[name] = float64(d.Microseconds()) / 1e3
+	}
+	return out
+}
+
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseProcs parses the -procs flag into the GOMAXPROCS sweep; an empty
@@ -342,6 +395,12 @@ type benchRecord struct {
 	// portable core) — numbers are only comparable across runs with the
 	// same backend.
 	FieldBackend string `json:"field_backend"`
+	// PhaseMS breaks the row's wall time down by prover phase (-phases):
+	// span-name → milliseconds, e.g. engine/solve, keys/setup, msm/A,
+	// quotient/ifft-a, verify/pairing. Nested phases overlap their
+	// parents (msm/A runs inside engine/prove), so entries do not sum to
+	// a total.
+	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
 }
 
 func recordOf(m *core.Metrics) benchRecord {

@@ -13,7 +13,11 @@
 //	POST /v1/models/{id}/prove     submit an async proof job (202/429)
 //	GET  /v1/jobs/{id}             poll a job
 //	GET  /v1/jobs/{id}/proof       fetch the finished proof (binary)
+//	GET  /v1/jobs/{id}/trace       Chrome trace-event timeline (trace=true jobs)
 //	POST /v1/models/{id}/verify    verify a proof (micro-batched)
+//	GET  /metrics                  Prometheus text exposition
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful drain: in-flight HTTP requests and
 // prove jobs finish, queued jobs are failed with a shutdown error, and
@@ -26,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -49,11 +54,18 @@ func main() {
 	verifyBatch := flag.Int("verify-batch", 32, "max verifications folded into one BatchVerify")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	quiet := flag.Bool("quiet", false, "suppress per-event logging")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON (default: logfmt-style text)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	flag.Parse()
 
 	logf := log.Printf
+	var logger *slog.Logger
 	if *quiet {
 		logf = func(string, ...any) {}
+	} else if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 
 	srv, err := service.New(service.Options{
@@ -68,6 +80,8 @@ func main() {
 		VerifyWindow: *verifyWindow,
 		VerifyBatch:  *verifyBatch,
 		Logf:         logf,
+		Logger:       logger,
+		EnablePprof:  *pprofOn,
 	})
 	if err != nil {
 		log.Fatalf("zkrownn-server: %v", err)

@@ -35,6 +35,7 @@ import (
 	"zkrownn/internal/fixpoint"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/watermark"
 )
 
@@ -251,6 +252,7 @@ func cmdProve(args []string) error {
 	keyCache := fs.String("keycache", "", "key-cache directory: reuse trusted-setup keys across runs for the same circuit architecture")
 	server := fs.String("server", "", "proof-service URL: register + prove remotely (zkrownn-server) instead of proving in-process")
 	suspectsFlag := fs.String("suspects", "", `comma-separated suspect model paths: prove one BATCHED claim per suspect with a single proof ("-" keeps the registered model in that slot)`)
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON timeline of the prover phases to this file (load in chrome://tracing or Perfetto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -273,6 +275,9 @@ func cmdProve(args []string) error {
 		}
 		if *keyCache != "" {
 			fmt.Fprintln(os.Stderr, "warning: -keycache is ignored with -server (configure the server's -keycache instead)")
+		}
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, `warning: -trace is ignored with -server (submit with "trace": true and fetch GET /v1/jobs/{id}/trace instead)`)
 		}
 		return remoteProve(*server, net, key, *outDir, *maxErrors, *fracBits, *committed, suspectPaths)
 	}
@@ -317,10 +322,22 @@ func cmdProve(args []string) error {
 		}
 	}
 
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		req.Ctx = obs.ContextWithTrace(context.Background(), tr)
+	}
+
 	eng := engine.New(engine.Options{CacheDir: *keyCache})
 	res, err := eng.Prove(req)
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		if terr := writeFileWith(*traceOut, tr.WriteChrome); terr != nil {
+			return fmt.Errorf("writing trace: %w", terr)
+		}
+		fmt.Printf("trace written to %s (load in chrome://tracing or Perfetto)\n", *traceOut)
 	}
 	pk, vk, proof := res.Keys.PK, res.Keys.VK, res.Proof
 	pkSize := res.Keys.PKSizeBytes()

@@ -52,11 +52,11 @@ func (pippengerCPU) MultiExpG1(points []G1Affine, scalars []fr.Element) G1Jac {
 		j.ScalarMul(&j, &scalars[0])
 		return j
 	}
-	return multiExp[G1Affine, G1Jac](g1Msm{}, points, DecomposeScalars(scalars, MSMWindowSize(n)))
+	return multiExp[G1Affine, G1Jac](g1Msm{}, points, DecomposeScalars(scalars, MSMWindowSize(n)), nil, "")
 }
 
 func (pippengerCPU) MultiExpG1Decomposed(points []G1Affine, dec *ScalarDecomposition) G1Jac {
-	return multiExp[G1Affine, G1Jac](g1Msm{}, points, dec)
+	return multiExp[G1Affine, G1Jac](g1Msm{}, points, dec, nil, "")
 }
 
 func (pippengerCPU) MultiExpG2(points []G2Affine, scalars []fr.Element) G2Jac {
@@ -74,11 +74,11 @@ func (pippengerCPU) MultiExpG2(points []G2Affine, scalars []fr.Element) G2Jac {
 		j.ScalarMul(&j, &scalars[0])
 		return j
 	}
-	return multiExp[G2Affine, G2Jac](g2Msm{}, points, DecomposeScalars(scalars, MSMWindowSize(n)))
+	return multiExp[G2Affine, G2Jac](g2Msm{}, points, DecomposeScalars(scalars, MSMWindowSize(n)), nil, "")
 }
 
 func (pippengerCPU) MultiExpG2Decomposed(points []G2Affine, dec *ScalarDecomposition) G2Jac {
-	return multiExp[G2Affine, G2Jac](g2Msm{}, points, dec)
+	return multiExp[G2Affine, G2Jac](g2Msm{}, points, dec, nil, "")
 }
 
 // activeAccel holds the registered backend boxed in a concrete struct

@@ -1,10 +1,12 @@
 package curve
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/par"
 )
 
@@ -419,7 +421,11 @@ type msmTask struct {
 // windows see only the scalar's high-order sliver of bits, so their
 // digits crowd a handful of buckets; they take the Jacobian path, as do
 // small MSMs where flush inversions can't amortize.
-func multiExp[A, J any, CV msmCurve[A, J]](cv CV, points []A, dec *ScalarDecomposition) J {
+//
+// tr, when non-nil, records one span per chunk×window-group task under
+// label on a pool of worker lanes — the per-window MSM attribution of
+// the telemetry subsystem. The nil path adds only a nil check per task.
+func multiExp[A, J any, CV msmCurve[A, J]](cv CV, points []A, dec *ScalarDecomposition, tr *obs.Trace, label string) J {
 	n := len(points)
 	res := cv.infinity()
 	if n == 0 {
@@ -495,8 +501,17 @@ func multiExp[A, J any, CV msmCurve[A, J]](cv CV, points []A, dec *ScalarDecompo
 	}
 
 	partials := make([]J, numChunks*numWindows)
+	var lanes *obs.Lanes
+	if tr != nil {
+		lanes = tr.Lanes(par.Workers())
+	}
 	runTask := func(t int) {
 		task := tasks[t]
+		if lanes != nil {
+			sp := lanes.Span(label + "/w" + strconv.Itoa(task.w0) + "-" + strconv.Itoa(task.w1) +
+				"/c" + strconv.Itoa(task.chunk))
+			defer sp.End()
+		}
 		start := task.chunk * chunkLen
 		end := start + chunkLen
 		if end > n {
@@ -717,6 +732,58 @@ func MultiExpG2(points []G2Affine, scalars []fr.Element) G2Jac {
 // digits (see MultiExpG1Decomposed).
 func MultiExpG2Decomposed(points []G2Affine, dec *ScalarDecomposition) G2Jac {
 	return ActiveAccelerator().MultiExpG2Decomposed(points, dec)
+}
+
+// MultiExpG1DecomposedTraced is MultiExpG1Decomposed recording an
+// overall span (label) plus per-window task spans on tr. With a
+// non-default Accelerator registered, the backend call is recorded as
+// one opaque span (the Accelerator interface is trace-agnostic). A nil
+// tr is exactly MultiExpG1Decomposed.
+func MultiExpG1DecomposedTraced(points []G1Affine, dec *ScalarDecomposition, tr *obs.Trace, label string) G1Jac {
+	if tr == nil {
+		return MultiExpG1Decomposed(points, dec)
+	}
+	sp := tr.Span(label)
+	defer sp.End()
+	acc := ActiveAccelerator()
+	if _, cpu := acc.(pippengerCPU); !cpu {
+		return acc.MultiExpG1Decomposed(points, dec)
+	}
+	return multiExp[G1Affine, G1Jac](g1Msm{}, points, dec, tr, label)
+}
+
+// MultiExpG2DecomposedTraced is the G2 counterpart of
+// MultiExpG1DecomposedTraced.
+func MultiExpG2DecomposedTraced(points []G2Affine, dec *ScalarDecomposition, tr *obs.Trace, label string) G2Jac {
+	if tr == nil {
+		return MultiExpG2Decomposed(points, dec)
+	}
+	sp := tr.Span(label)
+	defer sp.End()
+	acc := ActiveAccelerator()
+	if _, cpu := acc.(pippengerCPU); !cpu {
+		return acc.MultiExpG2Decomposed(points, dec)
+	}
+	return multiExp[G2Affine, G2Jac](g2Msm{}, points, dec, tr, label)
+}
+
+// MultiExpG1Traced is MultiExpG1 with span recording (see
+// MultiExpG1DecomposedTraced). The recoding cost is included in the
+// overall span.
+func MultiExpG1Traced(points []G1Affine, scalars []fr.Element, tr *obs.Trace, label string) G1Jac {
+	if tr == nil {
+		return MultiExpG1(points, scalars)
+	}
+	sp := tr.Span(label)
+	defer sp.End()
+	acc := ActiveAccelerator()
+	if _, cpu := acc.(pippengerCPU); !cpu || len(points) < 2 {
+		return acc.MultiExpG1(points, scalars)
+	}
+	if len(scalars) != len(points) {
+		panic("curve: MultiExpG1 length mismatch")
+	}
+	return multiExp[G1Affine, G1Jac](g1Msm{}, points, DecomposeScalars(scalars, MSMWindowSize(len(points))), tr, label)
 }
 
 // fixedBaseWindow is the window width used by fixed-base tables: 8 bits

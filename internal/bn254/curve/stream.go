@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/par"
 )
 
@@ -50,7 +51,12 @@ type G2Source func(dst []G2Affine, start int) error
 // chunk — either a zero-copy view into a whole-vector decomposition or
 // a fresh per-chunk recoding (identical digits either way, since the
 // signed-digit recoding never crosses scalar boundaries).
-func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start int) error, n int, digits func(start, end int) *ScalarDecomposition, chunk int) (J, error) {
+//
+// tr, when non-nil, records one span per chunk read (on its own lane —
+// reads overlap compute), per scalar recode, and per chunk MSM under
+// label — exposing whether a streamed prove is disk-bound or
+// compute-bound. The nil path costs one nil check per chunk.
+func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start int) error, n int, digits func(start, end int) *ScalarDecomposition, chunk int, tr *obs.Trace, label string) (J, error) {
 	sum := cv.infinity()
 	if n == 0 {
 		return sum, nil
@@ -60,6 +66,13 @@ func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start 
 	}
 	if chunk > n {
 		chunk = n
+	}
+
+	var readName, recodeName, msmName string
+	var readLane int
+	if tr != nil {
+		readName, recodeName, msmName = label+"/read", label+"/recode", label+"/msm"
+		readLane = tr.NextLane()
 	}
 
 	type filled struct {
@@ -79,7 +92,12 @@ func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start 
 				end = n
 			}
 			buf := <-free
+			var sp *obs.Span
+			if tr != nil {
+				sp = tr.SpanLane(readName, readLane)
+			}
 			err := src(buf[:end-start], start)
+			sp.End()
 			fills <- filled{buf: buf, start: start, end: end, err: err}
 			if err != nil {
 				return // consumer stops at the error; nothing more to send
@@ -90,10 +108,20 @@ func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start 
 		if f.err != nil {
 			return sum, fmt.Errorf("curve: streamed MSM read at %d: %w", f.start, f.err)
 		}
+		var sp *obs.Span
+		if tr != nil {
+			sp = tr.Span(recodeName)
+		}
+		dec := digits(f.start, f.end)
+		sp.End()
+		if tr != nil {
+			sp = tr.Span(msmName)
+		}
 		// Each chunk resolves the accelerator at dispatch time, so a
 		// backend registered mid-stream picks up the remaining chunks and
 		// an out-of-process backend serves out-of-core proves unchanged.
-		part := cv.accelerated(ActiveAccelerator(), f.buf[:f.end-f.start], digits(f.start, f.end))
+		part := cv.accelerated(ActiveAccelerator(), f.buf[:f.end-f.start], dec)
+		sp.End()
 		free <- f.buf
 		cv.add(&sum, &part)
 	}
@@ -106,12 +134,12 @@ func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start 
 // for the chunk size, not the total size — each chunk runs its own
 // Pippenger pass. The result equals MultiExpG1 on the same inputs.
 func MultiExpG1Stream(src G1Source, dec *ScalarDecomposition, chunk int) (G1Jac, error) {
-	return multiExpStream[G1Affine, G1Jac](g1Msm{}, src, dec.n, dec.Slice, chunk)
+	return multiExpStream[G1Affine, G1Jac](g1Msm{}, src, dec.n, dec.Slice, chunk, nil, "")
 }
 
 // MultiExpG2Stream is the G2 counterpart of MultiExpG1Stream.
 func MultiExpG2Stream(src G2Source, dec *ScalarDecomposition, chunk int) (G2Jac, error) {
-	return multiExpStream[G2Affine, G2Jac](g2Msm{}, src, dec.n, dec.Slice, chunk)
+	return multiExpStream[G2Affine, G2Jac](g2Msm{}, src, dec.n, dec.Slice, chunk, nil, "")
 }
 
 // MultiExpG1StreamScalars is MultiExpG1Stream with lazy scalar recoding:
@@ -122,13 +150,20 @@ func MultiExpG2Stream(src G2Source, dec *ScalarDecomposition, chunk int) (G2Jac,
 // per-scalar, so the result (and any proof built from it) is unchanged;
 // only the resident digit memory drops to one chunk's worth.
 func MultiExpG1StreamScalars(src G1Source, scalars []fr.Element, c, chunk int) (G1Jac, error) {
+	return MultiExpG1StreamScalarsTraced(src, scalars, c, chunk, nil, "")
+}
+
+// MultiExpG1StreamScalarsTraced is MultiExpG1StreamScalars recording
+// per-chunk read/recode/MSM spans on tr under label (nil tr is the
+// untraced fast path).
+func MultiExpG1StreamScalarsTraced(src G1Source, scalars []fr.Element, c, chunk int, tr *obs.Trace, label string) (G1Jac, error) {
 	var reuse *ScalarDecomposition
 	return multiExpStream[G1Affine, G1Jac](g1Msm{}, src, len(scalars), func(start, end int) *ScalarDecomposition {
 		// The driver consumes each chunk's digits before requesting the
 		// next, so one digit buffer serves every chunk.
 		reuse = decomposeScalarsInto(reuse, scalars[start:end], c)
 		return reuse
-	}, chunk)
+	}, chunk, tr, label)
 }
 
 // ScalarSource fills dst with the MSM scalars [start, start+len(dst)) —
@@ -143,6 +178,13 @@ type ScalarSource func(dst []fr.Element, start int) error
 // Pippenger pass, so neither side of the MSM is ever fully resident.
 // The result equals MultiExpG1 on the same inputs.
 func MultiExpG1StreamScalarSource(src G1Source, scalars ScalarSource, n, c, chunk int) (G1Jac, error) {
+	return MultiExpG1StreamScalarSourceTraced(src, scalars, n, c, chunk, nil, "")
+}
+
+// MultiExpG1StreamScalarSourceTraced is MultiExpG1StreamScalarSource
+// with per-chunk span recording (the scalar-file read is folded into
+// the recode span — both sit between chunks on the consumer side).
+func MultiExpG1StreamScalarSourceTraced(src G1Source, scalars ScalarSource, n, c, chunk int, tr *obs.Trace, label string) (G1Jac, error) {
 	var reuse *ScalarDecomposition
 	var sbuf []fr.Element
 	var srcErr error
@@ -161,7 +203,7 @@ func MultiExpG1StreamScalarSource(src G1Source, scalars ScalarSource, n, c, chun
 		}
 		reuse = decomposeScalarsInto(reuse, s, c)
 		return reuse
-	}, chunk)
+	}, chunk, tr, label)
 	if err == nil {
 		err = srcErr
 	}
@@ -170,11 +212,17 @@ func MultiExpG1StreamScalarSource(src G1Source, scalars ScalarSource, n, c, chun
 
 // MultiExpG2StreamScalars is the G2 counterpart of MultiExpG1StreamScalars.
 func MultiExpG2StreamScalars(src G2Source, scalars []fr.Element, c, chunk int) (G2Jac, error) {
+	return MultiExpG2StreamScalarsTraced(src, scalars, c, chunk, nil, "")
+}
+
+// MultiExpG2StreamScalarsTraced is the G2 counterpart of
+// MultiExpG1StreamScalarsTraced.
+func MultiExpG2StreamScalarsTraced(src G2Source, scalars []fr.Element, c, chunk int, tr *obs.Trace, label string) (G2Jac, error) {
 	var reuse *ScalarDecomposition
 	return multiExpStream[G2Affine, G2Jac](g2Msm{}, src, len(scalars), func(start, end int) *ScalarDecomposition {
 		reuse = decomposeScalarsInto(reuse, scalars[start:end], c)
 		return reuse
-	}, chunk)
+	}, chunk, tr, label)
 }
 
 // StreamWindowSize picks the Pippenger window width for a streamed MSM

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/r1cs"
 )
 
@@ -129,6 +131,14 @@ func RunPipeline(art *Artifact, rng io.Reader) (*Pipeline, error) {
 
 // RunPipelineWith executes the pipeline on a specific prover engine.
 func RunPipelineWith(eng *engine.Engine, art *Artifact, rng io.Reader) (*Pipeline, error) {
+	return RunPipelineTraced(eng, art, rng, nil)
+}
+
+// RunPipelineTraced is RunPipelineWith recording per-phase spans —
+// setup, solve, FFT levels, MSM windows, pairing — on tr, which can
+// then be exported with tr.WriteChrome or aggregated with tr.Totals.
+// A nil tr is the untraced fast path.
+func RunPipelineTraced(eng *engine.Engine, art *Artifact, rng io.Reader, tr *obs.Trace) (*Pipeline, error) {
 	pl := &Pipeline{Artifact: art}
 	pl.Metrics.Name = art.Name
 	pl.Metrics.NbConstraints = art.System.NbConstraints()
@@ -136,7 +146,13 @@ func RunPipelineWith(eng *engine.Engine, art *Artifact, rng io.Reader) (*Pipelin
 	pl.Metrics.NbPrivate = art.System.NbPrivate()
 	pl.Metrics.Slots = art.Slots()
 
-	res, err := eng.Prove(art.Request(rng))
+	req := art.Request(rng)
+	var ctx context.Context
+	if tr != nil {
+		ctx = obs.ContextWithTrace(context.Background(), tr)
+		req.Ctx = ctx
+	}
+	res, err := eng.Prove(req)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -154,7 +170,7 @@ func RunPipelineWith(eng *engine.Engine, art *Artifact, rng io.Reader) (*Pipelin
 
 	public := art.System.PublicValues(res.Witness)
 	start := time.Now()
-	if err := eng.Verify(pl.VK, pl.Proof, public); err != nil {
+	if err := eng.VerifyCtx(ctx, pl.VK, pl.Proof, public); err != nil {
 		return nil, fmt.Errorf("core: verify: %w", err)
 	}
 	pl.Metrics.VerifyTime = time.Since(start)

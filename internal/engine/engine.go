@@ -28,6 +28,7 @@ package engine
 
 import (
 	"bufio"
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/groth16"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/r1cs"
 )
 
@@ -85,6 +87,11 @@ type Options struct {
 // Callers that already hold a full witness may pass it instead.
 type Request struct {
 	Name string
+	// Ctx, when non-nil, carries request-scoped telemetry: a trace
+	// attached with obs.ContextWithTrace receives per-phase spans for the
+	// whole setup → solve → prove pipeline. The engine does not honor
+	// cancellation — proofs run to completion once started.
+	Ctx context.Context
 	// System is the compiled circuit. It may be nil when Digest names a
 	// circuit the engine has cached from an earlier request.
 	System *r1cs.CompiledSystem
@@ -380,7 +387,7 @@ func (e *Engine) Keys(sys *r1cs.CompiledSystem, rng io.Reader) (*KeyPair, bool, 
 		return nil, false, err
 	}
 	defer e.release()
-	keys, hit, _, _, err := e.keys(sys, rng)
+	keys, hit, _, _, err := e.keys(sys, rng, nil)
 	return keys, hit, err
 }
 
@@ -400,10 +407,11 @@ func (e *Engine) DropMemoryCache() {
 	e.cache.clear()
 }
 
-func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader) (keys *KeyPair, hit bool, digest string, persistErr error, err error) {
+func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader, tr *obs.Trace) (keys *KeyPair, hit bool, digest string, persistErr error, err error) {
 	digest = sys.DigestHex()
 	if keys, ok := e.cache.getMem(digest, sys); ok {
 		e.memHits.Add(1)
+		mKeycacheMemHits.Inc()
 		return keys, true, digest, nil, nil
 	}
 
@@ -425,6 +433,7 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader) (keys *KeyPair, h
 	if keys, ok := e.cache.getMem(digest, sys); ok {
 		e.inflightMu.Unlock()
 		e.memHits.Add(1)
+		mKeycacheMemHits.Inc()
 		return keys, true, digest, nil, nil
 	}
 	call := &setupCall{done: make(chan struct{})}
@@ -438,6 +447,7 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader) (keys *KeyPair, h
 	stream := e.shouldStream(sys)
 	var fromDisk *KeyPair
 	var ok bool
+	sp := tr.Span("keys/disk-load")
 	if stream {
 		// In streamed mode the disk tier is the authoritative key
 		// store; a hit costs one integrity pass plus section indexing,
@@ -448,30 +458,40 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader) (keys *KeyPair, h
 	} else {
 		fromDisk, ok = e.cache.getDisk(digest, sys)
 	}
+	sp.End()
 	if ok {
 		e.diskHits.Add(1)
+		mKeycacheDiskHits.Inc()
 		call.keys = fromDisk
 		diskHit = true
 	} else if stream {
+		mKeycacheMisses.Inc()
+		sp := tr.Span("keys/setup-streamed")
 		start := time.Now()
 		kp, perr, serr := e.setupStreamed(sys, digest, e.requestRand(rng))
 		elapsed := time.Since(start)
+		sp.End()
 		if serr == nil {
 			call.keys = kp
 			e.setups.Add(1)
 			e.setupNs.Add(int64(elapsed))
+			observeSeconds(mSetupSeconds, elapsed)
 			e.cache.putMem(digest, kp, sys)
 			call.persistErr = perr
 		}
 		call.err = serr
 	} else {
+		mKeycacheMisses.Inc()
+		sp := tr.Span("keys/setup")
 		start := time.Now()
 		pk, vk, serr := groth16.Setup(sys, e.requestRand(rng))
 		elapsed := time.Since(start)
+		sp.End()
 		if serr == nil {
 			call.keys = &KeyPair{PK: pk, VK: vk}
 			e.setups.Add(1)
 			e.setupNs.Add(int64(elapsed))
+			observeSeconds(mSetupSeconds, elapsed)
 			// Persistence is best-effort; a disk-tier write failure
 			// leaves the keys cached in memory and the engine fully
 			// functional.
@@ -508,6 +528,7 @@ func (e *Engine) Prove(req Request) (*Result, error) {
 
 func (e *Engine) prove(req Request) *Result {
 	res := &Result{Name: req.Name}
+	tr := obs.TraceFrom(req.Ctx)
 	sys := req.System
 	if sys == nil {
 		if req.Digest == "" {
@@ -522,13 +543,16 @@ func (e *Engine) prove(req Request) *Result {
 		sys = cached
 	}
 
+	sp := tr.Span("engine/keys")
 	start := time.Now()
-	keys, hit, digest, persistErr, err := e.keys(sys, req.Rand)
+	keys, hit, digest, persistErr, err := e.keys(sys, req.Rand, tr)
 	res.SetupTime = time.Since(start)
+	sp.End()
 	res.Digest = digest
 	res.CacheHit = hit
 	res.PersistErr = persistErr
 	if err != nil {
+		mProveErrorsTotal.Inc()
 		res.Err = fmt.Errorf("engine: setup: %w", err)
 		return res
 	}
@@ -536,18 +560,23 @@ func (e *Engine) prove(req Request) *Result {
 
 	witness := req.Witness
 	if witness == nil {
+		sp = tr.Span("engine/solve")
 		start = time.Now()
 		witness, err = sys.Solve(req.Public, req.Secret)
 		res.SolveTime = time.Since(start)
+		sp.End()
 		if err != nil {
+			mProveErrorsTotal.Inc()
 			res.Err = fmt.Errorf("engine: solve: %w", err)
 			return res
 		}
 		e.solves.Add(1)
 		e.solveNs.Add(int64(res.SolveTime))
+		observeSeconds(mSolveSeconds, res.SolveTime)
 	}
 	res.Witness = witness
 
+	sp = tr.Span("engine/prove")
 	start = time.Now()
 	var proof *groth16.Proof
 	if keys.Stream != nil {
@@ -556,20 +585,25 @@ func (e *Engine) prove(req Request) *Result {
 		// before entering the bounded-memory prove, so its footprint is
 		// the pipeline's, not the allocator's leftovers.
 		debug.FreeOSMemory()
-		proof, err = groth16.ProveStreamed(sys, keys.Stream, witness, e.requestRand(req.Rand))
+		proof, err = groth16.ProveStreamedTraced(sys, keys.Stream, witness, e.requestRand(req.Rand), tr)
 	} else {
-		proof, err = groth16.Prove(sys, keys.PK, witness, e.requestRand(req.Rand))
+		proof, err = groth16.ProveTraced(sys, keys.PK, witness, e.requestRand(req.Rand), tr)
 	}
 	res.ProveTime = time.Since(start)
+	sp.End()
 	if err != nil {
+		mProveErrorsTotal.Inc()
 		res.Err = fmt.Errorf("engine: prove: %w", err)
 		return res
 	}
 	e.proves.Add(1)
+	mProvesTotal.Inc()
 	if keys.Stream != nil {
 		e.streamProves.Add(1)
+		mStreamProvesTotal.Inc()
 	}
 	e.proveNs.Add(int64(res.ProveTime))
+	observeSeconds(mProveSeconds, res.ProveTime)
 	res.Proof = proof
 	return res
 }
@@ -619,14 +653,23 @@ func (e *Engine) ProveMany(reqs []Request) []*Result {
 
 // Verify checks one proof against its public inputs.
 func (e *Engine) Verify(vk *groth16.VerifyingKey, proof *groth16.Proof, public []fr.Element) error {
+	return e.VerifyCtx(nil, vk, proof, public)
+}
+
+// VerifyCtx is Verify honoring request-scoped telemetry: a trace on ctx
+// (obs.ContextWithTrace) receives the verifier's MSM and pairing spans.
+func (e *Engine) VerifyCtx(ctx context.Context, vk *groth16.VerifyingKey, proof *groth16.Proof, public []fr.Element) error {
 	if err := e.acquire(); err != nil {
 		return err
 	}
 	defer e.release()
 	start := time.Now()
-	err := groth16.Verify(vk, proof, public)
+	err := groth16.VerifyTraced(vk, proof, public, obs.TraceFrom(ctx))
 	e.verifies.Add(1)
-	e.verifyNs.Add(int64(time.Since(start)))
+	mVerifiesTotal.Inc()
+	elapsed := time.Since(start)
+	e.verifyNs.Add(int64(elapsed))
+	observeSeconds(mVerifySeconds, elapsed)
 	return err
 }
 
@@ -641,7 +684,10 @@ func (e *Engine) VerifyMany(vk *groth16.VerifyingKey, proofs []*groth16.Proof, p
 	start := time.Now()
 	err := groth16.BatchVerify(vk, proofs, publicInputs, e.requestRand(nil))
 	e.verifies.Add(uint64(len(proofs)))
-	e.verifyNs.Add(int64(time.Since(start)))
+	mVerifiesTotal.Add(uint64(len(proofs)))
+	elapsed := time.Since(start)
+	e.verifyNs.Add(int64(elapsed))
+	observeSeconds(mVerifySeconds, elapsed)
 	return err
 }
 

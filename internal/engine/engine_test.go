@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/groth16"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/r1cs"
 )
 
@@ -393,5 +395,59 @@ func TestSolveManyRequests(t *testing.T) {
 	// Unknown digest fails fast.
 	if _, err := e.Prove(Request{Digest: "feedface"}); err == nil {
 		t.Fatal("unknown digest accepted")
+	}
+}
+
+// TestTracedProveManyRace hammers the span recorder from the worker
+// pool: every job in a ProveMany batch records into the SAME trace
+// (engine workers and the MSM lane pool write events concurrently)
+// while readers snapshot Events/Totals mid-flight. Run under -race
+// this is the telemetry concurrency guard.
+func TestTracedProveManyRace(t *testing.T) {
+	e := New(Options{Rand: rand.New(rand.NewSource(17)), Workers: 4})
+	tr := obs.NewTrace()
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = tr.Events()
+					_ = tr.Totals()
+				}
+			}
+		}()
+	}
+
+	const jobs = 8
+	reqs := make([]Request, jobs)
+	for i := range reqs {
+		reqs[i] = Request{System: cubicSystem(7), Witness: cubicWitness(7, uint64(i+2)), Ctx: ctx}
+	}
+	results := e.ProveMany(reqs)
+	close(stop)
+	readers.Wait()
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if err := e.VerifyCtx(ctx, results[0].Keys.VK, r.Proof, publicOf(reqs[i].Witness)); err != nil {
+			t.Fatalf("verify %d: %v", i, err)
+		}
+	}
+
+	totals := tr.Totals()
+	if totals["engine/prove"] == 0 {
+		t.Fatalf("shared trace recorded no engine/prove time (%d names)", len(totals))
+	}
+	if totals["verify/pairing"] == 0 {
+		t.Fatal("shared trace recorded no verify/pairing time")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"zkrownn/internal/bn254/ext"
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/bn254/pairing"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/par"
 	"zkrownn/internal/poly"
 	"zkrownn/internal/r1cs"
@@ -273,7 +274,14 @@ func singleG2(t *curve.G2FixedBaseTable, k *fr.Element) curve.G2Affine {
 // normally obtain it from CompiledSystem.Solve (or the frontend's eager
 // compile result).
 func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
-	return prove(sys, pk, witness, rng)
+	return prove(sys, pk, witness, rng, nil)
+}
+
+// ProveTraced is Prove recording per-phase spans (witness check, scalar
+// recoding, each query MSM, the quotient pipeline) on tr. A nil tr is
+// the untraced fast path — identical to Prove.
+func ProveTraced(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng io.Reader, tr *obs.Trace) (*Proof, error) {
+	return prove(sys, pk, witness, rng, tr)
 }
 
 // pkHeader is the handful of single points every prover backend exposes
@@ -298,10 +306,12 @@ type proverKey interface {
 	// prepWitness binds the witness vector for the three wire-query
 	// MSMs, choosing the backend's recoding strategy.
 	prepWitness(witness []fr.Element) witnessExp
-	expA(w witnessExp) (curve.G1Jac, error)
-	expB1(w witnessExp) (curve.G1Jac, error)
-	expB2(w witnessExp) (curve.G2Jac, error)
-	expK(scalars []fr.Element) (curve.G1Jac, error)
+	// The exp methods record their spans on tr (nil disables tracing at
+	// zero cost — the *Trace methods are nil-receiver no-ops).
+	expA(w witnessExp, tr *obs.Trace) (curve.G1Jac, error)
+	expB1(w witnessExp, tr *obs.Trace) (curve.G1Jac, error)
+	expB2(w witnessExp, tr *obs.Trace) (curve.G2Jac, error)
+	expK(scalars []fr.Element, tr *obs.Trace) (curve.G1Jac, error)
 	// expZQuotient computes h = (A·B - C)/Z and immediately folds it
 	// into the Z-query MSM, choosing the backend's memory strategy: two
 	// resident domain vectors in memory, or the out-of-core pipeline
@@ -309,7 +319,7 @@ type proverKey interface {
 	// from the h file). Field arithmetic is exact and fr encodings are
 	// canonical, so h — and the proof — is bit-equal either way. Fusing
 	// the two steps lets the streamed backend never materialize h.
-	expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) (curve.G1Jac, error)
+	expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, tr *obs.Trace) (curve.G1Jac, error)
 }
 
 // witnessExp carries the witness for the A, B1, and B2 queries. The
@@ -351,43 +361,47 @@ func (pk *ProvingKey) prepWitness(witness []fr.Element) witnessExp {
 	}
 }
 
-func (pk *ProvingKey) expA(w witnessExp) (curve.G1Jac, error) {
-	return curve.MultiExpG1Decomposed(pk.A, w.dec), nil
+func (pk *ProvingKey) expA(w witnessExp, tr *obs.Trace) (curve.G1Jac, error) {
+	return curve.MultiExpG1DecomposedTraced(pk.A, w.dec, tr, "msm/A"), nil
 }
 
-func (pk *ProvingKey) expB1(w witnessExp) (curve.G1Jac, error) {
-	return curve.MultiExpG1Decomposed(pk.B1, w.dec), nil
+func (pk *ProvingKey) expB1(w witnessExp, tr *obs.Trace) (curve.G1Jac, error) {
+	return curve.MultiExpG1DecomposedTraced(pk.B1, w.dec, tr, "msm/B1"), nil
 }
 
-func (pk *ProvingKey) expB2(w witnessExp) (curve.G2Jac, error) {
-	return curve.MultiExpG2Decomposed(pk.B2, w.dec), nil
+func (pk *ProvingKey) expB2(w witnessExp, tr *obs.Trace) (curve.G2Jac, error) {
+	return curve.MultiExpG2DecomposedTraced(pk.B2, w.dec, tr, "msm/B2"), nil
 }
 
-func (pk *ProvingKey) expK(scalars []fr.Element) (curve.G1Jac, error) {
-	return curve.MultiExpG1(pk.K, scalars), nil
+func (pk *ProvingKey) expK(scalars []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
+	return curve.MultiExpG1Traced(pk.K, scalars, tr, "msm/K"), nil
 }
 
-func (pk *ProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) (curve.G1Jac, error) {
-	h, err := quotient(sys, domainSize, witness)
+func (pk *ProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
+	h, err := quotient(sys, domainSize, witness, tr)
 	if err != nil {
 		return curve.G1Jac{}, err
 	}
-	res := curve.MultiExpG1(pk.Z, h)
+	res := curve.MultiExpG1Traced(pk.Z, h, tr, "msm/Z")
 	releaseQuotient(h)
 	return res, nil
 }
 
 // prove is the backend-agnostic prover core shared by Prove and
 // ProveStreamed. Randomness is drawn in a fixed order (r then s), so a
-// seeded rng yields identical proofs from either backend.
-func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
+// seeded rng yields identical proofs from either backend. tr, when
+// non-nil, receives one span per prover phase.
+func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.Reader, tr *obs.Trace) (*Proof, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
 	if len(witness) != sys.NbWires {
 		return nil, fmt.Errorf("groth16: witness has %d wires, system expects %d", len(witness), sys.NbWires)
 	}
-	if ok, bad := sys.IsSatisfied(witness); !ok {
+	sp := tr.Span("prove/satisfy")
+	ok, bad := sys.IsSatisfied(witness)
+	sp.End()
+	if !ok {
 		return nil, fmt.Errorf("groth16: witness does not satisfy constraint %d", bad)
 	}
 	if err := pk.checkShape(sys); err != nil {
@@ -404,10 +418,12 @@ func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.
 		return nil, err
 	}
 
+	sp = tr.Span("prove/recode")
 	wExp := pk.prepWitness(witness)
+	sp.End()
 
 	// A = α + Σ wⱼ·[uⱼ(τ)]₁ + r·δ
-	aJac, err := pk.expA(wExp)
+	aJac, err := pk.expA(wExp, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -420,7 +436,7 @@ func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.
 	aJac.AddAssign(&term)
 
 	// B2 = β + Σ wⱼ·[vⱼ(τ)]₂ + s·δ  (and its G1 shadow for C).
-	b2Jac, err := pk.expB2(wExp)
+	b2Jac, err := pk.expB2(wExp, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +448,7 @@ func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.
 	term2.ScalarMul(&term2, &sScalar)
 	b2Jac.AddAssign(&term2)
 
-	b1Jac, err := pk.expB1(wExp)
+	b1Jac, err := pk.expB1(wExp, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -446,11 +462,11 @@ func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.
 	// C = Σ_priv wⱼ·Kⱼ + Σ hᵢ·Zᵢ + s·A + r·B1 - r·s·δ, where h is the
 	// quotient polynomial (A·B - C)/Z computed via coset FFTs.
 	privWitness := witness[sys.NbPublic:]
-	cJac, err := pk.expK(privWitness)
+	cJac, err := pk.expK(privWitness, tr)
 	if err != nil {
 		return nil, err
 	}
-	hMSM, err := pk.expZQuotient(sys, hdr.DomainSize, witness)
+	hMSM, err := pk.expZQuotient(sys, hdr.DomainSize, witness, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -556,7 +572,11 @@ func releaseQuotient(h []fr.Element) { quotientVecs.Put(h) }
 // three at once. Every vector undergoes exactly the transform sequence
 // of the naive three-vector form, so the output is bit-identical. The
 // caller must hand the returned slice to releaseQuotient after use.
-func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) ([]fr.Element, error) {
+//
+// tr, when non-nil, records one span per pipeline stage (matrix
+// evaluation, each transform with its per-level breakdown, the
+// pointwise folds) under a "quotient/" prefix.
+func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, tr *obs.Trace) ([]fr.Element, error) {
 	domain, err := poly.NewDomain(domainSize)
 	if err != nil {
 		return nil, err
@@ -570,39 +590,56 @@ func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element)
 	tmp := quotientVecs.Get(n)
 	defer quotientVecs.Put(tmp)
 
+	spAll := tr.Span("quotient")
+	defer spAll.End()
+
 	// cosetEval evaluates one constraint matrix against the witness and
 	// carries it to the coset: dst holds M·w on the coset g·H. Rows
 	// [nbCons, n) stay zero (Get returns zeroed vectors; reuse of tmp
 	// clears the tail explicitly).
-	cosetEval := func(mx *r1cs.Matrix, dst []fr.Element) {
+	cosetEval := func(mx *r1cs.Matrix, dst []fr.Element, name string) {
+		var sp *obs.Span
+		if tr != nil {
+			sp = tr.Span("quotient/eval-" + name)
+		}
 		par.Range(nbCons, func(start, end int) {
 			for i := start; i < end; i++ {
 				dst[i] = mx.RowEval(i, witness)
 			}
 		})
-		domain.IFFT(dst)
-		domain.FFTCoset(dst)
+		sp.End()
+		if tr != nil {
+			domain.IFFTTraced(dst, tr, "quotient/ifft-"+name)
+			domain.FFTCosetTraced(dst, tr, "quotient/fft-coset-"+name)
+		} else {
+			domain.IFFT(dst)
+			domain.FFTCoset(dst)
+		}
 	}
 
-	cosetEval(&sys.A, ab)
-	cosetEval(&sys.B, tmp)
+	cosetEval(&sys.A, ab, "A")
+	cosetEval(&sys.B, tmp, "B")
+	sp := tr.Span("quotient/mul-ab")
 	par.Range(n, func(lo, hi int) {
 		fr.MulVecInto(ab[lo:hi], ab[lo:hi], tmp[lo:hi])
 	})
+	sp.End()
 
 	// tmp is dense after the FFTs; re-zero the tail the C evaluation
 	// won't overwrite before reusing it.
 	clear(tmp[nbCons:])
-	cosetEval(&sys.C, tmp)
+	cosetEval(&sys.C, tmp, "C")
 
 	// On the coset, Z is the non-zero constant g^n - 1.
 	zc := domain.VanishingOnCoset()
 	var zcInv fr.Element
 	zcInv.Inverse(&zc)
+	sp = tr.Span("quotient/divide-z")
 	par.Range(n, func(lo, hi int) {
 		fr.SubScalarMulVecInto(ab[lo:hi], ab[lo:hi], tmp[lo:hi], &zcInv)
 	})
-	domain.IFFTCoset(ab)
+	sp.End()
+	domain.IFFTCosetTraced(ab, tr, "quotient/ifft-coset")
 
 	// deg h ≤ n-2, so the top coefficient must vanish.
 	if !ab[n-1].IsZero() {
@@ -615,12 +652,18 @@ func quotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element)
 // Verify checks a proof against the public inputs (the instance,
 // excluding the constant wire; len must equal NbPublic-1).
 func Verify(vk *VerifyingKey, proof *Proof, publicInputs []fr.Element) error {
+	return VerifyTraced(vk, proof, publicInputs, nil)
+}
+
+// VerifyTraced is Verify recording the IC multi-exponentiation and the
+// pairing check as spans on tr. A nil tr is the untraced fast path.
+func VerifyTraced(vk *VerifyingKey, proof *Proof, publicInputs []fr.Element, tr *obs.Trace) error {
 	if len(publicInputs) != len(vk.IC)-1 {
 		return fmt.Errorf("groth16: got %d public inputs, verifying key expects %d",
 			len(publicInputs), len(vk.IC)-1)
 	}
 	// acc = IC₀ + Σ xⱼ·IC_{j+1}
-	acc := curve.MultiExpG1(vk.IC[1:], publicInputs)
+	acc := curve.MultiExpG1Traced(vk.IC[1:], publicInputs, tr, "verify/msm-ic")
 	var ic0 curve.G1Jac
 	ic0.FromAffine(&vk.IC[0])
 	acc.AddAssign(&ic0)
@@ -632,6 +675,7 @@ func Verify(vk *VerifyingKey, proof *Proof, publicInputs []fr.Element) error {
 	// and the check needs 3 pairings instead of 4.
 	var negA curve.G1Affine
 	negA.Neg(&proof.Ar)
+	sp := tr.Span("verify/pairing")
 	var ok bool
 	if !vk.AlphaBeta.IsZero() {
 		ok = pairing.PairingCheckMul(
@@ -645,6 +689,7 @@ func Verify(vk *VerifyingKey, proof *Proof, publicInputs []fr.Element) error {
 			[]*curve.G2Affine{&proof.Bs, &vk.BetaG2, &vk.GammaG2, &vk.DeltaG2},
 		)
 	}
+	sp.End()
 	if !ok {
 		return errors.New("groth16: invalid proof")
 	}

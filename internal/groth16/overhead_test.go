@@ -1,0 +1,124 @@
+package groth16
+
+import (
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/obs"
+	"zkrownn/internal/r1cs"
+)
+
+// chainSystem builds a squaring chain of n constraints — wire 2 is the
+// secret x, each constraint squares the previous intermediate, and the
+// last value is copied to the public output. Big enough chains give the
+// prover a realistic FFT/MSM workload for overhead measurement.
+func chainSystem(n int) *r1cs.CompiledSystem {
+	one := func() fr.Element { var e fr.Element; e.SetOne(); return e }
+	lc := func(terms ...r1cs.Term) r1cs.LinearCombination { return terms }
+
+	sys := &r1cs.System{NbPublic: 2, NbWires: n + 3}
+	for i := 0; i < n; i++ {
+		sys.Constraints = append(sys.Constraints, r1cs.Constraint{
+			A: lc(r1cs.Term{Wire: i + 2, Coeff: one()}),
+			B: lc(r1cs.Term{Wire: i + 2, Coeff: one()}),
+			C: lc(r1cs.Term{Wire: i + 3, Coeff: one()}),
+		})
+	}
+	// last intermediate · 1 = out
+	sys.Constraints = append(sys.Constraints, r1cs.Constraint{
+		A: lc(r1cs.Term{Wire: n + 2, Coeff: one()}),
+		B: lc(r1cs.Term{Wire: 0, Coeff: one()}),
+		C: lc(r1cs.Term{Wire: 1, Coeff: one()}),
+	})
+	cs, err := r1cs.FromSystem(sys)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+func chainWitness(n int, x uint64) []fr.Element {
+	w := make([]fr.Element, n+3)
+	w[0].SetOne()
+	w[2].SetUint64(x)
+	for i := 0; i < n; i++ {
+		w[i+3].Mul(&w[i+2], &w[i+2])
+	}
+	w[1] = w[n+2]
+	return w
+}
+
+// TestProveTracedMatchesProve pins that tracing is observational: a
+// traced prove verifies exactly like an untraced one and records spans
+// covering every prover phase.
+func TestProveTracedMatchesProve(t *testing.T) {
+	rng := rand.New(rand.NewSource(820))
+	sys := chainSystem(64)
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := chainWitness(64, 3)
+
+	tr := obs.NewTrace()
+	proof, err := ProveTraced(sys, pk, w, rng, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, w[1:sys.NbPublic]); err != nil {
+		t.Fatalf("traced proof rejected: %v", err)
+	}
+	totals := tr.Totals()
+	for _, phase := range []string{"prove/satisfy", "prove/recode", "quotient",
+		"msm/A", "msm/B1", "msm/B2", "msm/K", "msm/Z"} {
+		if _, ok := totals[phase]; !ok {
+			t.Errorf("traced prove recorded no %q span (got %d span names)", phase, len(totals))
+		}
+	}
+
+	vtr := obs.NewTrace()
+	if err := VerifyTraced(vk, proof, w[1:sys.NbPublic], vtr); err != nil {
+		t.Fatalf("traced verify rejected: %v", err)
+	}
+	vt := vtr.Totals()
+	if _, ok := vt["verify/pairing"]; !ok {
+		t.Error("traced verify recorded no verify/pairing span")
+	}
+}
+
+// BenchmarkProveTelemetryOff / BenchmarkProveTelemetryOn are the
+// telemetry overhead guard: compare ns/op with tracing disabled (the
+// production default — nil-trace fast path) against a live span
+// recorder. The instrumentation budget is ≤1% prove-time overhead;
+// rerun both after touching the hot paths:
+//
+//	go test ./internal/groth16/ -run xx -bench 'ProveTelemetry' -benchtime 10x
+func BenchmarkProveTelemetryOff(b *testing.B) {
+	benchmarkProveTelemetry(b, false)
+}
+
+func BenchmarkProveTelemetryOn(b *testing.B) {
+	benchmarkProveTelemetry(b, true)
+}
+
+func benchmarkProveTelemetry(b *testing.B, traced bool) {
+	const n = 1 << 14
+	rng := rand.New(rand.NewSource(821))
+	sys := chainSystem(n)
+	pk, _, err := Setup(sys, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := chainWitness(n, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr *obs.Trace
+		if traced {
+			tr = obs.NewTrace()
+		}
+		if _, err := ProveTraced(sys, pk, w, rng, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/poly"
 	"zkrownn/internal/r1cs"
 )
@@ -24,7 +25,11 @@ import (
 // file holds bit for bit the coefficients the in-memory quotient would
 // produce; the Z-section MSM then streams its scalars straight from the
 // file, so h is never resident either.
-func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, dir string) (*poly.VecFile, error) {
+//
+// tr, when non-nil, records one span per stage (matrix evaluation,
+// each out-of-core transform with its split/mem/combine phases, the
+// streamed pointwise merges) under an "ooc/" prefix.
+func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, dir string, tr *obs.Trace) (*poly.VecFile, error) {
 	domain, err := poly.NewDomain(domainSize)
 	if err != nil {
 		return nil, err
@@ -39,13 +44,20 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 	// resident vector at the cost of one extra streaming pass.
 	buf := make([]fr.Element, n/4)
 
+	spAll := tr.Span("ooc/quotient")
+	defer spAll.End()
+
 	// cosetEval evaluates one constraint matrix against the witness into
 	// a fresh disk vector (rows [nbCons, n) zero) and carries it to the
 	// coset, exactly as the in-memory quotient does.
-	cosetEval := func(mx *r1cs.Matrix) (*poly.VecFile, error) {
+	cosetEval := func(mx *r1cs.Matrix, name string) (*poly.VecFile, error) {
 		vf, err := poly.CreateVecFile(dir, n)
 		if err != nil {
 			return nil, err
+		}
+		var sp *obs.Span
+		if tr != nil {
+			sp = tr.Span("ooc/eval-" + name)
 		}
 		w := vf.NewWriter()
 		for i := 0; i < nbCons; i++ {
@@ -60,18 +72,24 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 			vf.Close()
 			return nil, fmt.Errorf("groth16: quotient eval spill: %w", err)
 		}
-		if err := domain.IFFTFile(vf, buf); err != nil {
+		sp.End()
+		var ifftLabel, fftLabel string
+		if tr != nil {
+			ifftLabel = "ooc/ifft-" + name
+			fftLabel = "ooc/fft-coset-" + name
+		}
+		if err := domain.IFFTFileTraced(vf, buf, tr, ifftLabel); err != nil {
 			vf.Close()
 			return nil, err
 		}
-		if err := domain.FFTCosetFile(vf, buf); err != nil {
+		if err := domain.FFTCosetFileTraced(vf, buf, tr, fftLabel); err != nil {
 			vf.Close()
 			return nil, err
 		}
 		return vf, nil
 	}
 
-	va, err := cosetEval(&sys.A)
+	va, err := cosetEval(&sys.A, "A")
 	if err != nil {
 		return nil, err
 	}
@@ -80,19 +98,21 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 		return nil, err
 	}
 
-	vb, err := cosetEval(&sys.B)
+	vb, err := cosetEval(&sys.B, "B")
 	if err != nil {
 		return fail(err)
 	}
+	sp := tr.Span("ooc/mul-ab")
 	err = va.StreamMerge(vb, func(dst, b []fr.Element) {
 		fr.MulVecInto(dst, dst, b)
 	})
+	sp.End()
 	vb.Close()
 	if err != nil {
 		return fail(err)
 	}
 
-	vc, err := cosetEval(&sys.C)
+	vc, err := cosetEval(&sys.C, "C")
 	if err != nil {
 		return fail(err)
 	}
@@ -100,15 +120,17 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 	zc := domain.VanishingOnCoset()
 	var zcInv fr.Element
 	zcInv.Inverse(&zc)
+	sp = tr.Span("ooc/divide-z")
 	err = va.StreamMerge(vc, func(dst, c []fr.Element) {
 		fr.SubScalarMulVecInto(dst, dst, c, &zcInv)
 	})
+	sp.End()
 	vc.Close()
 	if err != nil {
 		return fail(err)
 	}
 
-	if err := domain.IFFTCosetFile(va, buf); err != nil {
+	if err := domain.IFFTCosetFileTraced(va, buf, tr, "ooc/ifft-coset"); err != nil {
 		return fail(err)
 	}
 

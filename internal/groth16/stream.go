@@ -8,6 +8,7 @@ import (
 
 	"zkrownn/internal/bn254/curve"
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/poly"
 	"zkrownn/internal/r1cs"
 )
@@ -200,26 +201,26 @@ func (pk *StreamedProvingKey) prepWitness(witness []fr.Element) witnessExp {
 
 // streamG1 runs one G1 query section through the chunked MSM with lazy
 // per-chunk scalar recoding.
-func (pk *StreamedProvingKey) streamG1(sec rawSection, scalars []fr.Element) (curve.G1Jac, error) {
+func (pk *StreamedProvingKey) streamG1(sec rawSection, scalars []fr.Element, tr *obs.Trace, label string) (curve.G1Jac, error) {
 	c := curve.StreamWindowSize(len(scalars), pk.chunkSize())
-	return curve.MultiExpG1StreamScalars(curve.NewG1RawSource(pk.r, sec.off), scalars, c, pk.chunkSize())
+	return curve.MultiExpG1StreamScalarsTraced(curve.NewG1RawSource(pk.r, sec.off), scalars, c, pk.chunkSize(), tr, label)
 }
 
-func (pk *StreamedProvingKey) expA(w witnessExp) (curve.G1Jac, error) {
-	return pk.streamG1(pk.secA, w.scalars)
+func (pk *StreamedProvingKey) expA(w witnessExp, tr *obs.Trace) (curve.G1Jac, error) {
+	return pk.streamG1(pk.secA, w.scalars, tr, "stream/A")
 }
 
-func (pk *StreamedProvingKey) expB1(w witnessExp) (curve.G1Jac, error) {
-	return pk.streamG1(pk.secB1, w.scalars)
+func (pk *StreamedProvingKey) expB1(w witnessExp, tr *obs.Trace) (curve.G1Jac, error) {
+	return pk.streamG1(pk.secB1, w.scalars, tr, "stream/B1")
 }
 
-func (pk *StreamedProvingKey) expB2(w witnessExp) (curve.G2Jac, error) {
+func (pk *StreamedProvingKey) expB2(w witnessExp, tr *obs.Trace) (curve.G2Jac, error) {
 	c := curve.StreamWindowSize(len(w.scalars), pk.chunkSize())
-	return curve.MultiExpG2StreamScalars(curve.NewG2RawSource(pk.r, pk.secB2.off), w.scalars, c, pk.chunkSize())
+	return curve.MultiExpG2StreamScalarsTraced(curve.NewG2RawSource(pk.r, pk.secB2.off), w.scalars, c, pk.chunkSize(), tr, "stream/B2")
 }
 
-func (pk *StreamedProvingKey) expK(scalars []fr.Element) (curve.G1Jac, error) {
-	return pk.streamG1(pk.secK, scalars)
+func (pk *StreamedProvingKey) expK(scalars []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
+	return pk.streamG1(pk.secK, scalars, tr, "stream/K")
 }
 
 // expZQuotient runs the fully out-of-core tail of the proof: the
@@ -227,18 +228,18 @@ func (pk *StreamedProvingKey) expK(scalars []fr.Element) (curve.G1Jac, error) {
 // most half a domain vector resident), and the Z-section MSM streams
 // both its points (from the raw key) and its scalars (from the h file)
 // in bounded chunks. h never exists in memory.
-func (pk *StreamedProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element) (curve.G1Jac, error) {
-	hf, err := quotientOOC(sys, domainSize, witness, pk.SpillDir)
+func (pk *StreamedProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
+	hf, err := quotientOOC(sys, domainSize, witness, pk.SpillDir, tr)
 	if err != nil {
 		return curve.G1Jac{}, err
 	}
 	defer hf.Close()
 	nScalars := hf.Len() - 1 // deg h ≤ n-2: the key's Z section has n-1 points
 	c := curve.StreamWindowSize(nScalars, pk.chunkSize())
-	return curve.MultiExpG1StreamScalarSource(
+	return curve.MultiExpG1StreamScalarSourceTraced(
 		curve.NewG1RawSource(pk.r, pk.secZ.off),
 		func(dst []fr.Element, start int) error { return hf.ReadAt(dst, start) },
-		nScalars, c, pk.chunkSize())
+		nScalars, c, pk.chunkSize(), tr, "stream/Z")
 }
 
 // ProveStreamed produces a proof using a disk-backed key. With the same
@@ -246,7 +247,15 @@ func (pk *StreamedProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize 
 // Prove with the fully materialized key: chunking only reassociates the
 // MSM partial sums, and affine normalization is canonical.
 func ProveStreamed(sys *r1cs.CompiledSystem, pk *StreamedProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
-	return prove(sys, pk, witness, rng)
+	return prove(sys, pk, witness, rng, nil)
+}
+
+// ProveStreamedTraced is ProveStreamed recording per-phase spans —
+// including the out-of-core quotient stages and the per-chunk
+// read/recode/msm breakdown of each streamed section — on tr. A nil tr
+// is the untraced fast path.
+func ProveStreamedTraced(sys *r1cs.CompiledSystem, pk *StreamedProvingKey, witness []fr.Element, rng io.Reader, tr *obs.Trace) (*Proof, error) {
+	return prove(sys, pk, witness, rng, tr)
 }
 
 // setupSpillChunk is the number of scalars multiplied per batch while

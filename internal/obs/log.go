@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// idCounter backs the fallback request-ID source when crypto/rand is
+// unavailable (it never is in practice, but IDs must not collide even
+// then).
+var idCounter atomic.Uint64
+
+// NewID returns a short random hex identifier for correlating one
+// request's log lines, job records, and trace across the service.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "seq-" + strconv.FormatUint(idCounter.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}

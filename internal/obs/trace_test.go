@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	outer := tr.Span("prove")
+	time.Sleep(time.Millisecond)
+	inner := tr.Span("prove/msm-a")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Completion order: inner ends first.
+	if evs[0].Name != "prove/msm-a" || evs[1].Name != "prove" {
+		t.Errorf("event order = %q, %q", evs[0].Name, evs[1].Name)
+	}
+	if evs[1].Start > evs[0].Start {
+		t.Error("outer span started after inner")
+	}
+	if evs[1].Dur < evs[0].Dur {
+		t.Error("outer span shorter than nested inner span")
+	}
+	tot := tr.Totals()
+	if tot["prove"] < 2*time.Millisecond {
+		t.Errorf("prove total = %v, want ≥ 2ms", tot["prove"])
+	}
+}
+
+// TestNilTrace pins the off path: every method on a nil trace/span is
+// a safe no-op and — via the benchmark below — allocation-free.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	sp := tr.Span("x")
+	sp.End()
+	if tr.Events() != nil || tr.Totals() != nil {
+		t.Error("nil trace returned non-nil data")
+	}
+	if tr.NextLane() != 0 {
+		t.Error("nil trace allocated a lane")
+	}
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("nil trace chrome dump = %q", b.String())
+	}
+}
+
+func TestNilSpanAllocFree(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.SpanLane("prove/msm-a", 0)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-trace span cycle allocates %v times, want 0", allocs)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTrace()
+	s := tr.Span("solve")
+	time.Sleep(time.Millisecond)
+	s.End()
+	lane := tr.NextLane()
+	tr.SpanLane("msm/w0", lane).End()
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("chrome dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Errorf("ph = %v, want X", ev["ph"])
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("ts missing or not a number: %v", ev["ts"])
+		}
+	}
+	// Sorted by start: solve began first.
+	if events[0]["name"] != "solve" {
+		t.Errorf("first event = %v, want solve", events[0]["name"])
+	}
+	if events[1]["tid"].(float64) != float64(lane) {
+		t.Errorf("lane event tid = %v, want %d", events[1]["tid"], lane)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Error("empty context yielded a trace")
+	}
+	if TraceFrom(nil) != nil { //nolint:staticcheck // nil ctx is the documented engine default
+		t.Error("nil context yielded a trace")
+	}
+	tr := NewTrace()
+	ctx := ContextWithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Error("trace did not round-trip through context")
+	}
+}
+
+// TestTraceConcurrent exercises the span recorder from many goroutines
+// (the ProveMany shape); under -race it is the recorder's
+// thread-safety proof.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	const workers, spans = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lane := tr.NextLane()
+			for i := 0; i < spans; i++ {
+				tr.SpanLane("msm/window", lane).End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != workers*spans {
+		t.Errorf("recorded %d events, want %d", got, workers*spans)
+	}
+}
+
+func TestNewID(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == b {
+		t.Errorf("consecutive IDs collided: %q", a)
+	}
+	if len(a) != 16 {
+		t.Errorf("ID %q has length %d, want 16", a, len(a))
+	}
+}

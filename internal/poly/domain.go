@@ -8,9 +8,11 @@ package poly
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 	"sync"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/par"
 )
 
@@ -126,7 +128,11 @@ func fftTwiddles(n int, root *fr.Element) []fr.Element {
 // data-parallel: early levels have many independent blocks (split
 // across blocks), late levels have few wide blocks (split inside each
 // block).
-func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
+//
+// tr, when non-nil, records one span per butterfly level under label —
+// the per-level FFT attribution of the telemetry subsystem. The nil
+// path costs only the nil checks.
+func (d *Domain) fftInner(a []fr.Element, root *fr.Element, tr *obs.Trace, label string) {
 	n := len(a)
 	if uint64(n) != d.N {
 		panic(fmt.Sprintf("poly: FFT input length %d != domain size %d", n, d.N))
@@ -137,11 +143,16 @@ func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
 	bitReverse(a)
 
 	// First level: twiddle ≡ 1, pure add/sub butterflies.
+	var sp *obs.Span
+	if tr != nil {
+		sp = tr.Span(label + "/len2")
+	}
 	par.Range(n/2, func(bs, be int) {
 		for b := bs; b < be; b++ {
 			fr.Butterfly(&a[2*b], &a[2*b+1])
 		}
 	})
+	sp.End()
 	if n == 2 {
 		return
 	}
@@ -149,6 +160,9 @@ func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
 	tw := fftTwiddles(n, root)
 	defer twiddlePool.Put(tw)
 	for length := 4; length <= n; length <<= 1 {
+		if tr != nil {
+			sp = tr.Span(label + "/len" + strconv.Itoa(length))
+		}
 		half := length >> 1
 		level := tw[half-1 : 2*half-1]
 		nbBlocks := n / length
@@ -166,16 +180,37 @@ func (d *Domain) fftInner(a []fr.Element, root *fr.Element) {
 				})
 			}
 		}
+		if tr != nil {
+			sp.End()
+		}
 	}
 }
 
 // FFT evaluates the coefficient vector a on H in place (natural order:
 // out[i] = Σ a[j]·ω^(ij)).
-func (d *Domain) FFT(a []fr.Element) { d.fftInner(a, &d.Gen) }
+func (d *Domain) FFT(a []fr.Element) { d.fftInner(a, &d.Gen, nil, "") }
+
+// FFTTraced is FFT recording an overall span plus one span per
+// butterfly level on tr under label. A nil tr is the untraced fast
+// path.
+func (d *Domain) FFTTraced(a []fr.Element, tr *obs.Trace, label string) {
+	sp := tr.Span(label)
+	d.fftInner(a, &d.Gen, tr, label)
+	sp.End()
+}
 
 // IFFT interpolates evaluations on H back to coefficients in place.
-func (d *Domain) IFFT(a []fr.Element) {
-	d.fftInner(a, &d.GenInv)
+func (d *Domain) IFFT(a []fr.Element) { d.ifftTraced(a, nil, "") }
+
+// IFFTTraced is IFFT with per-level span recording (see FFTTraced).
+func (d *Domain) IFFTTraced(a []fr.Element, tr *obs.Trace, label string) {
+	sp := tr.Span(label)
+	d.ifftTraced(a, tr, label)
+	sp.End()
+}
+
+func (d *Domain) ifftTraced(a []fr.Element, tr *obs.Trace, label string) {
+	d.fftInner(a, &d.GenInv, tr, label)
 	par.Range(len(a), func(start, end int) {
 		fr.ScalarMulVecInto(a[start:end], a[start:end], &d.NInv)
 	})
@@ -199,11 +234,29 @@ func (d *Domain) FFTCoset(a []fr.Element) {
 	d.FFT(a)
 }
 
+// FFTCosetTraced is FFTCoset with per-level span recording (see
+// FFTTraced).
+func (d *Domain) FFTCosetTraced(a []fr.Element, tr *obs.Trace, label string) {
+	sp := tr.Span(label)
+	mulPowers(a, &d.CosetShift)
+	d.fftInner(a, &d.Gen, tr, label)
+	sp.End()
+}
+
 // IFFTCoset interpolates evaluations on the coset g·H back to
 // coefficients in place.
 func (d *Domain) IFFTCoset(a []fr.Element) {
 	d.IFFT(a)
 	mulPowers(a, &d.CosetShiftInv)
+}
+
+// IFFTCosetTraced is IFFTCoset with per-level span recording (see
+// FFTTraced).
+func (d *Domain) IFFTCosetTraced(a []fr.Element, tr *obs.Trace, label string) {
+	sp := tr.Span(label)
+	d.ifftTraced(a, tr, label)
+	mulPowers(a, &d.CosetShiftInv)
+	sp.End()
 }
 
 // VanishingEval returns Z_H(x) = x^N - 1, computed with LogN squarings.

@@ -3,8 +3,10 @@ package poly
 import (
 	"fmt"
 	"path/filepath"
+	"strconv"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/obs"
 )
 
 // Bounded-memory FFT: the transforms below run over a disk-resident
@@ -126,7 +128,9 @@ func oocCombine(vf *VecFile, evens *VecFile, eBuf []fr.Element, odds *VecFile, r
 // fftFileCore runs the unscaled transform with the given root on vf.
 // buf is the resident scratch; sub-transforms small enough to fit it
 // run in memory, larger ones recurse with another out-of-core level.
-func fftFileCore(vf *VecFile, buf []fr.Element, root *fr.Element) error {
+// tr, when non-nil, records a span per out-of-core phase (split,
+// in-memory sub-transform, combine) under label.
+func fftFileCore(vf *VecFile, buf []fr.Element, root *fr.Element, tr *obs.Trace, label string) error {
 	n := vf.Len()
 	if n == 1 {
 		return nil
@@ -134,12 +138,17 @@ func fftFileCore(vf *VecFile, buf []fr.Element, root *fr.Element) error {
 	if n <= len(buf) {
 		// The whole transform fits the scratch: one read, one in-memory
 		// butterfly network, one write.
+		var sp *obs.Span
+		if tr != nil {
+			sp = tr.Span(label + "/mem" + strconv.Itoa(n))
+		}
+		defer sp.End()
 		b := buf[:n]
 		if err := vf.ReadAt(b, 0); err != nil {
 			return err
 		}
 		d := Domain{N: uint64(n)}
-		d.fftInner(b, root)
+		d.fftInner(b, root, nil, "")
 		return vf.WriteAt(b, 0)
 	}
 	half := n / 2
@@ -147,45 +156,66 @@ func fftFileCore(vf *VecFile, buf []fr.Element, root *fr.Element) error {
 	var root2 fr.Element
 	root2.Square(root) // root of the half-size sub-DFTs
 
+	var spSplit *obs.Span
+	if tr != nil {
+		spSplit = tr.Span(label + "/split" + strconv.Itoa(n))
+	}
 	if half <= len(buf) {
 		// Last out-of-core level: both sub-transforms run in the
 		// scratch, odds round-tripping through their spill file so the
 		// evens can stay resident for the combine.
 		efile, odds, err := oocSplit(vf, dir)
+		spSplit.End()
 		if err != nil {
 			return err
 		}
 		defer efile.Close()
 		defer odds.Close()
+		var spMem *obs.Span
+		if tr != nil {
+			spMem = tr.Span(label + "/mem" + strconv.Itoa(half) + "x2")
+		}
 		b := buf[:half]
 		d := Domain{N: uint64(half)}
 		if err := odds.ReadAt(b, 0); err != nil {
 			return err
 		}
-		d.fftInner(b, &root2)
+		d.fftInner(b, &root2, nil, "")
 		if err := odds.WriteAt(b, 0); err != nil {
 			return err
 		}
 		if err := efile.ReadAt(b, 0); err != nil {
 			return err
 		}
-		d.fftInner(b, &root2)
+		d.fftInner(b, &root2, nil, "")
+		spMem.End()
+		var spComb *obs.Span
+		if tr != nil {
+			spComb = tr.Span(label + "/combine" + strconv.Itoa(n))
+		}
+		defer spComb.End()
 		return oocCombine(vf, nil, b, odds, root)
 	}
 
 	// Deeper: both halves recurse out-of-core.
 	evens, odds, err := oocSplit(vf, dir)
+	spSplit.End()
 	if err != nil {
 		return err
 	}
 	defer evens.Close()
 	defer odds.Close()
-	if err := fftFileCore(evens, buf, &root2); err != nil {
+	if err := fftFileCore(evens, buf, &root2, tr, label); err != nil {
 		return err
 	}
-	if err := fftFileCore(odds, buf, &root2); err != nil {
+	if err := fftFileCore(odds, buf, &root2, tr, label); err != nil {
 		return err
 	}
+	var spComb *obs.Span
+	if tr != nil {
+		spComb = tr.Span(label + "/combine" + strconv.Itoa(n))
+	}
+	defer spComb.End()
 	return oocCombine(vf, evens, nil, odds, root)
 }
 
@@ -193,19 +223,36 @@ func fftFileCore(vf *VecFile, buf []fr.Element, root *fr.Element) error {
 // the out-of-core counterpart of FFT. buf is the resident scratch
 // (any length; larger halves the number of streaming passes).
 func (d *Domain) FFTFile(vf *VecFile, buf []fr.Element) error {
+	return d.FFTFileTraced(vf, buf, nil, "")
+}
+
+// FFTFileTraced is FFTFile recording an overall span plus one span per
+// out-of-core phase on tr under label; a nil tr is the untraced fast
+// path.
+func (d *Domain) FFTFileTraced(vf *VecFile, buf []fr.Element, tr *obs.Trace, label string) error {
 	if err := d.checkFileLen(vf); err != nil {
 		return err
 	}
-	return fftFileCore(vf, buf, &d.Gen)
+	sp := tr.Span(label)
+	defer sp.End()
+	return fftFileCore(vf, buf, &d.Gen, tr, label)
 }
 
 // IFFTFile interpolates disk-resident evaluations on H back to
 // coefficients, the out-of-core counterpart of IFFT.
 func (d *Domain) IFFTFile(vf *VecFile, buf []fr.Element) error {
+	return d.IFFTFileTraced(vf, buf, nil, "")
+}
+
+// IFFTFileTraced is IFFTFile with per-phase span recording (see
+// FFTFileTraced).
+func (d *Domain) IFFTFileTraced(vf *VecFile, buf []fr.Element, tr *obs.Trace, label string) error {
 	if err := d.checkFileLen(vf); err != nil {
 		return err
 	}
-	if err := fftFileCore(vf, buf, &d.GenInv); err != nil {
+	sp := tr.Span(label)
+	defer sp.End()
+	if err := fftFileCore(vf, buf, &d.GenInv, tr, label); err != nil {
 		return err
 	}
 	nInv := d.NInv
@@ -236,16 +283,28 @@ func MulPowersFile(vf *VecFile, s *fr.Element) error {
 // FFTCosetFile evaluates the disk-resident coefficient vector on the
 // coset g·H in place.
 func (d *Domain) FFTCosetFile(vf *VecFile, buf []fr.Element) error {
+	return d.FFTCosetFileTraced(vf, buf, nil, "")
+}
+
+// FFTCosetFileTraced is FFTCosetFile with per-phase span recording
+// (see FFTFileTraced).
+func (d *Domain) FFTCosetFileTraced(vf *VecFile, buf []fr.Element, tr *obs.Trace, label string) error {
 	if err := MulPowersFile(vf, &d.CosetShift); err != nil {
 		return err
 	}
-	return d.FFTFile(vf, buf)
+	return d.FFTFileTraced(vf, buf, tr, label)
 }
 
 // IFFTCosetFile interpolates disk-resident evaluations on the coset g·H
 // back to coefficients in place.
 func (d *Domain) IFFTCosetFile(vf *VecFile, buf []fr.Element) error {
-	if err := d.IFFTFile(vf, buf); err != nil {
+	return d.IFFTCosetFileTraced(vf, buf, nil, "")
+}
+
+// IFFTCosetFileTraced is IFFTCosetFile with per-phase span recording
+// (see FFTFileTraced).
+func (d *Domain) IFFTCosetFileTraced(vf *VecFile, buf []fr.Element, tr *obs.Trace, label string) error {
+	if err := d.IFFTFileTraced(vf, buf, tr, label); err != nil {
 		return err
 	}
 	return MulPowersFile(vf, &d.CosetShiftInv)

@@ -86,6 +86,7 @@ func (b *verifyBatcher) verify(rec *modelRecord, proof *groth16.Proof, public []
 
 func (b *verifyBatcher) flush(rec *modelRecord, items []*verifyItem) {
 	n := len(items)
+	mVerifyBatchSize.Observe(float64(n))
 	if n == 1 {
 		err := b.srv.eng.Verify(rec.VK, items[0].proof, items[0].public)
 		items[0].done <- verifyOutcome{err: err, batchSize: 1}

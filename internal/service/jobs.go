@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
+	"zkrownn/internal/obs"
 )
 
 // Queue sentinels, surfaced by the HTTP layer as 429 and 503.
@@ -28,6 +30,13 @@ type job struct {
 	// model); an empty slice proves the registered model in every slot.
 	suspects  []*nn.Network
 	submitted time.Time
+	// reqID ties the job's log lines back to the HTTP request that
+	// submitted it.
+	reqID string
+	// trace, when non-nil (submitted with trace=true), collects per-phase
+	// spans through the engine and prover; the finished timeline is
+	// served at GET /v1/jobs/{id}/trace.
+	trace *obs.Trace
 
 	mu          sync.Mutex
 	status      string
@@ -56,6 +65,7 @@ func (j *job) snapshot() JobStatus {
 		Claims:       j.claims,
 		Proof:        j.proof,
 		PublicInputs: j.public,
+		HasTrace:     j.trace != nil,
 	}
 }
 
@@ -109,7 +119,7 @@ func newJobQueue(srv *Server, depth, batch, retention int) *jobQueue {
 	return q
 }
 
-func (q *jobQueue) submit(rec *modelRecord, suspects []*nn.Network) (*job, error) {
+func (q *jobQueue) submit(rec *modelRecord, suspects []*nn.Network, reqID string, traced bool) (*job, error) {
 	q.closeMu.RLock()
 	defer q.closeMu.RUnlock()
 	if q.closing {
@@ -120,7 +130,11 @@ func (q *jobQueue) submit(rec *modelRecord, suspects []*nn.Network) (*job, error
 		rec:       rec,
 		suspects:  suspects,
 		submitted: time.Now(),
+		reqID:     reqID,
 		status:    JobQueued,
+	}
+	if traced {
+		j.trace = obs.NewTrace()
 	}
 	q.mu.Lock()
 	q.byID[j.id] = j
@@ -193,6 +207,7 @@ func (q *jobQueue) dispatch() {
 				case j := <-q.ch:
 					j.fail(errShutdown)
 					q.srv.jobsFailed.Add(1)
+					mJobsFailed.Inc()
 					q.retire(j.id)
 				default:
 					return
@@ -229,18 +244,25 @@ func (q *jobQueue) run(batch []*job) {
 		j.mu.Lock()
 		j.status = JobRunning
 		j.queuedFor = time.Since(j.submitted)
+		queued := j.queuedFor
 		j.mu.Unlock()
+		mQueueWaitSeconds.Observe(queued.Seconds())
 
 		asg, err := j.rec.assignmentFor(j.suspects)
 		j.suspects = nil // the assignment owns the job's working set now
 		if err != nil {
 			j.fail(err)
 			q.srv.jobsFailed.Add(1)
+			mJobsFailed.Inc()
+			q.srv.log.Warn("job bind failed", "job_id", j.id, "req_id", j.reqID, "err", err.Error())
 			q.retire(j.id)
 			continue
 		}
 		req := j.rec.art.RequestFor(asg, nil)
 		req.Name = j.id
+		if j.trace != nil {
+			req.Ctx = obs.ContextWithTrace(context.Background(), j.trace)
+		}
 		reqs = append(reqs, req)
 		live = append(live, j)
 	}
@@ -253,6 +275,8 @@ func (q *jobQueue) run(batch []*job) {
 		if res.Err != nil {
 			j.fail(res.Err)
 			q.srv.jobsFailed.Add(1)
+			mJobsFailed.Inc()
+			q.srv.log.Warn("job failed", "job_id", j.id, "req_id", j.reqID, "err", res.Err.Error())
 			q.retire(j.id)
 			continue
 		}
@@ -264,6 +288,7 @@ func (q *jobQueue) run(batch []*job) {
 		if cerr != nil {
 			j.fail(cerr)
 			q.srv.jobsFailed.Add(1)
+			mJobsFailed.Inc()
 			q.retire(j.id)
 			continue
 		}
@@ -278,8 +303,16 @@ func (q *jobQueue) run(batch []*job) {
 		// bits — comes from the solved witness, so the proof response is
 		// self-contained.
 		j.public = public
+		queued := j.queuedFor
 		j.mu.Unlock()
 		q.srv.jobsCompleted.Add(1)
+		mJobsCompleted.Inc()
+		q.srv.log.Info("job done",
+			"job_id", j.id, "req_id", j.reqID, "model_id", j.rec.ID,
+			"queued_ms", float64(queued.Microseconds())/1e3,
+			"solve_ms", float64(res.SolveTime.Microseconds())/1e3,
+			"prove_ms", float64(res.ProveTime.Microseconds())/1e3,
+			"setup_cached", res.CacheHit, "traced", j.trace != nil)
 		q.retire(j.id)
 	}
 }

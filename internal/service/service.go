@@ -26,10 +26,13 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +41,7 @@ import (
 	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/nn"
+	"zkrownn/internal/obs"
 	"zkrownn/internal/watermark"
 )
 
@@ -78,6 +82,15 @@ type Options struct {
 	MaxBodyBytes int64
 	// Logf, when set, receives one line per significant event.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured request and job logs
+	// (one record per HTTP request with request ID, route, status, and
+	// latency; one per job state change with job and request IDs).
+	// Unset, structured logs are discarded; Logf still works.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
+	// default because the profiling surface (heap dumps, symbol tables)
+	// should not face untrusted networks.
+	EnablePprof bool
 }
 
 // Server implements http.Handler for the proof-service API.
@@ -89,6 +102,7 @@ type Server struct {
 	queue      *jobQueue
 	batcher    *verifyBatcher
 	mux        *http.ServeMux
+	log        *slog.Logger
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -130,6 +144,10 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{opts: opts, reg: reg}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
 	if opts.Engine != nil {
 		s.eng = opts.Engine
 	} else {
@@ -139,8 +157,16 @@ func New(opts Options) (*Server, error) {
 	s.queue = newJobQueue(s, opts.QueueDepth, opts.ProveBatch, opts.JobRetention)
 	s.batcher = newVerifyBatcher(s, opts.VerifyWindow, opts.VerifyBatch)
 
+	// The queue-depth gauge is read at scrape time; re-registration
+	// replaces the closure, so the latest server in a process wins (the
+	// registry is process-wide, servers in tests come and go).
+	obs.Default().GaugeFunc("zkrownn_queue_depth",
+		"Prove jobs waiting on the queue (excludes the batch being proved).",
+		func() float64 { return float64(s.queue.depth()) })
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/models", s.handleRegister)
 	mux.HandleFunc("GET /v1/models", s.handleListModels)
@@ -149,6 +175,14 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/models/{id}/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleJobProof)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	if opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	if n := reg.len(); n > 0 {
 		s.logf("service: restored %d model(s) from %s", n, opts.RegistryDir)
@@ -183,14 +217,45 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// reqIDKey carries the per-request ID through handler contexts.
+type reqIDKey struct{}
+
+// requestID returns the ID minted for this request by ServeHTTP.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request is tagged with a
+// request ID (propagated to job logs through submission) and logged
+// structurally with route, status, and latency.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	mHTTPRequests.Inc()
 	if s.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, "service shutting down")
 		return
 	}
+	reqID := obs.NewID()
+	r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, reqID))
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.log.Info("http",
+		"req_id", reqID, "method", r.Method, "path", r.URL.Path,
+		"status", rec.status,
+		"dur_ms", float64(time.Since(start).Microseconds())/1e3)
 }
 
 // --- handlers ---
@@ -228,6 +293,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			VerifyBatchedRequests: s.verifyBatchedRequests.Load(),
 			VerifyMaxBatch:        s.verifyMaxBatch.Load(),
 			VerifyFallbacks:       s.verifyFallbacks.Load(),
+			QueueWaitSeconds:      histogramWire(mQueueWaitSeconds.Snapshot()),
+			VerifyBatchSize:       histogramWire(mVerifyBatchSize.Snapshot()),
 		},
 	})
 }
@@ -437,10 +504,11 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.queue.submit(rec, suspects)
+	j, err := s.queue.submit(rec, suspects, requestID(r.Context()), req.Trace)
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.jobsRejected.Add(1)
+		mJobsRejected.Inc()
 		writeError(w, http.StatusTooManyRequests, "prove queue full, retry later")
 		return
 	case errors.Is(err, errShutdown):
@@ -451,6 +519,10 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobsSubmitted.Add(1)
+	mJobsSubmitted.Inc()
+	s.log.Info("job submitted",
+		"req_id", requestID(r.Context()), "job_id", j.id, "model_id", rec.ID,
+		"traced", req.Trace, "queue_depth", s.queue.depth())
 	writeJSON(w, http.StatusAccepted, ProveAccepted{
 		JobID:      j.id,
 		ModelID:    rec.ID,
@@ -489,6 +561,30 @@ func (s *Server) handleJobProof(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if _, err := snap.Proof.WriteTo(w); err != nil {
 		s.logf("service: proof stream: %v", err)
+	}
+}
+
+// handleJobTrace serves a finished job's per-phase timeline in Chrome
+// trace-event JSON — loadable directly in chrome://tracing or Perfetto.
+// Jobs record one only when submitted with trace=true.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if j.trace == nil {
+		writeError(w, http.StatusNotFound, "job has no trace (submit with \"trace\": true)")
+		return
+	}
+	snap := j.snapshot()
+	if snap.Status != JobDone && snap.Status != JobFailed {
+		writeError(w, http.StatusConflict, "job not finished (status "+snap.Status+")")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := j.trace.WriteChrome(w); err != nil {
+		s.logf("service: trace stream: %v", err)
 	}
 }
 

@@ -865,3 +865,97 @@ func TestSuspectArchitectureMismatchFails(t *testing.T) {
 		t.Fatalf("mismatch handling compiled circuits: %d", st.Service.CircuitsCompiled)
 	}
 }
+
+// TestTracedJobServesChromeTimeline: a job submitted with trace=true
+// records the prover span timeline and serves it as Chrome trace-event
+// JSON at /v1/jobs/{id}/trace; untraced jobs 404 there, and the
+// /metrics endpoint carries the prover series the job just observed.
+func TestTracedJobServesChromeTimeline(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	reg := register(t, ts.URL, 4)
+
+	resp, data := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{Trace: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove: %d %s", resp.StatusCode, data)
+	}
+	var acc ProveAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	js := waitJob(t, ts.URL, acc.JobID)
+	if js.Status != JobDone {
+		t.Fatalf("traced job finished as %s: %s", js.Status, js.Error)
+	}
+	if !js.HasTrace {
+		t.Fatal("trace=true job reports has_trace=false")
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + acc.JobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %d", tresp.StatusCode)
+	}
+	if ct := tresp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("trace content type %q", ct)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Dur  float64 `json:"dur"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&events); err != nil {
+		t.Fatalf("trace is not a Chrome event array: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"engine/solve", "engine/prove", "msm/A", "quotient"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span (got %d events)", want, len(events))
+		}
+	}
+
+	// An untraced job has no timeline to serve.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/models/"+reg.ModelID+"/prove", ProveRequest{})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("prove: %d %s", resp2.StatusCode, data2)
+	}
+	var acc2 ProveAccepted
+	if err := json.Unmarshal(data2, &acc2); err != nil {
+		t.Fatal(err)
+	}
+	if js2 := waitJob(t, ts.URL, acc2.JobID); js2.HasTrace {
+		t.Fatal("untraced job reports has_trace=true")
+	}
+	if r, err := http.Get(ts.URL + "/v1/jobs/" + acc2.JobID + "/trace"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("untraced job trace fetch: %d, want 404", r.StatusCode)
+		}
+	}
+
+	// The prover series the jobs observed are exposed on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"zkrownn_prove_seconds_count", "zkrownn_queue_depth", "zkrownn_jobs_completed_total"} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}

@@ -100,6 +100,10 @@ type ProveRequest struct {
 	// produces ONE proof carrying a verdict per slot (JobStatus.Claims).
 	// Mutually exclusive with SuspectModel.
 	SuspectModels []json.RawMessage `json:"suspect_models,omitempty"`
+	// Trace requests per-phase span recording for this job. The finished
+	// job then serves a Chrome trace-event JSON timeline at
+	// GET /v1/jobs/{id}/trace (loadable in chrome://tracing or Perfetto).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ProveAccepted acknowledges a queued prove job.
@@ -140,6 +144,9 @@ type JobStatus struct {
 	Claims       []bool               `json:"claims,omitempty"`
 	Proof        *groth16.Proof       `json:"proof,omitempty"`
 	PublicInputs groth16.PublicInputs `json:"public_inputs,omitempty"`
+	// HasTrace reports that the job was submitted with trace=true and its
+	// timeline is available at GET /v1/jobs/{id}/trace once done.
+	HasTrace bool `json:"has_trace,omitempty"`
 }
 
 // VerifyRequest checks one ownership proof against a registered
@@ -206,6 +213,28 @@ type ServiceStats struct {
 	// VerifyFallbacks counts batches that failed as a whole and were
 	// re-checked proof-by-proof to attribute the failure.
 	VerifyFallbacks uint64 `json:"verify_fallbacks"`
+	// QueueWaitSeconds is the distribution of time jobs spent queued
+	// before dispatch (process-wide histogram, mirrored on /metrics as
+	// zkrownn_queue_wait_seconds).
+	QueueWaitSeconds *HistogramWire `json:"queue_wait_seconds,omitempty"`
+	// VerifyBatchSize is the distribution of requests folded into one
+	// verify pairing product (mirrored as zkrownn_verify_batch_size).
+	VerifyBatchSize *HistogramWire `json:"verify_batch_size,omitempty"`
+}
+
+// HistogramWire is the JSON shape of a metrics histogram: per-bucket
+// (non-cumulative) counts by upper bound; observations above the last
+// bound are implied by Count.
+type HistogramWire struct {
+	Count   uint64                `json:"count"`
+	Sum     float64               `json:"sum"`
+	Buckets []HistogramBucketWire `json:"buckets,omitempty"`
+}
+
+// HistogramBucketWire is one histogram bucket.
+type HistogramBucketWire struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
 }
 
 // StatsResponse is the /v1/stats payload.
