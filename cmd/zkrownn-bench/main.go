@@ -38,6 +38,7 @@ import (
 	"zkrownn/internal/gadgets"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/obs"
+	"zkrownn/internal/r1cs"
 )
 
 type rowSpec struct {
@@ -86,7 +87,8 @@ func scaleSizes(scale string) (sizes, error) {
 func main() {
 	var (
 		scale     = flag.String("scale", "default", "benchmark scale: tiny, default, or paper")
-		row       = flag.String("row", "", "run a single Table I row (matmult, conv3d, relu, average2d, sigmoid, threshold, ber, mnist-mlp, cifar10-cnn)")
+		row       = flag.String("row", "", `comma-separated Table I rows to run (matmult, conv3d, relu, average2d, sigmoid, threshold, ber, mnist-mlp, cifar10-cnn, batched-extraction-k1, batched-extraction-k4; paper scale adds paper-mlp-1m); empty runs all`)
+		compareTo = flag.String("compare", "", "print per-row prove/setup/RSS deltas of this run against a previous report (e.g. the committed BENCH_groth16.json)")
 		table2    = flag.Bool("table2", false, "print Table II (benchmark architectures) and exit")
 		seed      = flag.Int64("seed", 1, "deterministic workload seed")
 		fracBits  = flag.Int("frac-bits", 16, "fixed-point fraction bits")
@@ -170,6 +172,28 @@ func main() {
 			return core.BenchBatchedMLPExtractionCircuit(p, sz.mlpIn, sz.mlpHid, sz.bits, sz.triggers, 4, rng)
 		}},
 	}
+	if *scale == "paper" {
+		// The paper-tier headline: a 1024×1024 dense layer, so the
+		// extraction circuit binds 1,048,576 suspect-model weights
+		// (≈5.5M constraints, ~750 MiB raw proving key). One trigger
+		// keeps the forward-pass share small; the weight extraction
+		// dominates. Run it alone with -row paper-mlp-1m under an
+		// explicit -mem-budget so the whole pipeline stays out-of-core.
+		rows = append(rows, rowSpec{"paper-mlp-1m", func(p fixpoint.Params, rng *rand.Rand) (*core.Artifact, error) {
+			art, err := core.BenchMLPExtractionCircuit(p, 1024, 1024, sz.bits, 1, rng)
+			if err != nil {
+				return nil, err
+			}
+			art.Name = "paper-mlp-1m"
+			return art, nil
+		}})
+	}
+
+	rowFilter, err := parseRowFilter(*row, rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// -repeat runs of one row are adjacent, so a 2-entry cache serves
 	// every repeat while keeping at most two (potentially huge) proving
@@ -208,7 +232,7 @@ func main() {
 		fmt.Println(core.Header())
 		fmt.Println(strings.Repeat("-", 112))
 		for _, spec := range rows {
-			if *row != "" && !strings.EqualFold(*row, spec.name) {
+			if rowFilter != nil && !rowFilter[strings.ToLower(spec.name)] {
 				continue
 			}
 			rng := rand.New(rand.NewSource(*seed))
@@ -228,6 +252,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s: raw key size: %v\n", spec.name, err)
 				os.Exit(1)
 			}
+			csrRaw := r1cs.CSRRawSizeBytes(art.System)
 			// The pipeline re-solves from the recorded solver program;
 			// the builder's eager witness would only pad peak RSS
 			// (NbWires×32 bytes held across every sampled repeat).
@@ -260,8 +285,10 @@ func main() {
 				pl.Metrics.CompileTime = compileTime
 				fmt.Println(pl.Metrics.String())
 				rec := recordOf(&pl.Metrics)
+				rec.Scale = *scale
 				rec.GoMaxProcs = runtime.GOMAXPROCS(0)
 				rec.PKRawBytes = pkRaw
+				rec.CSRRawBytes = csrRaw
 				rec.PeakRSSBytes = peakRSS
 				rec.Streamed = pl.Metrics.Streamed
 				if tr != nil {
@@ -269,17 +296,31 @@ func main() {
 					lastTrace = tr
 				}
 				report.Rows = append(report.Rows, rec)
+				// After a fully out-of-core first repeat the engine's disk
+				// tier holds the CSR section file, and later repeats only
+				// solve and stream — so release this process's resident CSR
+				// arrays (keeping the solver tape) and let the steady-state
+				// repeats measure the prover's true bounded footprint.
+				if r == 0 && *repeat > 1 && !art.System.Stripped() && eng.SpillsConstraintSystem(art.System) {
+					art.System = art.System.StripForSolve()
+				}
 			}
 		}
 	}
 
 	st := eng.Stats()
-	fmt.Printf("\nengine: %d setups (%.2fs), %d cache hits (%d mem, %d disk), %d proofs (%.2fs, %d streamed), %d verifies (%.3fs)\n",
+	fmt.Printf("\nengine: %d setups (%.2fs), %d cache hits (%d mem, %d disk), %d proofs (%.2fs, %d streamed, %d spilled), %d verifies (%.3fs)\n",
 		st.Setups, st.SetupTime.Seconds(), st.MemHits+st.DiskHits, st.MemHits, st.DiskHits,
-		st.Proves, st.ProveTime.Seconds(), st.StreamProves, st.Verifies, st.VerifyTime.Seconds())
+		st.Proves, st.ProveTime.Seconds(), st.StreamProves, st.SpillProves, st.Verifies, st.VerifyTime.Seconds())
 
+	if *compareTo != "" {
+		if err := printComparison(*compareTo, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "-compare %s: %v\n", *compareTo, err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut != "" {
-		if err := writeReport(*jsonOut, &report); err != nil {
+		if err := writeReport(*jsonOut, &report, rowFilter != nil); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}
@@ -326,6 +367,34 @@ func writeTrace(path string, tr *obs.Trace) error {
 	return f.Close()
 }
 
+// parseRowFilter parses the -row flag into a lowercase name set, nil
+// when the flag is empty (run everything). Unknown names are an error —
+// a typo would otherwise silently benchmark nothing.
+func parseRowFilter(s string, rows []rowSpec) (map[string]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		known[strings.ToLower(r.name)] = true
+	}
+	out := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		name := strings.ToLower(strings.TrimSpace(part))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("-row: unknown row %q (paper-mlp-1m needs -scale paper)", name)
+		}
+		out[name] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-row: no row names in %q", s)
+	}
+	return out, nil
+}
+
 // parseProcs parses the -procs flag into the GOMAXPROCS sweep; an empty
 // flag keeps the ambient setting as a single run.
 func parseProcs(s string) ([]int, error) {
@@ -357,7 +426,12 @@ type benchReport struct {
 }
 
 type benchRecord struct {
-	Name        string `json:"name"`
+	Name string `json:"name"`
+	// Scale is the -scale tier this row ran at. Rows from different
+	// tiers coexist in one report: a -row–filtered run merges into the
+	// existing file by (name, scale, gomaxprocs) instead of replacing
+	// it, so the paper-tier rows survive a default-tier regeneration.
+	Scale       string `json:"scale,omitempty"`
 	Constraints int    `json:"constraints"`
 	NbPublic    int    `json:"nb_public"`
 	NbPrivate   int    `json:"nb_private"`
@@ -385,6 +459,11 @@ type benchRecord struct {
 	// the prover's full working set if it held the key in RAM, and the
 	// baseline peak_rss_bytes is judged against in streamed mode.
 	PKRawBytes int64 `json:"pk_raw_bytes"`
+	// CSRRawBytes is the section-framed on-disk encoding size of the
+	// row's compiled constraint system (the CSR file the out-of-core
+	// prover streams row windows from). Together with pk_raw_bytes it
+	// is the resident footprint a fully in-memory prover would carry.
+	CSRRawBytes int64 `json:"csr_raw_bytes"`
 	// PeakRSSBytes is the process's peak resident-set size sampled over
 	// this row's setup+prove+verify run (0 where /proc is unavailable).
 	PeakRSSBytes int64 `json:"peak_rss_bytes"`
@@ -486,18 +565,191 @@ func currentRSS() int64 {
 	return pages * int64(os.Getpagesize())
 }
 
-func writeReport(path string, rep *benchReport) error {
+func readReport(path string) (*benchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// rowScale resolves a row's scale tier, falling back to the report
+// header for rows written before the per-row field existed.
+func rowScale(rep *benchReport, r *benchRecord) string {
+	if r.Scale != "" {
+		return r.Scale
+	}
+	return rep.Scale
+}
+
+func mergeKey(rep *benchReport, r *benchRecord) string {
+	return fmt.Sprintf("%s|%s|%d", strings.ToLower(r.Name), rowScale(rep, r), r.GoMaxProcs)
+}
+
+// writeReport writes the report to path. A full-table run replaces the
+// file wholesale; a -row–filtered run (merge) splices its rows into the
+// existing report by (name, scale, gomaxprocs) — every repeat of a
+// matched key is replaced in place, unmatched existing rows (other
+// tiers, other rows) survive, and brand-new keys append at the end. The
+// header keeps the existing full run's metadata in merge mode.
+func writeReport(path string, rep *benchReport, merge bool) error {
+	out := rep
+	if merge {
+		if old, err := readReport(path); err == nil {
+			out = mergeReports(old, rep)
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("merging into existing report: %w", err)
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(out); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+func mergeReports(old, fresh *benchReport) *benchReport {
+	byKey := make(map[string][]benchRecord)
+	var order []string
+	for i := range fresh.Rows {
+		k := mergeKey(fresh, &fresh.Rows[i])
+		if _, seen := byKey[k]; !seen {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], fresh.Rows[i])
+	}
+	merged := *old
+	merged.Rows = nil
+	spliced := make(map[string]bool)
+	for i := range old.Rows {
+		k := mergeKey(old, &old.Rows[i])
+		rows, replace := byKey[k]
+		if !replace {
+			merged.Rows = append(merged.Rows, old.Rows[i])
+			continue
+		}
+		if !spliced[k] {
+			spliced[k] = true
+			merged.Rows = append(merged.Rows, rows...)
+		}
+	}
+	for _, k := range order {
+		if !spliced[k] {
+			merged.Rows = append(merged.Rows, byKey[k]...)
+		}
+	}
+	return &merged
+}
+
+// rowStats aggregates one merge key's repeats for comparison: fastest
+// prove and verify, the uncached setup if any repeat paid one, and the
+// lowest peak RSS (later repeats skip setup, so their peak reflects the
+// steady-state prover footprint).
+type rowStats struct {
+	name    string
+	scale   string
+	procs   int
+	prove   float64
+	setup   float64
+	peakRSS int64
+}
+
+func collectStats(rep *benchReport) (map[string]*rowStats, []string) {
+	stats := make(map[string]*rowStats)
+	var order []string
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		k := fmt.Sprintf("%s|%d", strings.ToLower(r.Name), r.GoMaxProcs)
+		s, ok := stats[k]
+		if !ok {
+			s = &rowStats{name: r.Name, scale: rowScale(rep, r), procs: r.GoMaxProcs,
+				prove: r.ProveSeconds, peakRSS: r.PeakRSSBytes}
+			stats[k] = s
+			order = append(order, k)
+		}
+		if r.ProveSeconds < s.prove {
+			s.prove = r.ProveSeconds
+		}
+		if !r.SetupCached && (s.setup == 0 || r.SetupSeconds < s.setup) {
+			s.setup = r.SetupSeconds
+		}
+		if r.PeakRSSBytes > 0 && (s.peakRSS == 0 || r.PeakRSSBytes < s.peakRSS) {
+			s.peakRSS = r.PeakRSSBytes
+		}
+	}
+	return stats, order
+}
+
+// printComparison prints per-row prove/setup/peak-RSS deltas of this
+// run against a previous report, matching rows by (name, gomaxprocs).
+// Scale or fixed-point mismatches don't suppress the table — they are
+// loudly warned instead, since cross-tier deltas are not regressions.
+func printComparison(oldPath string, fresh *benchReport) error {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncomparison vs %s\n", oldPath)
+	if old.Scale != fresh.Scale {
+		fmt.Printf("  warning: scale mismatch (%s vs this run's %s) — deltas below compare different circuit sizes\n",
+			old.Scale, fresh.Scale)
+	}
+	if old.FracBits != fresh.FracBits {
+		fmt.Printf("  warning: frac_bits mismatch (%d vs %d)\n", old.FracBits, fresh.FracBits)
+	}
+	if old.Streamed != fresh.Streamed {
+		fmt.Printf("  warning: streamed mismatch (%v vs %v) — memory numbers are not comparable\n",
+			old.Streamed, fresh.Streamed)
+	}
+	oldStats, _ := collectStats(old)
+	newStats, newOrder := collectStats(fresh)
+
+	delta := func(o, n float64) string {
+		if o == 0 {
+			return "     -"
+		}
+		return fmt.Sprintf("%+5.1f%%", 100*(n-o)/o)
+	}
+	matched := false
+	for _, k := range newOrder {
+		n := newStats[k]
+		o, ok := oldStats[k]
+		if !ok {
+			continue
+		}
+		if !matched {
+			matched = true
+			fmt.Printf("  %-24s %4s  %21s  %21s  %23s\n",
+				"row", "np", "prove(s) old->new", "setup(s) old->new", "peakRSS(MiB) old->new")
+		}
+		if o.scale != n.scale {
+			fmt.Printf("  warning: %s ran at scale %s before, %s now\n", n.name, o.scale, n.scale)
+		}
+		fmt.Printf("  %-24s %4d  %6.2f->%-6.2f %6s  %6.2f->%-6.2f %6s  %7d->%-7d %6s\n",
+			n.name, n.procs,
+			o.prove, n.prove, delta(o.prove, n.prove),
+			o.setup, n.setup, delta(o.setup, n.setup),
+			o.peakRSS>>20, n.peakRSS>>20, delta(float64(o.peakRSS), float64(n.peakRSS)))
+	}
+	if !matched {
+		fmt.Println("  no rows in common (by name and gomaxprocs)")
+	}
+	for _, k := range newOrder {
+		if _, ok := oldStats[k]; !ok {
+			fmt.Printf("  new row (not in %s): %s @ gomaxprocs=%d\n", oldPath, newStats[k].name, newStats[k].procs)
+		}
+	}
+	return nil
 }
 
 func printTableII() {

@@ -47,6 +47,7 @@ func main() {
 	registryDir := flag.String("registry", "", "directory persisting verifying keys + model metadata across restarts (empty: memory only)")
 	keyCache := flag.String("keycache", "", "prover-engine key cache directory (empty: memory only)")
 	cacheEntries := flag.Int("cache-entries", 16, "in-memory key cache entries (negative: unbounded)")
+	memBudget := flag.Int64("mem-budget", 0, "per-circuit prover memory budget in bytes: circuits whose raw proving key exceeds it stream from disk, and when the constraint system + witness exceed it too the prover runs fully out-of-core (0 disables)")
 	workers := flag.Int("workers", 0, "prover worker pool size (0: GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 64, "async prove queue depth (overflow answers 429)")
 	proveBatch := flag.Int("prove-batch", 8, "max queued jobs folded into one ProveMany batch")
@@ -72,6 +73,7 @@ func main() {
 		EngineOptions: engine.Options{
 			CacheDir:     *keyCache,
 			CacheEntries: *cacheEntries,
+			MemoryBudget: *memBudget,
 			Workers:      *workers,
 		},
 		RegistryDir:  *registryDir,

@@ -355,7 +355,7 @@ func cmdProve(args []string) error {
 		}
 	}
 	fmt.Printf("prove:  %.2fs (proof %d B)\n", res.ProveTime.Seconds(), proof.PayloadSize())
-	public := art.System.PublicValues(res.Witness)
+	public := res.PublicInputs
 	// Surface the verdicts whenever suspects were bound (a single-slot
 	// suspect prove very plausibly yields claim=0 — say so here, not at
 	// some later verify).

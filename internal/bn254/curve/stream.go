@@ -37,6 +37,19 @@ import (
 // stops amortizing.
 const DefaultStreamChunk = 1 << 13
 
+// streamChunkSize normalizes a caller-supplied chunk size the way the
+// streamed driver does: non-positive selects the default, and a chunk
+// larger than the MSM is clamped to it.
+func streamChunkSize(n, chunk int) int {
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	if chunk > n {
+		chunk = n
+	}
+	return chunk
+}
+
 // G1Source fills dst with the MSM base points [start, start+len(dst)).
 // Implementations need not be safe for concurrent calls — the streamed
 // driver invokes the source serially from one prefetch goroutine.
@@ -61,12 +74,7 @@ func multiExpStream[A, J any, CV msmCurve[A, J]](cv CV, src func(dst []A, start 
 	if n == 0 {
 		return sum, nil
 	}
-	if chunk <= 0 {
-		chunk = DefaultStreamChunk
-	}
-	if chunk > n {
-		chunk = n
-	}
+	chunk = streamChunkSize(n, chunk)
 
 	var readName, recodeName, msmName string
 	var readLane int
@@ -142,6 +150,45 @@ func MultiExpG2Stream(src G2Source, dec *ScalarDecomposition, chunk int) (G2Jac,
 	return multiExpStream[G2Affine, G2Jac](g2Msm{}, src, dec.n, dec.Slice, chunk, nil, "")
 }
 
+// decPool recycles per-chunk recode buffers across streamed MSMs: one
+// proof runs five of them back to back (A, B1, B2, K, Z) and a
+// long-lived prover runs many proofs, so without pooling every MSM
+// call re-grows a digits table only to drop it. The pooled object's
+// digit storage is reused by decomposeScalarsInto whenever it is large
+// enough; digits are fully overwritten per chunk, so results are
+// unchanged. The pool holds a handful of chunk-sized int16 tables
+// (tens of KB each at DefaultStreamChunk) and the GC clears it under
+// pressure.
+var decPool sync.Pool
+
+func getDecomposition() *ScalarDecomposition {
+	if d, ok := decPool.Get().(*ScalarDecomposition); ok {
+		return d
+	}
+	return &ScalarDecomposition{}
+}
+
+func putDecomposition(d *ScalarDecomposition) {
+	if d != nil {
+		decPool.Put(d)
+	}
+}
+
+// scalarChunkPool recycles the scalar read buffers of the
+// scalar-source MSM variants the same way.
+var scalarChunkPool sync.Pool
+
+func getScalarChunk(n int) []fr.Element {
+	if p, ok := scalarChunkPool.Get().(*[]fr.Element); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]fr.Element, n)
+}
+
+func putScalarChunk(s []fr.Element) {
+	scalarChunkPool.Put(&s)
+}
+
 // MultiExpG1StreamScalars is MultiExpG1Stream with lazy scalar recoding:
 // instead of a whole-vector decomposition (two digit bytes per window
 // per scalar — tens of MB at paper scale), each chunk's scalars are
@@ -157,7 +204,8 @@ func MultiExpG1StreamScalars(src G1Source, scalars []fr.Element, c, chunk int) (
 // per-chunk read/recode/MSM spans on tr under label (nil tr is the
 // untraced fast path).
 func MultiExpG1StreamScalarsTraced(src G1Source, scalars []fr.Element, c, chunk int, tr *obs.Trace, label string) (G1Jac, error) {
-	var reuse *ScalarDecomposition
+	reuse := getDecomposition()
+	defer func() { putDecomposition(reuse) }()
 	return multiExpStream[G1Affine, G1Jac](g1Msm{}, src, len(scalars), func(start, end int) *ScalarDecomposition {
 		// The driver consumes each chunk's digits before requesting the
 		// next, so one digit buffer serves every chunk.
@@ -185,8 +233,10 @@ func MultiExpG1StreamScalarSource(src G1Source, scalars ScalarSource, n, c, chun
 // with per-chunk span recording (the scalar-file read is folded into
 // the recode span — both sit between chunks on the consumer side).
 func MultiExpG1StreamScalarSourceTraced(src G1Source, scalars ScalarSource, n, c, chunk int, tr *obs.Trace, label string) (G1Jac, error) {
-	var reuse *ScalarDecomposition
-	var sbuf []fr.Element
+	reuse := getDecomposition()
+	defer func() { putDecomposition(reuse) }()
+	sbuf := getScalarChunk(streamChunkSize(n, chunk))
+	defer putScalarChunk(sbuf)
 	var srcErr error
 	res, err := multiExpStream[G1Affine, G1Jac](g1Msm{}, src, n, func(start, end int) *ScalarDecomposition {
 		if cap(sbuf) < end-start {
@@ -218,11 +268,50 @@ func MultiExpG2StreamScalars(src G2Source, scalars []fr.Element, c, chunk int) (
 // MultiExpG2StreamScalarsTraced is the G2 counterpart of
 // MultiExpG1StreamScalarsTraced.
 func MultiExpG2StreamScalarsTraced(src G2Source, scalars []fr.Element, c, chunk int, tr *obs.Trace, label string) (G2Jac, error) {
-	var reuse *ScalarDecomposition
+	reuse := getDecomposition()
+	defer func() { putDecomposition(reuse) }()
 	return multiExpStream[G2Affine, G2Jac](g2Msm{}, src, len(scalars), func(start, end int) *ScalarDecomposition {
 		reuse = decomposeScalarsInto(reuse, scalars[start:end], c)
 		return reuse
 	}, chunk, tr, label)
+}
+
+// MultiExpG2StreamScalarSource is the G2 counterpart of
+// MultiExpG1StreamScalarSource — bases and scalars both arrive from
+// sources, so neither side is ever fully resident. Used for the B2
+// wire-query MSM when the witness is spilled.
+func MultiExpG2StreamScalarSource(src G2Source, scalars ScalarSource, n, c, chunk int) (G2Jac, error) {
+	return MultiExpG2StreamScalarSourceTraced(src, scalars, n, c, chunk, nil, "")
+}
+
+// MultiExpG2StreamScalarSourceTraced is the G2 counterpart of
+// MultiExpG1StreamScalarSourceTraced.
+func MultiExpG2StreamScalarSourceTraced(src G2Source, scalars ScalarSource, n, c, chunk int, tr *obs.Trace, label string) (G2Jac, error) {
+	reuse := getDecomposition()
+	defer func() { putDecomposition(reuse) }()
+	sbuf := getScalarChunk(streamChunkSize(n, chunk))
+	defer putScalarChunk(sbuf)
+	var srcErr error
+	res, err := multiExpStream[G2Affine, G2Jac](g2Msm{}, src, n, func(start, end int) *ScalarDecomposition {
+		if cap(sbuf) < end-start {
+			sbuf = make([]fr.Element, end-start)
+		}
+		s := sbuf[:end-start]
+		if srcErr == nil {
+			if err := scalars(s, start); err != nil {
+				srcErr = fmt.Errorf("curve: streamed MSM scalar read at %d: %w", start, err)
+			}
+		}
+		if srcErr != nil {
+			clear(s)
+		}
+		reuse = decomposeScalarsInto(reuse, s, c)
+		return reuse
+	}, chunk, tr, label)
+	if err == nil {
+		err = srcErr
+	}
+	return res, err
 }
 
 // StreamWindowSize picks the Pippenger window width for a streamed MSM
@@ -230,13 +319,7 @@ func MultiExpG2StreamScalarsTraced(src G2Source, scalars []fr.Element, c, chunk 
 // its own bucket accumulation and reduction, so the width that balances
 // inserts against bucket scans is the chunk's, not the total's.
 func StreamWindowSize(n, chunk int) int {
-	if chunk <= 0 {
-		chunk = DefaultStreamChunk
-	}
-	if n < chunk {
-		chunk = n
-	}
-	return MSMWindowSize(chunk)
+	return MSMWindowSize(streamChunkSize(n, chunk))
 }
 
 // NewG1RawSource returns a G1Source decoding the contiguous run of

@@ -168,7 +168,7 @@ func RunPipelineTraced(eng *engine.Engine, art *Artifact, rng io.Reader, tr *obs
 	pl.Metrics.ProofSize = res.Proof.PayloadSize()
 	pl.Metrics.Streamed = res.Keys.Streamed()
 
-	public := art.System.PublicValues(res.Witness)
+	public := res.PublicInputs
 	start := time.Now()
 	if err := eng.VerifyCtx(ctx, pl.VK, pl.Proof, public); err != nil {
 		return nil, fmt.Errorf("core: verify: %w", err)

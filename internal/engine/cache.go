@@ -23,10 +23,20 @@ type KeyPair struct {
 	// Stream is the disk-backed proving key used when the engine's
 	// memory budget ruled out materializing PK.
 	Stream *groth16.StreamedProvingKey
+	// CSFile, when non-nil, is the disk-resident constraint system the
+	// keys were set up from: the memory budget ruled out keeping the CSR
+	// matrices (and the solved witness) resident too, so proves stream
+	// constraint rows from this file and spill the witness to disk. Like
+	// Stream, it shares the cache entry's lifetime.
+	CSFile *r1cs.CompiledSystemFile
 }
 
 // Streamed reports whether the proving key is disk-backed.
 func (kp *KeyPair) Streamed() bool { return kp.Stream != nil }
+
+// Spilled reports whether proves also stream the constraint system
+// from disk and spill the solver tape (full out-of-core mode).
+func (kp *KeyPair) Spilled() bool { return kp.CSFile != nil }
 
 // PKSizeBytes returns the serialized size of the proving key in
 // whichever backend holds it: the compressed WriteTo size for an

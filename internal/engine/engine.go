@@ -72,6 +72,17 @@ type Options struct {
 	// circuit. Streamed keys spill into CacheDir when configured (the
 	// spill file doubles as the cache entry), otherwise into a
 	// temporary directory removed on Close.
+	//
+	// The budget also governs the other two per-circuit residents: when
+	// a streamed circuit's CSR encoding (r1cs.CSRRawSizeBytes) plus its
+	// solved witness would themselves exceed the budget, the engine goes
+	// fully out-of-core — the constraint system is written once to a
+	// digest-keyed section file beside the spilled key, setup and every
+	// prove stream constraint rows from it in bounded windows, and the
+	// solver writes the witness tape to a disk-backed page cache instead
+	// of RAM. The cache then retains only a solver-program copy of the
+	// circuit (r1cs.CompiledSystem.StripForSolve), so no component of
+	// the pipeline scales resident memory with circuit size.
 	MemoryBudget int64
 	// StreamChunk overrides the number of points per streamed-MSM
 	// window (default curve.DefaultStreamChunk). Peak per-MSM point
@@ -121,9 +132,15 @@ type Result struct {
 	Proof  *groth16.Proof
 	// Witness is the full wire assignment the proof was produced from —
 	// the solved witness when the request carried an input assignment,
-	// or the request's own witness. Callers extract public inputs from
-	// it via CompiledSystem.PublicValues.
+	// or the request's own witness. It is nil when the memory budget
+	// sent the witness to the disk-backed spill store (the whole point
+	// of that mode is never materializing it); use PublicInputs, which
+	// is populated in every mode.
 	Witness []fr.Element
+	// PublicInputs is the proof's instance — the public wires in the
+	// order Verify expects (CompiledSystem.PublicValues). Always
+	// populated, whichever residency the witness had.
+	PublicInputs []fr.Element
 	// SetupTime is the wall-clock cost of obtaining keys. On a cache hit
 	// it is the lookup cost — effectively zero next to a real setup.
 	SetupTime time.Duration
@@ -150,6 +167,7 @@ type Stats struct {
 	Solves       uint64 // witnesses generated by solver-program replay
 	Proves       uint64
 	StreamProves uint64 // subset of Proves served by the out-of-core backend
+	SpillProves  uint64 // subset of StreamProves that also streamed the CSR and spilled the witness
 	Verifies     uint64 // individual + batched verification calls
 	SetupTime    time.Duration
 	SolveTime    time.Duration
@@ -190,7 +208,7 @@ type Engine struct {
 
 	setups, memHits, diskHits           atomic.Uint64
 	solves, proves, streamProves        atomic.Uint64
-	verifies                            atomic.Uint64
+	spillProves, verifies               atomic.Uint64
 	setupNs, solveNs, proveNs, verifyNs atomic.Int64
 }
 
@@ -272,6 +290,77 @@ func (e *Engine) shouldStream(sys *r1cs.CompiledSystem) bool {
 	return raw > e.opts.MemoryBudget
 }
 
+// shouldSpillCS decides, for a circuit already past the streaming
+// threshold, whether the constraint system and witness go out-of-core
+// too: they do when their combined resident cost — the CSR section
+// file encoding (a faithful proxy for the in-memory CSR arrays) plus
+// one full wire assignment — exceeds the same budget the key was
+// measured against. A solver-only cached system has no CSR to measure
+// and can only be proved through its spill file, so it always spills.
+func (e *Engine) shouldSpillCS(sys *r1cs.CompiledSystem) bool {
+	if sys.Stripped() {
+		return true
+	}
+	witnessBytes := int64(sys.NbWires) * int64(8*fr.Limbs)
+	return r1cs.CSRRawSizeBytes(sys)+witnessBytes > e.opts.MemoryBudget
+}
+
+// SpillsConstraintSystem reports whether a prove of sys on this engine
+// runs fully out-of-core — streamed key plus disk-resident CSR and
+// spilled witness. Once a first prove has populated the disk tier,
+// callers holding the compiled system only for re-proving can swap it
+// for its StripForSolve copy and release the CSR arrays: the engine
+// re-opens the constraint rows from its digest-keyed section file.
+func (e *Engine) SpillsConstraintSystem(sys *r1cs.CompiledSystem) bool {
+	return e.shouldStream(sys) && e.shouldSpillCS(sys)
+}
+
+// witnessPageBudget sizes the spilled witness's resident page cache: a
+// quarter of the memory budget, leaving the rest for streamed-MSM
+// windows and FFT scratch (r1cs.NewWitnessFile enforces its own small
+// floor).
+func (e *Engine) witnessPageBudget() int64 { return e.opts.MemoryBudget / 4 }
+
+// csrPath is the digest-keyed spill location of a constraint system's
+// section file, beside the streamed key it was set up into.
+func csrPath(dir, digest string) string { return filepath.Join(dir, digest+".csr") }
+
+// ensureCSFile returns an open, validated handle on the digest's CSR
+// spill file, writing it from sys first when missing or corrupt. A
+// solver-only (stripped) system cannot regenerate the file, so its
+// absence is an error instructing the caller to resend the circuit.
+func (e *Engine) ensureCSFile(sys *r1cs.CompiledSystem, digest string) (*r1cs.CompiledSystemFile, error) {
+	dir, err := e.streamKeyDir()
+	if err != nil {
+		return nil, err
+	}
+	path := csrPath(dir, digest)
+	if cf, err := r1cs.OpenCompiledSystemFile(path); err == nil {
+		return cf, nil
+	}
+	if sys.Stripped() {
+		return nil, fmt.Errorf("engine: no CSR spill file for digest %s and the cached circuit is solver-only (resend the compiled system)", digest)
+	}
+	if err := r1cs.WriteCompiledSystemFile(path, sys); err != nil {
+		return nil, fmt.Errorf("engine: spill constraint system: %w", err)
+	}
+	cf, err := r1cs.OpenCompiledSystemFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: reopen spilled constraint system: %w", err)
+	}
+	return cf, nil
+}
+
+// cacheSystem picks what to retain beside the keys: in full
+// out-of-core mode the CSR arrays live in the spill file, so the cache
+// keeps only the solver program and input layout.
+func cacheSystem(sys *r1cs.CompiledSystem, spill bool) *r1cs.CompiledSystem {
+	if spill && !sys.Stripped() {
+		return sys.StripForSolve()
+	}
+	return sys
+}
+
 // streamKeyDir resolves (creating if needed) the directory streamed
 // keys spill into: the configured CacheDir, where the spill file
 // doubles as the disk cache entry, or a process-lifetime temp dir.
@@ -342,29 +431,49 @@ func (e *Engine) streamFromDisk(digest string) (*KeyPair, bool) {
 
 // setupStreamed runs trusted setup in out-of-core mode: the proving key
 // is spilled straight to a framed file (never materialized in RAM) and
-// reopened as a StreamedProvingKey. persistErr carries a best-effort
-// verifying-key persistence failure; err is fatal.
-func (e *Engine) setupStreamed(sys *r1cs.CompiledSystem, digest string, rng io.Reader) (kp *KeyPair, persistErr, err error) {
+// reopened as a StreamedProvingKey. When spill is set the constraint
+// system goes out-of-core first — setup then streams its QAP
+// accumulation from the CSR spill file, and the returned KeyPair
+// carries the open handle for proves to share. persistErr carries a
+// best-effort verifying-key persistence failure; err is fatal.
+func (e *Engine) setupStreamed(sys *r1cs.CompiledSystem, digest string, spill bool, rng io.Reader) (kp *KeyPair, persistErr, err error) {
 	dir, err := e.streamKeyDir()
 	if err != nil {
 		return nil, nil, err
+	}
+	var cons r1cs.Constraints = sys
+	var csf *r1cs.CompiledSystemFile
+	if spill {
+		if csf, err = e.ensureCSFile(sys, digest); err != nil {
+			return nil, nil, err
+		}
+		cons = csf
 	}
 	var vk *groth16.VerifyingKey
 	pkPath := filepath.Join(dir, digest+".pk")
 	if err := writeFramedFile(pkPath, func(w io.Writer) error {
 		var serr error
-		vk, serr = groth16.SetupStreamed(sys, rng, w)
+		vk, serr = groth16.SetupStreamed(cons, rng, w)
 		return serr
 	}); err != nil {
+		if csf != nil {
+			csf.Close()
+		}
 		return nil, nil, fmt.Errorf("engine: streamed setup: %w", err)
 	}
 	pkF, pkr, err := openFramed(pkPath)
 	if err != nil {
+		if csf != nil {
+			csf.Close()
+		}
 		return nil, nil, fmt.Errorf("engine: reopen spilled proving key: %w", err)
 	}
 	spk, err := groth16.OpenStreamedProvingKey(pkr)
 	if err != nil {
 		pkF.Close()
+		if csf != nil {
+			csf.Close()
+		}
 		return nil, nil, fmt.Errorf("engine: spilled proving key: %w", err)
 	}
 	spk.Chunk = e.opts.StreamChunk
@@ -373,7 +482,7 @@ func (e *Engine) setupStreamed(sys *r1cs.CompiledSystem, digest string, rng io.R
 		_, werr := vk.WriteTo(w)
 		return werr
 	})
-	return &KeyPair{VK: vk, Stream: spk}, persistErr, nil
+	return &KeyPair{VK: vk, Stream: spk, CSFile: csf}, persistErr, nil
 }
 
 // Keys returns the Groth16 key pair for a compiled system, running the
@@ -445,6 +554,7 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader, tr *obs.Trace) (k
 	// once, not once per worker.
 	diskHit := false
 	stream := e.shouldStream(sys)
+	spill := stream && e.shouldSpillCS(sys)
 	var fromDisk *KeyPair
 	var ok bool
 	sp := tr.Span("keys/disk-load")
@@ -453,7 +563,20 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader, tr *obs.Trace) (k
 		// store; a hit costs one integrity pass plus section indexing,
 		// never a full materialization.
 		if fromDisk, ok = e.streamFromDisk(digest); ok {
-			e.cache.putMem(digest, fromDisk, sys)
+			if spill {
+				// The CSR spill file rides beside the key files; a
+				// missing or corrupt one is rewritten from sys here. If
+				// that fails (solver-only sys, dead disk) the hit is
+				// voided and the setup path below reports the error.
+				if csf, cerr := e.ensureCSFile(sys, digest); cerr == nil {
+					fromDisk.CSFile = csf
+				} else {
+					fromDisk, ok = nil, false
+				}
+			}
+			if ok {
+				e.cache.putMem(digest, fromDisk, cacheSystem(sys, spill))
+			}
 		}
 	} else {
 		fromDisk, ok = e.cache.getDisk(digest, sys)
@@ -468,7 +591,7 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader, tr *obs.Trace) (k
 		mKeycacheMisses.Inc()
 		sp := tr.Span("keys/setup-streamed")
 		start := time.Now()
-		kp, perr, serr := e.setupStreamed(sys, digest, e.requestRand(rng))
+		kp, perr, serr := e.setupStreamed(sys, digest, spill, e.requestRand(rng))
 		elapsed := time.Since(start)
 		sp.End()
 		if serr == nil {
@@ -476,7 +599,7 @@ func (e *Engine) keys(sys *r1cs.CompiledSystem, rng io.Reader, tr *obs.Trace) (k
 			e.setups.Add(1)
 			e.setupNs.Add(int64(elapsed))
 			observeSeconds(mSetupSeconds, elapsed)
-			e.cache.putMem(digest, kp, sys)
+			e.cache.putMem(digest, kp, cacheSystem(sys, spill))
 			call.persistErr = perr
 		}
 		call.err = serr
@@ -558,11 +681,42 @@ func (e *Engine) prove(req Request) *Result {
 	}
 	res.Keys = keys
 
+	if sys.Stripped() && keys.CSFile == nil {
+		// A solver-only circuit copy has placeholder CSR arrays; proving
+		// against it without the spill file would silently "satisfy"
+		// empty constraints. The cache pairs stripped systems with their
+		// CSFile, so this only trips on a programming error.
+		mProveErrorsTotal.Inc()
+		res.Err = errors.New("engine: cached circuit is solver-only but no CSR spill file is attached")
+		return res
+	}
+
+	// In full out-of-core mode an input-assignment request solves
+	// straight into a disk-backed witness tape; the prover then reads
+	// wires back through the same file. A caller-supplied witness stays
+	// resident (it already was), but still proves against the CSR file.
 	witness := req.Witness
+	var wf *r1cs.WitnessFile
+	if witness == nil && keys.CSFile != nil {
+		dir, derr := e.streamKeyDir()
+		if derr == nil {
+			wf, derr = r1cs.NewWitnessFile(dir, sys.NbWires, e.witnessPageBudget())
+		}
+		if derr != nil {
+			mProveErrorsTotal.Inc()
+			res.Err = fmt.Errorf("engine: witness spill store: %w", derr)
+			return res
+		}
+		defer wf.Close()
+	}
 	if witness == nil {
 		sp = tr.Span("engine/solve")
 		start = time.Now()
-		witness, err = sys.Solve(req.Public, req.Secret)
+		if wf != nil {
+			err = sys.SolveSpilled(req.Public, req.Secret, wf, tr)
+		} else {
+			witness, err = sys.Solve(req.Public, req.Secret)
+		}
 		res.SolveTime = time.Since(start)
 		sp.End()
 		if err != nil {
@@ -574,7 +728,23 @@ func (e *Engine) prove(req Request) *Result {
 		e.solveNs.Add(int64(res.SolveTime))
 		observeSeconds(mSolveSeconds, res.SolveTime)
 	}
-	res.Witness = witness
+	if wf != nil {
+		// Only the instance comes back resident: public wires [1, NbPublic).
+		if n := sys.NbPublic - 1; n > 0 {
+			pub := make([]fr.Element, n)
+			if err := wf.ReadRange(pub, 1); err != nil {
+				mProveErrorsTotal.Inc()
+				res.Err = fmt.Errorf("engine: read spilled public inputs: %w", err)
+				return res
+			}
+			res.PublicInputs = pub
+		} else {
+			res.PublicInputs = []fr.Element{}
+		}
+	} else {
+		res.Witness = witness
+		res.PublicInputs = sys.PublicValues(witness)
+	}
 
 	sp = tr.Span("engine/prove")
 	start = time.Now()
@@ -585,7 +755,14 @@ func (e *Engine) prove(req Request) *Result {
 		// before entering the bounded-memory prove, so its footprint is
 		// the pipeline's, not the allocator's leftovers.
 		debug.FreeOSMemory()
-		proof, err = groth16.ProveStreamedTraced(sys, keys.Stream, witness, e.requestRand(req.Rand), tr)
+		switch {
+		case wf != nil:
+			proof, err = groth16.ProveStreamedSpilled(keys.CSFile, keys.Stream, wf, e.requestRand(req.Rand), tr)
+		case keys.CSFile != nil:
+			proof, err = groth16.ProveStreamedTraced(keys.CSFile, keys.Stream, witness, e.requestRand(req.Rand), tr)
+		default:
+			proof, err = groth16.ProveStreamedTraced(sys, keys.Stream, witness, e.requestRand(req.Rand), tr)
+		}
 	} else {
 		proof, err = groth16.ProveTraced(sys, keys.PK, witness, e.requestRand(req.Rand), tr)
 	}
@@ -601,6 +778,10 @@ func (e *Engine) prove(req Request) *Result {
 	if keys.Stream != nil {
 		e.streamProves.Add(1)
 		mStreamProvesTotal.Inc()
+	}
+	if keys.CSFile != nil {
+		e.spillProves.Add(1)
+		mSpillProvesTotal.Inc()
 	}
 	e.proveNs.Add(int64(res.ProveTime))
 	observeSeconds(mProveSeconds, res.ProveTime)
@@ -700,6 +881,7 @@ func (e *Engine) Stats() Stats {
 		Solves:       e.solves.Load(),
 		Proves:       e.proves.Load(),
 		StreamProves: e.streamProves.Load(),
+		SpillProves:  e.spillProves.Load(),
 		Verifies:     e.verifies.Load(),
 		SetupTime:    time.Duration(e.setupNs.Load()),
 		SolveTime:    time.Duration(e.solveNs.Load()),

@@ -186,6 +186,126 @@ func TestStreamedProofMatchesInMemoryEngine(t *testing.T) {
 	}
 }
 
+// TestSpilledEngineRoundTrip forces full out-of-core mode (streamed
+// key, CSR section file, disk-backed witness tape) and checks the whole
+// lifecycle: spilled solve+prove with PublicInputs but no resident
+// witness, a digest-only repeat against the stripped cached circuit, a
+// restart served by the on-disk key and CSR files, and recovery from a
+// corrupted CSR file.
+func TestSpilledEngineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(36))
+	sys := cubicSystem(5)
+	asg := sys.WitnessAssignment(cubicWitness(5, 3))
+
+	e1 := New(Options{CacheDir: dir, MemoryBudget: 1, Rand: rng})
+	defer e1.Close()
+	r1, err := e1.Prove(Request{System: sys, Public: asg.Public, Secret: asg.Secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Keys.Streamed() || !r1.Keys.Spilled() {
+		t.Fatal("1-byte budget must force full out-of-core mode")
+	}
+	if r1.Witness != nil {
+		t.Fatal("spilled prove must not return a resident witness")
+	}
+	want := publicOf(cubicWitness(5, 3))
+	if len(r1.PublicInputs) != len(want) || !r1.PublicInputs[0].Equal(&want[0]) {
+		t.Fatalf("PublicInputs = %v, want %v", r1.PublicInputs, want)
+	}
+	if err := e1.Verify(r1.Keys.VK, r1.Proof, r1.PublicInputs); err != nil {
+		t.Fatalf("spilled proof rejected: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, r1.Digest+".csr")); err != nil {
+		t.Fatalf("expected CSR spill file beside the key: %v", err)
+	}
+	if st := e1.Stats(); st.SpillProves != 1 || st.StreamProves != 1 || st.Solves != 1 {
+		t.Fatalf("stats = %+v, want 1 spilled prove and 1 solve", st)
+	}
+
+	// The cache must hold a solver-only circuit copy, and a digest-only
+	// request must still solve and prove through the spill files.
+	if cs, ok := e1.Circuit(r1.Digest); !ok || !cs.Stripped() {
+		t.Fatalf("cached circuit not stripped (ok=%v)", ok)
+	}
+	asg7 := sys.WitnessAssignment(cubicWitness(5, 7))
+	r2, err := e1.Prove(Request{Digest: r1.Digest, Public: asg7.Public, Secret: asg7.Secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("digest-only spilled prove must hit the key cache")
+	}
+	if err := e1.Verify(r1.Keys.VK, r2.Proof, r2.PublicInputs); err != nil {
+		t.Fatalf("digest-only spilled proof rejected: %v", err)
+	}
+
+	// Restart: spilled key and CSR file both reopen from CacheDir.
+	e2 := New(Options{CacheDir: dir, MemoryBudget: 1, Rand: rng})
+	defer e2.Close()
+	r3, err := e2.Prove(Request{System: cubicSystem(5), Public: asg.Public, Secret: asg.Secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit || !r3.Keys.Spilled() {
+		t.Fatalf("restart must stream keys and CSR from disk (hit=%v, spilled=%v)", r3.CacheHit, r3.Keys.Spilled())
+	}
+	if err := e2.Verify(r1.Keys.VK, r3.Proof, r3.PublicInputs); err != nil {
+		t.Fatalf("restarted spilled proof rejected by original VK: %v", err)
+	}
+
+	// A corrupted CSR file is rewritten from the resent system.
+	csrFile := filepath.Join(dir, r1.Digest+".csr")
+	raw, err := os.ReadFile(csrFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(csrFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3 := New(Options{CacheDir: dir, MemoryBudget: 1, Rand: rng})
+	defer e3.Close()
+	r4, err := e3.Prove(Request{System: cubicSystem(5), Public: asg.Public, Secret: asg.Secret})
+	if err != nil {
+		t.Fatalf("prove over corrupted CSR file: %v", err)
+	}
+	if err := e3.Verify(r1.Keys.VK, r4.Proof, r4.PublicInputs); err != nil {
+		t.Fatalf("proof after CSR rewrite rejected: %v", err)
+	}
+}
+
+// TestSpilledProofMatchesInMemoryEngine is the engine-level oracle for
+// full out-of-core mode: same circuit, same randomness, identical proof
+// points whether everything is resident or nothing is.
+func TestSpilledProofMatchesInMemoryEngine(t *testing.T) {
+	sys := cubicSystem(5)
+	asg := sys.WitnessAssignment(cubicWitness(5, 3))
+
+	inMem := New(Options{Rand: rand.New(rand.NewSource(37))})
+	rIn, err := inMem.Prove(Request{System: sys, Public: asg.Public, Secret: asg.Secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spilled := New(Options{CacheDir: t.TempDir(), MemoryBudget: 1, Rand: rand.New(rand.NewSource(37))})
+	defer spilled.Close()
+	rSp, err := spilled.Prove(Request{System: cubicSystem(5), Public: asg.Public, Secret: asg.Secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rSp.Keys.Spilled() {
+		t.Fatal("expected full out-of-core mode")
+	}
+	if !rIn.Proof.Ar.Equal(&rSp.Proof.Ar) || !rIn.Proof.Bs.Equal(&rSp.Proof.Bs) || !rIn.Proof.Krs.Equal(&rSp.Proof.Krs) {
+		t.Fatal("spilled engine proof diverges from in-memory engine proof")
+	}
+	if len(rIn.PublicInputs) != len(rSp.PublicInputs) || !rIn.PublicInputs[0].Equal(&rSp.PublicInputs[0]) {
+		t.Fatal("spilled engine instance diverges from in-memory engine instance")
+	}
+}
+
 // TestStreamedEngineTempSpill exercises streaming without a CacheDir:
 // the raw key spills to a temp directory that Close removes.
 func TestStreamedEngineTempSpill(t *testing.T) {

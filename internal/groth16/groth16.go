@@ -78,8 +78,11 @@ type Proof struct {
 // system. rng supplies toxic-waste randomness (crypto/rand if nil). The
 // returned keys are circuit-specific; re-run Setup whenever the circuit
 // changes (in ZKROWNN the circuit is static, so this cost is paid once
-// per architecture and shared by every solve-many proof).
-func Setup(sys *r1cs.CompiledSystem, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
+// per architecture and shared by every solve-many proof). sys may be a
+// resident *r1cs.CompiledSystem or a disk-backed
+// *r1cs.CompiledSystemFile — the QAP accumulation then streams the
+// matrices in bounded row windows and the key material is identical.
+func Setup(sys r1cs.Constraints, rng io.Reader) (*ProvingKey, *VerifyingKey, error) {
 	sc, err := computeSetupScalars(sys, rng)
 	if err != nil {
 		return nil, nil, err
@@ -122,14 +125,19 @@ type setupScalars struct {
 	zScalars                  []fr.Element
 }
 
-func computeSetupScalars(sys *r1cs.CompiledSystem, rng io.Reader) (*setupScalars, error) {
+func computeSetupScalars(sys r1cs.Constraints, rng io.Reader) (*setupScalars, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
-	if err := sys.Validate(); err != nil {
-		return nil, err
+	// Resident systems validate structurally; file-backed systems were
+	// validated when written and carry a CRC checked at open.
+	if cs, ok := sys.(*r1cs.CompiledSystem); ok {
+		if err := cs.Validate(); err != nil {
+			return nil, err
+		}
 	}
-	nbCons := sys.NbConstraints()
+	d := sys.Dims()
+	nbCons := d.NbConstraints
 	if nbCons == 0 {
 		return nil, errors.New("groth16: empty constraint system")
 	}
@@ -159,39 +167,67 @@ func computeSetupScalars(sys *r1cs.CompiledSystem, rng io.Reader) (*setupScalars
 		return nil, err
 	}
 
-	// QAP polynomials evaluated at τ via the Lagrange basis. The
-	// per-constraint accumulation lands in per-wire slots, so each CSR
-	// matrix is transposed first: wireIndex buckets every (constraint,
-	// coeff) term by wire, and the field multiplications then parallelize
+	// QAP polynomials evaluated at τ via the Lagrange basis. For a
+	// resident system the per-constraint accumulation lands in per-wire
+	// slots after a transpose: wireIndex buckets every (constraint,
+	// coeff) term by wire, and the field multiplications parallelize
 	// over disjoint wire ranges with no locking and no redundant scans.
-	// The transposes walk the flat CSR arrays directly.
+	// The transpose costs 8 bytes per term, though — GBs at paper scale
+	// — so a file-backed system instead streams each matrix in bounded
+	// row windows (per-term products in parallel, a serial scatter-add
+	// into the per-wire slots), trading setup CPU for a fixed resident
+	// budget. Field addition is commutative and associative over the
+	// same exact term products, but accumulation ORDER matters for
+	// bit-identical scalars: both paths add row-major per wire (the
+	// transpose preserves row order within a wire; the window walk is
+	// row-major), so the key material matches.
 	lag := domain.LagrangeBasisAt(&tau)
-	m := sys.NbWires
-	var uIdx, vIdx, wIdx wireIndex
-	var idxWg sync.WaitGroup
-	idxWg.Add(3)
-	go func() {
-		defer idxWg.Done()
-		uIdx = buildWireIndex(&sys.A, m)
-	}()
-	go func() {
-		defer idxWg.Done()
-		vIdx = buildWireIndex(&sys.B, m)
-	}()
-	go func() {
-		defer idxWg.Done()
-		wIdx = buildWireIndex(&sys.C, m)
-	}()
-	idxWg.Wait()
-
+	m := d.NbWires
 	uTau := make([]fr.Element, m)
 	vTau := make([]fr.Element, m)
 	wTau := make([]fr.Element, m)
-	par.Range(m, func(lo, hi int) {
-		uIdx.accumulate(lo, hi, lag, uTau)
-		vIdx.accumulate(lo, hi, lag, vTau)
-		wIdx.accumulate(lo, hi, lag, wTau)
-	})
+	if cs, ok := sys.(*r1cs.CompiledSystem); ok {
+		var uIdx, vIdx, wIdx wireIndex
+		var idxWg sync.WaitGroup
+		idxWg.Add(3)
+		go func() {
+			defer idxWg.Done()
+			uIdx = buildWireIndex(&cs.A, m)
+		}()
+		go func() {
+			defer idxWg.Done()
+			vIdx = buildWireIndex(&cs.B, m)
+		}()
+		go func() {
+			defer idxWg.Done()
+			wIdx = buildWireIndex(&cs.C, m)
+		}()
+		idxWg.Wait()
+		par.Range(m, func(lo, hi int) {
+			uIdx.accumulate(lo, hi, lag, uTau)
+			vIdx.accumulate(lo, hi, lag, vTau)
+			wIdx.accumulate(lo, hi, lag, wTau)
+		})
+	} else {
+		var accWg sync.WaitGroup
+		var accErr [3]error
+		for i, job := range []struct {
+			ms  r1cs.MatrixStream
+			dst []fr.Element
+		}{{sys.MatA(), uTau}, {sys.MatB(), vTau}, {sys.MatC(), wTau}} {
+			accWg.Add(1)
+			go func() {
+				defer accWg.Done()
+				accErr[i] = qapAccumulateStream(job.ms, lag, job.dst)
+			}()
+		}
+		accWg.Wait()
+		for _, err := range accErr {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	var gammaInv, deltaInv fr.Element
 	gammaInv.Inverse(&gamma)
@@ -199,7 +235,7 @@ func computeSetupScalars(sys *r1cs.CompiledSystem, rng io.Reader) (*setupScalars
 
 	// K-query scalars (private wires) and IC scalars (public wires):
 	// (β·uⱼ + α·vⱼ + wⱼ) scaled by 1/δ or 1/γ. Disjoint writes per wire.
-	ell := sys.NbPublic // wires 0..ell-1 public
+	ell := d.NbPublic // wires 0..ell-1 public
 	icScalars := make([]fr.Element, ell)
 	kScalars := make([]fr.Element, m-ell)
 	par.Range(m, func(lo, hi int) {
@@ -274,14 +310,14 @@ func singleG2(t *curve.G2FixedBaseTable, k *fr.Element) curve.G2Affine {
 // normally obtain it from CompiledSystem.Solve (or the frontend's eager
 // compile result).
 func Prove(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
-	return prove(sys, pk, witness, rng, nil)
+	return prove(sys, pk, memWitness(witness), rng, nil)
 }
 
 // ProveTraced is Prove recording per-phase spans (witness check, scalar
 // recoding, each query MSM, the quotient pipeline) on tr. A nil tr is
 // the untraced fast path — identical to Prove.
 func ProveTraced(sys *r1cs.CompiledSystem, pk *ProvingKey, witness []fr.Element, rng io.Reader, tr *obs.Trace) (*Proof, error) {
-	return prove(sys, pk, witness, rng, tr)
+	return prove(sys, pk, memWitness(witness), rng, tr)
 }
 
 // pkHeader is the handful of single points every prover backend exposes
@@ -302,16 +338,19 @@ type proverKey interface {
 	header() pkHeader
 	// checkShape verifies the key's query sections match the system's
 	// dimensions before any randomness is drawn.
-	checkShape(sys *r1cs.CompiledSystem) error
-	// prepWitness binds the witness vector for the three wire-query
-	// MSMs, choosing the backend's recoding strategy.
-	prepWitness(witness []fr.Element) witnessExp
+	checkShape(d r1cs.Dims) error
+	// prepWitness binds the witness for the three wire-query MSMs,
+	// choosing the backend's recoding strategy. Backends that cannot
+	// serve the witness's residency (the in-memory key with a spilled
+	// witness) reject here, before randomness is drawn.
+	prepWitness(w *witnessSrc) (witnessExp, error)
 	// The exp methods record their spans on tr (nil disables tracing at
 	// zero cost — the *Trace methods are nil-receiver no-ops).
 	expA(w witnessExp, tr *obs.Trace) (curve.G1Jac, error)
 	expB1(w witnessExp, tr *obs.Trace) (curve.G1Jac, error)
 	expB2(w witnessExp, tr *obs.Trace) (curve.G2Jac, error)
-	expK(scalars []fr.Element, tr *obs.Trace) (curve.G1Jac, error)
+	// expK runs the private-wire query over wires [nbPublic, NbWires).
+	expK(w witnessExp, nbPublic int, tr *obs.Trace) (curve.G1Jac, error)
 	// expZQuotient computes h = (A·B - C)/Z and immediately folds it
 	// into the Z-query MSM, choosing the backend's memory strategy: two
 	// resident domain vectors in memory, or the out-of-core pipeline
@@ -319,7 +358,7 @@ type proverKey interface {
 	// from the h file). Field arithmetic is exact and fr encodings are
 	// canonical, so h — and the proof — is bit-equal either way. Fusing
 	// the two steps lets the streamed backend never materialize h.
-	expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, tr *obs.Trace) (curve.G1Jac, error)
+	expZQuotient(sys r1cs.Constraints, domainSize uint64, w *witnessSrc, tr *obs.Trace) (curve.G1Jac, error)
 }
 
 // witnessExp carries the witness for the A, B1, and B2 queries. The
@@ -329,8 +368,8 @@ type proverKey interface {
 // chunk by chunk inside each MSM, keeping resident digit memory at one
 // chunk's worth instead of two bytes per window per wire.
 type witnessExp struct {
-	scalars []fr.Element
-	dec     *curve.ScalarDecomposition
+	src *witnessSrc
+	dec *curve.ScalarDecomposition
 }
 
 func (pk *ProvingKey) header() pkHeader {
@@ -341,24 +380,30 @@ func (pk *ProvingKey) header() pkHeader {
 	}
 }
 
-func (pk *ProvingKey) checkShape(sys *r1cs.CompiledSystem) error {
-	m := sys.NbWires
+func (pk *ProvingKey) checkShape(d r1cs.Dims) error {
+	m := d.NbWires
 	if len(pk.A) != m || len(pk.B1) != m || len(pk.B2) != m {
 		return fmt.Errorf("groth16: key wire sections sized %d/%d/%d, system has %d wires",
 			len(pk.A), len(pk.B1), len(pk.B2), m)
 	}
-	if len(pk.K) != m-sys.NbPublic {
+	if len(pk.K) != m-d.NbPublic {
 		return fmt.Errorf("groth16: key K section sized %d, system has %d private wires",
-			len(pk.K), m-sys.NbPublic)
+			len(pk.K), m-d.NbPublic)
 	}
 	return nil
 }
 
-func (pk *ProvingKey) prepWitness(witness []fr.Element) witnessExp {
-	return witnessExp{
-		scalars: witness,
-		dec:     curve.DecomposeScalars(witness, curve.MSMWindowSize(len(witness))),
+func (pk *ProvingKey) prepWitness(w *witnessSrc) (witnessExp, error) {
+	if w.mem == nil {
+		// The fully materialized key dwarfs the witness; pairing it with
+		// a spilled witness would be a configuration bug, not a memory
+		// win.
+		return witnessExp{}, errors.New("groth16: in-memory proving key requires a resident witness")
 	}
+	return witnessExp{
+		src: w,
+		dec: curve.DecomposeScalars(w.mem, curve.MSMWindowSize(len(w.mem))),
+	}, nil
 }
 
 func (pk *ProvingKey) expA(w witnessExp, tr *obs.Trace) (curve.G1Jac, error) {
@@ -373,12 +418,16 @@ func (pk *ProvingKey) expB2(w witnessExp, tr *obs.Trace) (curve.G2Jac, error) {
 	return curve.MultiExpG2DecomposedTraced(pk.B2, w.dec, tr, "msm/B2"), nil
 }
 
-func (pk *ProvingKey) expK(scalars []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
-	return curve.MultiExpG1Traced(pk.K, scalars, tr, "msm/K"), nil
+func (pk *ProvingKey) expK(w witnessExp, nbPublic int, tr *obs.Trace) (curve.G1Jac, error) {
+	return curve.MultiExpG1Traced(pk.K, w.src.mem[nbPublic:], tr, "msm/K"), nil
 }
 
-func (pk *ProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
-	h, err := quotient(sys, domainSize, witness, tr)
+func (pk *ProvingKey) expZQuotient(sys r1cs.Constraints, domainSize uint64, w *witnessSrc, tr *obs.Trace) (curve.G1Jac, error) {
+	cs, ok := sys.(*r1cs.CompiledSystem)
+	if !ok || w.mem == nil {
+		return curve.G1Jac{}, errors.New("groth16: in-memory proving key requires a resident system and witness")
+	}
+	h, err := quotient(cs, domainSize, w.mem, tr)
 	if err != nil {
 		return curve.G1Jac{}, err
 	}
@@ -391,20 +440,24 @@ func (pk *ProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, 
 // ProveStreamed. Randomness is drawn in a fixed order (r then s), so a
 // seeded rng yields identical proofs from either backend. tr, when
 // non-nil, receives one span per prover phase.
-func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.Reader, tr *obs.Trace) (*Proof, error) {
+func prove(sys r1cs.Constraints, pk proverKey, w *witnessSrc, rng io.Reader, tr *obs.Trace) (*Proof, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
-	if len(witness) != sys.NbWires {
-		return nil, fmt.Errorf("groth16: witness has %d wires, system expects %d", len(witness), sys.NbWires)
+	d := sys.Dims()
+	if w.len() != d.NbWires {
+		return nil, fmt.Errorf("groth16: witness has %d wires, system expects %d", w.len(), d.NbWires)
 	}
 	sp := tr.Span("prove/satisfy")
-	ok, bad := sys.IsSatisfied(witness)
+	ok, bad, err := checkSatisfied(sys, w, tr)
 	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("groth16: satisfy check: %w", err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("groth16: witness does not satisfy constraint %d", bad)
 	}
-	if err := pk.checkShape(sys); err != nil {
+	if err := pk.checkShape(d); err != nil {
 		return nil, err
 	}
 	hdr := pk.header()
@@ -419,8 +472,11 @@ func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.
 	}
 
 	sp = tr.Span("prove/recode")
-	wExp := pk.prepWitness(witness)
+	wExp, err := pk.prepWitness(w)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	// A = α + Σ wⱼ·[uⱼ(τ)]₁ + r·δ
 	aJac, err := pk.expA(wExp, tr)
@@ -461,12 +517,11 @@ func prove(sys *r1cs.CompiledSystem, pk proverKey, witness []fr.Element, rng io.
 
 	// C = Σ_priv wⱼ·Kⱼ + Σ hᵢ·Zᵢ + s·A + r·B1 - r·s·δ, where h is the
 	// quotient polynomial (A·B - C)/Z computed via coset FFTs.
-	privWitness := witness[sys.NbPublic:]
-	cJac, err := pk.expK(privWitness, tr)
+	cJac, err := pk.expK(wExp, d.NbPublic, tr)
 	if err != nil {
 		return nil, err
 	}
-	hMSM, err := pk.expZQuotient(sys, hdr.DomainSize, witness, tr)
+	hMSM, err := pk.expZQuotient(sys, hdr.DomainSize, w, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -537,6 +592,50 @@ func buildWireIndex(mx *r1cs.Matrix, m int) wireIndex {
 		}
 	}
 	return idx
+}
+
+// setupWindowTerms bounds one QAP-accumulation row window: 64Ki terms
+// keep the per-term product scratch at 2 MiB per matrix (the three
+// matrices accumulate concurrently) — far below the transpose's 8
+// bytes per term over the whole matrix.
+const setupWindowTerms = 1 << 16
+
+// qapAccumulateStream adds Σ coeff·lag[row] into dst[wire] for every
+// term of a streamed matrix, without the wireIndex transpose: each row
+// window computes its per-term products in parallel (disjoint scratch
+// slots), then a serial scatter-add folds them into the shared per-wire
+// accumulators (wires repeat across rows, so scattering cannot
+// parallelize without per-worker vectors). The walk is row-major —
+// the same per-wire addition order as the transpose path — so the
+// accumulated scalars are bit-identical.
+func qapAccumulateStream(ms r1cs.MatrixStream, lag, dst []fr.Element) error {
+	win := &r1cs.RowWindow{}
+	var prod []fr.Element
+	for start, n := 0, ms.NbRows(); start < n; {
+		end := ms.EndRowForTerms(start, setupWindowTerms)
+		if err := ms.LoadRows(win, start, end); err != nil {
+			return err
+		}
+		nt := win.NbTerms()
+		if cap(prod) < nt {
+			prod = make([]fr.Element, nt)
+		}
+		p := prod[:nt]
+		base := win.Offs[0]
+		par.Range(win.Rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				l := &lag[win.Start+i]
+				for k := win.Offs[i] - base; k < win.Offs[i+1]-base; k++ {
+					p[k].Mul(&win.Dict[win.CoeffIdx[k]], l)
+				}
+			}
+		})
+		for k, wi := range win.Wires {
+			dst[wi].Add(&dst[wi], &p[k])
+		}
+		start = end
+	}
+	return nil
 }
 
 // accumulate adds Σ coeff·lag[constraint] into dst[w] for every wire w

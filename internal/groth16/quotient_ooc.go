@@ -6,6 +6,7 @@ import (
 
 	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/obs"
+	"zkrownn/internal/par"
 	"zkrownn/internal/poly"
 	"zkrownn/internal/r1cs"
 )
@@ -29,7 +30,7 @@ import (
 // tr, when non-nil, records one span per stage (matrix evaluation,
 // each out-of-core transform with its split/mem/combine phases, the
 // streamed pointwise merges) under an "ooc/" prefix.
-func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, dir string, tr *obs.Trace) (*poly.VecFile, error) {
+func quotientOOC(sys r1cs.Constraints, domainSize uint64, witness *witnessSrc, dir string, tr *obs.Trace) (*poly.VecFile, error) {
 	domain, err := poly.NewDomain(domainSize)
 	if err != nil {
 		return nil, err
@@ -38,7 +39,7 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 		return nil, fmt.Errorf("groth16: domain size %d is not a power of two", domainSize)
 	}
 	n := int(domain.N)
-	nbCons := sys.NbConstraints()
+	nbCons := sys.Dims().NbConstraints
 	// FFT scratch shared by every transform: a quarter domain peels two
 	// decimation levels out-of-core, quartering the prover's largest
 	// resident vector at the cost of one extra streaming pass.
@@ -49,8 +50,11 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 
 	// cosetEval evaluates one constraint matrix against the witness into
 	// a fresh disk vector (rows [nbCons, n) zero) and carries it to the
-	// coset, exactly as the in-memory quotient does.
-	cosetEval := func(mx *r1cs.Matrix, name string) (*poly.VecFile, error) {
+	// coset, exactly as the in-memory quotient does. The matrix streams
+	// in bounded row windows (a no-op view for resident systems); rows
+	// evaluate in parallel when the witness is resident, serially when
+	// it reads through the spill store's single-goroutine page cache.
+	cosetEval := func(ms r1cs.MatrixStream, name string) (*poly.VecFile, error) {
 		vf, err := poly.CreateVecFile(dir, n)
 		if err != nil {
 			return nil, err
@@ -60,9 +64,40 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 			sp = tr.Span("ooc/eval-" + name)
 		}
 		w := vf.NewWriter()
-		for i := 0; i < nbCons; i++ {
-			e := mx.RowEval(i, witness)
-			w.Append(&e)
+		win := &r1cs.RowWindow{}
+		var evals []fr.Element
+		for start := 0; start < nbCons; {
+			end := ms.EndRowForTerms(start, r1cs.DefaultRowWindowTerms)
+			if err := ms.LoadRows(win, start, end); err != nil {
+				vf.Close()
+				return nil, err
+			}
+			spw := tr.Span("csr/row-window")
+			rows := end - start
+			if cap(evals) < rows {
+				evals = make([]fr.Element, rows)
+			}
+			ev := evals[:rows]
+			if witness.mem != nil {
+				par.Range(rows, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						ev[i] = win.RowEval(i, witness.mem)
+					}
+				})
+			} else {
+				for i := 0; i < rows; i++ {
+					ev[i] = rowEvalSrc(win, i, witness)
+				}
+			}
+			for i := range ev {
+				w.Append(&ev[i])
+			}
+			spw.End()
+			start = end
+		}
+		if err := witness.fileErr(); err != nil {
+			vf.Close()
+			return nil, err
 		}
 		var zero fr.Element
 		for i := nbCons; i < n; i++ {
@@ -89,7 +124,7 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 		return vf, nil
 	}
 
-	va, err := cosetEval(&sys.A, "A")
+	va, err := cosetEval(sys.MatA(), "A")
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +133,7 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 		return nil, err
 	}
 
-	vb, err := cosetEval(&sys.B, "B")
+	vb, err := cosetEval(sys.MatB(), "B")
 	if err != nil {
 		return fail(err)
 	}
@@ -112,7 +147,7 @@ func quotientOOC(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Eleme
 		return fail(err)
 	}
 
-	vc, err := cosetEval(&sys.C, "C")
+	vc, err := cosetEval(sys.MatC(), "C")
 	if err != nil {
 		return fail(err)
 	}

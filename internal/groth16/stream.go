@@ -38,8 +38,9 @@ const rawPKFixedHeaderSize = 16 + 3*curve.G1UncompressedSize + 2*curve.G2Uncompr
 // encoding (WriteRawTo / SetupStreamed output) for the given system
 // without materializing the key — the quantity a memory budget is
 // compared against when deciding whether to stream.
-func RawPKSizeBytes(sys *r1cs.CompiledSystem) (int64, error) {
-	nbCons := sys.NbConstraints()
+func RawPKSizeBytes(sys r1cs.Constraints) (int64, error) {
+	d := sys.Dims()
+	nbCons := d.NbConstraints
 	if nbCons == 0 {
 		return 0, errors.New("groth16: empty constraint system")
 	}
@@ -47,8 +48,8 @@ func RawPKSizeBytes(sys *r1cs.CompiledSystem) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	m := int64(sys.NbWires)
-	ell := int64(sys.NbPublic)
+	m := int64(d.NbWires)
+	ell := int64(d.NbPublic)
 	n := int64(domain.N)
 	g1Points := m + m + (m - ell) + (n - 1) // A + B1 + K + Z
 	return rawPKFixedHeaderSize + 5*4 +
@@ -175,15 +176,15 @@ func (pk *StreamedProvingKey) chunkSize() int {
 
 func (pk *StreamedProvingKey) header() pkHeader { return pk.hdr }
 
-func (pk *StreamedProvingKey) checkShape(sys *r1cs.CompiledSystem) error {
-	m := sys.NbWires
+func (pk *StreamedProvingKey) checkShape(d r1cs.Dims) error {
+	m := d.NbWires
 	if pk.secA.n != m || pk.secB1.n != m || pk.secB2.n != m {
 		return fmt.Errorf("groth16: streamed key wire sections sized %d/%d/%d, system has %d wires",
 			pk.secA.n, pk.secB1.n, pk.secB2.n, m)
 	}
-	if pk.secK.n != m-sys.NbPublic {
+	if pk.secK.n != m-d.NbPublic {
 		return fmt.Errorf("groth16: streamed key K section sized %d, system has %d private wires",
-			pk.secK.n, m-sys.NbPublic)
+			pk.secK.n, m-d.NbPublic)
 	}
 	if pk.secZ.n != int(pk.hdr.DomainSize)-1 {
 		return fmt.Errorf("groth16: streamed key Z section sized %d, domain size %d expects %d",
@@ -194,33 +195,47 @@ func (pk *StreamedProvingKey) checkShape(sys *r1cs.CompiledSystem) error {
 
 // prepWitness leaves the shared decomposition nil: the streamed MSMs
 // recode each chunk's scalars on the fly, so digit memory stays bounded
-// by the chunk size instead of scaling with the wire count.
-func (pk *StreamedProvingKey) prepWitness(witness []fr.Element) witnessExp {
-	return witnessExp{scalars: witness}
+// by the chunk size instead of scaling with the wire count. Both
+// witness residencies work — a spilled witness streams through the
+// scalar-source path below.
+func (pk *StreamedProvingKey) prepWitness(w *witnessSrc) (witnessExp, error) {
+	return witnessExp{src: w}, nil
 }
 
 // streamG1 runs one G1 query section through the chunked MSM with lazy
-// per-chunk scalar recoding.
-func (pk *StreamedProvingKey) streamG1(sec rawSection, scalars []fr.Element, tr *obs.Trace, label string) (curve.G1Jac, error) {
-	c := curve.StreamWindowSize(len(scalars), pk.chunkSize())
-	return curve.MultiExpG1StreamScalarsTraced(curve.NewG1RawSource(pk.r, sec.off), scalars, c, pk.chunkSize(), tr, label)
+// per-chunk scalar recoding, streaming the scalars from the spill file
+// when the witness is not resident. off is the first wire the section
+// covers (NbPublic for the K query, 0 otherwise); n is the section's
+// scalar count.
+func (pk *StreamedProvingKey) streamG1(sec rawSection, w witnessExp, off, n int, tr *obs.Trace, label string) (curve.G1Jac, error) {
+	c := curve.StreamWindowSize(n, pk.chunkSize())
+	src := curve.NewG1RawSource(pk.r, sec.off)
+	if w.src.mem != nil {
+		return curve.MultiExpG1StreamScalarsTraced(src, w.src.mem[off:off+n], c, pk.chunkSize(), tr, label)
+	}
+	return curve.MultiExpG1StreamScalarSourceTraced(src, w.src.source(off, tr), n, c, pk.chunkSize(), tr, label)
 }
 
 func (pk *StreamedProvingKey) expA(w witnessExp, tr *obs.Trace) (curve.G1Jac, error) {
-	return pk.streamG1(pk.secA, w.scalars, tr, "stream/A")
+	return pk.streamG1(pk.secA, w, 0, w.src.len(), tr, "stream/A")
 }
 
 func (pk *StreamedProvingKey) expB1(w witnessExp, tr *obs.Trace) (curve.G1Jac, error) {
-	return pk.streamG1(pk.secB1, w.scalars, tr, "stream/B1")
+	return pk.streamG1(pk.secB1, w, 0, w.src.len(), tr, "stream/B1")
 }
 
 func (pk *StreamedProvingKey) expB2(w witnessExp, tr *obs.Trace) (curve.G2Jac, error) {
-	c := curve.StreamWindowSize(len(w.scalars), pk.chunkSize())
-	return curve.MultiExpG2StreamScalarsTraced(curve.NewG2RawSource(pk.r, pk.secB2.off), w.scalars, c, pk.chunkSize(), tr, "stream/B2")
+	n := w.src.len()
+	c := curve.StreamWindowSize(n, pk.chunkSize())
+	src := curve.NewG2RawSource(pk.r, pk.secB2.off)
+	if w.src.mem != nil {
+		return curve.MultiExpG2StreamScalarsTraced(src, w.src.mem, c, pk.chunkSize(), tr, "stream/B2")
+	}
+	return curve.MultiExpG2StreamScalarSourceTraced(src, w.src.source(0, tr), n, c, pk.chunkSize(), tr, "stream/B2")
 }
 
-func (pk *StreamedProvingKey) expK(scalars []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
-	return pk.streamG1(pk.secK, scalars, tr, "stream/K")
+func (pk *StreamedProvingKey) expK(w witnessExp, nbPublic int, tr *obs.Trace) (curve.G1Jac, error) {
+	return pk.streamG1(pk.secK, w, nbPublic, w.src.len()-nbPublic, tr, "stream/K")
 }
 
 // expZQuotient runs the fully out-of-core tail of the proof: the
@@ -228,8 +243,8 @@ func (pk *StreamedProvingKey) expK(scalars []fr.Element, tr *obs.Trace) (curve.G
 // most half a domain vector resident), and the Z-section MSM streams
 // both its points (from the raw key) and its scalars (from the h file)
 // in bounded chunks. h never exists in memory.
-func (pk *StreamedProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize uint64, witness []fr.Element, tr *obs.Trace) (curve.G1Jac, error) {
-	hf, err := quotientOOC(sys, domainSize, witness, pk.SpillDir, tr)
+func (pk *StreamedProvingKey) expZQuotient(sys r1cs.Constraints, domainSize uint64, w *witnessSrc, tr *obs.Trace) (curve.G1Jac, error) {
+	hf, err := quotientOOC(sys, domainSize, w, pk.SpillDir, tr)
 	if err != nil {
 		return curve.G1Jac{}, err
 	}
@@ -245,17 +260,33 @@ func (pk *StreamedProvingKey) expZQuotient(sys *r1cs.CompiledSystem, domainSize 
 // ProveStreamed produces a proof using a disk-backed key. With the same
 // system, witness, and seeded rng it returns proofs byte-identical to
 // Prove with the fully materialized key: chunking only reassociates the
-// MSM partial sums, and affine normalization is canonical.
-func ProveStreamed(sys *r1cs.CompiledSystem, pk *StreamedProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
-	return prove(sys, pk, witness, rng, nil)
+// MSM partial sums, and affine normalization is canonical. sys may be a
+// resident *r1cs.CompiledSystem or a *r1cs.CompiledSystemFile — the
+// satisfy and quotient-eval loops then stream the matrices in bounded
+// row windows.
+func ProveStreamed(sys r1cs.Constraints, pk *StreamedProvingKey, witness []fr.Element, rng io.Reader) (*Proof, error) {
+	return prove(sys, pk, memWitness(witness), rng, nil)
 }
 
 // ProveStreamedTraced is ProveStreamed recording per-phase spans —
 // including the out-of-core quotient stages and the per-chunk
 // read/recode/msm breakdown of each streamed section — on tr. A nil tr
 // is the untraced fast path.
-func ProveStreamedTraced(sys *r1cs.CompiledSystem, pk *StreamedProvingKey, witness []fr.Element, rng io.Reader, tr *obs.Trace) (*Proof, error) {
-	return prove(sys, pk, witness, rng, tr)
+func ProveStreamedTraced(sys r1cs.Constraints, pk *StreamedProvingKey, witness []fr.Element, rng io.Reader, tr *obs.Trace) (*Proof, error) {
+	return prove(sys, pk, memWitness(witness), rng, tr)
+}
+
+// ProveStreamedSpilled is ProveStreamed with the witness in a spilled
+// store instead of RAM: constraint evaluation reads wires through the
+// store's bounded page cache and every MSM streams witness scalars
+// from the file, so neither the key, the matrices (with a file-backed
+// sys), the witness, nor the quotient is ever fully resident. The
+// store must hold a finished solve (r1cs.CompiledSystem.SolveSpilled).
+// Proofs are byte-identical to the resident path under the same seeded
+// rng — the spill roundtrip preserves encodings bit for bit and MSM
+// chunking is exact.
+func ProveStreamedSpilled(sys r1cs.Constraints, pk *StreamedProvingKey, wf *r1cs.WitnessFile, rng io.Reader, tr *obs.Trace) (*Proof, error) {
+	return prove(sys, pk, &witnessSrc{file: wf}, rng, tr)
 }
 
 // setupSpillChunk is the number of scalars multiplied per batch while
@@ -274,8 +305,10 @@ const setupSpillChunk = curve.DefaultStreamChunk
 //
 // The scalar side of setup (a few field elements per wire) still lives
 // in RAM; it is the group elements, an order of magnitude larger, that
-// are spilled.
-func SetupStreamed(sys *r1cs.CompiledSystem, rng io.Reader, w io.Writer) (*VerifyingKey, error) {
+// are spilled. sys may be file-backed (see Setup), in which case the
+// QAP accumulation streams the matrices too and nothing
+// circuit-proportional beyond the scalar vectors is resident.
+func SetupStreamed(sys r1cs.Constraints, rng io.Reader, w io.Writer) (*VerifyingKey, error) {
 	sc, err := computeSetupScalars(sys, rng)
 	if err != nil {
 		return nil, err

@@ -220,6 +220,9 @@ type CompiledSystem struct {
 
 	digestOnce sync.Once
 	digest     [32]byte
+
+	// stripped marks a StripForSolve copy (placeholder CSR arrays).
+	stripped bool
 }
 
 // NbPrivate returns the number of private witness wires.
@@ -534,6 +537,41 @@ func (cs *CompiledSystem) ToSystem() *System {
 		PublicNames: append([]string(nil), cs.PublicNames...),
 	}
 }
+
+// StripForSolve returns a solver-only copy of the system: the solver
+// program, input layout, and dimensions survive, but the CSR term
+// arrays — the dominant resident cost at paper scale — are dropped.
+// The three matrices share one all-zero row-offset slice so dimension
+// queries (NbConstraints, Dims) still answer correctly; RowEval,
+// IsSatisfied, and QAP accumulation see empty rows and MUST NOT be
+// used on the copy. The engine caches stripped systems when the
+// matrices live in a CompiledSystemFile, which then serves every
+// constraint read. The digest is carried over (it is a structural
+// property of the full system, precomputed here so the copy never
+// needs the matrices).
+func (cs *CompiledSystem) StripForSolve() *CompiledSystem {
+	emptyOffs := make([]uint32, cs.NbConstraints()+1)
+	empty := Matrix{RowOffs: emptyOffs}
+	out := &CompiledSystem{
+		A: empty, B: empty, C: empty,
+		NbPublic:      cs.NbPublic,
+		NbWires:       cs.NbWires,
+		PublicNames:   cs.PublicNames,
+		PubInputs:     cs.PubInputs,
+		PubInputNames: cs.PubInputNames,
+		SecretInputs:  cs.SecretInputs,
+		Program:       cs.Program,
+	}
+	out.digest = cs.Digest()
+	out.digestOnce.Do(func() {})
+	out.stripped = true
+	return out
+}
+
+// Stripped reports whether this system is a StripForSolve copy whose
+// CSR matrices are placeholders — consumers needing real constraint
+// rows must read them from a CompiledSystemFile instead.
+func (cs *CompiledSystem) Stripped() bool { return cs.stripped }
 
 // FromSystem compiles an eager System into CSR form with an empty
 // solver program: every wire becomes an input (publics provided, then

@@ -1,0 +1,164 @@
+package r1cs
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+)
+
+// randomCompiled builds a compiled system with nCons random constraints
+// over nWires wires — irregular row lengths (including empty rows) so
+// window boundaries land mid-matrix.
+func randomCompiled(t *testing.T, rng *rand.Rand, nCons, nWires int) *CompiledSystem {
+	t.Helper()
+	sys := &System{
+		NbPublic:    2,
+		NbWires:     nWires,
+		PublicNames: []string{"one", "out"},
+	}
+	lc := func() LinearCombination {
+		n := rng.Intn(5) // empty LCs allowed
+		terms := make(LinearCombination, n)
+		for i := range terms {
+			var c fr.Element
+			c.SetUint64(rng.Uint64()%97 + 1)
+			terms[i] = Term{Wire: rng.Intn(nWires), Coeff: c}
+		}
+		return terms
+	}
+	for i := 0; i < nCons; i++ {
+		sys.Constraints = append(sys.Constraints, Constraint{A: lc(), B: lc(), C: lc()})
+	}
+	cs, err := FromSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestCompiledSystemFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cs := randomCompiled(t, rng, 300, 64)
+	path := filepath.Join(t.TempDir(), "sys.csr")
+	if err := WriteCompiledSystemFile(path, cs); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.Size(), CSRRawSizeBytes(cs); got != want {
+		t.Fatalf("file is %d bytes, CSRRawSizeBytes predicts %d", got, want)
+	}
+
+	cf, err := OpenCompiledSystemFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if cf.Dims() != cs.Dims() {
+		t.Fatalf("dims mismatch: %+v vs %+v", cf.Dims(), cs.Dims())
+	}
+	if cf.DigestHex() != cs.DigestHex() {
+		t.Fatal("digest mismatch after round trip")
+	}
+	if cf.RawSize() != st.Size() {
+		t.Fatalf("RawSize %d != file size %d", cf.RawSize(), st.Size())
+	}
+
+	// Every row of every matrix, streamed through deliberately tiny
+	// windows, must evaluate identically to the resident CSR.
+	w := make([]fr.Element, cs.NbWires)
+	for i := range w {
+		w[i].SetUint64(rng.Uint64())
+	}
+	w[0].SetOne()
+	pairs := []struct {
+		name string
+		mem  *Matrix
+		disk MatrixStream
+	}{
+		{"A", &cs.A, cf.MatA()},
+		{"B", &cs.B, cf.MatB()},
+		{"C", &cs.C, cf.MatC()},
+	}
+	for _, p := range pairs {
+		if got, want := p.disk.NbRows(), p.mem.NbRows(); got != want {
+			t.Fatalf("%s: NbRows %d != %d", p.name, got, want)
+		}
+		win := &RowWindow{}
+		for start := 0; start < p.mem.NbRows(); {
+			end := p.disk.EndRowForTerms(start, 7)
+			if memEnd := p.mem.EndRowForTerms(start, 7); memEnd != end {
+				t.Fatalf("%s: window plan diverges at row %d: disk %d, mem %d", p.name, start, end, memEnd)
+			}
+			if err := p.disk.LoadRows(win, start, end); err != nil {
+				t.Fatalf("%s: LoadRows(%d,%d): %v", p.name, start, end, err)
+			}
+			for i := 0; i < end-start; i++ {
+				got := win.RowEval(i, w)
+				want := p.mem.RowEval(start+i, w)
+				if !got.Equal(&want) {
+					t.Fatalf("%s: row %d evaluates differently from disk", p.name, start+i)
+				}
+			}
+			start = end
+		}
+	}
+}
+
+func TestOpenCompiledSystemFileTruncated(t *testing.T) {
+	cs := randomCompiled(t, rand.New(rand.NewSource(7)), 50, 32)
+	path := filepath.Join(t.TempDir(), "sys.csr")
+	if err := WriteCompiledSystemFile(path, cs); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	for _, cut := range []int64{1, 100, st.Size() / 2, st.Size() - 4} {
+		if err := os.Truncate(path, st.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCompiledSystemFile(path); !errors.Is(err, ErrBadCSRFile) {
+			t.Fatalf("truncated by %d bytes: got %v, want ErrBadCSRFile", cut, err)
+		}
+		// restore for the next cut
+		if err := WriteCompiledSystemFile(path, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenCompiledSystemFileCorrupt(t *testing.T) {
+	cs := randomCompiled(t, rand.New(rand.NewSource(9)), 50, 32)
+	path := filepath.Join(t.TempDir(), "sys.csr")
+	if err := WriteCompiledSystemFile(path, cs); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte deep in the payload: the CRC pass must reject the
+	// file before any section is trusted.
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCompiledSystemFile(path); !errors.Is(err, ErrBadCSRFile) {
+		t.Fatalf("corrupt payload: got %v, want ErrBadCSRFile", err)
+	}
+	// Bad magic is rejected immediately.
+	raw[len(raw)/2] ^= 0xff
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCompiledSystemFile(path); !errors.Is(err, ErrBadCSRFile) {
+		t.Fatalf("bad magic: got %v, want ErrBadCSRFile", err)
+	}
+}

@@ -1,0 +1,27 @@
+package r1cs
+
+import "zkrownn/internal/obs"
+
+// Out-of-core constraint-system metrics on the process-wide obs
+// registry: how often the CSR file path engages and how much it moves,
+// plus the spillable witness store's paging behaviour. Registration is
+// idempotent — every engine in the process shares the series.
+var (
+	mCSRFilesWritten = obs.Default().Counter("zkrownn_csr_files_written_total",
+		"Constraint-system CSR files serialized to disk.")
+	mCSRBytesWritten = obs.Default().Counter("zkrownn_csr_bytes_written_total",
+		"Bytes of CSR encodings written to disk.")
+	mCSRRowWindows = obs.Default().Counter("zkrownn_csr_row_windows_total",
+		"Bounded row windows loaded from disk-resident constraint systems.")
+	mCSRReadBytes = obs.Default().Counter("zkrownn_csr_read_bytes_total",
+		"Bytes of CSR term data read from disk-resident constraint systems.")
+
+	mWitnessSpillLevels = obs.Default().Counter("zkrownn_witness_spill_levels_total",
+		"Solver-tape levels flushed to a spilled witness store.")
+	mWitnessSpillPageLoads = obs.Default().Counter("zkrownn_witness_spill_page_loads_total",
+		"Witness pages faulted in from the spill file.")
+	mWitnessSpillPageFlushes = obs.Default().Counter("zkrownn_witness_spill_page_flushes_total",
+		"Dirty witness pages written back to the spill file.")
+	mWitnessSpillBytes = obs.Default().Counter("zkrownn_witness_spill_bytes_total",
+		"Bytes of witness data written to spill files (page write-backs).")
+)

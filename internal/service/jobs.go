@@ -280,7 +280,7 @@ func (q *jobQueue) run(batch []*job) {
 			q.retire(j.id)
 			continue
 		}
-		public := j.rec.art.System.PublicValues(res.Witness)
+		public := res.PublicInputs
 		// Per-slot verdicts come from the trailing claim bits of the
 		// instance; a decode failure is impossible for circuits the
 		// service itself compiled, but guard anyway.
