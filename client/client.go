@@ -170,18 +170,36 @@ type VerifyResult struct {
 	Error     string `json:"error,omitempty"`
 }
 
+// AggregateResult reports a registry-scale aggregation. When Valid, the
+// artifact plus SRS key verify client-side against the model's VK with
+// zkrownn.VerifyAggregateOwnership — no trust in the service's verdict
+// required. An invalid member yields no artifact; Error names the first
+// offending proof index.
+type AggregateResult struct {
+	Valid     bool                          `json:"valid"`
+	Claim     bool                          `json:"claim"`
+	Claims    []bool                        `json:"claims,omitempty"`
+	Count     int                           `json:"count"`
+	BatchSize int                           `json:"batch_size"`
+	Aggregate *zkrownn.AggregateProof       `json:"aggregate,omitempty"`
+	SRSKey    *zkrownn.AggregateVerifierKey `json:"srs_key,omitempty"`
+	Error     string                        `json:"error,omitempty"`
+}
+
 // EngineStats mirrors the engine half of /v1/stats.
 type EngineStats struct {
-	Setups   uint64  `json:"setups"`
-	MemHits  uint64  `json:"mem_hits"`
-	DiskHits uint64  `json:"disk_hits"`
-	Solves   uint64  `json:"solves"`
-	Proves   uint64  `json:"proves"`
-	Verifies uint64  `json:"verifies"`
-	SetupMS  float64 `json:"setup_ms"`
-	SolveMS  float64 `json:"solve_ms"`
-	ProveMS  float64 `json:"prove_ms"`
-	VerifyMS float64 `json:"verify_ms"`
+	Setups      uint64  `json:"setups"`
+	MemHits     uint64  `json:"mem_hits"`
+	DiskHits    uint64  `json:"disk_hits"`
+	Solves      uint64  `json:"solves"`
+	Proves      uint64  `json:"proves"`
+	Verifies    uint64  `json:"verifies"`
+	Aggregates  uint64  `json:"aggregates"`
+	SetupMS     float64 `json:"setup_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+	ProveMS     float64 `json:"prove_ms"`
+	VerifyMS    float64 `json:"verify_ms"`
+	AggregateMS float64 `json:"aggregate_ms"`
 }
 
 // ServiceStats mirrors the queue/batcher half of /v1/stats.
@@ -201,6 +219,9 @@ type ServiceStats struct {
 	VerifyBatchedRequests uint64 `json:"verify_batched_requests"`
 	VerifyMaxBatch        uint64 `json:"verify_max_batch"`
 	VerifyFallbacks       uint64 `json:"verify_fallbacks"`
+	AggregateRequests     uint64 `json:"aggregate_requests"`
+	AggregateArtifacts    uint64 `json:"aggregate_artifacts"`
+	AggregateFallbacks    uint64 `json:"aggregate_fallbacks"`
 }
 
 // Stats is the /v1/stats payload.
@@ -401,6 +422,24 @@ func (c *Client) Verify(ctx context.Context, modelID string, proof *zkrownn.Proo
 	}{proof, public}
 	out := new(VerifyResult)
 	if err := c.do(ctx, http.MethodPost, "/v1/models/"+modelID+"/verify", req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Aggregate folds N proofs for one model into a single O(log N)
+// aggregation artifact server-side. All proofs must be under modelID's
+// verifying key, with publics[i] the instance of proofs[i]. On success
+// the result carries the artifact plus the SRS verifier key; audit it
+// locally with zkrownn.VerifyAggregateOwnership against the model's VK.
+func (c *Client) Aggregate(ctx context.Context, modelID string, proofs []*zkrownn.Proof, publics []zkrownn.Instance) (*AggregateResult, error) {
+	req := struct {
+		ModelID      string             `json:"model_id"`
+		Proofs       []*zkrownn.Proof   `json:"proofs"`
+		PublicInputs []zkrownn.Instance `json:"public_inputs"`
+	}{modelID, proofs, publics}
+	out := new(AggregateResult)
+	if err := c.do(ctx, http.MethodPost, "/v1/aggregate", req, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -87,7 +87,7 @@ func scaleSizes(scale string) (sizes, error) {
 func main() {
 	var (
 		scale     = flag.String("scale", "default", "benchmark scale: tiny, default, or paper")
-		row       = flag.String("row", "", `comma-separated Table I rows to run (matmult, conv3d, relu, average2d, sigmoid, threshold, ber, mnist-mlp, cifar10-cnn, batched-extraction-k1, batched-extraction-k4; paper scale adds paper-mlp-1m); empty runs all`)
+		row       = flag.String("row", "", `comma-separated Table I rows to run (matmult, conv3d, relu, average2d, sigmoid, threshold, ber, mnist-mlp, cifar10-cnn, batched-extraction-k1, batched-extraction-k4, aggregate-n16, aggregate-n256; paper scale adds paper-mlp-1m); empty runs all`)
 		compareTo = flag.String("compare", "", "print per-row prove/setup/RSS deltas of this run against a previous report (e.g. the committed BENCH_groth16.json)")
 		table2    = flag.Bool("table2", false, "print Table II (benchmark architectures) and exit")
 		seed      = flag.Int64("seed", 1, "deterministic workload seed")
@@ -189,7 +189,7 @@ func main() {
 		}})
 	}
 
-	rowFilter, err := parseRowFilter(*row, rows)
+	rowFilter, err := parseRowFilter(*row, rows, "aggregate-n16", "aggregate-n256")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -308,6 +308,31 @@ func main() {
 		}
 	}
 
+	// Registry-scale aggregation rows: N proofs of the BER circuit
+	// folded into one O(log N) SnarkPack-style artifact. prove_seconds
+	// records the fold (aggregation + the engine's self-check) and
+	// verify_per_proof_seconds the amortized aggregate verification; the
+	// headline is verify_per_proof_seconds dropping below the same
+	// circuit's single-proof verify_seconds as N grows.
+	for _, n := range []int{16, 256} {
+		name := fmt.Sprintf("aggregate-n%d", n)
+		if rowFilter != nil && !rowFilter[name] {
+			continue
+		}
+		rec, err := runAggregateRow(eng, p, sz, n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rec.Name = name
+		rec.Scale = *scale
+		rec.GoMaxProcs = runtime.GOMAXPROCS(0)
+		fmt.Printf("%-24s fold %6.3fs  aggregate verify %.4fs over %3d proofs (%.5fs/proof vs %.5fs single, artifact %d B)\n",
+			name, rec.ProveSeconds, rec.VerifyPerProofSeconds*float64(n), n,
+			rec.VerifyPerProofSeconds, rec.VerifySeconds, rec.ProofBytes)
+		report.Rows = append(report.Rows, rec)
+	}
+
 	st := eng.Stats()
 	fmt.Printf("\nengine: %d setups (%.2fs), %d cache hits (%d mem, %d disk), %d proofs (%.2fs, %d streamed, %d spilled), %d verifies (%.3fs)\n",
 		st.Setups, st.SetupTime.Seconds(), st.MemHits+st.DiskHits, st.MemHits, st.DiskHits,
@@ -370,13 +395,16 @@ func writeTrace(path string, tr *obs.Trace) error {
 // parseRowFilter parses the -row flag into a lowercase name set, nil
 // when the flag is empty (run everything). Unknown names are an error —
 // a typo would otherwise silently benchmark nothing.
-func parseRowFilter(s string, rows []rowSpec) (map[string]bool, error) {
+func parseRowFilter(s string, rows []rowSpec, extra ...string) (map[string]bool, error) {
 	if s == "" {
 		return nil, nil
 	}
-	known := make(map[string]bool, len(rows))
+	known := make(map[string]bool, len(rows)+len(extra))
 	for _, r := range rows {
 		known[strings.ToLower(r.name)] = true
+	}
+	for _, name := range extra {
+		known[strings.ToLower(name)] = true
 	}
 	out := make(map[string]bool)
 	for _, part := range strings.Split(s, ",") {
@@ -452,9 +480,14 @@ type benchRecord struct {
 	// claim pays inside a batch.
 	BundleSlots          int     `json:"bundle_slots"`
 	ProvePerClaimSeconds float64 `json:"prove_per_claim_seconds"`
-	PKBytes              int64   `json:"pk_bytes"`
-	VKBytes              int64   `json:"vk_bytes"`
-	ProofBytes           int     `json:"proof_bytes"`
+	// VerifyPerProofSeconds (aggregate-n* rows) is the amortized cost of
+	// checking one member through the O(log N) aggregate: aggregate
+	// verification time / N. The headline is this dropping below the
+	// same circuit's single-proof verify_seconds.
+	VerifyPerProofSeconds float64 `json:"verify_per_proof_seconds,omitempty"`
+	PKBytes               int64   `json:"pk_bytes"`
+	VKBytes               int64   `json:"vk_bytes"`
+	ProofBytes            int     `json:"proof_bytes"`
 	// PKRawBytes is the raw uncompressed proving-key encoding size —
 	// the prover's full working set if it held the key in RAM, and the
 	// baseline peak_rss_bytes is judged against in streamed mode.
@@ -480,6 +513,69 @@ type benchRecord struct {
 	// parents (msm/A runs inside engine/prove), so entries do not sum to
 	// a total.
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// runAggregateRow proves one BER-circuit proof, duplicates it N ways
+// (aggregation is indifferent to duplicates — each slot is a full
+// member), folds the set on the engine, and measures the three costs a
+// registry cares about: the fold, the single-proof baseline check, and
+// the aggregate check. The aggregation SRS is warmed with an untimed
+// fold so prove_seconds measures the fold itself, not the one-time
+// commitment-key build.
+func runAggregateRow(eng *engine.Engine, p fixpoint.Params, sz sizes, n int, seed int64) (benchRecord, error) {
+	rng := rand.New(rand.NewSource(seed))
+	art, err := core.BERCircuit(p, sz.vecN, 2, rng)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	res, err := eng.Prove(art.Request(nil))
+	if err != nil {
+		return benchRecord{}, err
+	}
+	vk := res.Keys.VK
+	proofs := make([]*groth16.Proof, n)
+	publics := make([][]fr.Element, n)
+	for i := range proofs {
+		proofs[i] = res.Proof
+		publics[i] = res.PublicInputs
+	}
+
+	start := time.Now()
+	if err := groth16.Verify(vk, res.Proof, res.PublicInputs); err != nil {
+		return benchRecord{}, err
+	}
+	single := time.Since(start)
+
+	if _, _, err := eng.AggregateMany(vk, proofs, publics); err != nil {
+		return benchRecord{}, err
+	}
+	start = time.Now()
+	agg, svk, err := eng.AggregateMany(vk, proofs, publics)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	fold := time.Since(start)
+
+	start = time.Now()
+	if err := groth16.VerifyAggregate(svk, vk, agg, publics); err != nil {
+		return benchRecord{}, err
+	}
+	aggVerify := time.Since(start)
+
+	return benchRecord{
+		Constraints:           art.System.NbConstraints(),
+		NbPublic:              art.System.NbPublic - 1,
+		SetupCached:           res.CacheHit,
+		SetupSeconds:          res.SetupTime.Seconds(),
+		BundleSlots:           1,
+		ProveSeconds:          fold.Seconds(),
+		ProvePerClaimSeconds:  fold.Seconds(),
+		VerifySeconds:         single.Seconds(),
+		VerifyPerProofSeconds: aggVerify.Seconds() / float64(n),
+		ProofBytes:            int(agg.SizeBytes()),
+		VKBytes:               vk.SizeBytes(),
+		FieldBackend:          fr.MulBackend(),
+	}, nil
 }
 
 func recordOf(m *core.Metrics) benchRecord {
@@ -711,7 +807,7 @@ func printComparison(oldPath string, fresh *benchReport) error {
 		fmt.Printf("  warning: streamed mismatch (%v vs %v) — memory numbers are not comparable\n",
 			old.Streamed, fresh.Streamed)
 	}
-	oldStats, _ := collectStats(old)
+	oldStats, oldOrder := collectStats(old)
 	newStats, newOrder := collectStats(fresh)
 
 	delta := func(o, n float64) string {
@@ -747,6 +843,15 @@ func printComparison(oldPath string, fresh *benchReport) error {
 	for _, k := range newOrder {
 		if _, ok := oldStats[k]; !ok {
 			fmt.Printf("  new row (not in %s): %s @ gomaxprocs=%d\n", oldPath, newStats[k].name, newStats[k].procs)
+		}
+	}
+	// Baseline rows absent from this run are not regressions, but
+	// silently dropping them would let a sweep that quietly stopped
+	// covering a tier read as "all clear" — name each one.
+	for _, k := range oldOrder {
+		if _, ok := newStats[k]; !ok {
+			fmt.Printf("  baseline row not re-run (in %s only): %s @ gomaxprocs=%d\n",
+				oldPath, oldStats[k].name, oldStats[k].procs)
 		}
 	}
 	return nil

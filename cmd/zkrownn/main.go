@@ -29,6 +29,7 @@ import (
 
 	"zkrownn/client"
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/bn254/ipp"
 	"zkrownn/internal/core"
 	"zkrownn/internal/dataset"
 	"zkrownn/internal/engine"
@@ -265,7 +266,10 @@ func cmdProve(args []string) error {
 	if err != nil {
 		return err
 	}
-	suspectPaths := splitSuspects(*suspectsFlag)
+	suspectPaths, err := splitSuspects(*suspectsFlag)
+	if err != nil {
+		return err
+	}
 	if len(suspectPaths) > 0 && *committed {
 		return fmt.Errorf("-suspects needs the rebindable circuit; it cannot be combined with -committed")
 	}
@@ -410,15 +414,26 @@ type proveMeta struct {
 
 // splitSuspects parses the -suspects flag into per-slot model paths
 // (empty flag → none; "-" keeps the registered model in that slot).
-func splitSuspects(flag string) []string {
-	if flag == "" {
-		return nil
+func splitSuspects(value string) ([]string, error) {
+	return splitPaths("-suspects", value)
+}
+
+// splitPaths parses a comma-separated path flag, rejecting empty
+// entries: a trailing or doubled comma would otherwise silently shift
+// every later slot (or bind a registered-model slot the caller never
+// asked for), so it fails loudly at flag level instead.
+func splitPaths(flagName, value string) ([]string, error) {
+	if value == "" {
+		return nil, nil
 	}
-	parts := strings.Split(flag, ",")
+	parts := strings.Split(value, ",")
 	for i := range parts {
 		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, fmt.Errorf(`%s: entry %d is empty (trailing or doubled comma?); use "-" to keep the registered model in a slot`, flagName, i)
+		}
 	}
-	return parts
+	return parts, nil
 }
 
 // anySuspect reports whether at least one slot names a real suspect.
@@ -431,13 +446,17 @@ func anySuspect(suspects []*nn.QuantizedNetwork) bool {
 	return false
 }
 
-// loadSuspects loads and quantizes the per-slot suspect models ("-" and
-// "" entries stay nil: registered model).
+// loadSuspects loads and quantizes the per-slot suspect models ("-"
+// entries stay nil: registered model). Empty entries are rejected at
+// flag parse; the check here mirrors it for programmatic callers.
 func loadSuspects(paths []string, p fixpoint.Params) ([]*nn.QuantizedNetwork, error) {
 	out := make([]*nn.QuantizedNetwork, len(paths))
 	for i, path := range paths {
-		if path == "" || path == "-" {
+		if path == "-" {
 			continue
+		}
+		if path == "" {
+			return nil, fmt.Errorf(`suspect slot %d: empty model path (use "-" to keep the registered model)`, i)
 		}
 		net, err := loadModel(path)
 		if err != nil {
@@ -507,8 +526,11 @@ func remoteProve(serverURL string, net *nn.Network, key *watermark.Key, outDir s
 	if len(suspectPaths) > 0 {
 		suspects := make([]*nn.Network, len(suspectPaths))
 		for i, path := range suspectPaths {
-			if path == "" || path == "-" {
+			if path == "-" {
 				continue
+			}
+			if path == "" {
+				return fmt.Errorf(`suspect slot %d: empty model path (use "-" to keep the registered model)`, i)
 			}
 			if suspects[i], err = loadModel(path); err != nil {
 				return fmt.Errorf("suspect slot %d: %w", i, err)
@@ -564,8 +586,29 @@ func cmdVerify(args []string) error {
 	modelPath := fs.String("model", "model-wm.json", "public suspect model (needed for committed-mode digest checks)")
 	server := fs.String("server", "", "proof-service URL: verify remotely against the service's registered verifying key")
 	modelID := fs.String("model-id", "", "proof-service model ID (default: meta.json of -dir)")
+	aggregate := fs.Bool("aggregate", false, "with -server: fold the artifact directories' proofs into one O(log N) aggregate via /v1/aggregate, audit it locally against vk.bin, and save aggregate.json; without -server: re-verify a saved aggregate.json")
+	dirsFlag := fs.String("dirs", "", "comma-separated artifact directories to aggregate (default: -dir alone); each needs proof.bin + public.json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dirsFlag != "" && !*aggregate {
+		return fmt.Errorf("-dirs only makes sense with -aggregate")
+	}
+	if *aggregate {
+		dirs := []string{*dir}
+		if *dirsFlag != "" {
+			var derr error
+			if dirs, derr = splitPaths("-dirs", *dirsFlag); derr != nil {
+				return derr
+			}
+		}
+		if *server != "" {
+			return remoteAggregate(*server, dirs, *modelID)
+		}
+		if *dirsFlag != "" {
+			return fmt.Errorf("offline -aggregate re-verifies one saved aggregate.json; -dirs needs -server")
+		}
+		return verifyAggregateFile(*dir)
 	}
 	if *server != "" {
 		return remoteVerify(*server, *dir, *modelID)
@@ -695,6 +738,139 @@ func remoteVerify(serverURL, dir, modelID string) error {
 	}
 	fmt.Printf("ownership VERIFIED in %.1fms over the wire (server batch size %d)\n",
 		float64(elapsed.Microseconds())/1e3, verdict.BatchSize)
+	return nil
+}
+
+// aggregateMeta is the self-contained aggregate.json artifact: the
+// O(log N) proof-of-proofs, the SRS verifier key it pairs with, and the
+// per-proof instances — everything an offline re-verification needs
+// besides vk.bin.
+type aggregateMeta struct {
+	ModelID      string                  `json:"model_id,omitempty"`
+	Count        int                     `json:"count"`
+	Aggregate    *groth16.AggregateProof `json:"aggregate"`
+	SRSKey       *ipp.VerifierKey        `json:"srs_key"`
+	PublicInputs [][]string              `json:"public_inputs"`
+}
+
+// remoteAggregate folds the artifact directories' proofs into one
+// aggregate via /v1/aggregate, audits the returned artifact locally
+// against the first directory's vk.bin (the service's verdict is never
+// trusted), and saves aggregate.json alongside the first proof.
+func remoteAggregate(serverURL string, dirs []string, modelID string) error {
+	if modelID == "" {
+		var meta proveMeta
+		if err := readJSON(filepath.Join(dirs[0], "meta.json"), &meta); err != nil || meta.ModelID == "" {
+			return fmt.Errorf("no -model-id given and %s/meta.json has none (was the proof made with prove -server?)", dirs[0])
+		}
+		modelID = meta.ModelID
+	}
+
+	proofs := make([]*groth16.Proof, len(dirs))
+	publics := make([][]fr.Element, len(dirs))
+	hexPublics := make([][]string, len(dirs))
+	for i, d := range dirs {
+		proofs[i] = new(groth16.Proof)
+		if err := readFileWith(filepath.Join(d, "proof.bin"), func(f io.Reader) error {
+			_, err := proofs[i].ReadFrom(f)
+			return err
+		}); err != nil {
+			return fmt.Errorf("dir %s: %w", d, err)
+		}
+		if err := readJSON(filepath.Join(d, "public.json"), &hexPublics[i]); err != nil {
+			return fmt.Errorf("dir %s: %w", d, err)
+		}
+		var err error
+		if publics[i], err = decodePublic(hexPublics[i]); err != nil {
+			return fmt.Errorf("dir %s: %w", d, err)
+		}
+	}
+	var vk groth16.VerifyingKey
+	if err := readFileWith(filepath.Join(dirs[0], "vk.bin"), func(f io.Reader) error {
+		_, err := vk.ReadFrom(f)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	c, err := client.New(serverURL)
+	if err != nil {
+		return err
+	}
+	instances := make([]groth16.PublicInputs, len(publics))
+	for i := range publics {
+		instances[i] = publics[i]
+	}
+	start := time.Now()
+	res, err := c.Aggregate(context.Background(), modelID, proofs, instances)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if !res.Valid || res.Aggregate == nil || res.SRSKey == nil {
+		return fmt.Errorf("aggregation rejected: %s", res.Error)
+	}
+	// Audit locally: accept only an artifact that verifies against the
+	// on-disk verifying key and the returned SRS key.
+	if err := groth16.VerifyAggregate(res.SRSKey, &vk, res.Aggregate, publics); err != nil {
+		return fmt.Errorf("server artifact failed local audit: %w", err)
+	}
+
+	out := filepath.Join(dirs[0], "aggregate.json")
+	am := aggregateMeta{
+		ModelID:      modelID,
+		Count:        res.Count,
+		Aggregate:    res.Aggregate,
+		SRSKey:       res.SRSKey,
+		PublicInputs: hexPublics,
+	}
+	if err := writeJSON(out, am); err != nil {
+		return err
+	}
+	if !res.Claim {
+		fmt.Printf("aggregate of %d proofs valid but at least one ownership claim is 0\n", res.Count)
+	}
+	fmt.Printf("aggregated %d proofs in %.1fms over the wire (window %d); artifact locally audited, written to %s (%d B vs %d B unaggregated)\n",
+		res.Count, float64(elapsed.Microseconds())/1e3, res.BatchSize, out,
+		res.Aggregate.SizeBytes(), len(proofs)*proofs[0].PayloadSize())
+	return nil
+}
+
+// verifyAggregateFile re-verifies a saved aggregate.json offline
+// against the directory's vk.bin.
+func verifyAggregateFile(dir string) error {
+	var am aggregateMeta
+	if err := readJSON(filepath.Join(dir, "aggregate.json"), &am); err != nil {
+		return fmt.Errorf("no saved aggregate (run verify -aggregate -server first): %w", err)
+	}
+	if am.Aggregate == nil || am.SRSKey == nil {
+		return fmt.Errorf("%s/aggregate.json is incomplete", dir)
+	}
+	var vk groth16.VerifyingKey
+	if err := readFileWith(filepath.Join(dir, "vk.bin"), func(f io.Reader) error {
+		_, err := vk.ReadFrom(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	publics := make([][]fr.Element, len(am.PublicInputs))
+	for i, hexPub := range am.PublicInputs {
+		var err error
+		if publics[i], err = decodePublic(hexPub); err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+	}
+
+	start := time.Now()
+	err := groth16.VerifyAggregate(am.SRSKey, &vk, am.Aggregate, publics)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("aggregate verification FAILED in %.1fms: %v\n", float64(elapsed.Microseconds())/1e3, err)
+		return err
+	}
+	fmt.Printf("aggregate of %d proofs VERIFIED in %.1fms (%.2fms per proof)\n",
+		am.Count, float64(elapsed.Microseconds())/1e3,
+		float64(elapsed.Microseconds())/1e3/float64(max(am.Count, 1)))
 	return nil
 }
 

@@ -1,0 +1,48 @@
+package ext
+
+import (
+	"fmt"
+
+	"zkrownn/internal/bn254/fp"
+)
+
+// E12Bytes is the size of the raw E12 encoding: the twelve base-field
+// coefficients in canonical big-endian form, tower order
+// C0.B0.A0 … C1.B2.A1.
+const E12Bytes = 12 * fp.Bytes
+
+// Bytes returns the canonical raw encoding of z. Target-group elements
+// have no compressed form — aggregation transcripts and wire envelopes
+// carry all twelve coefficients.
+func (z *E12) Bytes() [E12Bytes]byte {
+	var out [E12Bytes]byte
+	coeffs := z.coeffs()
+	for i, c := range coeffs {
+		b := c.Bytes()
+		copy(out[i*fp.Bytes:], b[:])
+	}
+	return out
+}
+
+// SetBytesCanonical sets z from exactly E12Bytes bytes, requiring every
+// coefficient to be a canonical (fully reduced) field encoding.
+func (z *E12) SetBytesCanonical(b []byte) error {
+	if len(b) != E12Bytes {
+		return fmt.Errorf("ext: E12 encoding must be %d bytes, got %d", E12Bytes, len(b))
+	}
+	coeffs := z.coeffs()
+	for i, c := range coeffs {
+		if err := c.SetBytesCanonical(b[i*fp.Bytes : (i+1)*fp.Bytes]); err != nil {
+			return fmt.Errorf("ext: E12 coefficient %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// coeffs lists the twelve base-field coefficients in encoding order.
+func (z *E12) coeffs() [12]*fp.Element {
+	return [12]*fp.Element{
+		&z.C0.B0.A0, &z.C0.B0.A1, &z.C0.B1.A0, &z.C0.B1.A1, &z.C0.B2.A0, &z.C0.B2.A1,
+		&z.C1.B0.A0, &z.C1.B0.A1, &z.C1.B1.A0, &z.C1.B1.A1, &z.C1.B2.A0, &z.C1.B2.A1,
+	}
+}

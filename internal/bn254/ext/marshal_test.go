@@ -1,0 +1,50 @@
+package ext
+
+import (
+	"bytes"
+	"testing"
+
+	"zkrownn/internal/bn254/fp"
+)
+
+func TestE12BytesRoundTrip(t *testing.T) {
+	var x E12
+	x.SetOne()
+	// Mix in distinguishable coefficients so every lane is exercised.
+	for i, c := range x.coeffs() {
+		c.Add(c, newFp(uint64(i*7+1)))
+	}
+	b := x.Bytes()
+	var y E12
+	if err := y.SetBytesCanonical(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !y.Equal(&x) {
+		t.Fatal("round trip lost coefficients")
+	}
+	b2 := y.Bytes()
+	if !bytes.Equal(b[:], b2[:]) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+}
+
+func TestE12SetBytesRejects(t *testing.T) {
+	var x E12
+	if err := x.SetBytesCanonical(make([]byte, E12Bytes-1)); err == nil {
+		t.Fatal("short input accepted")
+	}
+	// A coefficient ≥ p must be rejected (non-canonical encoding).
+	raw := make([]byte, E12Bytes)
+	for i := range raw[:fp.Bytes] {
+		raw[i] = 0xff
+	}
+	if err := x.SetBytesCanonical(raw); err == nil {
+		t.Fatal("non-canonical coefficient accepted")
+	}
+}
+
+func newFp(v uint64) *fp.Element {
+	var e fp.Element
+	e.SetUint64(v)
+	return &e
+}

@@ -1,0 +1,179 @@
+package ipp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/curve"
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/bn254/pairing"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 7: 8, 8: 8, 9: 16, 255: 256, 256: 256, 257: 512}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSRSShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	srs, err := NewSRS(5, rng) // rounds up to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srs.MaxN != 8 {
+		t.Fatalf("MaxN = %d, want 8", srs.MaxN)
+	}
+	if len(srs.G1A) != 16 || len(srs.G1B) != 16 || len(srs.G2A) != 8 || len(srs.G2B) != 8 {
+		t.Fatalf("table sizes %d/%d/%d/%d", len(srs.G1A), len(srs.G1B), len(srs.G2A), len(srs.G2B))
+	}
+	g1 := curve.G1GeneratorAffine()
+	g2 := curve.G2GeneratorAffine()
+	if !srs.G1A[0].Equal(&g1) || !srs.G2A[0].Equal(&g2) {
+		t.Fatal("power-zero table entries are not the generators")
+	}
+	// Consistency across groups: e(g^{a^i}, h) == e(g, h^{a^i}).
+	for i := 1; i < 4; i++ {
+		left := pairing.Pair(&srs.G1A[i], &g2)
+		right := pairing.Pair(&g1, &srs.G2A[i])
+		if !left.Equal(&right) {
+			t.Fatalf("G1A/G2A diverge at power %d", i)
+		}
+	}
+	// VK matches the degree-one powers.
+	if !srs.VK.GA.Equal(&srs.G1A[1]) || !srs.VK.HB.Equal(&srs.G2B[1]) {
+		t.Fatal("verifier key does not match SRS tables")
+	}
+
+	v1, v2, w1, w2, err := srs.Keys(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) != 4 || len(v2) != 4 || len(w1) != 4 || len(w2) != 4 {
+		t.Fatal("key slice sizes wrong")
+	}
+	if !w1[0].Equal(&srs.G1A[4]) {
+		t.Fatal("w1 keys must start at power n")
+	}
+	if _, _, _, _, err := srs.Keys(3); err == nil {
+		t.Fatal("non-power-of-two size accepted")
+	}
+	if _, _, _, _, err := srs.Keys(16); err == nil {
+		t.Fatal("over-capacity size accepted")
+	}
+	if _, err := NewSRS(0, rng); err == nil {
+		t.Fatal("zero-size SRS accepted")
+	}
+}
+
+func TestPairProductMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5
+	ps := make([]curve.G1Affine, n)
+	qs := make([]curve.G2Affine, n)
+	g1 := curve.G1Generator()
+	g2 := curve.G2Generator()
+	for i := range ps {
+		var s fr.Element
+		if _, err := s.SetRandom(rng); err != nil {
+			t.Fatal(err)
+		}
+		var p curve.G1Jac
+		p.ScalarMul(&g1, &s)
+		ps[i].FromJacobian(&p)
+		if _, err := s.SetRandom(rng); err != nil {
+			t.Fatal(err)
+		}
+		var q curve.G2Jac
+		q.ScalarMul(&g2, &s)
+		qs[i].FromJacobian(&q)
+	}
+	got := PairProduct(ps, qs)
+	var want = pairing.Pair(&ps[0], &qs[0])
+	for i := 1; i < n; i++ {
+		e := pairing.Pair(&ps[i], &qs[i])
+		want.Mul(&want, &e)
+	}
+	if !got.Equal(&want) {
+		t.Fatal("PairProduct disagrees with per-pair products")
+	}
+	got2 := PairProduct2(ps[:2], qs[:2], ps[2:], qs[2:])
+	if !got2.Equal(&want) {
+		t.Fatal("PairProduct2 disagrees with per-pair products")
+	}
+}
+
+func TestTranscriptDeterminismAndBinding(t *testing.T) {
+	run := func(mutate bool) fr.Element {
+		tr := NewTranscript("test/label")
+		tr.AppendUint32("n", 4)
+		tr.AppendBytes("data", []byte("payload"))
+		if mutate {
+			tr.AppendBytes("data", []byte("payload2"))
+		} else {
+			tr.AppendBytes("data", []byte("payload2 "))
+		}
+		return tr.Challenge("x")
+	}
+	a, b := run(true), run(true)
+	if !a.Equal(&b) {
+		t.Fatal("transcript is not deterministic")
+	}
+	c := run(false)
+	if a.Equal(&c) {
+		t.Fatal("distinct transcripts collided")
+	}
+	// Chaining: a second challenge differs from the first.
+	tr := NewTranscript("test/label")
+	x := tr.Challenge("x")
+	y := tr.Challenge("x")
+	if x.Equal(&y) {
+		t.Fatal("sequential challenges did not chain")
+	}
+	if x.IsZero() || y.IsZero() {
+		t.Fatal("zero challenge emitted")
+	}
+}
+
+func TestVerifierKeyWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	srs, err := NewSRS(2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := srs.VK.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dec VerifierKey
+	if _, err := dec.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.GA.Equal(&srs.VK.GA) || !dec.GB.Equal(&srs.VK.GB) ||
+		!dec.HA.Equal(&srs.VK.HA) || !dec.HB.Equal(&srs.VK.HB) {
+		t.Fatal("binary round trip lost a point")
+	}
+	// Corrupt magic.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[0] ^= 0xff
+	if _, err := dec.ReadFrom(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// JSON envelope, including trailing-garbage rejection.
+	js, err := json.Marshal(&srs.VK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec2 VerifierKey
+	if err := json.Unmarshal(js, &dec2); err != nil {
+		t.Fatal(err)
+	}
+	if !dec2.GA.Equal(&srs.VK.GA) {
+		t.Fatal("JSON round trip lost a point")
+	}
+}

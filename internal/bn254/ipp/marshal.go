@@ -1,0 +1,122 @@
+package ipp
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"zkrownn/internal/bn254/curve"
+)
+
+// Binary framing for the SRS verifier key: a 4-byte magic, a format
+// version, then the four compressed powers (GA, GB in G1; HA, HB in
+// G2). The same versioned-base64 JSON envelope shape as the groth16
+// wire types wraps it for API payloads.
+
+var magicSRSVK = [4]byte{'Z', 'K', 'S', 'V'}
+
+const srsFormatVersion = 1
+
+// WriteTo serializes the verifier key.
+func (vk *VerifierKey) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.Write(magicSRSVK[:])
+	binary.Write(&buf, binary.LittleEndian, uint32(srsFormatVersion))
+	for _, p := range []*curve.G1Affine{&vk.GA, &vk.GB} {
+		b := p.Bytes()
+		buf.Write(b[:])
+	}
+	for _, p := range []*curve.G2Affine{&vk.HA, &vk.HB} {
+		b := p.Bytes()
+		buf.Write(b[:])
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadFrom deserializes a verifier key, validating curve and subgroup
+// membership of every point.
+func (vk *VerifierKey) ReadFrom(r io.Reader) (int64, error) {
+	var head [8]byte
+	n := int64(0)
+	k, err := io.ReadFull(r, head[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	if [4]byte(head[:4]) != magicSRSVK {
+		return n, fmt.Errorf("ipp: bad SRS verifier key magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != srsFormatVersion {
+		return n, fmt.Errorf("ipp: unsupported SRS verifier key version %d", v)
+	}
+	for _, p := range []*curve.G1Affine{&vk.GA, &vk.GB} {
+		var b [curve.G1CompressedSize]byte
+		k, err := io.ReadFull(r, b[:])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		if err := p.SetBytes(b[:]); err != nil {
+			return n, fmt.Errorf("ipp: SRS verifier key: %w", err)
+		}
+	}
+	for _, p := range []*curve.G2Affine{&vk.HA, &vk.HB} {
+		var b [curve.G2CompressedSize]byte
+		k, err := io.ReadFull(r, b[:])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		if err := p.SetBytes(b[:]); err != nil {
+			return n, fmt.Errorf("ipp: SRS verifier key: %w", err)
+		}
+	}
+	return n, nil
+}
+
+type jsonEnvelope struct {
+	Format int    `json:"format"`
+	Data   string `json:"data"`
+}
+
+// MarshalJSON encodes the verifier key as a versioned base64 envelope
+// of its binary encoding (the same envelope shape as the groth16 wire
+// types).
+func (vk *VerifierKey) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := vk.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonEnvelope{
+		Format: srsFormatVersion,
+		Data:   base64.StdEncoding.EncodeToString(buf.Bytes()),
+	})
+}
+
+// UnmarshalJSON decodes a verifier key envelope with full point
+// validation.
+func (vk *VerifierKey) UnmarshalJSON(b []byte) error {
+	var env jsonEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return fmt.Errorf("ipp: SRS verifier key envelope: %w", err)
+	}
+	if env.Format != srsFormatVersion {
+		return fmt.Errorf("ipp: unsupported SRS verifier key envelope version %d", env.Format)
+	}
+	raw, err := base64.StdEncoding.DecodeString(env.Data)
+	if err != nil {
+		return fmt.Errorf("ipp: SRS verifier key envelope: %w", err)
+	}
+	r := bytes.NewReader(raw)
+	if _, err := vk.ReadFrom(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("ipp: SRS verifier key envelope has %d trailing bytes", r.Len())
+	}
+	return nil
+}

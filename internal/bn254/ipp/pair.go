@@ -1,0 +1,45 @@
+package ipp
+
+import (
+	"zkrownn/internal/bn254/curve"
+	"zkrownn/internal/bn254/ext"
+	"zkrownn/internal/bn254/pairing"
+	"zkrownn/internal/par"
+)
+
+// millerProduct computes Π MillerLoop(ps[i], qs[i]) with the loops fanned
+// out over the worker pool. The product is NOT reduced — callers share
+// one final exponentiation across as many products as their equation
+// multiplies together (FE is multiplicative).
+func millerProduct(ps []curve.G1Affine, qs []curve.G2Affine) ext.E12 {
+	if len(ps) != len(qs) {
+		panic("ipp: mismatched pair counts")
+	}
+	fs := make([]ext.E12, len(ps))
+	par.Each(len(ps), func(i int) {
+		fs[i] = pairing.MillerLoop(&ps[i], &qs[i])
+	})
+	var acc ext.E12
+	acc.SetOne()
+	for i := range fs {
+		acc.Mul(&acc, &fs[i])
+	}
+	return acc
+}
+
+// PairProduct computes Π e(ps[i], qs[i]) with one shared final
+// exponentiation — the pairing commitment to a (G1, G2) vector pair.
+func PairProduct(ps []curve.G1Affine, qs []curve.G2Affine) ext.E12 {
+	ml := millerProduct(ps, qs)
+	return pairing.FinalExponentiation(&ml)
+}
+
+// PairProduct2 computes Π e(p1[i], q1[i]) · Π e(p2[i], q2[i]) with one
+// shared final exponentiation — the double-trapdoor commitment shape
+// T = Π e(A_i, v_i) · Π e(w_i, B_i).
+func PairProduct2(p1 []curve.G1Affine, q1 []curve.G2Affine, p2 []curve.G1Affine, q2 []curve.G2Affine) ext.E12 {
+	ml1 := millerProduct(p1, q1)
+	ml2 := millerProduct(p2, q2)
+	ml1.Mul(&ml1, &ml2)
+	return pairing.FinalExponentiation(&ml1)
+}

@@ -1,0 +1,89 @@
+package ipp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+
+	"zkrownn/internal/bn254/curve"
+	"zkrownn/internal/bn254/ext"
+	"zkrownn/internal/bn254/fr"
+)
+
+// Transcript is the Fiat–Shamir transcript shared by the aggregation
+// prover and verifier: a running SHA-256 absorbing every protocol
+// message, squeezed for challenges. Each challenge chains the digest
+// back into the state, so later challenges bind everything before them.
+type Transcript struct {
+	h hash.Hash
+}
+
+// NewTranscript starts a transcript under a domain-separation label.
+func NewTranscript(label string) *Transcript {
+	t := &Transcript{h: sha256.New()}
+	t.append("ts", []byte(label))
+	return t
+}
+
+// append absorbs a length-framed, labelled message. Framing (label
+// length, label, payload length, payload) keeps distinct message
+// sequences from colliding on concatenation.
+func (t *Transcript) append(label string, b []byte) {
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:], uint32(len(label)))
+	binary.BigEndian.PutUint32(frame[4:], uint32(len(b)))
+	t.h.Write(frame[:])
+	t.h.Write([]byte(label))
+	t.h.Write(b)
+}
+
+// AppendBytes absorbs raw bytes under a label.
+func (t *Transcript) AppendBytes(label string, b []byte) { t.append(label, b) }
+
+// AppendUint32 absorbs a 32-bit integer.
+func (t *Transcript) AppendUint32(label string, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	t.append(label, b[:])
+}
+
+// AppendG1 absorbs a compressed G1 point.
+func (t *Transcript) AppendG1(label string, p *curve.G1Affine) {
+	b := p.Bytes()
+	t.append(label, b[:])
+}
+
+// AppendG2 absorbs a compressed G2 point.
+func (t *Transcript) AppendG2(label string, p *curve.G2Affine) {
+	b := p.Bytes()
+	t.append(label, b[:])
+}
+
+// AppendGT absorbs a target-group element (raw twelve-coefficient form).
+func (t *Transcript) AppendGT(label string, v *ext.E12) {
+	b := v.Bytes()
+	t.append(label, b[:])
+}
+
+// AppendFr absorbs a scalar.
+func (t *Transcript) AppendFr(label string, v *fr.Element) {
+	b := v.Bytes()
+	t.append(label, b[:])
+}
+
+// Challenge squeezes a nonzero field element and chains it back into
+// the transcript state.
+func (t *Transcript) Challenge(label string) fr.Element {
+	t.append("challenge", []byte(label))
+	var x fr.Element
+	for ctr := uint32(0); ; ctr++ {
+		sum := t.h.Sum(nil)
+		x.SetBytes(sum)
+		if !x.IsZero() {
+			t.append("chain", sum)
+			return x
+		}
+		// Astronomically unlikely; perturb and retry deterministically.
+		t.AppendUint32("retry", ctr)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/bn254/ipp"
 	"zkrownn/internal/groth16"
 	"zkrownn/internal/obs"
 	"zkrownn/internal/r1cs"
@@ -169,10 +170,13 @@ type Stats struct {
 	StreamProves uint64 // subset of Proves served by the out-of-core backend
 	SpillProves  uint64 // subset of StreamProves that also streamed the CSR and spilled the witness
 	Verifies     uint64 // individual + batched verification calls
+	Aggregates   uint64 // aggregation artifacts produced
 	SetupTime    time.Duration
 	SolveTime    time.Duration
 	ProveTime    time.Duration
 	VerifyTime   time.Duration
+	// AggregateTime is aggregation wall-clock (prove + self-check).
+	AggregateTime time.Duration
 }
 
 // ErrClosed is returned by every Engine entry point after Close: the
@@ -206,10 +210,15 @@ type Engine struct {
 	streamMu  sync.Mutex
 	streamDir string
 
+	// srs is the lazily built proof-aggregation SRS (see aggregate.go).
+	srsMu sync.Mutex
+	srs   *ipp.SRS
+
 	setups, memHits, diskHits           atomic.Uint64
 	solves, proves, streamProves        atomic.Uint64
-	spillProves, verifies               atomic.Uint64
+	spillProves, verifies, aggregates   atomic.Uint64
 	setupNs, solveNs, proveNs, verifyNs atomic.Int64
+	aggregateNs                         atomic.Int64
 }
 
 type setupCall struct {
@@ -875,18 +884,20 @@ func (e *Engine) VerifyMany(vk *groth16.VerifyingKey, proofs []*groth16.Proof, p
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Setups:       e.setups.Load(),
-		MemHits:      e.memHits.Load(),
-		DiskHits:     e.diskHits.Load(),
-		Solves:       e.solves.Load(),
-		Proves:       e.proves.Load(),
-		StreamProves: e.streamProves.Load(),
-		SpillProves:  e.spillProves.Load(),
-		Verifies:     e.verifies.Load(),
-		SetupTime:    time.Duration(e.setupNs.Load()),
-		SolveTime:    time.Duration(e.solveNs.Load()),
-		ProveTime:    time.Duration(e.proveNs.Load()),
-		VerifyTime:   time.Duration(e.verifyNs.Load()),
+		Setups:        e.setups.Load(),
+		MemHits:       e.memHits.Load(),
+		DiskHits:      e.diskHits.Load(),
+		Solves:        e.solves.Load(),
+		Proves:        e.proves.Load(),
+		StreamProves:  e.streamProves.Load(),
+		SpillProves:   e.spillProves.Load(),
+		Verifies:      e.verifies.Load(),
+		Aggregates:    e.aggregates.Load(),
+		SetupTime:     time.Duration(e.setupNs.Load()),
+		SolveTime:     time.Duration(e.solveNs.Load()),
+		ProveTime:     time.Duration(e.proveNs.Load()),
+		VerifyTime:    time.Duration(e.verifyNs.Load()),
+		AggregateTime: time.Duration(e.aggregateNs.Load()),
 	}
 }
 

@@ -1,0 +1,350 @@
+package groth16
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/bn254/ipp"
+)
+
+// aggregateFixture produces a deterministic SRS, key pair, and N valid
+// cubic proofs with their instances.
+func aggregateFixture(t testing.TB, seed int64, n int) (*ipp.SRS, *VerifyingKey, []*Proof, [][]fr.Element) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	srs, err := ipp.NewSRS(16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cubicSystem()
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proofs := make([]*Proof, 0, n)
+	publics := make([][]fr.Element, 0, n)
+	for i := 0; i < n; i++ {
+		w := cubicWitness(uint64(2 + i))
+		proof, err := Prove(sys, pk, w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proofs = append(proofs, proof)
+		publics = append(publics, w[1:sys.NbPublic])
+	}
+	return srs, vk, proofs, publics
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		srs, vk, proofs, publics := aggregateFixture(t, 0x1000+int64(n), n)
+		agg, err := AggregateProofs(srs, vk, proofs, publics)
+		if err != nil {
+			t.Fatalf("n=%d: aggregation failed: %v", n, err)
+		}
+		if err := VerifyAggregate(&srs.VK, vk, agg, publics); err != nil {
+			t.Fatalf("n=%d: valid aggregate rejected: %v", n, err)
+		}
+	}
+}
+
+// TestAggregateOracle cross-checks the aggregate verdict against
+// BatchVerify on the same sets: the aggregate path must accept exactly
+// the sets the batch verifier accepts.
+func TestAggregateOracle(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, 0x2000, 4)
+	rng := rand.New(rand.NewSource(0x2001))
+
+	// Valid set: both accept.
+	if err := BatchVerify(vk, proofs, publics, rng); err != nil {
+		t.Fatalf("oracle rejected valid set: %v", err)
+	}
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, agg, publics); err != nil {
+		t.Fatalf("aggregate rejected set the oracle accepts: %v", err)
+	}
+
+	// Tampered instance: both must reject. The prover happily
+	// aggregates (it does not verify), but verification must fail.
+	bad := make([][]fr.Element, len(publics))
+	for i := range publics {
+		bad[i] = append([]fr.Element(nil), publics[i]...)
+	}
+	bad[2][0].SetUint64(999)
+	if err := BatchVerify(vk, proofs, bad, rng); err == nil {
+		t.Fatal("oracle accepted tampered set")
+	}
+	aggBad, err := AggregateProofs(srs, vk, proofs, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, aggBad, bad); err == nil {
+		t.Fatal("aggregate accepted set the oracle rejects")
+	}
+
+	// Swapped instances across proofs: both must reject.
+	swapped := append([][]fr.Element(nil), publics...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if err := BatchVerify(vk, proofs, swapped, rng); err == nil {
+		t.Fatal("oracle accepted swapped instances")
+	}
+	aggSwap, err := AggregateProofs(srs, vk, proofs, swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, aggSwap, swapped); err == nil {
+		t.Fatal("aggregate accepted swapped instances")
+	}
+}
+
+// TestAggregateSingleAgreesWithVerify pins the degenerate n=1 case to
+// plain Verify on both the accept and reject sides.
+func TestAggregateSingleAgreesWithVerify(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, 0x3000, 1)
+	if err := Verify(vk, proofs[0], publics[0]); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, agg, publics); err != nil {
+		t.Fatalf("single-proof aggregate rejected: %v", err)
+	}
+
+	bad := [][]fr.Element{append([]fr.Element(nil), publics[0]...)}
+	bad[0][0].SetUint64(7777)
+	if err := Verify(vk, proofs[0], bad[0]); err == nil {
+		t.Fatal("plain Verify accepted tampered instance")
+	}
+	aggBad, err := AggregateProofs(srs, vk, proofs, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, aggBad, bad); err == nil {
+		t.Fatal("single-proof aggregate accepted tampered instance")
+	}
+}
+
+// TestAggregateRejectsMixedVK ensures an aggregate bound to one
+// verifying key does not verify under another (the transcript hashes
+// the vk, so every challenge diverges).
+func TestAggregateRejectsMixedVK(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, 0x4000, 2)
+	rng := rand.New(rand.NewSource(0x4001))
+	sys := cubicSystem()
+	_, vk2, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk2, agg, publics); err == nil {
+		t.Fatal("aggregate verified under a different verifying key")
+	}
+}
+
+// TestAggregateRejectsWrongSRSKey ensures verification fails under a
+// verifier key from an unrelated trusted setup.
+func TestAggregateRejectsWrongSRSKey(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, 0x4100, 2)
+	rng := rand.New(rand.NewSource(0x4101))
+	srs2, err := ipp.NewSRS(16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs2.VK, vk, agg, publics); err == nil {
+		t.Fatal("aggregate verified under an unrelated SRS verifier key")
+	}
+}
+
+// TestAggregateRejectsBitFlips serializes a valid aggregate, flips one
+// bit at a spread of offsets, and requires every mutation to be caught
+// at decode (canonicality/subgroup checks) or at verification.
+func TestAggregateRejectsBitFlips(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, 0x5000, 4)
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := agg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	rng := rand.New(rand.NewSource(0x5001))
+	for trial := 0; trial < 24; trial++ {
+		pos := rng.Intn(len(raw))
+		bit := byte(1) << uint(rng.Intn(8))
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= bit
+		var dec AggregateProof
+		if _, err := dec.ReadFrom(bytes.NewReader(mut)); err != nil {
+			continue // rejected at decode: good
+		}
+		if err := VerifyAggregate(&srs.VK, vk, &dec, publics); err == nil {
+			t.Fatalf("bit flip at byte %d bit %d produced an accepting aggregate", pos, bit)
+		}
+	}
+}
+
+// TestAggregateInputValidation exercises the argument checks on both
+// the prover and verifier entry points.
+func TestAggregateInputValidation(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, 0x6000, 2)
+	if _, err := AggregateProofs(srs, vk, nil, nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := AggregateProofs(srs, vk, proofs, publics[:1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := AggregateProofs(srs, vk, proofs, [][]fr.Element{nil, nil}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	// Capacity: 16-slot SRS cannot aggregate 17 proofs.
+	big := make([]*Proof, 17)
+	bigPub := make([][]fr.Element, 17)
+	for i := range big {
+		big[i] = proofs[0]
+		bigPub[i] = publics[0]
+	}
+	if _, err := AggregateProofs(srs, vk, big, bigPub); err == nil {
+		t.Fatal("over-capacity set accepted")
+	}
+
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, agg, publics[:1]); err == nil {
+		t.Fatal("verifier accepted instance-count mismatch")
+	}
+	agg.Count = 3 // claims a different set size than the rounds encode
+	if err := VerifyAggregate(&srs.VK, vk, agg, append(publics, publics[0])); err == nil {
+		t.Fatal("verifier accepted count/rounds mismatch")
+	}
+}
+
+func TestAggregateWireRoundTrip(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, 0x7000, 3)
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := agg.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if got := agg.SizeBytes(); got != n {
+		t.Fatalf("SizeBytes %d != encoded size %d", got, n)
+	}
+	var dec AggregateProof
+	if _, err := dec.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := dec.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("binary round trip is not byte-identical")
+	}
+	if err := VerifyAggregate(&srs.VK, vk, &dec, publics); err != nil {
+		t.Fatalf("decoded aggregate rejected: %v", err)
+	}
+
+	// JSON envelope round trip.
+	js, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec2 AggregateProof
+	if err := json.Unmarshal(js, &dec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, &dec2, publics); err != nil {
+		t.Fatalf("JSON round-tripped aggregate rejected: %v", err)
+	}
+
+	// SRS verifier key JSON envelope round trip.
+	vkJS, err := json.Marshal(&srs.VK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var svk ipp.VerifierKey
+	if err := json.Unmarshal(vkJS, &svk); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&svk, vk, agg, publics); err != nil {
+		t.Fatalf("aggregate rejected under round-tripped SRS key: %v", err)
+	}
+}
+
+// TestGoldenAggregateWireFormat pins the AggregateProof binary and JSON
+// encodings (see golden_test.go for the drift policy).
+func TestGoldenAggregateWireFormat(t *testing.T) {
+	srs, vk, proofs, publics := aggregateFixture(t, goldenSeed, 2)
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAggregate(&srs.VK, vk, agg, publics); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := agg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "aggregate.bin.hex", hexDump(buf.Bytes()))
+	js, err := json.MarshalIndent(agg, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "aggregate.json", append(js, '\n'))
+
+	var svkBuf bytes.Buffer
+	if _, err := srs.VK.WriteTo(&svkBuf); err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "srs_vk.bin.hex", hexDump(svkBuf.Bytes()))
+}
+
+func BenchmarkAggregate16(b *testing.B) {
+	srs, vk, proofs, publics := aggregateFixture(b, 0x8000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AggregateProofs(srs, vk, proofs, publics); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyAggregate16(b *testing.B) {
+	srs, vk, proofs, publics := aggregateFixture(b, 0x8001, 16)
+	agg, err := AggregateProofs(srs, vk, proofs, publics)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyAggregate(&srs.VK, vk, agg, publics); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package service
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/bn254/ipp"
+	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
 )
 
@@ -17,6 +20,15 @@ import (
 // pairings — the α-β folding from the batch verifier pays off exactly
 // here). A failed batch is re-checked proof-by-proof so one bad proof
 // 400s its own request, not its neighbors'.
+//
+// Aggregation requests ride the same windows: when any request in a
+// window asked for an auditable artifact, the flush hands the whole
+// window to Engine.AggregateMany instead of BatchVerify — every waiter
+// still gets its verdict, and the aggregate waiters additionally
+// receive the O(log N) artifact plus the SRS verifier key it must be
+// checked against. Aggregate sets arrive pre-batched and may exceed the
+// plain-window cap; they always land in one window so every member
+// shares one artifact.
 type verifyBatcher struct {
 	srv    *Server
 	window time.Duration
@@ -33,12 +45,19 @@ type pendingBatch struct {
 type verifyItem struct {
 	proof  *groth16.Proof
 	public []fr.Element
-	done   chan verifyOutcome
+	// aggregate marks a request that wants the window folded into an
+	// aggregation artifact rather than just batch-verified.
+	aggregate bool
+	done      chan verifyOutcome
 }
 
 type verifyOutcome struct {
 	err       error // nil: the Groth16 check passed
 	batchSize int
+	// agg and srsVK are set on aggregate-flagged items when the window
+	// folded successfully.
+	agg   *groth16.AggregateProof
+	srsVK *ipp.VerifierKey
 }
 
 func newVerifyBatcher(srv *Server, window time.Duration, max int) *verifyBatcher {
@@ -70,7 +89,58 @@ func (b *verifyBatcher) verify(rec *modelRecord, proof *groth16.Proof, public []
 	b.pending[rec.ID] = pb
 	b.mu.Unlock()
 
-	time.Sleep(b.window)
+	b.lead(rec, pb)
+	out := <-item.done
+	return out.err, out.batchSize
+}
+
+// aggregateSet runs a pre-batched aggregation request through the
+// batcher: all items join ONE window (over the plain cap if needed, so
+// the set is never split across artifacts) and the flush folds the
+// window into an aggregate. One outcome per proof, in order.
+func (b *verifyBatcher) aggregateSet(rec *modelRecord, proofs []*groth16.Proof, publics [][]fr.Element) []verifyOutcome {
+	items := make([]*verifyItem, len(proofs))
+	for i := range proofs {
+		items[i] = &verifyItem{
+			proof:     proofs[i],
+			public:    publics[i],
+			aggregate: true,
+			done:      make(chan verifyOutcome, 1),
+		}
+	}
+
+	b.mu.Lock()
+	pb, follower := b.pending[rec.ID]
+	if follower {
+		pb.items = append(pb.items, items...)
+	} else {
+		pb = &pendingBatch{items: append([]*verifyItem(nil), items...)}
+		b.pending[rec.ID] = pb
+	}
+	b.mu.Unlock()
+
+	if !follower {
+		b.lead(rec, pb)
+	}
+	outs := make([]verifyOutcome, len(items))
+	for i, it := range items {
+		outs[i] = <-it.done
+	}
+	return outs
+}
+
+// lead is the window leader's lifecycle: wait out the batching window —
+// or a server shutdown, whichever comes first — then flush. Without the
+// shutdown arm a leader would sleep its full window during Close while
+// the server has already started refusing work (and, with long windows,
+// stall shutdown on a guaranteed-stale flush).
+func (b *verifyBatcher) lead(rec *modelRecord, pb *pendingBatch) {
+	t := time.NewTimer(b.window)
+	select {
+	case <-t.C:
+	case <-b.srv.shutdown:
+		t.Stop()
+	}
 
 	b.mu.Lock()
 	if b.pending[rec.ID] == pb {
@@ -80,14 +150,19 @@ func (b *verifyBatcher) verify(rec *modelRecord, proof *groth16.Proof, public []
 	b.mu.Unlock()
 
 	b.flush(rec, items)
-	out := <-item.done
-	return out.err, out.batchSize
 }
 
 func (b *verifyBatcher) flush(rec *modelRecord, items []*verifyItem) {
 	n := len(items)
 	mVerifyBatchSize.Observe(float64(n))
-	if n == 1 {
+	wantAggregate := false
+	for _, it := range items {
+		if it.aggregate {
+			wantAggregate = true
+			break
+		}
+	}
+	if n == 1 && !wantAggregate {
 		err := b.srv.eng.Verify(rec.VK, items[0].proof, items[0].public)
 		items[0].done <- verifyOutcome{err: err, batchSize: 1}
 		return
@@ -99,6 +174,29 @@ func (b *verifyBatcher) flush(rec *modelRecord, items []*verifyItem) {
 		proofs[i] = it.proof
 		publics[i] = it.public
 	}
+
+	if wantAggregate {
+		agg, svk, err := b.srv.eng.AggregateMany(rec.VK, proofs, publics)
+		if err == nil {
+			b.srv.aggregateArtifacts.Add(1)
+			maxUpdate(&b.srv.verifyMaxBatch, uint64(n))
+			for _, it := range items {
+				it.done <- verifyOutcome{batchSize: n, agg: agg, srsVK: svk}
+			}
+			return
+		}
+		if errors.Is(err, engine.ErrClosed) {
+			b.shutdownAll(items, n, err)
+			return
+		}
+		// The fold self-check rejected: at least one member is invalid.
+		// Attribute per-request like the batch path; no artifact is
+		// issued for a window that doesn't verify as a whole.
+		b.srv.aggregateFallbacks.Add(1)
+		b.fallback(rec, items, n)
+		return
+	}
+
 	b.srv.verifyBatchCalls.Add(1)
 	b.srv.verifyBatchedRequests.Add(uint64(n))
 	maxUpdate(&b.srv.verifyMaxBatch, uint64(n))
@@ -110,14 +208,34 @@ func (b *verifyBatcher) flush(rec *modelRecord, items []*verifyItem) {
 		}
 		return
 	}
-	// The combined product rejected: at least one member is invalid (or
-	// the engine is closing). Attribute per-request with individual
-	// checks.
+	if errors.Is(err, engine.ErrClosed) {
+		// The engine is shutting down: re-running Verify per proof would
+		// just collect n more ErrClosed (at n lifecycle acquisitions) and
+		// misreport the shutdown as a verification fallback. Short-circuit
+		// every waiter with the shutdown error instead.
+		b.shutdownAll(items, n, err)
+		return
+	}
+	// The combined product rejected: at least one member is invalid.
+	// Attribute per-request with individual checks.
 	b.srv.verifyFallbacks.Add(1)
+	b.fallback(rec, items, n)
+}
+
+// fallback attributes a failed window per-request with individual
+// checks.
+func (b *verifyBatcher) fallback(rec *modelRecord, items []*verifyItem, n int) {
 	for _, it := range items {
 		it.done <- verifyOutcome{
 			err:       b.srv.eng.Verify(rec.VK, it.proof, it.public),
 			batchSize: n,
 		}
+	}
+}
+
+// shutdownAll fails every waiter with the engine's shutdown error.
+func (b *verifyBatcher) shutdownAll(items []*verifyItem, n int, err error) {
+	for _, it := range items {
+		it.done <- verifyOutcome{err: err, batchSize: n}
 	}
 }

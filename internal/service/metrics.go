@@ -25,6 +25,12 @@ var (
 	mVerifyBatchSize = obs.Default().Histogram("zkrownn_verify_batch_size",
 		"Requests folded into one verify pairing product.",
 		[]float64{1, 2, 4, 8, 16, 32, 64})
+
+	mAggregateRequests = obs.Default().Counter("zkrownn_aggregate_requests_total",
+		"Aggregation requests accepted (/v1/aggregate).")
+	mAggregateRequestProofs = obs.Default().Histogram("zkrownn_aggregate_request_proofs",
+		"Proofs carried by one aggregation request.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 )
 
 // histogramWire converts a registry snapshot into the /v1/stats shape.

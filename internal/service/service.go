@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zkrownn/internal/bn254/fr"
 	"zkrownn/internal/core"
 	"zkrownn/internal/engine"
 	"zkrownn/internal/groth16"
@@ -106,6 +107,11 @@ type Server struct {
 
 	closed    atomic.Bool
 	closeOnce sync.Once
+	// shutdown is closed by Close; window leaders in the verify batcher
+	// select on it so a pending batch flushes immediately instead of
+	// sleeping out its window against a server that is already refusing
+	// work.
+	shutdown chan struct{}
 
 	circuitsCompiled                        atomic.Uint64
 	jobsSubmitted, jobsRejected             atomic.Uint64
@@ -113,6 +119,8 @@ type Server struct {
 	verifyRequests                          atomic.Uint64
 	verifyBatchCalls, verifyBatchedRequests atomic.Uint64
 	verifyMaxBatch, verifyFallbacks         atomic.Uint64
+	aggregateRequests, aggregateArtifacts   atomic.Uint64
+	aggregateFallbacks                      atomic.Uint64
 
 	// testJobStall, when set by tests, runs at the head of every
 	// dispatcher batch — a hook to hold the queue busy deterministically.
@@ -143,7 +151,7 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{opts: opts, reg: reg}
+	s := &Server{opts: opts, reg: reg, shutdown: make(chan struct{})}
 	s.log = opts.Logger
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
@@ -173,6 +181,7 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
 	mux.HandleFunc("POST /v1/models/{id}/prove", s.handleProve)
 	mux.HandleFunc("POST /v1/models/{id}/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleJobProof)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -203,6 +212,7 @@ func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
+		close(s.shutdown)
 		s.queue.close()
 		if s.ownsEngine {
 			err = s.eng.Close()
@@ -268,16 +278,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.eng.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Engine: EngineStatsWire{
-			Setups:   es.Setups,
-			MemHits:  es.MemHits,
-			DiskHits: es.DiskHits,
-			Solves:   es.Solves,
-			Proves:   es.Proves,
-			Verifies: es.Verifies,
-			SetupMS:  float64(es.SetupTime.Microseconds()) / 1e3,
-			SolveMS:  float64(es.SolveTime.Microseconds()) / 1e3,
-			ProveMS:  float64(es.ProveTime.Microseconds()) / 1e3,
-			VerifyMS: float64(es.VerifyTime.Microseconds()) / 1e3,
+			Setups:      es.Setups,
+			MemHits:     es.MemHits,
+			DiskHits:    es.DiskHits,
+			Solves:      es.Solves,
+			Proves:      es.Proves,
+			Verifies:    es.Verifies,
+			Aggregates:  es.Aggregates,
+			SetupMS:     float64(es.SetupTime.Microseconds()) / 1e3,
+			SolveMS:     float64(es.SolveTime.Microseconds()) / 1e3,
+			ProveMS:     float64(es.ProveTime.Microseconds()) / 1e3,
+			VerifyMS:    float64(es.VerifyTime.Microseconds()) / 1e3,
+			AggregateMS: float64(es.AggregateTime.Microseconds()) / 1e3,
 		},
 		Service: ServiceStats{
 			Models:                s.reg.len(),
@@ -293,6 +305,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			VerifyBatchedRequests: s.verifyBatchedRequests.Load(),
 			VerifyMaxBatch:        s.verifyMaxBatch.Load(),
 			VerifyFallbacks:       s.verifyFallbacks.Load(),
+			AggregateRequests:     s.aggregateRequests.Load(),
+			AggregateArtifacts:    s.aggregateArtifacts.Load(),
+			AggregateFallbacks:    s.aggregateFallbacks.Load(),
 			QueueWaitSeconds:      histogramWire(mQueueWaitSeconds.Snapshot()),
 			VerifyBatchSize:       histogramWire(mVerifyBatchSize.Snapshot()),
 		},
@@ -644,6 +659,108 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			resp.Claim = false
 			resp.Claims = nil
 			resp.Error = derr.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAggregate folds N proofs for one registered model into a
+// single O(log N) aggregation artifact (SnarkPack over the batch
+// verifier's windows): the auditable registry object for "these N
+// ownership claims all verify". The request rides the verify
+// micro-batcher, so concurrent plain verifications of the same model
+// share the fold; the response carries the artifact plus the SRS
+// verifier key third parties must check it against.
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req AggregateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed aggregate request: "+err.Error())
+		return
+	}
+	rec, ok := s.reg.get(req.ModelID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model")
+		return
+	}
+	if len(req.Proofs) == 0 {
+		writeError(w, http.StatusBadRequest, "aggregate request needs at least one proof")
+		return
+	}
+	if len(req.Proofs) != len(req.PublicInputs) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d proofs but %d public-input sets", len(req.Proofs), len(req.PublicInputs)))
+		return
+	}
+	want := len(rec.VK.IC) - 1
+	for i, pub := range req.PublicInputs {
+		if req.Proofs[i] == nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("proof %d is null", i))
+			return
+		}
+		if len(pub) != want {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("proof %d: expected %d public inputs, got %d", i, want, len(pub)))
+			return
+		}
+	}
+	s.verifyRequests.Add(uint64(len(req.Proofs)))
+	s.aggregateRequests.Add(1)
+	mAggregateRequests.Inc()
+	mAggregateRequestProofs.Observe(float64(len(req.Proofs)))
+
+	if rec.Committed {
+		// The digest binding is an instance property; check it before
+		// spending pairings on the fold.
+		for i, pub := range req.PublicInputs {
+			if derr := checkCommittedDigest(rec, pub); derr != nil {
+				writeJSON(w, http.StatusOK, AggregateResponse{
+					Count: len(req.Proofs),
+					Error: fmt.Sprintf("proof %d: %s", i, derr.Error()),
+				})
+				return
+			}
+		}
+	}
+
+	publics := make([][]fr.Element, len(req.PublicInputs))
+	for i, pub := range req.PublicInputs {
+		publics[i] = pub
+	}
+	outs := s.batcher.aggregateSet(rec, req.Proofs, publics)
+
+	resp := AggregateResponse{Count: len(req.Proofs)}
+	for i, out := range outs {
+		if errors.Is(out.err, engine.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "service shutting down")
+			return
+		}
+		resp.BatchSize = out.batchSize
+		if out.err != nil && resp.Error == "" {
+			resp.Error = fmt.Sprintf("proof %d: %s", i, out.err.Error())
+		}
+		if out.agg != nil && resp.Aggregate == nil {
+			resp.Aggregate = out.agg
+			resp.SRSKey = out.srsVK
+		}
+	}
+	if resp.Error == "" && resp.Aggregate == nil {
+		// Every member verified individually but the shared window failed
+		// as a whole (an invalid neighbor poisoned the fold): no artifact
+		// was issued, though these proofs are individually valid.
+		resp.Error = "window aggregation failed (invalid neighboring proof); retry for a fresh window"
+	}
+	if resp.Aggregate != nil {
+		resp.Valid = true
+		resp.Claim = true
+		for _, pub := range req.PublicInputs {
+			if claims, cerr := core.ClaimBits(pub, rec.slotCount()); cerr == nil {
+				all := true
+				for _, c := range claims {
+					all = all && c
+				}
+				resp.Claims = append(resp.Claims, all)
+				resp.Claim = resp.Claim && all
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 
+	"zkrownn/internal/bn254/ipp"
 	"zkrownn/internal/groth16"
 )
 
@@ -171,19 +172,49 @@ type VerifyResponse struct {
 	Error     string `json:"error,omitempty"`
 }
 
+// AggregateRequest folds N proofs for one registered model into a
+// single aggregation artifact. All proofs must be under the same
+// model's verifying key; public_inputs carries one instance per proof,
+// in proof order.
+type AggregateRequest struct {
+	ModelID      string                 `json:"model_id"`
+	Proofs       []*groth16.Proof       `json:"proofs"`
+	PublicInputs []groth16.PublicInputs `json:"public_inputs"`
+}
+
+// AggregateResponse reports the fold. Valid means every member proof
+// verified and the artifact was issued; Aggregate is the O(log N)
+// proof-of-proofs and SRSKey the inner-pairing-product verifier key it
+// must be checked against (groth16.VerifyAggregate). Claims holds one
+// all-slots-claimed verdict per member proof, in order; Claim is their
+// conjunction. BatchSize reports the micro-batch window the fold
+// shared (≥ Count when concurrent plain verifications rode along).
+type AggregateResponse struct {
+	Valid     bool                    `json:"valid"`
+	Claim     bool                    `json:"claim"`
+	Claims    []bool                  `json:"claims,omitempty"`
+	Count     int                     `json:"count"`
+	BatchSize int                     `json:"batch_size"`
+	Aggregate *groth16.AggregateProof `json:"aggregate,omitempty"`
+	SRSKey    *ipp.VerifierKey        `json:"srs_key,omitempty"`
+	Error     string                  `json:"error,omitempty"`
+}
+
 // EngineStatsWire mirrors engine.Stats with wall-clock totals in
 // milliseconds.
 type EngineStatsWire struct {
-	Setups   uint64  `json:"setups"`
-	MemHits  uint64  `json:"mem_hits"`
-	DiskHits uint64  `json:"disk_hits"`
-	Solves   uint64  `json:"solves"`
-	Proves   uint64  `json:"proves"`
-	Verifies uint64  `json:"verifies"`
-	SetupMS  float64 `json:"setup_ms"`
-	SolveMS  float64 `json:"solve_ms"`
-	ProveMS  float64 `json:"prove_ms"`
-	VerifyMS float64 `json:"verify_ms"`
+	Setups      uint64  `json:"setups"`
+	MemHits     uint64  `json:"mem_hits"`
+	DiskHits    uint64  `json:"disk_hits"`
+	Solves      uint64  `json:"solves"`
+	Proves      uint64  `json:"proves"`
+	Verifies    uint64  `json:"verifies"`
+	Aggregates  uint64  `json:"aggregates"`
+	SetupMS     float64 `json:"setup_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+	ProveMS     float64 `json:"prove_ms"`
+	VerifyMS    float64 `json:"verify_ms"`
+	AggregateMS float64 `json:"aggregate_ms"`
 }
 
 // ServiceStats surfaces queue and batcher counters.
@@ -213,6 +244,13 @@ type ServiceStats struct {
 	// VerifyFallbacks counts batches that failed as a whole and were
 	// re-checked proof-by-proof to attribute the failure.
 	VerifyFallbacks uint64 `json:"verify_fallbacks"`
+	// AggregateRequests counts /v1/aggregate requests accepted.
+	AggregateRequests uint64 `json:"aggregate_requests"`
+	// AggregateArtifacts counts aggregation artifacts issued by windows.
+	AggregateArtifacts uint64 `json:"aggregate_artifacts"`
+	// AggregateFallbacks counts aggregate windows that failed as a whole
+	// and fell back to per-proof attribution (no artifact issued).
+	AggregateFallbacks uint64 `json:"aggregate_fallbacks"`
 	// QueueWaitSeconds is the distribution of time jobs spent queued
 	// before dispatch (process-wide histogram, mirrored on /metrics as
 	// zkrownn_queue_wait_seconds).

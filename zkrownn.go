@@ -29,6 +29,7 @@ import (
 	"math/rand"
 
 	"zkrownn/internal/bn254/fr"
+	"zkrownn/internal/bn254/ipp"
 	"zkrownn/internal/core"
 	"zkrownn/internal/dataset"
 	"zkrownn/internal/engine"
@@ -451,4 +452,32 @@ func BatchVerifyOwnership(vk *VerifyingKey, proofs []*Proof, publicInputs [][]fr
 		}
 	}
 	return true, nil
+}
+
+// --- Proof aggregation ---
+
+type (
+	// AggregateProof is an O(log N) SnarkPack-style fold of N ownership
+	// proofs under one verifying key — the auditable artifact a registry
+	// files instead of N separate proofs.
+	AggregateProof = groth16.AggregateProof
+	// AggregateVerifierKey is the inner-pairing-product commitment key an
+	// aggregation artifact must be checked against; the engine/service
+	// ships it alongside every artifact it issues.
+	AggregateVerifierKey = ipp.VerifierKey
+)
+
+// AggregateOwnership folds N proofs for one verifying key into a single
+// aggregation artifact on a prover engine (which owns the aggregation
+// SRS), verifying the artifact before returning it. The returned key
+// pairs with the artifact for VerifyAggregateOwnership.
+func AggregateOwnership(e *Engine, vk *VerifyingKey, proofs []*Proof, publicInputs [][]fr.Element) (*AggregateProof, *AggregateVerifierKey, error) {
+	return e.AggregateMany(vk, proofs, publicInputs)
+}
+
+// VerifyAggregateOwnership checks a proof-of-proofs: the artifact is
+// accepted exactly when every folded proof verifies under vk with its
+// instance — the O(log N) equivalent of BatchVerifyOwnership.
+func VerifyAggregateOwnership(svk *AggregateVerifierKey, vk *VerifyingKey, agg *AggregateProof, publicInputs [][]fr.Element) error {
+	return groth16.VerifyAggregate(svk, vk, agg, publicInputs)
 }
